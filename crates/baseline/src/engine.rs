@@ -1,0 +1,485 @@
+//! The walker-at-a-time baseline execution loop.
+
+use std::time::{Duration, Instant};
+
+use fm_graph::relabel::Relabeling;
+use fm_graph::{Csr, VertexId};
+use fm_memsim::{AccessKind, AddressSpace, NullProbe, Probe};
+use fm_rng::{Mt19937, Rng64, Xorshift64Star};
+
+use flashmob::output::WalkOutput;
+use flashmob::walker::initialize;
+use flashmob::{StopRule, WalkAlgorithm, WalkError, DEAD};
+
+use crate::sampler::{BaselineAddrs, SamplerKind};
+use crate::{BaselineConfig, BaselineKind, RngKind};
+
+/// Either baseline RNG behind one dispatch point.
+enum AnyRng {
+    Mt(Box<Mt19937>),
+    Xs(Xorshift64Star),
+}
+
+impl Rng64 for AnyRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self {
+            AnyRng::Mt(r) => r.next_u64(),
+            AnyRng::Xs(r) => r.next_u64(),
+        }
+    }
+}
+
+/// Execution statistics of a baseline run.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineStats {
+    /// Number of walkers.
+    pub walkers: usize,
+    /// Live walker-steps executed.
+    pub steps_taken: u64,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Per-vertex visit counts (original ID space) when requested.
+    pub visits: Option<Vec<u64>>,
+}
+
+impl BaselineStats {
+    /// Average wall-clock nanoseconds per walker-step.
+    pub fn per_step_ns(&self) -> f64 {
+        if self.steps_taken == 0 {
+            return 0.0;
+        }
+        self.wall.as_nanos() as f64 / self.steps_taken as f64
+    }
+}
+
+/// A prepared baseline engine.
+///
+/// Unlike FlashMob, baselines keep the graph in its original vertex
+/// order (no locality pre-processing) — we only *store* a relabeling so
+/// walk output uses the same API.
+#[derive(Debug)]
+pub struct Baseline {
+    graph: Csr,
+    config: BaselineConfig,
+    sampler: SamplerKind,
+    addrs: BaselineAddrs,
+    /// Identity mapping (baselines do not reorder vertices).
+    relabel: Relabeling,
+}
+
+impl Baseline {
+    /// Prepares a baseline engine.
+    pub fn new(graph: &Csr, config: BaselineConfig) -> Result<Self, WalkError> {
+        if graph.vertex_count() == 0 {
+            return Err(WalkError::EmptyGraph);
+        }
+        if config.walkers == 0 {
+            return Err(WalkError::NoWalkers);
+        }
+        for v in 0..graph.vertex_count() {
+            if graph.degree(v as VertexId) == 0 {
+                return Err(WalkError::SinkVertex(v as VertexId));
+            }
+        }
+        if matches!(config.algorithm, WalkAlgorithm::Weighted) && !graph.is_weighted() {
+            return Err(WalkError::MissingWeights);
+        }
+        let mut graph = graph.clone();
+        if config.algorithm.is_second_order() {
+            if graph.is_weighted() {
+                return Err(WalkError::Planning(
+                    "node2vec on weighted graphs is not supported".into(),
+                ));
+            }
+            graph.sort_adjacency_lists();
+        }
+        let sampler = match (config.kind, &config.algorithm) {
+            (BaselineKind::GraphVite, _) => SamplerKind::alias_for(&graph),
+            (BaselineKind::KnightKing, WalkAlgorithm::Weighted) => {
+                SamplerKind::cumulative_for(&graph)
+            }
+            (BaselineKind::KnightKing, _) => SamplerKind::Uniform,
+        };
+        let mut space = AddressSpace::new();
+        let n = graph.vertex_count() as u64;
+        let e = graph.edge_count() as u64;
+        let addrs = BaselineAddrs {
+            offsets: space.alloc((n + 1) * 8),
+            targets: space.alloc(e * 4),
+            alias_prob: space.alloc(e * 8),
+            alias_idx: space.alloc(e * 4),
+            cum_weights: space.alloc(e * 4),
+        };
+        let relabel = Relabeling::identity(graph.vertex_count());
+        Ok(Self {
+            graph,
+            config,
+            sampler,
+            addrs,
+            relabel,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+
+    /// Runs the walk.
+    pub fn run(&self) -> Result<WalkOutput, WalkError> {
+        self.run_with_stats().map(|(o, _)| o)
+    }
+
+    /// Runs the walk and returns statistics.
+    pub fn run_with_stats(&self) -> Result<(WalkOutput, BaselineStats), WalkError> {
+        let mut probe = NullProbe;
+        self.run_probed(&mut probe)
+    }
+
+    /// Runs the walk feeding every memory access into `probe`.
+    pub fn run_probed<P: Probe>(
+        &self,
+        probe: &mut P,
+    ) -> Result<(WalkOutput, BaselineStats), WalkError> {
+        let start = Instant::now();
+        let walkers = self.config.walkers;
+        let steps = self.config.max_steps();
+        let second_order = self.config.algorithm.is_second_order();
+        let exit_prob = match self.config.stop {
+            StopRule::Geometric { exit_prob, .. } => exit_prob,
+            StopRule::FixedSteps(_) => 0.0,
+        };
+        let bound = if second_order {
+            self.config.algorithm.node2vec_bound()
+        } else {
+            1.0
+        };
+
+        let w0 = initialize(&self.graph, &self.config.init, walkers, self.config.seed);
+        let mut rows: Vec<Vec<VertexId>> = if self.config.record_paths {
+            vec![vec![DEAD; walkers]; steps + 1]
+        } else {
+            vec![vec![DEAD; walkers]] // only final positions
+        };
+        let mut visits = self
+            .config
+            .record_visits
+            .then(|| vec![0u64; self.graph.vertex_count()]);
+        let mut steps_taken = 0u64;
+
+        // One generator for the whole (single-threaded) walk, matching
+        // the real systems' per-thread RNG; constructing MT19937's
+        // 2.5 KiB state per walker would dominate short walks.
+        let mut rng = match self.config.rng {
+            RngKind::Mt19937 => AnyRng::Mt(Box::new(Mt19937::new(self.config.seed as u32))),
+            RngKind::XorShift => AnyRng::Xs(Xorshift64Star::new(self.config.seed)),
+        };
+
+        // The defining baseline behavior: each walker runs to completion
+        // before the next starts (GraphVite: per-path; KnightKing:
+        // "moves a walker as much as possible" — identical on one node).
+        for (j, &start_v) in w0.iter().enumerate() {
+            let mut v = start_v;
+            let mut prev: Option<VertexId> = None;
+            if self.config.record_paths {
+                rows[0][j] = v;
+            }
+            for i in 0..steps {
+                if let Some(vis) = visits.as_deref_mut() {
+                    vis[v as usize] += 1;
+                }
+                let next = self.step(v, prev, bound, &mut rng, probe);
+                steps_taken += 1;
+                probe.step();
+                prev = Some(v);
+                v = next;
+                let died = exit_prob > 0.0 && rng.next_f64() < exit_prob;
+                if self.config.record_paths {
+                    rows[i + 1][j] = if died { DEAD } else { v };
+                }
+                if died {
+                    v = DEAD;
+                    break;
+                }
+            }
+            if !self.config.record_paths {
+                rows[0][j] = v;
+            }
+        }
+
+        let wall = start.elapsed();
+        let output = WalkOutput::new(rows, walkers, self.relabel.clone());
+        let stats = BaselineStats {
+            walkers,
+            steps_taken,
+            wall,
+            visits,
+        };
+        Ok((output, stats))
+    }
+
+    /// One walker-step: pick a slot via the configured sampler, read the
+    /// target, applying the second-order bias by rejection when needed.
+    fn step<R: Rng64, P: Probe>(
+        &self,
+        v: VertexId,
+        prev: Option<VertexId>,
+        bound: f64,
+        rng: &mut R,
+        probe: &mut P,
+    ) -> VertexId {
+        let off = self.graph.adjacency_start(v);
+        match self.config.algorithm {
+            WalkAlgorithm::DeepWalk | WalkAlgorithm::Weighted => {
+                let k = self.sampler.pick(&self.graph, v, rng, probe, &self.addrs);
+                probe.touch(
+                    self.addrs.targets + 4 * (off + k) as u64,
+                    4,
+                    AccessKind::Random,
+                );
+                self.graph.targets()[off + k]
+            }
+            WalkAlgorithm::Node2Vec { p, q } => {
+                let t = match prev {
+                    Some(t) => t,
+                    // First step has no history: uniform.
+                    None => {
+                        let k = self.sampler.pick(&self.graph, v, rng, probe, &self.addrs);
+                        probe.touch(
+                            self.addrs.targets + 4 * (off + k) as u64,
+                            4,
+                            AccessKind::Random,
+                        );
+                        return self.graph.targets()[off + k];
+                    }
+                };
+                let bound_min = (1.0 / p).min(1.0).min(1.0 / q);
+                let mut attempts = 0;
+                loop {
+                    let k = self.sampler.pick(&self.graph, v, rng, probe, &self.addrs);
+                    probe.touch(
+                        self.addrs.targets + 4 * (off + k) as u64,
+                        4,
+                        AccessKind::Random,
+                    );
+                    let cand = self.graph.targets()[off + k];
+                    attempts += 1;
+                    let x = rng.next_f64() * bound;
+                    // Stratified rejection: draws below the minimum
+                    // weight accept without the connectivity check.
+                    if x < bound_min || attempts >= 64 {
+                        return cand;
+                    }
+                    let w = if cand == t {
+                        1.0 / p
+                    } else {
+                        probe.touch(self.addrs.offsets + 8 * t as u64, 8, AccessKind::Random);
+                        probe.touch(
+                            self.addrs.targets + 4 * self.graph.adjacency_start(t) as u64,
+                            4,
+                            AccessKind::Random,
+                        );
+                        if self.graph.has_edge(t, cand) {
+                            1.0
+                        } else {
+                            1.0 / q
+                        }
+                    };
+                    if x < w {
+                        return cand;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: runs DeepWalk on both the baseline and FlashMob with the
+/// same workload and returns `(baseline_ns, flashmob_ns)` per step —
+/// used by tests and the Figure 8 harness.
+pub fn head_to_head_deepwalk(
+    graph: &Csr,
+    walkers: usize,
+    steps: usize,
+    seed: u64,
+) -> Result<(f64, f64), WalkError> {
+    let b = Baseline::new(
+        graph,
+        BaselineConfig::knightking_deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .seed(seed)
+            .record_paths(false),
+    )?;
+    let (_, bs) = b.run_with_stats()?;
+    let f = flashmob::FlashMob::new(
+        graph,
+        flashmob::WalkConfig::deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .seed(seed)
+            .record_paths(false),
+    )?;
+    let (_, fs) = f.run_with_stats()?;
+    Ok((bs.per_step_ns(), fs.per_step_ns()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_graph::synth;
+
+    fn config(walkers: usize, steps: usize) -> BaselineConfig {
+        BaselineConfig::knightking_deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .seed(11)
+    }
+
+    #[test]
+    fn paths_follow_edges() {
+        let g = synth::power_law(300, 2.0, 1, 30, 2);
+        let engine = Baseline::new(&g, config(100, 6)).unwrap();
+        let out = engine.run().unwrap();
+        for path in out.paths() {
+            assert_eq!(path.len(), 7);
+            for hop in path.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn graphvite_paths_follow_edges() {
+        let g = synth::power_law(300, 2.0, 1, 30, 2);
+        let mut cfg = config(50, 5);
+        cfg.kind = BaselineKind::GraphVite;
+        let engine = Baseline::new(&g, cfg).unwrap();
+        for path in engine.run().unwrap().paths() {
+            for hop in path.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = synth::power_law(200, 2.0, 1, 20, 3);
+        let engine = Baseline::new(&g, config(50, 4)).unwrap();
+        assert_eq!(engine.run().unwrap().paths(), engine.run().unwrap().paths());
+    }
+
+    #[test]
+    fn rng_kinds_both_work() {
+        let g = synth::cycle(32);
+        for rng in [RngKind::Mt19937, RngKind::XorShift] {
+            let engine = Baseline::new(&g, config(20, 5).rng(rng)).unwrap();
+            let (out, stats) = engine.run_with_stats().unwrap();
+            assert_eq!(stats.steps_taken, 100);
+            assert_eq!(out.paths().len(), 20);
+        }
+    }
+
+    #[test]
+    fn node2vec_runs() {
+        let g = synth::power_law(200, 2.0, 2, 30, 7);
+        let cfg = config(40, 5).algorithm(WalkAlgorithm::Node2Vec { p: 0.5, q: 2.0 });
+        let engine = Baseline::new(&g, cfg).unwrap();
+        for path in engine.run().unwrap().paths() {
+            for hop in path.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_stop_truncates() {
+        let g = synth::cycle(16);
+        let mut cfg = config(1000, 50);
+        cfg.stop = StopRule::Geometric {
+            exit_prob: 0.5,
+            max_steps: 50,
+        };
+        let engine = Baseline::new(&g, cfg).unwrap();
+        let (out, stats) = engine.run_with_stats().unwrap();
+        assert!(stats.steps_taken < 1000 * 10);
+        assert!(out.paths().iter().any(|p| p.len() < 5));
+    }
+
+    #[test]
+    fn visits_are_departure_counts() {
+        let g = synth::cycle(8);
+        let engine = Baseline::new(&g, config(10, 3).record_visits(true)).unwrap();
+        let (out, stats) = engine.run_with_stats().unwrap();
+        let visits = stats.visits.unwrap();
+        assert_eq!(visits.iter().sum::<u64>(), 30);
+        assert_eq!(visits, out.visit_counts(8));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let empty = Csr::from_edges(0, &[]).unwrap();
+        assert!(matches!(
+            Baseline::new(&empty, config(1, 1)),
+            Err(WalkError::EmptyGraph)
+        ));
+        let sink = Csr::from_edges(2, &[(0, 1)]).unwrap();
+        assert!(matches!(
+            Baseline::new(&sink, config(1, 1)),
+            Err(WalkError::SinkVertex(1))
+        ));
+    }
+
+    #[test]
+    fn stationary_distribution_matches_flashmob() {
+        // Both engines walk the same undirected graph; visit frequencies
+        // must converge to the same degree-proportional stationary
+        // distribution.
+        let g = synth::power_law(200, 2.0, 1, 20, 9);
+        let walkers = 2000;
+        let steps = 20;
+
+        let b = Baseline::new(&g, config(walkers, steps).record_visits(true)).unwrap();
+        let (_, bs) = b.run_with_stats().unwrap();
+        let bv = bs.visits.unwrap();
+
+        let f = flashmob::FlashMob::new(
+            &g,
+            flashmob::WalkConfig::deepwalk()
+                .walkers(walkers)
+                .steps(steps)
+                .seed(11)
+                .record_visits(true),
+        )
+        .unwrap();
+        let (_, fs) = f.run_with_stats().unwrap();
+        let fv = fs.visits_original(f.relabeling()).unwrap();
+
+        let total_b: u64 = bv.iter().sum();
+        let total_f: u64 = fv.iter().sum();
+        // Compare the top-20 hubs' visit shares.
+        let mut hubs: Vec<usize> = (0..g.vertex_count()).collect();
+        hubs.sort_by_key(|&v| std::cmp::Reverse(g.degree(v as u32)));
+        for &v in hubs.iter().take(20) {
+            let pb = bv[v] as f64 / total_b as f64;
+            let pf = fv[v] as f64 / total_f as f64;
+            assert!(
+                (pb - pf).abs() < 0.02 + pb * 0.35,
+                "vertex {v}: baseline {pb:.4} vs flashmob {pf:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_shows_pointer_chase_offsets() {
+        use fm_memsim::{HierarchyConfig, MemorySystem};
+        let g = synth::power_law(2000, 2.0, 1, 50, 4);
+        let engine = Baseline::new(&g, config(200, 10).record_paths(false)).unwrap();
+        let mut probe = MemorySystem::new(HierarchyConfig::skylake_server());
+        let (_, stats) = engine.run_probed(&mut probe).unwrap();
+        assert_eq!(probe.stats().steps, stats.steps_taken);
+        // Two touches per uniform step: offsets (chase) + target (random).
+        assert_eq!(probe.stats().accesses, 2 * stats.steps_taken);
+    }
+}

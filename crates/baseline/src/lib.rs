@@ -1,0 +1,188 @@
+//! Walker-at-a-time baseline engines.
+//!
+//! The paper compares FlashMob against two 2019-generation systems, both
+//! of which process walkers *individually*, following each one wherever
+//! it leads — the design whose random whole-graph DRAM accesses FlashMob
+//! eliminates:
+//!
+//! * **KnightKing** (`kind = `[`BaselineKind::KnightKing`]): a general
+//!   random-walk engine.  On a single node it moves each walker as far
+//!   as possible before taking the next; first-order uniform steps cost
+//!   one dependent offset read plus one edge read, and dynamic
+//!   (second-order) probabilities use rejection sampling.  Its stock RNG
+//!   is the Mersenne Twister — the paper notes swapping in xorshift*
+//!   only gains 4-9% because the engine is memory-bound, an ablation
+//!   [`BaselineConfig::rng`] reproduces.
+//! * **GraphVite** (`kind = `[`BaselineKind::GraphVite`]): the random
+//!   walk component of the CPU-GPU node-embedding system.  It finishes
+//!   one walker's entire path before starting another and samples edges
+//!   through per-vertex **alias tables**, whose extra probability/alias
+//!   arrays roughly triple the random traffic per step — which is why
+//!   the paper measures KnightKing 2.2-3.8x faster.
+//!
+//! Both engines share FlashMob's algorithm/stop/init/output types, so
+//! every experiment can swap engines without touching the workload.
+
+mod engine;
+mod sampler;
+
+pub use engine::{head_to_head_deepwalk, Baseline, BaselineStats};
+pub use sampler::SamplerKind;
+
+use flashmob::{StopRule, WalkAlgorithm, WalkerInit};
+
+/// Which baseline system to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// KnightKing-style: direct uniform/rejection sampling, MT19937.
+    KnightKing,
+    /// GraphVite-style: per-vertex alias tables, MT19937.
+    GraphVite,
+}
+
+impl BaselineKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BaselineKind::KnightKing => "KnightKing",
+            BaselineKind::GraphVite => "GraphVite",
+        }
+    }
+}
+
+/// The pseudo-random generator a baseline uses (Table 5's RNG ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RngKind {
+    /// The Mersenne Twister both baseline systems ship with.
+    Mt19937,
+    /// FlashMob's cheaper xorshift* generator.
+    XorShift,
+}
+
+/// Configuration of a baseline run (mirrors `flashmob::WalkConfig`).
+#[derive(Debug, Clone)]
+pub struct BaselineConfig {
+    /// Emulated system.
+    pub kind: BaselineKind,
+    /// Transition-probability specification.
+    pub algorithm: WalkAlgorithm,
+    /// Termination rule.
+    pub stop: StopRule,
+    /// Number of walkers.
+    pub walkers: usize,
+    /// Initial placement.
+    pub init: WalkerInit,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether to retain the full path matrix.
+    pub record_paths: bool,
+    /// Whether to accumulate per-vertex visit counts.
+    pub record_visits: bool,
+    /// Which RNG to use.
+    pub rng: RngKind,
+}
+
+impl BaselineConfig {
+    /// KnightKing running DeepWalk with the paper's defaults.
+    pub fn knightking_deepwalk() -> Self {
+        Self {
+            kind: BaselineKind::KnightKing,
+            algorithm: WalkAlgorithm::DeepWalk,
+            stop: StopRule::FixedSteps(80),
+            walkers: 0,
+            init: WalkerInit::UniformEdge,
+            seed: 1,
+            record_paths: true,
+            record_visits: false,
+            rng: RngKind::Mt19937,
+        }
+    }
+
+    /// GraphVite running DeepWalk.
+    pub fn graphvite_deepwalk() -> Self {
+        Self {
+            kind: BaselineKind::GraphVite,
+            ..Self::knightking_deepwalk()
+        }
+    }
+
+    /// Sets the walker count.
+    pub fn walkers(mut self, walkers: usize) -> Self {
+        self.walkers = walkers;
+        self
+    }
+
+    /// Sets a fixed step count.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.stop = StopRule::FixedSteps(steps);
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the algorithm.
+    pub fn algorithm(mut self, algorithm: WalkAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the RNG kind.
+    pub fn rng(mut self, rng: RngKind) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Sets path recording.
+    pub fn record_paths(mut self, yes: bool) -> Self {
+        self.record_paths = yes;
+        self
+    }
+
+    /// Sets visit counting.
+    pub fn record_visits(mut self, yes: bool) -> Self {
+        self.record_visits = yes;
+        self
+    }
+
+    /// Sets the walker initialization.
+    pub fn init(mut self, init: WalkerInit) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Maximum steps any walker can take.
+    pub fn max_steps(&self) -> usize {
+        match self.stop {
+            StopRule::FixedSteps(n) => n,
+            StopRule::Geometric { max_steps, .. } => max_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_workload() {
+        let c = BaselineConfig::knightking_deepwalk();
+        assert_eq!(c.max_steps(), 80);
+        assert_eq!(c.rng, RngKind::Mt19937);
+        assert_eq!(c.kind.label(), "KnightKing");
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = BaselineConfig::graphvite_deepwalk()
+            .walkers(10)
+            .steps(3)
+            .rng(RngKind::XorShift);
+        assert_eq!(c.walkers, 10);
+        assert_eq!(c.max_steps(), 3);
+        assert_eq!(c.rng, RngKind::XorShift);
+    }
+}

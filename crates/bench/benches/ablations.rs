@@ -1,0 +1,109 @@
+//! Ablations of FlashMob's design choices (DESIGN.md Section 5).
+//!
+//! * regular fixed-degree layout vs plain CSR for low-degree DS
+//!   partitions (paper: 13-33% fewer L2/L3 misses);
+//! * implicit walker identity (4 B messages) vs explicit ⟨wID, VID⟩
+//!   pairs (8 B) — approximated by shuffling with and without a payload
+//!   aux array;
+//! * pre-sample buffer sized d(v) vs consuming without batching
+//!   (PS vs DS at a hub-heavy working set).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flashmob::partition::{Partition, PartitionMap, SamplePolicy};
+use flashmob::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
+use fm_graph::VertexId;
+use fm_memsim::NullProbe;
+use fm_profiler::measure_point;
+use fm_rng::{Rng64, Xorshift64Star};
+
+fn bench_regular_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate/regular-layout-deg2");
+    group.sample_size(10);
+    group.bench_function("csr", |b| {
+        b.iter(|| measure_point(16384, 2, 2.0, SamplePolicy::Direct, false, 20_000));
+    });
+    group.bench_function("fixed-degree-slab", |b| {
+        b.iter(|| measure_point(16384, 2, 2.0, SamplePolicy::Direct, true, 20_000));
+    });
+    group.finish();
+}
+
+fn bench_walker_identity(c: &mut Criterion) {
+    let bins = 1024usize;
+    let per = 16usize;
+    let n = bins * per;
+    let parts: Vec<Partition> = (0..bins)
+        .map(|i| Partition {
+            start: (i * per) as VertexId,
+            end: ((i + 1) * per) as VertexId,
+            policy: SamplePolicy::Direct,
+            group: 0,
+            edges: 0,
+            uniform_degree: None,
+        })
+        .collect();
+    let map = PartitionMap::new(&parts, n);
+    let shuffler = Shuffler::single_level(&map);
+    let walkers = 200_000usize;
+    let mut rng = Xorshift64Star::new(3);
+    let w: Vec<VertexId> = (0..walkers).map(|_| rng.gen_index(n) as VertexId).collect();
+    let ids: Vec<VertexId> = (0..walkers as VertexId).collect();
+    let mut sw = vec![0; walkers];
+    let mut sids = vec![0; walkers];
+    let mut scratch = ShuffleScratch::default();
+
+    let mut group = c.benchmark_group("ablate/walker-identity");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(walkers as u64));
+    group.bench_function("implicit-4B", |b| {
+        b.iter(|| {
+            let mut p = NullProbe;
+            shuffler.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+            shuffler.scatter(
+                &w,
+                None,
+                &mut sw,
+                None,
+                &mut scratch,
+                ShuffleAddrs::default(),
+                &mut p,
+            );
+        });
+    });
+    group.bench_function("explicit-8B-pairs", |b| {
+        b.iter(|| {
+            let mut p = NullProbe;
+            shuffler.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+            shuffler.scatter(
+                &w,
+                Some(&ids),
+                &mut sw,
+                Some(&mut sids),
+                &mut scratch,
+                ShuffleAddrs::default(),
+                &mut p,
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_presample_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate/hub-batching-deg512");
+    group.sample_size(10);
+    group.bench_function("pre-sample", |b| {
+        b.iter(|| measure_point(1024, 512, 2.0, SamplePolicy::PreSample, false, 20_000));
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| measure_point(1024, 512, 2.0, SamplePolicy::Direct, false, 20_000));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_regular_layout,
+    bench_walker_identity,
+    bench_presample_batching
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! End-to-end engine comparison: FlashMob vs KnightKing- vs
+//! GraphVite-style on one skewed graph (the criterion counterpart of
+//! Figure 8).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flashmob::{FlashMob, WalkConfig};
+use fm_baseline::{Baseline, BaselineConfig, BaselineKind, RngKind};
+use fm_graph::synth;
+
+fn bench_engines(c: &mut Criterion) {
+    let g = synth::power_law(20_000, 1.9, 1, 2000, 11);
+    let walkers = g.vertex_count();
+    let steps = 8usize;
+
+    let mut group = c.benchmark_group("engines/deepwalk-20k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((walkers * steps) as u64));
+
+    let fm = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .record_paths(false),
+    )
+    .unwrap();
+    group.bench_function("flashmob", |b| b.iter(|| fm.run_with_stats().unwrap().1));
+
+    let kk = Baseline::new(
+        &g,
+        BaselineConfig::knightking_deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .record_paths(false),
+    )
+    .unwrap();
+    group.bench_function("knightking", |b| b.iter(|| kk.run_with_stats().unwrap().1));
+
+    let kk_xs = Baseline::new(
+        &g,
+        BaselineConfig::knightking_deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .rng(RngKind::XorShift)
+            .record_paths(false),
+    )
+    .unwrap();
+    group.bench_function("knightking-xorshift", |b| {
+        b.iter(|| kk_xs.run_with_stats().unwrap().1)
+    });
+
+    let gv = Baseline::new(
+        &g,
+        BaselineConfig {
+            kind: BaselineKind::GraphVite,
+            ..BaselineConfig::knightking_deepwalk()
+        }
+        .walkers(walkers)
+        .steps(steps)
+        .record_paths(false),
+    )
+    .unwrap();
+    group.bench_function("graphvite", |b| b.iter(|| gv.run_with_stats().unwrap().1));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

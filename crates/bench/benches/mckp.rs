@@ -1,0 +1,38 @@
+//! MCKP solver cost at the paper's planner scale (C ~ 128, P = 2048).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fm_mckp::{solve, Item};
+
+fn instance(classes: usize, items: usize) -> Vec<Vec<Item>> {
+    (0..classes)
+        .map(|ci| {
+            (0..items)
+                .map(|ii| Item {
+                    profit: -(((ci * 7 + ii * 13) % 101) as f64),
+                    weight: ((ci + ii * 3) % 16) as u32 + 1,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_mckp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mckp/dp-solve");
+    group.sample_size(10);
+    for (classes, items, cap) in [
+        (64usize, 16usize, 2048u32),
+        (128, 24, 2048),
+        (128, 40, 4096),
+    ] {
+        let inst = instance(classes, items);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("C{classes}-I{items}-P{cap}")),
+            &cap,
+            |b, &cap| b.iter(|| black_box(solve(&inst, cap).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mckp);
+criterion_main!(benches);

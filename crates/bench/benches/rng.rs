@@ -1,0 +1,28 @@
+//! RNG cost: xorshift* vs MT19937 (the Table 5 compute-side ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fm_rng::{Mt19937, Rng64, Xorshift64Star};
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("xorshift64star/next_u64", |b| {
+        let mut r = Xorshift64Star::new(1);
+        b.iter(|| black_box(r.next_u64()));
+    });
+    group.bench_function("mt19937/next_u64", |b| {
+        let mut r = Mt19937::new(1);
+        b.iter(|| black_box(r.next_u64()));
+    });
+    group.bench_function("xorshift64star/gen_range_1000", |b| {
+        let mut r = Xorshift64Star::new(1);
+        b.iter(|| black_box(r.gen_range(1000)));
+    });
+    group.bench_function("mt19937/gen_range_1000", |b| {
+        let mut r = Mt19937::new(1);
+        b.iter(|| black_box(r.gen_range(1000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Sample-kernel cost: PS vs DS at cache-sized working sets (the
+//! criterion counterpart of Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flashmob::partition::SamplePolicy;
+use fm_profiler::measure_point;
+
+fn bench_sample_stage(c: &mut Criterion) {
+    // measure_point already times precisely; here criterion wraps the
+    // whole kernel invocation so regressions in task setup also show.
+    let mut group = c.benchmark_group("sample_stage");
+    group.sample_size(10);
+    for (label, vp, degree) in [
+        ("ds-l1ish-d8", 512usize, 8usize),
+        ("ds-l2ish-d8", 8192, 8),
+        ("ds-l2ish-d128", 1024, 128),
+        ("ps-l2ish-d128", 2048, 128),
+        ("ps-l2ish-d512", 512, 512),
+    ] {
+        let policy = if label.starts_with("ps") {
+            SamplePolicy::PreSample
+        } else {
+            SamplePolicy::Direct
+        };
+        group.throughput(Throughput::Elements((vp * degree) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| measure_point(vp, degree, 1.0, policy, false, 10_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_stage);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Discrete-sampler costs: uniform, alias, inverse-transform, rejection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fm_rng::{AliasTable, InverseTransform, RejectionSampler, Rng64, Xorshift64Star};
+
+fn bench_samplers(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=256).map(|i| (i % 17 + 1) as f64).collect();
+    let alias = AliasTable::new(&weights).unwrap();
+    let its = InverseTransform::new(&weights).unwrap();
+    let rejection = RejectionSampler::new(weights.len(), 17.0).unwrap();
+
+    let mut group = c.benchmark_group("samplers/256-outcomes");
+    group.bench_function("uniform", |b| {
+        let mut r = Xorshift64Star::new(1);
+        b.iter(|| black_box(r.gen_index(256)));
+    });
+    group.bench_function("alias", |b| {
+        let mut r = Xorshift64Star::new(2);
+        b.iter(|| black_box(alias.sample(&mut r)));
+    });
+    group.bench_function("inverse_transform", |b| {
+        let mut r = Xorshift64Star::new(3);
+        b.iter(|| black_box(its.sample(&mut r)));
+    });
+    group.bench_function("rejection", |b| {
+        let mut r = Xorshift64Star::new(4);
+        b.iter(|| black_box(rejection.sample(&mut r, |i| weights[i])));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("samplers/construction-256");
+    group.bench_function("alias_build", |b| {
+        b.iter(|| black_box(AliasTable::new(&weights).unwrap()));
+    });
+    group.bench_function("its_build", |b| {
+        b.iter(|| black_box(InverseTransform::new(&weights).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Shuffle throughput by bin count — the basis of the L2 bin budget
+//! (the paper caps one shuffle level at 2048 bins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flashmob::partition::{Partition, PartitionMap, SamplePolicy};
+use flashmob::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
+use fm_graph::VertexId;
+use fm_memsim::NullProbe;
+use fm_rng::{Rng64, Xorshift64Star};
+
+fn make_map(bins: usize) -> PartitionMap {
+    let per = 16usize;
+    let parts: Vec<Partition> = (0..bins)
+        .map(|i| Partition {
+            start: (i * per) as VertexId,
+            end: ((i + 1) * per) as VertexId,
+            policy: SamplePolicy::Direct,
+            group: 0,
+            edges: 0,
+            uniform_degree: None,
+        })
+        .collect();
+    PartitionMap::new(&parts, bins * per)
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let walkers = 100_000usize;
+    let mut group = c.benchmark_group("shuffle/full-cycle");
+    group.throughput(Throughput::Elements(walkers as u64));
+    for bins in [64usize, 512, 2048, 8192] {
+        let map = make_map(bins);
+        let shuffler = Shuffler::single_level(&map);
+        let n = bins * 16;
+        let mut rng = Xorshift64Star::new(7);
+        let w: Vec<VertexId> = (0..walkers).map(|_| rng.gen_index(n) as VertexId).collect();
+        let mut sw = vec![0; walkers];
+        let mut back = vec![0; walkers];
+        let mut scratch = ShuffleScratch::default();
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| {
+                let mut p = NullProbe;
+                shuffler.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+                shuffler.scatter(
+                    &w,
+                    None,
+                    &mut sw,
+                    None,
+                    &mut scratch,
+                    ShuffleAddrs::default(),
+                    &mut p,
+                );
+                shuffler.gather(
+                    &w,
+                    &sw,
+                    &mut back,
+                    None,
+                    None,
+                    &mut scratch,
+                    ShuffleAddrs::default(),
+                    &mut p,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffle);
+criterion_main!(benches);

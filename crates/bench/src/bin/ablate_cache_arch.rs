@@ -1,0 +1,104 @@
+//! Ablation: Skylake-style exclusive LLC vs Broadwell-style inclusive.
+//!
+//! Section 2.3 argues the current Intel design — much larger private L2,
+//! smaller *exclusive* L3 — is what lets FlashMob pin per-task working
+//! sets in L2 while streaming through L3/DRAM, and that the paper's DP
+//! planner "often favors L2-size VPs" because of it.  This ablation runs
+//! the same engine + workload through both simulated hierarchies and
+//! reports miss counts and estimated data-bound time, plus each
+//! architecture's DP plan shape.
+
+use flashmob::{FlashMob, PlannerParams, WalkConfig};
+use fm_baseline::{Baseline, BaselineConfig};
+use fm_bench::{analog, HarnessOpts};
+use fm_graph::presets::PaperGraph;
+use fm_graph::Csr;
+use fm_memsim::{HierarchyConfig, MemoryStats, MemorySystem};
+
+fn probe_fm(g: &Csr, hierarchy: HierarchyConfig, opts: &HarnessOpts) -> (MemoryStats, f64) {
+    let params = PlannerParams {
+        hierarchy: hierarchy.clone(),
+        ..PlannerParams::default()
+    };
+    let cfg = WalkConfig::deepwalk()
+        .walkers((g.vertex_count() / 4).clamp(1000, 50_000))
+        .steps(opts.steps.min(12))
+        .record_paths(false)
+        .planner(params);
+    let engine = FlashMob::new(g, cfg).expect("engine");
+    let ps_share = engine.plan().ps_edge_share();
+    let mut probe = MemorySystem::new(hierarchy);
+    engine.run_probed(&mut probe).expect("probed run");
+    (probe.stats().clone(), ps_share)
+}
+
+fn probe_kk(g: &Csr, hierarchy: HierarchyConfig, opts: &HarnessOpts) -> MemoryStats {
+    let cfg = BaselineConfig::knightking_deepwalk()
+        .walkers((g.vertex_count() / 4).clamp(1000, 50_000))
+        .steps(opts.steps.min(12))
+        .record_paths(false);
+    let engine = Baseline::new(g, cfg).expect("baseline");
+    let mut probe = MemorySystem::new(hierarchy);
+    engine.run_probed(&mut probe).expect("probed run");
+    probe.stats().clone()
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    // Scale both architectures identically so the graphs exceed L3.
+    let scale_div = 8;
+    let mut skylake = HierarchyConfig::scaled(scale_div);
+    skylake.latency = fm_memsim::LatencyModel::table1();
+    let mut broadwell = HierarchyConfig::broadwell_server();
+    broadwell.l1.size_bytes /= scale_div;
+    broadwell.l2.size_bytes /= scale_div;
+    broadwell.l3.size_bytes /= scale_div;
+
+    println!("Ablation — LLC architecture (simulated): Skylake exclusive vs Broadwell inclusive");
+    let header = format!(
+        "{:<10}{:<12}{:>10}{:>10}{:>12}{:>12}{:>10}",
+        "Graph", "arch", "L2 miss", "L3 miss", "DRAM B/st", "bound ns/st", "PS share"
+    );
+    println!("{header}");
+    fm_bench::rule(&header);
+    for which in [PaperGraph::Twitter, PaperGraph::YahooWeb] {
+        let g = analog(which, opts.scale);
+        for (arch, hierarchy) in [
+            ("skylake", skylake.clone()),
+            ("broadwell", broadwell.clone()),
+        ] {
+            let (s, ps_share) = probe_fm(&g, hierarchy, &opts);
+            println!(
+                "{:<10}{:<12}{:>10.2}{:>10.2}{:>12.1}{:>12.2}{:>9.0}%",
+                which.tag(),
+                format!("FM/{arch}"),
+                s.per_step(s.l2.misses),
+                s.per_step(s.l3.misses),
+                s.dram_bytes_per_step(64),
+                s.total_bound_ns() / s.steps.max(1) as f64,
+                ps_share * 100.0
+            );
+        }
+        for (arch, hierarchy) in [
+            ("skylake", skylake.clone()),
+            ("broadwell", broadwell.clone()),
+        ] {
+            let s = probe_kk(&g, hierarchy, &opts);
+            println!(
+                "{:<10}{:<12}{:>10.2}{:>10.2}{:>12.1}{:>12.2}{:>10}",
+                which.tag(),
+                format!("KK/{arch}"),
+                s.per_step(s.l2.misses),
+                s.per_step(s.l3.misses),
+                s.dram_bytes_per_step(64),
+                s.total_bound_ns() / s.steps.max(1) as f64,
+                "-"
+            );
+        }
+    }
+    println!();
+    println!("Expected shape: the exclusive-L3 Skylake design lowers FlashMob's");
+    println!("DRAM traffic (L2 contents are not duplicated in L3, so the combined");
+    println!("capacity is larger); the baseline barely cares — its misses go to");
+    println!("DRAM under either design.");
+}

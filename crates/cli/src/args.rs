@@ -1,0 +1,531 @@
+//! The `fmwalk` argument grammar.
+
+use std::path::PathBuf;
+
+use flashmob::PlanStrategy;
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `fmwalk convert`.
+    Convert {
+        /// Input edge list (text) or binary graph.
+        input: PathBuf,
+        /// Output binary path.
+        output: PathBuf,
+        /// Mirror edges.
+        symmetric: bool,
+        /// Deduplicate edges.
+        dedup: bool,
+        /// Remove self loops.
+        drop_self_loops: bool,
+        /// Densely renumber vertices.
+        compact: bool,
+    },
+    /// `fmwalk stats`.
+    Stats {
+        /// Graph path.
+        graph: PathBuf,
+        /// BFS sources for the diameter estimate.
+        diameter_samples: usize,
+    },
+    /// `fmwalk plan`.
+    Plan {
+        /// Graph path.
+        graph: PathBuf,
+        /// Walker specification.
+        walkers: WalkerCount,
+        /// Partitioning strategy.
+        strategy: PlanStrategy,
+    },
+    /// `fmwalk walk`.
+    Walk {
+        /// Graph path.
+        graph: PathBuf,
+        /// Engine selection.
+        engine: EngineChoice,
+        /// Algorithm selection.
+        algo: AlgoChoice,
+        /// Walker specification.
+        walkers: WalkerCount,
+        /// Steps per walker.
+        steps: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Worker threads.
+        threads: usize,
+        /// Partitioning strategy (FlashMob only).
+        strategy: PlanStrategy,
+        /// Optional path-output file.
+        output: Option<PathBuf>,
+        /// Optional visit-counts file.
+        visits: Option<PathBuf>,
+    },
+    /// `fmwalk synth`.
+    Synth {
+        /// Generator family.
+        kind: SynthKind,
+        /// Output binary path.
+        output: PathBuf,
+        /// Generator parameters.
+        params: SynthParams,
+    },
+    /// `fmwalk profile`.
+    Profile {
+        /// Output file (stdout when absent).
+        out: Option<PathBuf>,
+        /// Use the small grid.
+        quick: bool,
+    },
+    /// `fmwalk help`.
+    Help,
+}
+
+/// Walkers either as an absolute count or a multiple of |V|.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalkerCount {
+    /// Absolute number of walkers.
+    Absolute(usize),
+    /// `mult * |V|` walkers.
+    PerVertex(usize),
+}
+
+impl WalkerCount {
+    /// Resolves against a vertex count.
+    pub fn resolve(self, vertices: usize) -> usize {
+        match self {
+            WalkerCount::Absolute(n) => n,
+            WalkerCount::PerVertex(m) => m * vertices,
+        }
+    }
+}
+
+/// Which engine executes the walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The FlashMob engine.
+    FlashMob,
+    /// KnightKing-style baseline.
+    KnightKing,
+    /// GraphVite-style baseline.
+    GraphVite,
+}
+
+/// Which algorithm to walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlgoChoice {
+    /// First-order uniform.
+    DeepWalk,
+    /// Second-order with return/in-out parameters.
+    Node2Vec {
+        /// Return parameter.
+        p: f64,
+        /// In-out parameter.
+        q: f64,
+    },
+    /// Static edge weights.
+    Weighted,
+}
+
+/// Synthetic generator families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthKind {
+    /// Configuration-model power law.
+    PowerLaw,
+    /// Recursive-matrix.
+    Rmat,
+    /// Barabási–Albert.
+    BarabasiAlbert,
+    /// Watts–Strogatz.
+    WattsStrogatz,
+    /// Regular ring lattice.
+    Ring,
+}
+
+/// Generator parameters (superset across families; defaults sensible).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthParams {
+    /// Vertex count (power-law/BA/WS/ring).
+    pub n: usize,
+    /// Power-law exponent.
+    pub alpha: f64,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// R-MAT scale (`|V| = 2^scale`).
+    pub scale: u32,
+    /// R-MAT edges per vertex.
+    pub edge_factor: usize,
+    /// BA attachment count.
+    pub m: usize,
+    /// WS rewiring probability.
+    pub beta: f64,
+    /// Ring/WS degree.
+    pub degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        Self {
+            n: 100_000,
+            alpha: 1.9,
+            min_degree: 1,
+            max_degree: 2_000,
+            scale: 16,
+            edge_factor: 16,
+            m: 4,
+            beta: 0.05,
+            degree: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+struct Cursor {
+    args: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<String> {
+        let a = self.args.get(self.pos).cloned();
+        self.pos += a.is_some() as usize;
+        a
+    }
+
+    fn expect(&mut self, what: &str) -> Result<String, ParseError> {
+        self.next().ok_or_else(|| err(format!("missing {what}")))
+    }
+
+    fn value<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, ParseError> {
+        let raw = self.expect(&format!("value for {flag}"))?;
+        raw.parse()
+            .map_err(|_| err(format!("bad value {raw:?} for {flag}")))
+    }
+}
+
+/// Parses an argument vector (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseError> {
+    let mut c = Cursor {
+        args: args.into_iter().collect(),
+        pos: 0,
+    };
+    let cmd = match c.next().as_deref() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(other) => other.to_string(),
+    };
+    match cmd.as_str() {
+        "convert" => {
+            let input = PathBuf::from(c.expect("input path")?);
+            let output = PathBuf::from(c.expect("output path")?);
+            let (mut symmetric, mut dedup, mut drop_self_loops, mut compact) =
+                (false, false, false, false);
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--symmetric" => symmetric = true,
+                    "--dedup" => dedup = true,
+                    "--drop-self-loops" => drop_self_loops = true,
+                    "--compact" => compact = true,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Convert {
+                input,
+                output,
+                symmetric,
+                dedup,
+                drop_self_loops,
+                compact,
+            })
+        }
+        "stats" => {
+            let graph = PathBuf::from(c.expect("graph path")?);
+            let mut diameter_samples = 4usize;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--diameter-samples" => diameter_samples = c.value("--diameter-samples")?,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Stats {
+                graph,
+                diameter_samples,
+            })
+        }
+        "plan" => {
+            let graph = PathBuf::from(c.expect("graph path")?);
+            let mut walkers = WalkerCount::PerVertex(1);
+            let mut strategy = PlanStrategy::DynamicProgramming;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--walkers" => walkers = WalkerCount::Absolute(c.value("--walkers")?),
+                    "--walkers-mult" => {
+                        walkers = WalkerCount::PerVertex(c.value("--walkers-mult")?)
+                    }
+                    "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Plan {
+                graph,
+                walkers,
+                strategy,
+            })
+        }
+        "walk" => {
+            let graph = PathBuf::from(c.expect("graph path")?);
+            let mut engine = EngineChoice::FlashMob;
+            let mut algo_name = "deepwalk".to_string();
+            let (mut p, mut q) = (1.0f64, 1.0f64);
+            let mut walkers = WalkerCount::PerVertex(1);
+            let mut steps = 80usize;
+            let mut seed = 1u64;
+            let mut threads = 1usize;
+            let mut strategy = PlanStrategy::DynamicProgramming;
+            let mut output = None;
+            let mut visits = None;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--engine" => {
+                        engine = match c.expect("engine")?.as_str() {
+                            "flashmob" => EngineChoice::FlashMob,
+                            "knightking" => EngineChoice::KnightKing,
+                            "graphvite" => EngineChoice::GraphVite,
+                            other => return Err(err(format!("unknown engine {other}"))),
+                        }
+                    }
+                    "--algo" => algo_name = c.expect("algorithm")?,
+                    "--p" => p = c.value("--p")?,
+                    "--q" => q = c.value("--q")?,
+                    "--walkers" => walkers = WalkerCount::Absolute(c.value("--walkers")?),
+                    "--walkers-mult" => {
+                        walkers = WalkerCount::PerVertex(c.value("--walkers-mult")?)
+                    }
+                    "--steps" => steps = c.value("--steps")?,
+                    "--seed" => seed = c.value("--seed")?,
+                    "--threads" => threads = c.value("--threads")?,
+                    "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
+                    "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
+                    "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            let algo = match algo_name.as_str() {
+                "deepwalk" => AlgoChoice::DeepWalk,
+                "node2vec" => AlgoChoice::Node2Vec { p, q },
+                "weighted" => AlgoChoice::Weighted,
+                other => return Err(err(format!("unknown algorithm {other}"))),
+            };
+            Ok(Command::Walk {
+                graph,
+                engine,
+                algo,
+                walkers,
+                steps,
+                seed,
+                threads,
+                strategy,
+                output,
+                visits,
+            })
+        }
+        "synth" => {
+            let kind = match c.expect("generator kind")?.as_str() {
+                "power-law" => SynthKind::PowerLaw,
+                "rmat" => SynthKind::Rmat,
+                "ba" => SynthKind::BarabasiAlbert,
+                "ws" => SynthKind::WattsStrogatz,
+                "ring" => SynthKind::Ring,
+                other => return Err(err(format!("unknown generator {other}"))),
+            };
+            let output = PathBuf::from(c.expect("output path")?);
+            let mut params = SynthParams::default();
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--n" => params.n = c.value("--n")?,
+                    "--alpha" => params.alpha = c.value("--alpha")?,
+                    "--min-degree" => params.min_degree = c.value("--min-degree")?,
+                    "--max-degree" => params.max_degree = c.value("--max-degree")?,
+                    "--scale" => params.scale = c.value("--scale")?,
+                    "--edge-factor" => params.edge_factor = c.value("--edge-factor")?,
+                    "--m" => params.m = c.value("--m")?,
+                    "--beta" => params.beta = c.value("--beta")?,
+                    "--degree" => params.degree = c.value("--degree")?,
+                    "--seed" => params.seed = c.value("--seed")?,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Synth {
+                kind,
+                output,
+                params,
+            })
+        }
+        "profile" => {
+            let mut out = None;
+            let mut quick = false;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--out" => out = Some(PathBuf::from(c.expect("output path")?)),
+                    "--quick" => quick = true,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Profile { out, quick })
+        }
+        other => Err(err(format!("unknown command {other}; try `fmwalk help`"))),
+    }
+}
+
+fn parse_strategy(raw: &str) -> Result<PlanStrategy, ParseError> {
+    match raw {
+        "dp" => Ok(PlanStrategy::DynamicProgramming),
+        "ups" => Ok(PlanStrategy::UniformPs),
+        "uds" => Ok(PlanStrategy::UniformDs),
+        "manual" => Ok(PlanStrategy::ManualHeuristic),
+        other => Err(err(format!("unknown strategy {other} (dp|ups|uds|manual)"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(line: &str) -> Result<Command, ParseError> {
+        parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(p("").unwrap(), Command::Help);
+        assert_eq!(p("help").unwrap(), Command::Help);
+        assert_eq!(p("--help").unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn convert_full() {
+        let cmd = p("convert in.txt out.bin --symmetric --dedup --compact").unwrap();
+        match cmd {
+            Command::Convert {
+                input,
+                output,
+                symmetric,
+                dedup,
+                drop_self_loops,
+                compact,
+            } => {
+                assert_eq!(input, PathBuf::from("in.txt"));
+                assert_eq!(output, PathBuf::from("out.bin"));
+                assert!(symmetric && dedup && compact && !drop_self_loops);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_defaults() {
+        match p("walk g.bin").unwrap() {
+            Command::Walk {
+                engine,
+                algo,
+                walkers,
+                steps,
+                threads,
+                ..
+            } => {
+                assert_eq!(engine, EngineChoice::FlashMob);
+                assert_eq!(algo, AlgoChoice::DeepWalk);
+                assert_eq!(walkers, WalkerCount::PerVertex(1));
+                assert_eq!(steps, 80);
+                assert_eq!(threads, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_node2vec_with_params() {
+        match p("walk g.bin --algo node2vec --p 0.25 --q 4 --steps 40 --engine knightking").unwrap()
+        {
+            Command::Walk {
+                engine,
+                algo,
+                steps,
+                ..
+            } => {
+                assert_eq!(engine, EngineChoice::KnightKing);
+                assert_eq!(algo, AlgoChoice::Node2Vec { p: 0.25, q: 4.0 });
+                assert_eq!(steps, 40);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn synth_power_law() {
+        match p("synth power-law g.bin --n 5000 --alpha 2.1 --seed 9").unwrap() {
+            Command::Synth { kind, params, .. } => {
+                assert_eq!(kind, SynthKind::PowerLaw);
+                assert_eq!(params.n, 5000);
+                assert_eq!(params.alpha, 2.1);
+                assert_eq!(params.seed, 9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_strategies() {
+        for (raw, want) in [
+            ("dp", PlanStrategy::DynamicProgramming),
+            ("ups", PlanStrategy::UniformPs),
+            ("uds", PlanStrategy::UniformDs),
+            ("manual", PlanStrategy::ManualHeuristic),
+        ] {
+            match p(&format!("plan g.bin --strategy {raw}")).unwrap() {
+                Command::Plan { strategy, .. } => assert_eq!(strategy, want),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(p("walk").unwrap_err().0.contains("graph path"));
+        assert!(p("walk g.bin --engine spark")
+            .unwrap_err()
+            .0
+            .contains("unknown engine"));
+        assert!(p("walk g.bin --steps abc")
+            .unwrap_err()
+            .0
+            .contains("bad value"));
+        assert!(p("frobnicate").unwrap_err().0.contains("unknown command"));
+        assert!(p("synth ring").unwrap_err().0.contains("output path"));
+    }
+
+    #[test]
+    fn walker_count_resolution() {
+        assert_eq!(WalkerCount::Absolute(5).resolve(100), 5);
+        assert_eq!(WalkerCount::PerVertex(3).resolve(100), 300);
+    }
+}

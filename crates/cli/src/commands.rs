@@ -1,0 +1,403 @@
+//! Implementations of the `fmwalk` subcommands.
+
+use std::io::Write;
+use std::path::Path;
+
+use flashmob::{FlashMob, WalkAlgorithm, WalkConfig, WalkOutput};
+use fm_baseline::{Baseline, BaselineConfig, BaselineKind};
+use fm_graph::{io, stats, synth, transform, Csr};
+
+use crate::args::{AlgoChoice, Command, EngineChoice, SynthKind, SynthParams};
+
+/// A command-execution failure with a user-facing message.
+#[derive(Debug)]
+pub struct CmdError(pub String);
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+fn fail(e: impl std::fmt::Display) -> CmdError {
+    CmdError(e.to_string())
+}
+
+/// Loads a graph: binary when the FMG1 magic is present, else text.
+pub fn load_graph(path: &Path) -> Result<Csr, CmdError> {
+    let head =
+        std::fs::read(path).map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?;
+    if head.starts_with(b"FMG1") {
+        io::decode_binary(&head).map_err(fail)
+    } else {
+        io::parse_edge_list(&head[..], io::ParseOptions::default()).map_err(fail)
+    }
+}
+
+/// Executes a parsed command, writing human output to `out`.
+pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
+    match cmd {
+        Command::Help => {
+            write!(out, "{}", crate::USAGE).map_err(fail)?;
+            Ok(())
+        }
+        Command::Convert {
+            input,
+            output,
+            symmetric,
+            dedup,
+            drop_self_loops,
+            compact,
+        } => {
+            let opts = io::ParseOptions {
+                symmetric,
+                dedup,
+                drop_self_loops,
+                compact,
+            };
+            let text = std::fs::read(&input)
+                .map_err(|e| fail(format!("cannot read {}: {e}", input.display())))?;
+            let graph = if text.starts_with(b"FMG1") {
+                // Binary input: apply clean-up passes via the builder.
+                let g = io::decode_binary(&text).map_err(fail)?;
+                let mut b = fm_graph::GraphBuilder::new();
+                for (s, t) in g.edges() {
+                    b.add_edge(s, t);
+                }
+                b.symmetric(symmetric)
+                    .dedup(dedup)
+                    .drop_self_loops(drop_self_loops)
+                    .compact(compact)
+                    .build()
+                    .map_err(fail)?
+            } else {
+                io::parse_edge_list(&text[..], opts).map_err(fail)?
+            };
+            io::save_binary(&graph, &output).map_err(fail)?;
+            writeln!(
+                out,
+                "wrote {}: |V| = {}, |E| = {}",
+                output.display(),
+                graph.vertex_count(),
+                graph.edge_count()
+            )
+            .map_err(fail)?;
+            Ok(())
+        }
+        Command::Stats {
+            graph,
+            diameter_samples,
+        } => {
+            let g = load_graph(&graph)?;
+            writeln!(out, "vertices        {}", g.vertex_count()).map_err(fail)?;
+            writeln!(out, "edges           {}", g.edge_count()).map_err(fail)?;
+            writeln!(out, "avg degree      {:.2}", stats::avg_degree(&g)).map_err(fail)?;
+            writeln!(out, "max degree      {}", g.max_degree()).map_err(fail)?;
+            writeln!(out, "csr bytes       {}", g.footprint_bytes()).map_err(fail)?;
+            writeln!(out, "sinks           {}", !g.has_no_sinks()).map_err(fail)?;
+            let (_, components) = transform::weakly_connected_components(&g);
+            writeln!(out, "weak components {components}").map_err(fail)?;
+            writeln!(
+                out,
+                "est. diameter   {}",
+                stats::estimate_diameter(&g, diameter_samples, 1)
+            )
+            .map_err(fail)?;
+            writeln!(out, "\ndegree buckets (Table 2 style):").map_err(fail)?;
+            for b in stats::degree_group_stats(&g, None, &stats::TABLE2_BUCKETS) {
+                writeln!(
+                    out,
+                    "  top {:>5.1}%: avg degree {:>9.1}, edge share {:>5.1}%",
+                    b.upper_fraction * 100.0,
+                    b.avg_degree,
+                    b.edge_share * 100.0
+                )
+                .map_err(fail)?;
+            }
+            Ok(())
+        }
+        Command::Plan {
+            graph,
+            walkers,
+            strategy,
+        } => {
+            let g = load_graph(&graph)?;
+            let n_walkers = walkers.resolve(g.vertex_count()).max(1);
+            let cfg = WalkConfig::deepwalk()
+                .walkers(n_walkers)
+                .strategy(strategy)
+                .record_paths(false);
+            let engine = FlashMob::new(&g, cfg).map_err(fail)?;
+            let plan = engine.plan();
+            writeln!(out, "strategy          {strategy:?}").map_err(fail)?;
+            writeln!(out, "partitions        {}", plan.partitions.len()).map_err(fail)?;
+            writeln!(out, "groups            {}", plan.groups.len()).map_err(fail)?;
+            writeln!(out, "shuffle levels    {}", plan.shuffle_levels()).map_err(fail)?;
+            writeln!(out, "outer bins        {}", plan.outer_bins).map_err(fail)?;
+            writeln!(out, "walker density    {:.4}", plan.density).map_err(fail)?;
+            writeln!(
+                out,
+                "PS edge share     {:.1}%",
+                plan.ps_edge_share() * 100.0
+            )
+            .map_err(fail)?;
+            writeln!(
+                out,
+                "predicted sample  {:.1} ns/step",
+                plan.predicted_sample_ns
+            )
+            .map_err(fail)?;
+            Ok(())
+        }
+        Command::Walk {
+            graph,
+            engine,
+            algo,
+            walkers,
+            steps,
+            seed,
+            threads,
+            strategy,
+            output,
+            visits,
+        } => {
+            let g = load_graph(&graph)?;
+            let n_walkers = walkers.resolve(g.vertex_count()).max(1);
+            let algorithm = match algo {
+                AlgoChoice::DeepWalk => WalkAlgorithm::DeepWalk,
+                AlgoChoice::Node2Vec { p, q } => WalkAlgorithm::Node2Vec { p, q },
+                AlgoChoice::Weighted => WalkAlgorithm::Weighted,
+            };
+            let record_paths = output.is_some();
+            let record_visits = visits.is_some();
+            let (walk_output, steps_taken, per_step_ns, visits_vec): (
+                Option<WalkOutput>,
+                u64,
+                f64,
+                Option<Vec<u64>>,
+            ) = match engine {
+                EngineChoice::FlashMob => {
+                    let mut cfg = WalkConfig::deepwalk()
+                        .walkers(n_walkers)
+                        .steps(steps)
+                        .seed(seed)
+                        .threads(threads)
+                        .strategy(strategy)
+                        .record_paths(record_paths)
+                        .record_visits(record_visits);
+                    cfg.algorithm = algorithm;
+                    let e = FlashMob::new(&g, cfg).map_err(fail)?;
+                    let (o, s) = e.run_with_stats().map_err(fail)?;
+                    let v = s.visits_original(e.relabeling());
+                    (Some(o), s.steps_taken, s.per_step_ns(), v)
+                }
+                EngineChoice::KnightKing | EngineChoice::GraphVite => {
+                    let kind = if engine == EngineChoice::KnightKing {
+                        BaselineKind::KnightKing
+                    } else {
+                        BaselineKind::GraphVite
+                    };
+                    let cfg = BaselineConfig {
+                        kind,
+                        ..BaselineConfig::knightking_deepwalk()
+                    }
+                    .algorithm(algorithm)
+                    .walkers(n_walkers)
+                    .steps(steps)
+                    .seed(seed)
+                    .record_paths(record_paths)
+                    .record_visits(record_visits);
+                    let e = Baseline::new(&g, cfg).map_err(fail)?;
+                    let (o, s) = e.run_with_stats().map_err(fail)?;
+                    (Some(o), s.steps_taken, s.per_step_ns(), s.visits)
+                }
+            };
+            writeln!(
+                out,
+                "walked {steps_taken} walker-steps at {per_step_ns:.1} ns/step"
+            )
+            .map_err(fail)?;
+            if let (Some(path), Some(o)) = (output, walk_output.as_ref()) {
+                let mut f = std::fs::File::create(&path).map_err(fail)?;
+                let mut buffered = std::io::BufWriter::new(&mut f);
+                for walk in o.paths() {
+                    let line: Vec<String> = walk.iter().map(|v| v.to_string()).collect();
+                    writeln!(buffered, "{}", line.join(" ")).map_err(fail)?;
+                }
+                writeln!(out, "paths written to {}", path.display()).map_err(fail)?;
+            }
+            if let (Some(path), Some(v)) = (visits, visits_vec) {
+                let mut f = std::fs::File::create(&path).map_err(fail)?;
+                let mut buffered = std::io::BufWriter::new(&mut f);
+                for (vertex, count) in v.iter().enumerate() {
+                    writeln!(buffered, "{vertex} {count}").map_err(fail)?;
+                }
+                writeln!(out, "visit counts written to {}", path.display()).map_err(fail)?;
+            }
+            Ok(())
+        }
+        Command::Synth {
+            kind,
+            output,
+            params,
+        } => {
+            let g = generate(kind, &params);
+            io::save_binary(&g, &output).map_err(fail)?;
+            writeln!(
+                out,
+                "wrote {}: |V| = {}, |E| = {}, avg degree {:.1}",
+                output.display(),
+                g.vertex_count(),
+                g.edge_count(),
+                stats::avg_degree(&g)
+            )
+            .map_err(fail)?;
+            Ok(())
+        }
+        Command::Profile { out: file, quick } => {
+            let grid = if quick {
+                fm_profiler::ProfileGrid::tiny()
+            } else {
+                fm_profiler::ProfileGrid::default()
+            };
+            writeln!(out, "profiling {} cells...", grid_cells(&grid)).map_err(fail)?;
+            let points = fm_profiler::run_profile(&grid);
+            let shuffle_ns = fm_profiler::measure_shuffle_ns(100_000, 2048, 3);
+            let table =
+                fm_profiler::ProfileTable::from_points(&points, shuffle_ns).map_err(fail)?;
+            match file {
+                Some(path) => {
+                    let f = std::fs::File::create(&path).map_err(fail)?;
+                    table.save(std::io::BufWriter::new(f)).map_err(fail)?;
+                    writeln!(out, "profile written to {}", path.display()).map_err(fail)?;
+                }
+                None => table.save(&mut *out).map_err(fail)?,
+            }
+            Ok(())
+        }
+    }
+}
+
+fn grid_cells(grid: &fm_profiler::ProfileGrid) -> usize {
+    grid.vp_sizes.len() * grid.degrees.len() * grid.densities.len() * 3
+}
+
+fn generate(kind: SynthKind, p: &SynthParams) -> Csr {
+    match kind {
+        SynthKind::PowerLaw => synth::power_law(p.n, p.alpha, p.min_degree, p.max_degree, p.seed),
+        SynthKind::Rmat => synth::rmat(p.scale, p.edge_factor, 0.57, 0.19, 0.19, p.seed),
+        SynthKind::BarabasiAlbert => synth::barabasi_albert(p.n, p.m, p.seed),
+        SynthKind::WattsStrogatz => synth::watts_strogatz(p.n, p.degree, p.beta, p.seed),
+        SynthKind::Ring => synth::regular_ring(p.n, p.degree),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("fmwalk_cmd_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn exec(line: &str) -> Result<String, CmdError> {
+        let cmd = parse(line.split_whitespace().map(String::from)).expect("parse");
+        let mut out = Vec::new();
+        run(cmd, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn synth_stats_plan_walk_pipeline() {
+        let bin = tmp("pipeline.bin");
+        let paths = tmp("pipeline_paths.txt");
+        let bins = bin.display().to_string();
+        let pathss = paths.display().to_string();
+
+        let msg = exec(&format!("synth power-law {bins} --n 2000 --max-degree 100")).unwrap();
+        assert!(msg.contains("|V| = 2000"), "{msg}");
+
+        let msg = exec(&format!("stats {bins}")).unwrap();
+        assert!(msg.contains("vertices        2000"), "{msg}");
+        assert!(msg.contains("degree buckets"), "{msg}");
+
+        let msg = exec(&format!("plan {bins} --strategy dp")).unwrap();
+        assert!(msg.contains("partitions"), "{msg}");
+
+        let msg = exec(&format!(
+            "walk {bins} --steps 4 --walkers 500 --output {pathss}"
+        ))
+        .unwrap();
+        assert!(msg.contains("ns/step"), "{msg}");
+        let dumped = std::fs::read_to_string(&paths).unwrap();
+        assert_eq!(dumped.lines().count(), 500);
+        assert_eq!(dumped.lines().next().unwrap().split(' ').count(), 5);
+
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(paths).ok();
+    }
+
+    #[test]
+    fn convert_text_to_binary() {
+        let txt = tmp("edges.txt");
+        let bin = tmp("edges.bin");
+        std::fs::write(&txt, "0 1\n1 2\n2 0\n").unwrap();
+        let msg = exec(&format!(
+            "convert {} {} --symmetric --dedup",
+            txt.display(),
+            bin.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("|E| = 6"), "{msg}");
+        let g = load_graph(&bin).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        std::fs::remove_file(txt).ok();
+        std::fs::remove_file(bin).ok();
+    }
+
+    #[test]
+    fn walk_with_baseline_engine_and_visits() {
+        let bin = tmp("baseline.bin");
+        let visits = tmp("visits.txt");
+        exec(&format!("synth ring {} --n 64 --degree 4", bin.display())).unwrap();
+        let msg = exec(&format!(
+            "walk {} --engine knightking --steps 3 --walkers 32 --visits {}",
+            bin.display(),
+            visits.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("96 walker-steps"), "{msg}");
+        let dumped = std::fs::read_to_string(&visits).unwrap();
+        assert_eq!(dumped.lines().count(), 64);
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(visits).ok();
+    }
+
+    #[test]
+    fn profile_quick_writes_loadable_table() {
+        let file = tmp("profile.txt");
+        exec(&format!("profile --quick --out {}", file.display())).unwrap();
+        use flashmob::cost::CostModel;
+        let f = std::fs::File::open(&file).unwrap();
+        let table = fm_profiler::ProfileTable::load(std::io::BufReader::new(f)).unwrap();
+        assert!(table.shuffle_cost_ns() > 0.0);
+        std::fs::remove_file(file).ok();
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let msg = exec("help").unwrap();
+        assert!(msg.contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_graph_is_a_clean_error() {
+        let err = exec("stats /definitely/not/here.bin").unwrap_err();
+        assert!(err.0.contains("cannot read"), "{}", err.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Argument parsing and command implementations for `fmwalk`.
+//!
+//! The parser is hand-rolled (the workspace's dependency policy admits
+//! no CLI crates) but fully unit-tested; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseError};
+
+/// Usage text printed by `fmwalk help` and on parse errors.
+pub const USAGE: &str = "\
+fmwalk — cache-efficient graph random walks (FlashMob-RS)
+
+USAGE:
+  fmwalk convert <in> <out.bin> [--symmetric] [--dedup] [--drop-self-loops] [--compact]
+  fmwalk stats <graph> [--diameter-samples N]
+  fmwalk plan <graph> [--walkers N | --walkers-mult M] [--strategy dp|ups|uds|manual]
+  fmwalk walk <graph> [--engine flashmob|knightking|graphvite]
+                      [--algo deepwalk|node2vec|weighted] [--p X] [--q X]
+                      [--walkers N | --walkers-mult M] [--steps N] [--seed N]
+                      [--threads N] [--strategy dp|ups|uds|manual]
+                      [--output <paths.txt>] [--visits <visits.txt>]
+  fmwalk synth <power-law|rmat|ba|ws|ring> <out.bin>
+                      [--n N] [--alpha X] [--min-degree N] [--max-degree N]
+                      [--scale N] [--edge-factor N] [--m N] [--beta X]
+                      [--degree N] [--seed N]
+  fmwalk profile [--out <profile.txt>] [--quick]
+  fmwalk help
+
+Graphs are loaded as the binary format when the file starts with the
+FMG1 magic, as a whitespace edge list otherwise.
+";

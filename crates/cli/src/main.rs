@@ -1,0 +1,18 @@
+//! The `fmwalk` binary: parse, run, report.
+
+fn main() {
+    let cmd = match fm_cli::parse(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", fm_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = fm_cli::commands::run(cmd, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

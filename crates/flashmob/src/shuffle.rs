@@ -1,0 +1,907 @@
+//! The shuffle stage: regrouping walkers by vertex partition.
+//!
+//! After a sample stage disperses walkers, the shuffle rearranges the
+//! walker array so that walkers now within the same VP are stored
+//! contiguously (paper Section 4.3).  The shuffle is a *stable two-pass
+//! counting sort*: one pass counts walkers per destination bin, a prefix
+//! sum turns counts into bin offsets, and a second pass scatters.
+//!
+//! Stability is what makes the paper's implicit-walker-identity trick
+//! work: walkers within each VP keep the order in which a linear scan of
+//! `W_i` encounters them, so scanning `W_i` again after sampling locates
+//! each walker's updated position in `SW_i` without storing walker IDs.
+//!
+//! The number of concurrent scatter streams is bounded by what fits in
+//! L2; when a plan creates more VPs than that budget, the shuffle runs
+//! in **two levels** — first into coarse outer bins (one per
+//! internally-shuffled group), then within each such bin into its VPs.
+//! Because both passes are stable, the two-level result is *identical*
+//! to a hypothetical single-level shuffle (verified by tests), only the
+//! memory traffic differs.
+
+use fm_graph::VertexId;
+use fm_memsim::{AccessKind, Probe};
+
+use crate::partition::PartitionMap;
+
+/// Reusable shuffle working memory.
+#[derive(Debug, Default, Clone)]
+pub struct ShuffleScratch {
+    /// Walkers per fine bin (partitions + dead bin).
+    pub counts: Vec<u32>,
+    /// Exclusive prefix sums of `counts` (bin start offsets).
+    pub offsets: Vec<u32>,
+    /// Mutable cursors, reset from `offsets` per pass.
+    cursors: Vec<u32>,
+    /// Intermediate walker buffer for the two-level path.
+    tmp: Vec<VertexId>,
+    /// Intermediate aux buffer for the two-level path.
+    tmp_aux: Vec<VertexId>,
+    /// Outer-bin cursors for the two-level path.
+    outer_cursors: Vec<u32>,
+}
+
+/// Simulated-address bases for probe attribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShuffleAddrs {
+    /// Base address of the source walker array.
+    pub src: u64,
+    /// Base address of the destination walker array.
+    pub dst: u64,
+}
+
+/// A configured shuffler over one partition map.
+#[derive(Debug)]
+pub struct Shuffler<'p> {
+    map: &'p PartitionMap,
+    /// For two-level shuffles: the outer bin of each fine bin (monotone
+    /// non-decreasing; the dead bin maps to its own outer bin).
+    outer_of_fine: Option<Vec<u32>>,
+}
+
+impl<'p> Shuffler<'p> {
+    /// A single-level shuffler.
+    pub fn single_level(map: &'p PartitionMap) -> Self {
+        Self {
+            map,
+            outer_of_fine: None,
+        }
+    }
+
+    /// A two-level shuffler; `outer_of_fine[i]` assigns fine bin `i`
+    /// (partition, plus the trailing dead bin) to an outer bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the assignment covers every fine bin and is
+    /// monotone non-decreasing starting at 0 (outer bins must be
+    /// contiguous runs of fine bins).
+    pub fn two_level(map: &'p PartitionMap, outer_of_fine: Vec<u32>) -> Self {
+        assert_eq!(
+            outer_of_fine.len(),
+            map.bins(),
+            "assignment must cover all bins"
+        );
+        assert_eq!(outer_of_fine[0], 0, "outer bins start at 0");
+        assert!(
+            outer_of_fine
+                .windows(2)
+                .all(|w| w[1] == w[0] || w[1] == w[0] + 1),
+            "outer bins must be contiguous runs"
+        );
+        Self {
+            map,
+            outer_of_fine: Some(outer_of_fine),
+        }
+    }
+
+    /// Number of fine bins.
+    pub fn bins(&self) -> usize {
+        self.map.bins()
+    }
+
+    /// Number of shuffle levels (1 or 2).
+    pub fn levels(&self) -> usize {
+        if self.outer_of_fine.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Counting pass: fills `scratch.counts` / `scratch.offsets` from the
+    /// walker positions in `w`.
+    pub fn count<P: Probe>(
+        &self,
+        w: &[VertexId],
+        scratch: &mut ShuffleScratch,
+        addrs: ShuffleAddrs,
+        probe: &mut P,
+    ) {
+        let bins = self.map.bins();
+        scratch.counts.clear();
+        scratch.counts.resize(bins, 0);
+        for (j, &v) in w.iter().enumerate() {
+            probe.touch(addrs.src + 4 * j as u64, 4, AccessKind::Sequential);
+            scratch.counts[self.map.partition_of(v)] += 1;
+        }
+        scratch.offsets.clear();
+        scratch.offsets.resize(bins + 1, 0);
+        let mut acc = 0u32;
+        for (i, &c) in scratch.counts.iter().enumerate() {
+            scratch.offsets[i] = acc;
+            acc += c;
+        }
+        scratch.offsets[bins] = acc;
+    }
+
+    /// Scatter pass: writes `sw` (and `saux`, when provided) grouped by
+    /// fine bin, in stable `w` order.  [`Shuffler::count`] must have run
+    /// on the same `w` first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if array lengths disagree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter<P: Probe>(
+        &self,
+        w: &[VertexId],
+        aux: Option<&[VertexId]>,
+        sw: &mut [VertexId],
+        saux: Option<&mut [VertexId]>,
+        scratch: &mut ShuffleScratch,
+        addrs: ShuffleAddrs,
+        probe: &mut P,
+    ) {
+        assert_eq!(w.len(), sw.len());
+        if let (Some(a), Some(ref s)) = (aux, &saux) {
+            assert_eq!(a.len(), w.len());
+            assert_eq!(s.len(), w.len());
+        }
+        match &self.outer_of_fine {
+            None => {
+                scratch.cursors.clear();
+                scratch
+                    .cursors
+                    .extend_from_slice(&scratch.offsets[..self.map.bins()]);
+                scatter_pass(
+                    w,
+                    aux,
+                    sw,
+                    saux,
+                    &mut scratch.cursors,
+                    |v| self.map.partition_of(v),
+                    addrs,
+                    probe,
+                );
+            }
+            Some(outer_of_fine) => {
+                let outer_bins = *outer_of_fine.last().expect("non-empty") as usize + 1;
+                // Outer counts by summing fine counts.
+                scratch.outer_cursors.clear();
+                scratch.outer_cursors.resize(outer_bins, 0);
+                for (fine, &o) in outer_of_fine.iter().enumerate() {
+                    scratch.outer_cursors[o as usize] += scratch.counts[fine];
+                }
+                // Exclusive prefix -> outer cursors.
+                let mut acc = 0u32;
+                for c in scratch.outer_cursors.iter_mut() {
+                    let n = *c;
+                    *c = acc;
+                    acc += n;
+                }
+                // Level 1: scatter into the intermediate buffer by outer
+                // bin.
+                scratch.tmp.resize(w.len(), 0);
+                if aux.is_some() {
+                    scratch.tmp_aux.resize(w.len(), 0);
+                }
+                {
+                    // Split borrows of scratch fields.
+                    let ShuffleScratch {
+                        tmp,
+                        tmp_aux,
+                        outer_cursors,
+                        ..
+                    } = scratch;
+                    scatter_pass(
+                        w,
+                        aux,
+                        tmp,
+                        aux.is_some().then_some(tmp_aux.as_mut_slice()),
+                        outer_cursors,
+                        |v| outer_of_fine[self.map.partition_of(v)] as usize,
+                        addrs,
+                        probe,
+                    );
+                }
+                // Level 2: within each outer bin, scatter by fine bin.
+                scratch.cursors.clear();
+                scratch
+                    .cursors
+                    .extend_from_slice(&scratch.offsets[..self.map.bins()]);
+                let ShuffleScratch {
+                    tmp,
+                    tmp_aux,
+                    cursors,
+                    ..
+                } = scratch;
+                scatter_pass(
+                    tmp,
+                    aux.is_some().then_some(tmp_aux.as_slice()),
+                    sw,
+                    saux,
+                    cursors,
+                    |v| self.map.partition_of(v),
+                    addrs,
+                    probe,
+                );
+            }
+        }
+    }
+
+    /// Gather pass: the inverse permutation.  Scanning the *pre-shuffle*
+    /// walker array `w_old` in order locates, for each walker, its slot
+    /// in the shuffled array; `w_new[j] = snext[slot]` (and likewise for
+    /// the aux arrays).  This is how `W_{i+1}` is produced while
+    /// preserving walker order (paper Figure 5).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather<P: Probe>(
+        &self,
+        w_old: &[VertexId],
+        snext: &[VertexId],
+        w_new: &mut [VertexId],
+        aux_src: Option<&[VertexId]>,
+        aux_new: Option<&mut [VertexId]>,
+        scratch: &mut ShuffleScratch,
+        addrs: ShuffleAddrs,
+        probe: &mut P,
+    ) {
+        assert_eq!(w_old.len(), snext.len());
+        assert_eq!(w_old.len(), w_new.len());
+        scratch.cursors.clear();
+        scratch
+            .cursors
+            .extend_from_slice(&scratch.offsets[..self.map.bins()]);
+        match (aux_src, aux_new) {
+            (Some(asrc), Some(anew)) => {
+                assert_eq!(asrc.len(), w_old.len());
+                assert_eq!(anew.len(), w_old.len());
+                for (j, &v) in w_old.iter().enumerate() {
+                    probe.touch(addrs.src + 4 * j as u64, 4, AccessKind::Sequential);
+                    let bin = self.map.partition_of(v);
+                    let slot = scratch.cursors[bin] as usize;
+                    scratch.cursors[bin] += 1;
+                    probe.touch(addrs.dst + 4 * slot as u64, 4, AccessKind::Sequential);
+                    w_new[j] = snext[slot];
+                    anew[j] = asrc[slot];
+                    probe.touch_write(addrs.src + 4 * j as u64, 4, AccessKind::Sequential);
+                }
+            }
+            (None, None) => {
+                for (j, &v) in w_old.iter().enumerate() {
+                    probe.touch(addrs.src + 4 * j as u64, 4, AccessKind::Sequential);
+                    let bin = self.map.partition_of(v);
+                    let slot = scratch.cursors[bin] as usize;
+                    scratch.cursors[bin] += 1;
+                    probe.touch(addrs.dst + 4 * slot as u64, 4, AccessKind::Sequential);
+                    w_new[j] = snext[slot];
+                    probe.touch_write(addrs.src + 4 * j as u64, 4, AccessKind::Sequential);
+                }
+            }
+            _ => panic!("aux_src and aux_new must be provided together"),
+        }
+    }
+}
+
+/// Parallel variants of the three shuffle passes.
+///
+/// The walker array is split into `threads` contiguous chunks.  The
+/// count pass produces a per-(chunk, bin) count matrix; prefix-summing
+/// it *bin-major* yields disjoint per-(chunk, bin) output ranges, so the
+/// scatter threads write to non-overlapping positions of the shared
+/// destination — the classic parallel stable counting sort, and exactly
+/// the paper's "threads work on disjoint array areas, eliminating the
+/// need for locks".  Results are bit-identical to the sequential passes
+/// (verified by tests).
+impl<'p> Shuffler<'p> {
+    /// Parallel counting pass; fills `scratch` exactly like
+    /// [`Shuffler::count`] and returns the per-chunk cursor matrix for
+    /// [`Shuffler::par_scatter`] / [`Shuffler::par_gather`].
+    ///
+    /// Only single-level shuffles support the parallel path; two-level
+    /// plans fall back to the sequential implementation in the engine.
+    pub fn par_count(
+        &self,
+        w: &[VertexId],
+        threads: usize,
+        scratch: &mut ShuffleScratch,
+    ) -> Vec<Vec<u32>> {
+        assert!(
+            self.outer_of_fine.is_none(),
+            "parallel path is single-level"
+        );
+        let bins = self.map.bins();
+        let threads = threads.clamp(1, w.len().max(1));
+        let chunk = w.len().div_ceil(threads);
+        let mut matrix: Vec<Vec<u32>> = vec![vec![0u32; bins]; threads];
+        crossbeam::thread::scope(|scope| {
+            for (t, counts) in matrix.iter_mut().enumerate() {
+                let slice = &w[(t * chunk).min(w.len())..((t + 1) * chunk).min(w.len())];
+                let map = self.map;
+                scope.spawn(move |_| {
+                    for &v in slice {
+                        counts[map.partition_of(v)] += 1;
+                    }
+                });
+            }
+        })
+        .expect("count workers must not panic");
+
+        // Global counts + offsets.
+        scratch.counts.clear();
+        scratch.counts.resize(bins, 0);
+        for row in &matrix {
+            for (b, &c) in row.iter().enumerate() {
+                scratch.counts[b] += c;
+            }
+        }
+        scratch.offsets.clear();
+        scratch.offsets.resize(bins + 1, 0);
+        let mut acc = 0u32;
+        for (b, &c) in scratch.counts.iter().enumerate() {
+            scratch.offsets[b] = acc;
+            acc += c;
+        }
+        scratch.offsets[bins] = acc;
+
+        // Turn the matrix into per-(chunk, bin) start cursors: bin-major
+        // prefix over chunks, offset by the bin start.
+        let mut cursors = matrix;
+        for b in 0..bins {
+            let mut start = scratch.offsets[b];
+            for row in cursors.iter_mut() {
+                let n = row[b];
+                row[b] = start;
+                start += n;
+            }
+        }
+        cursors
+    }
+
+    /// Parallel stable scatter using cursors from [`Shuffler::par_count`].
+    ///
+    /// # Safety-free concurrency
+    ///
+    /// Each thread writes only within its pre-computed per-(chunk, bin)
+    /// ranges, which partition `sw`; the disjointness is what makes the
+    /// single `unsafe` pointer share sound.
+    pub fn par_scatter(
+        &self,
+        w: &[VertexId],
+        aux: Option<&[VertexId]>,
+        sw: &mut [VertexId],
+        saux: Option<&mut [VertexId]>,
+        mut cursors: Vec<Vec<u32>>,
+    ) {
+        assert_eq!(w.len(), sw.len());
+        let threads = cursors.len();
+        let chunk = w.len().div_ceil(threads.max(1));
+        let sw_ptr = SharedSlice::new(sw);
+        let saux_ptr = saux.map(|s| {
+            assert_eq!(s.len(), w.len());
+            SharedSlice::new(s)
+        });
+        crossbeam::thread::scope(|scope| {
+            for (t, cur) in cursors.iter_mut().enumerate() {
+                let lo = (t * chunk).min(w.len());
+                let hi = ((t + 1) * chunk).min(w.len());
+                let slice = &w[lo..hi];
+                let aux_slice = aux.map(|a| &a[lo..hi]);
+                let map = self.map;
+                let sw_ptr = &sw_ptr;
+                let saux_ptr = &saux_ptr;
+                scope.spawn(move |_| {
+                    for (j, &v) in slice.iter().enumerate() {
+                        let bin = map.partition_of(v);
+                        let pos = cur[bin] as usize;
+                        cur[bin] += 1;
+                        // SAFETY: `pos` lies in this thread's exclusive
+                        // per-(chunk, bin) range established by
+                        // `par_count`'s bin-major prefix sums; no two
+                        // threads ever receive the same position.
+                        unsafe { sw_ptr.write(pos, v) };
+                        if let (Some(a), Some(sa)) = (aux_slice, saux_ptr) {
+                            // SAFETY: same disjoint position as above.
+                            unsafe { sa.write(pos, a[j]) };
+                        }
+                    }
+                });
+            }
+        })
+        .expect("scatter workers must not panic");
+    }
+
+    /// Parallel gather: the inverse permutation, with per-chunk cursor
+    /// rows recomputed by [`Shuffler::par_count`] on the *pre-shuffle*
+    /// walker array.
+    #[allow(clippy::too_many_arguments)]
+    pub fn par_gather(
+        &self,
+        w_old: &[VertexId],
+        snext: &[VertexId],
+        w_new: &mut [VertexId],
+        aux_src: Option<&[VertexId]>,
+        aux_new: Option<&mut [VertexId]>,
+        mut cursors: Vec<Vec<u32>>,
+    ) {
+        assert_eq!(w_old.len(), snext.len());
+        assert_eq!(w_old.len(), w_new.len());
+        let threads = cursors.len();
+        let chunk = w_old.len().div_ceil(threads.max(1));
+        crossbeam::thread::scope(|scope| {
+            let mut w_new_rest = w_new;
+            let mut aux_new_rest = aux_new;
+            for (t, cur) in cursors.iter_mut().enumerate() {
+                let lo = (t * chunk).min(w_old.len());
+                let hi = ((t + 1) * chunk).min(w_old.len());
+                let (out, rest) = w_new_rest.split_at_mut(hi - lo);
+                w_new_rest = rest;
+                let aux_out = match aux_new_rest {
+                    Some(a) => {
+                        let (head, rest) = a.split_at_mut(hi - lo);
+                        aux_new_rest = Some(rest);
+                        Some(head)
+                    }
+                    None => None,
+                };
+                let slice = &w_old[lo..hi];
+                let map = self.map;
+                scope.spawn(move |_| match (aux_src, aux_out) {
+                    (Some(asrc), Some(aout)) => {
+                        for (j, &v) in slice.iter().enumerate() {
+                            let bin = map.partition_of(v);
+                            let slot = cur[bin] as usize;
+                            cur[bin] += 1;
+                            out[j] = snext[slot];
+                            aout[j] = asrc[slot];
+                        }
+                    }
+                    _ => {
+                        for (j, &v) in slice.iter().enumerate() {
+                            let bin = map.partition_of(v);
+                            let slot = cur[bin] as usize;
+                            cur[bin] += 1;
+                            out[j] = snext[slot];
+                        }
+                    }
+                });
+            }
+        })
+        .expect("gather workers must not panic");
+    }
+}
+
+/// A raw-pointer wrapper allowing disjoint-index writes from multiple
+/// threads.
+struct SharedSlice<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: the wrapper itself is just a pointer + length; all use sites
+// guarantee disjoint index sets per thread (see `par_scatter`).
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    fn new(slice: &mut [T]) -> Self {
+        Self {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// `index` must be in bounds and no other thread may concurrently
+    /// access the same index.
+    #[inline]
+    unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.len);
+        // SAFETY: in-bounds per the caller contract; exclusive per-index
+        // access per the caller contract.
+        unsafe { *self.ptr.add(index) = value };
+    }
+}
+
+/// One stable counting-scatter pass.
+#[allow(clippy::too_many_arguments)]
+fn scatter_pass<P: Probe>(
+    src: &[VertexId],
+    aux: Option<&[VertexId]>,
+    dst: &mut [VertexId],
+    daux: Option<&mut [VertexId]>,
+    cursors: &mut [u32],
+    bin_of: impl Fn(VertexId) -> usize,
+    addrs: ShuffleAddrs,
+    probe: &mut P,
+) {
+    match (aux, daux) {
+        (Some(a), Some(da)) => {
+            for (j, &v) in src.iter().enumerate() {
+                probe.touch(addrs.src + 4 * j as u64, 4, AccessKind::Sequential);
+                let bin = bin_of(v);
+                let pos = cursors[bin] as usize;
+                cursors[bin] += 1;
+                dst[pos] = v;
+                da[pos] = a[j];
+                probe.touch_write(addrs.dst + 4 * pos as u64, 4, AccessKind::Sequential);
+            }
+        }
+        (None, None) => {
+            for (j, &v) in src.iter().enumerate() {
+                probe.touch(addrs.src + 4 * j as u64, 4, AccessKind::Sequential);
+                let bin = bin_of(v);
+                let pos = cursors[bin] as usize;
+                cursors[bin] += 1;
+                dst[pos] = v;
+                probe.touch_write(addrs.dst + 4 * pos as u64, 4, AccessKind::Sequential);
+            }
+        }
+        _ => panic!("aux and daux must be provided together"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{Partition, SamplePolicy};
+    use crate::DEAD;
+    use fm_memsim::NullProbe;
+
+    fn map(bounds: &[(u32, u32)], n: usize) -> PartitionMap {
+        let parts: Vec<Partition> = bounds
+            .iter()
+            .map(|&(s, e)| Partition {
+                start: s,
+                end: e,
+                policy: SamplePolicy::Direct,
+                group: 0,
+                edges: 0,
+                uniform_degree: None,
+            })
+            .collect();
+        PartitionMap::new(&parts, n)
+    }
+
+    fn run_single(w: &[VertexId], m: &PartitionMap) -> (Vec<VertexId>, ShuffleScratch) {
+        let s = Shuffler::single_level(m);
+        let mut scratch = ShuffleScratch::default();
+        let mut sw = vec![0; w.len()];
+        let mut p = NullProbe;
+        s.count(w, &mut scratch, ShuffleAddrs::default(), &mut p);
+        s.scatter(
+            w,
+            None,
+            &mut sw,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        (sw, scratch)
+    }
+
+    #[test]
+    fn scatter_groups_by_partition_stably() {
+        let m = map(&[(0, 4), (4, 8)], 8);
+        let w = vec![5, 1, 7, 0, 4, 2];
+        let (sw, scratch) = run_single(&w, &m);
+        // Partition 0 walkers in w order: 1, 0, 2; partition 1: 5, 7, 4.
+        assert_eq!(sw, vec![1, 0, 2, 5, 7, 4]);
+        assert_eq!(scratch.counts, vec![3, 3, 0]);
+        assert_eq!(scratch.offsets, vec![0, 3, 6, 6]);
+    }
+
+    #[test]
+    fn dead_walkers_go_to_trailing_bin() {
+        let m = map(&[(0, 8)], 8);
+        let w = vec![3, DEAD, 5];
+        let (sw, scratch) = run_single(&w, &m);
+        assert_eq!(sw, vec![3, 5, DEAD]);
+        assert_eq!(scratch.counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn gather_inverts_scatter() {
+        let m = map(&[(0, 3), (3, 6), (6, 10)], 10);
+        let w = vec![9, 0, 5, 3, 7, 1, 2, 8];
+        let s = Shuffler::single_level(&m);
+        let mut scratch = ShuffleScratch::default();
+        let mut sw = vec![0; w.len()];
+        let mut p = NullProbe;
+        s.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+        s.scatter(
+            &w,
+            None,
+            &mut sw,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        // "Sample" = identity: gather must reproduce w exactly.
+        let mut back = vec![0; w.len()];
+        s.gather(
+            &w,
+            &sw,
+            &mut back,
+            None,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn gather_routes_sampled_updates_to_walker_order() {
+        let m = map(&[(0, 4), (4, 8)], 8);
+        let w = vec![5, 1, 7, 0];
+        let s = Shuffler::single_level(&m);
+        let mut scratch = ShuffleScratch::default();
+        let mut sw = vec![0; 4];
+        let mut p = NullProbe;
+        s.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+        s.scatter(
+            &w,
+            None,
+            &mut sw,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        assert_eq!(sw, vec![1, 0, 5, 7]);
+        // Each walker moves to position + 10 during "sampling".
+        let snext: Vec<VertexId> = sw.iter().map(|&v| v + 10).collect();
+        let mut w_new = vec![0; 4];
+        s.gather(
+            &w,
+            &snext,
+            &mut w_new,
+            None,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        assert_eq!(w_new, vec![15, 11, 17, 10]);
+    }
+
+    #[test]
+    fn aux_arrays_travel_with_walkers() {
+        let m = map(&[(0, 4), (4, 8)], 8);
+        let w = vec![5, 1, 7, 0];
+        let prev = vec![100, 101, 102, 103];
+        let s = Shuffler::single_level(&m);
+        let mut scratch = ShuffleScratch::default();
+        let (mut sw, mut sprev) = (vec![0; 4], vec![0; 4]);
+        let mut p = NullProbe;
+        s.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+        s.scatter(
+            &w,
+            Some(&prev),
+            &mut sw,
+            Some(&mut sprev),
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        assert_eq!(sw, vec![1, 0, 5, 7]);
+        assert_eq!(sprev, vec![101, 103, 100, 102]);
+        // Gather both the sampled positions and the old positions (the
+        // node2vec data flow: new prev = old position).
+        let snext: Vec<VertexId> = vec![11, 10, 15, 17];
+        let (mut w_new, mut prev_new) = (vec![0; 4], vec![0; 4]);
+        s.gather(
+            &w,
+            &snext,
+            &mut w_new,
+            Some(&sw),
+            Some(&mut prev_new),
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        assert_eq!(w_new, vec![15, 11, 17, 10]);
+        assert_eq!(prev_new, vec![5, 1, 7, 0]);
+    }
+
+    #[test]
+    fn two_level_equals_single_level() {
+        // 4 partitions in 2 outer bins (2 internally-shuffled groups).
+        let m = map(&[(0, 2), (2, 4), (4, 6), (6, 8)], 8);
+        let outer = vec![0, 0, 1, 1, 2]; // dead bin is its own outer bin
+        let w: Vec<VertexId> = vec![7, 0, 3, 5, 1, 6, 2, 4, DEAD, 0, 7];
+        let single = Shuffler::single_level(&m);
+        let double = Shuffler::two_level(&m, outer);
+        assert_eq!(double.levels(), 2);
+        let mut p = NullProbe;
+
+        let mut s1 = ShuffleScratch::default();
+        let mut sw1 = vec![0; w.len()];
+        single.count(&w, &mut s1, ShuffleAddrs::default(), &mut p);
+        single.scatter(
+            &w,
+            None,
+            &mut sw1,
+            None,
+            &mut s1,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+
+        let mut s2 = ShuffleScratch::default();
+        let mut sw2 = vec![0; w.len()];
+        double.count(&w, &mut s2, ShuffleAddrs::default(), &mut p);
+        double.scatter(
+            &w,
+            None,
+            &mut sw2,
+            None,
+            &mut s2,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+
+        assert_eq!(sw1, sw2, "two-level shuffle must be byte-identical");
+    }
+
+    #[test]
+    fn two_level_with_aux_equals_single_level() {
+        let m = map(&[(0, 2), (2, 4), (4, 8)], 8);
+        let outer = vec![0, 0, 1, 2];
+        let w: Vec<VertexId> = vec![7, 0, 3, 5, 1, 6];
+        let prev: Vec<VertexId> = (100..106).collect();
+        let mut p = NullProbe;
+
+        let mut run = |s: &Shuffler| {
+            let mut scratch = ShuffleScratch::default();
+            let (mut sw, mut sprev) = (vec![0; 6], vec![0; 6]);
+            s.count(&w, &mut scratch, ShuffleAddrs::default(), &mut NullProbe);
+            s.scatter(
+                &w,
+                Some(&prev),
+                &mut sw,
+                Some(&mut sprev),
+                &mut scratch,
+                ShuffleAddrs::default(),
+                &mut p,
+            );
+            (sw, sprev)
+        };
+        let single = Shuffler::single_level(&m);
+        let double = Shuffler::two_level(&m, outer);
+        assert_eq!(run(&single), run(&double));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous runs")]
+    fn non_contiguous_outer_assignment_rejected() {
+        let m = map(&[(0, 4), (4, 8)], 8);
+        let _ = Shuffler::two_level(&m, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn parallel_shuffle_is_bit_identical_to_sequential() {
+        let m = map(&[(0, 3), (3, 10), (10, 32)], 32);
+        let s = Shuffler::single_level(&m);
+        let mut rng = fm_rng::Xorshift64Star::new(9);
+        use fm_rng::Rng64;
+        let w: Vec<VertexId> = (0..5000)
+            .map(|_| {
+                if rng.gen_bool(0.02) {
+                    DEAD
+                } else {
+                    rng.gen_index(32) as VertexId
+                }
+            })
+            .collect();
+        let prev: Vec<VertexId> = (0..5000).map(|_| rng.gen_index(32) as VertexId).collect();
+
+        // Sequential reference.
+        let mut scratch = ShuffleScratch::default();
+        let (mut sw1, mut sp1) = (vec![0; w.len()], vec![0; w.len()]);
+        let mut p = NullProbe;
+        s.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+        s.scatter(
+            &w,
+            Some(&prev),
+            &mut sw1,
+            Some(&mut sp1),
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        let snext: Vec<VertexId> = sw1
+            .iter()
+            .map(|&v| if v == DEAD { DEAD } else { v ^ 1 })
+            .collect();
+        let (mut wn1, mut pn1) = (vec![0; w.len()], vec![0; w.len()]);
+        s.gather(
+            &w,
+            &snext,
+            &mut wn1,
+            Some(&sw1),
+            Some(&mut pn1),
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+
+        for threads in [1usize, 2, 3, 7] {
+            let mut scratch2 = ShuffleScratch::default();
+            let cursors = s.par_count(&w, threads, &mut scratch2);
+            assert_eq!(scratch.counts, scratch2.counts, "{threads} threads");
+            assert_eq!(scratch.offsets, scratch2.offsets);
+            let (mut sw2, mut sp2) = (vec![0; w.len()], vec![0; w.len()]);
+            s.par_scatter(&w, Some(&prev), &mut sw2, Some(&mut sp2), cursors);
+            assert_eq!(sw1, sw2, "{threads} threads scatter");
+            assert_eq!(sp1, sp2, "{threads} threads scatter aux");
+            let cursors = s.par_count(&w, threads, &mut scratch2);
+            let (mut wn2, mut pn2) = (vec![0; w.len()], vec![0; w.len()]);
+            s.par_gather(&w, &snext, &mut wn2, Some(&sw2), Some(&mut pn2), cursors);
+            assert_eq!(wn1, wn2, "{threads} threads gather");
+            assert_eq!(pn1, pn2, "{threads} threads gather aux");
+        }
+    }
+
+    #[test]
+    fn parallel_shuffle_without_aux() {
+        let m = map(&[(0, 16), (16, 64)], 64);
+        let s = Shuffler::single_level(&m);
+        let w: Vec<VertexId> = (0..777).map(|i| (i * 37 % 64) as VertexId).collect();
+        let mut scratch = ShuffleScratch::default();
+        let mut p = NullProbe;
+        let mut sw1 = vec![0; w.len()];
+        s.count(&w, &mut scratch, ShuffleAddrs::default(), &mut p);
+        s.scatter(
+            &w,
+            None,
+            &mut sw1,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+
+        let mut scratch2 = ShuffleScratch::default();
+        let cursors = s.par_count(&w, 4, &mut scratch2);
+        let mut sw2 = vec![0; w.len()];
+        s.par_scatter(&w, None, &mut sw2, None, cursors);
+        assert_eq!(sw1, sw2);
+    }
+
+    #[test]
+    fn probe_sees_streaming_traffic() {
+        use fm_memsim::{HierarchyConfig, MemorySystem};
+        let m = map(&[(0, 64)], 64);
+        let s = Shuffler::single_level(&m);
+        let w: Vec<VertexId> = (0..1000).map(|i| (i % 64) as VertexId).collect();
+        let mut scratch = ShuffleScratch::default();
+        let mut sw = vec![0; w.len()];
+        let mut probe = MemorySystem::new(HierarchyConfig::skylake_server());
+        let addrs = ShuffleAddrs {
+            src: 0x10_0000,
+            dst: 0x20_0000,
+        };
+        s.count(&w, &mut scratch, addrs, &mut probe);
+        s.scatter(&w, None, &mut sw, None, &mut scratch, addrs, &mut probe);
+        // Count + scatter = three streaming touches per walker.
+        assert_eq!(probe.stats().accesses, 3 * w.len() as u64);
+    }
+}

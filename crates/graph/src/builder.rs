@@ -1,0 +1,193 @@
+//! Incremental edge-list accumulation.
+
+use crate::csr::Csr;
+use crate::{GraphError, VertexId};
+
+/// Accumulates edges and produces a validated [`Csr`].
+///
+/// The builder grows the vertex set automatically to cover every endpoint
+/// it sees, and offers the clean-up passes graph datasets commonly need:
+/// symmetrization (the paper's social graphs are used undirected),
+/// deduplication, self-loop removal, and zero-degree-vertex removal
+/// (Table 4: "0-degree vertices removed").
+///
+/// # Examples
+///
+/// ```
+/// use fm_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// let g = b.symmetric(true).build().unwrap();
+/// assert_eq!(g.vertex_count(), 3);
+/// assert_eq!(g.edge_count(), 4); // both directions
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(VertexId, VertexId)>,
+    max_vid: Option<VertexId>,
+    symmetric: bool,
+    dedup: bool,
+    drop_self_loops: bool,
+    compact: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a directed edge `s -> t`.
+    pub fn add_edge(&mut self, s: VertexId, t: VertexId) -> &mut Self {
+        self.edges.push((s, t));
+        let m = s.max(t);
+        self.max_vid = Some(self.max_vid.map_or(m, |cur| cur.max(m)));
+        self
+    }
+
+    /// Adds many directed edges.
+    pub fn add_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(
+        &mut self,
+        edges: I,
+    ) -> &mut Self {
+        for (s, t) in edges {
+            self.add_edge(s, t);
+        }
+        self
+    }
+
+    /// Number of edges currently accumulated (before clean-up passes).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Mirror every edge so the graph becomes undirected.
+    pub fn symmetric(&mut self, yes: bool) -> &mut Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Remove duplicate edges.
+    pub fn dedup(&mut self, yes: bool) -> &mut Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Remove self-loops.
+    pub fn drop_self_loops(&mut self, yes: bool) -> &mut Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Renumber vertices densely, dropping IDs with no incident edge.
+    pub fn compact(&mut self, yes: bool) -> &mut Self {
+        self.compact = yes;
+        self
+    }
+
+    /// Builds the CSR graph, consuming the accumulated edges.
+    pub fn build(&mut self) -> Result<Csr, GraphError> {
+        let mut edges = std::mem::take(&mut self.edges);
+        if self.drop_self_loops {
+            edges.retain(|&(s, t)| s != t);
+        }
+        if self.symmetric {
+            let mirrored: Vec<_> = edges.iter().map(|&(s, t)| (t, s)).collect();
+            edges.extend(mirrored);
+        }
+        if self.dedup {
+            edges.sort_unstable();
+            edges.dedup();
+        }
+        let mut vertex_count = match self.max_vid {
+            Some(m) => m as usize + 1,
+            None => 0,
+        };
+        if self.compact {
+            let mut touched = vec![false; vertex_count];
+            for &(s, t) in &edges {
+                touched[s as usize] = true;
+                touched[t as usize] = true;
+            }
+            let mut remap = vec![VertexId::MAX; vertex_count];
+            let mut next = 0 as VertexId;
+            for (old, &hit) in touched.iter().enumerate() {
+                if hit {
+                    remap[old] = next;
+                    next += 1;
+                }
+            }
+            for e in &mut edges {
+                *e = (remap[e.0 as usize], remap[e.1 as usize]);
+            }
+            vertex_count = next as usize;
+        }
+        Csr::from_edges(vertex_count, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_vertex_set() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 9);
+        let g = b.build().unwrap();
+        assert_eq!(g.vertex_count(), 10);
+    }
+
+    #[test]
+    fn symmetric_doubles_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edges([(0, 1), (1, 2)]);
+        let g = b.symmetric(true).build().unwrap();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let mut b = GraphBuilder::new();
+        b.add_edges([(0, 1), (0, 1), (0, 1), (1, 0)]);
+        let g = b.dedup(true).build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn symmetric_then_dedup_handles_reciprocal_input() {
+        let mut b = GraphBuilder::new();
+        b.add_edges([(0, 1), (1, 0)]);
+        let g = b.symmetric(true).dedup(true).build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        b.add_edges([(0, 0), (0, 1), (1, 1), (1, 0)]);
+        let g = b.drop_self_loops(true).build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn compact_renumbers_densely() {
+        let mut b = GraphBuilder::new();
+        b.add_edges([(10, 20), (20, 10)]);
+        let g = b.compact(true).build().unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

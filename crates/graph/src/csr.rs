@@ -1,0 +1,347 @@
+//! Compressed Sparse Row graph storage.
+
+use crate::{GraphError, VertexId};
+
+/// A directed graph in CSR form.
+///
+/// `offsets` has `|V| + 1` entries; the out-neighbors of vertex `v` are
+/// `targets[offsets[v] .. offsets[v + 1]]`.  Optional per-edge weights are
+/// stored in a parallel array.
+///
+/// # Examples
+///
+/// ```
+/// use fm_graph::Csr;
+///
+/// // A triangle: 0 -> 1, 1 -> 2, 2 -> 0.
+/// let g = Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+/// assert_eq!(g.degree(0), 1);
+/// assert_eq!(g.neighbors(1), &[2]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Option<Vec<f32>>,
+}
+
+impl Csr {
+    /// Builds a CSR graph from raw parts.
+    ///
+    /// Validates the structural invariants: monotone offsets covering all
+    /// of `targets`, every target in range, and weight-array length (when
+    /// present) equal to the edge count.
+    pub fn from_parts(
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Option<Vec<f32>>,
+    ) -> Result<Self, GraphError> {
+        if offsets.is_empty() {
+            return Err(GraphError::Format("offsets must have |V|+1 entries".into()));
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") != targets.len() {
+            return Err(GraphError::Format(
+                "offsets must start at 0 and end at |E|".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::Format("offsets must be monotone".into()));
+        }
+        let vcount = (offsets.len() - 1) as u64;
+        if vcount > VertexId::MAX as u64 {
+            return Err(GraphError::TooManyVertices(vcount));
+        }
+        if let Some(&bad) = targets.iter().find(|&&t| (t as u64) >= vcount) {
+            return Err(GraphError::VertexOutOfRange {
+                vid: bad as u64,
+                vertex_count: vcount,
+            });
+        }
+        if let Some(w) = &weights {
+            if w.len() != targets.len() {
+                return Err(GraphError::Format("weights length must equal |E|".into()));
+            }
+        }
+        Ok(Self {
+            offsets,
+            targets,
+            weights,
+        })
+    }
+
+    /// Builds an unweighted CSR graph from an edge list.
+    ///
+    /// Edge order within each adjacency list follows the input order.
+    pub fn from_edges(
+        vertex_count: usize,
+        edges: &[(VertexId, VertexId)],
+    ) -> Result<Self, GraphError> {
+        if vertex_count as u64 > VertexId::MAX as u64 {
+            return Err(GraphError::TooManyVertices(vertex_count as u64));
+        }
+        let mut degree = vec![0usize; vertex_count];
+        for &(s, t) in edges {
+            for v in [s, t] {
+                if v as usize >= vertex_count {
+                    return Err(GraphError::VertexOutOfRange {
+                        vid: v as u64,
+                        vertex_count: vertex_count as u64,
+                    });
+                }
+            }
+            degree[s as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(vertex_count + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as VertexId; edges.len()];
+        for &(s, t) in edges {
+            targets[cursor[s as usize]] = t;
+            cursor[s as usize] += 1;
+        }
+        Ok(Self {
+            offsets,
+            targets,
+            weights: None,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Out-neighbors of `v`, in storage order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Edge weights of `v`, parallel to [`Csr::neighbors`], if weighted.
+    #[inline]
+    pub fn edge_weights(&self, v: VertexId) -> Option<&[f32]> {
+        let w = self.weights.as_ref()?;
+        let v = v as usize;
+        Some(&w[self.offsets[v]..self.offsets[v + 1]])
+    }
+
+    /// Returns `true` when per-edge weights are present.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// The raw offsets array (`|V| + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw targets array (`|E|` entries).
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Offset of vertex `v`'s adjacency list within [`Csr::targets`].
+    #[inline]
+    pub fn adjacency_start(&self, v: VertexId) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// Checks whether the directed edge `u -> v` exists (binary search if
+    /// the adjacency list is sorted, linear scan otherwise).
+    ///
+    /// node2vec's second-order bias needs exactly this connectivity test.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let adj = self.neighbors(u);
+        if adj.len() >= 16 && adj.windows(2).all(|w| w[0] <= w[1]) {
+            adj.binary_search(&v).is_ok()
+        } else {
+            adj.contains(&v)
+        }
+    }
+
+    /// Sorts every adjacency list ascending (invalidates weight pairing,
+    /// so only allowed on unweighted graphs).
+    ///
+    /// Sorted adjacency lists enable O(log d) `has_edge`, which node2vec
+    /// engines rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is weighted.
+    pub fn sort_adjacency_lists(&mut self) {
+        assert!(
+            self.weights.is_none(),
+            "sorting adjacency lists would desynchronize edge weights"
+        );
+        for v in 0..self.vertex_count() {
+            let (s, e) = (self.offsets[v], self.offsets[v + 1]);
+            self.targets[s..e].sort_unstable();
+        }
+    }
+
+    /// Iterates over all directed edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.vertex_count()).flat_map(move |v| {
+            self.neighbors(v as VertexId)
+                .iter()
+                .map(move |&t| (v as VertexId, t))
+        })
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// In-memory size of the CSR arrays in bytes (the paper's "CSR Size"
+    /// column in Table 4).
+    pub fn footprint_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self
+                .weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<f32>())
+    }
+
+    /// Checks that no vertex has degree zero.
+    ///
+    /// Random walkers on a zero-degree vertex have nowhere to go; the
+    /// paper removes such vertices from its datasets (Table 4 note), and
+    /// the engines require this invariant.
+    pub fn has_no_sinks(&self) -> bool {
+        (0..self.vertex_count()).all(|v| self.degree(v as VertexId) > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Csr {
+        Csr::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn from_edges_basic() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert!(g.has_no_sinks());
+    }
+
+    #[test]
+    fn from_edges_preserves_input_order() {
+        let g = Csr::from_edges(4, &[(0, 3), (0, 1), (0, 2)]).unwrap();
+        assert_eq!(g.neighbors(0), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_range() {
+        let err = Csr::from_edges(2, &[(0, 5)]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vid: 5, .. }));
+    }
+
+    #[test]
+    fn from_parts_validates_offsets() {
+        assert!(Csr::from_parts(vec![0, 2, 1], vec![0, 0], None).is_err());
+        assert!(Csr::from_parts(vec![1, 2], vec![0], None).is_err());
+        assert!(Csr::from_parts(vec![0, 1], vec![0, 0], None).is_err());
+        assert!(Csr::from_parts(vec![], vec![], None).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_weights() {
+        assert!(Csr::from_parts(vec![0, 1], vec![0], Some(vec![1.0, 2.0])).is_err());
+        assert!(Csr::from_parts(vec![0, 1], vec![0], Some(vec![1.0])).is_ok());
+    }
+
+    #[test]
+    fn empty_vertex_set() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.has_no_sinks());
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_vertex_detected_as_sink() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 0)]).unwrap();
+        assert!(!g.has_no_sinks());
+    }
+
+    #[test]
+    fn has_edge_linear_and_sorted_paths() {
+        // Small list: linear scan.
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+
+        // Large sorted list: binary search path.
+        let edges: Vec<(VertexId, VertexId)> = (1..64).map(|t| (0, t)).collect();
+        let mut g = Csr::from_edges(64, &edges).unwrap();
+        g.sort_adjacency_lists();
+        assert!(g.has_edge(0, 33));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let input = vec![(0, 1), (0, 2), (1, 2), (2, 0)];
+        let g = Csr::from_edges(3, &input).unwrap();
+        let out: Vec<_> = g.edges().collect();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn weighted_accessors() {
+        let g = Csr::from_parts(vec![0, 2, 2], vec![1, 1], Some(vec![0.5, 1.5])).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weights(0), Some(&[0.5f32, 1.5][..]));
+        assert_eq!(g.edge_weights(1), Some(&[][..]));
+    }
+
+    #[test]
+    fn footprint_counts_all_arrays() {
+        let g = triangle();
+        let expect = 4 * std::mem::size_of::<usize>() + 3 * std::mem::size_of::<VertexId>();
+        assert_eq!(g.footprint_bytes(), expect);
+    }
+}

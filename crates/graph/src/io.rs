@@ -1,0 +1,271 @@
+//! Graph IO: text edge lists and a compact binary format.
+//!
+//! The text parser accepts the whitespace-separated `src dst [weight]`
+//! format used by SNAP and the Laboratory for Web Algorithmics exports
+//! (the paper's data sources), with `#` / `%` comment lines.  The binary
+//! format is a straightforward little-endian CSR dump so that the analog
+//! graphs used by the benchmark harness can be generated once and
+//! memory-mapped-fast reloaded.
+
+use std::io::{BufRead, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::{GraphError, VertexId};
+
+const MAGIC: &[u8; 4] = b"FMG1";
+
+/// Options controlling text edge-list parsing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParseOptions {
+    /// Mirror each edge (treat the input as undirected).
+    pub symmetric: bool,
+    /// Drop duplicate edges after symmetrization.
+    pub dedup: bool,
+    /// Drop self-loops.
+    pub drop_self_loops: bool,
+    /// Renumber vertices densely, removing isolated IDs.
+    pub compact: bool,
+}
+
+/// Parses a text edge list from any reader.
+///
+/// Blank lines and lines starting with `#` or `%` are skipped.  A third
+/// column, if present, is ignored (weights in text inputs are not
+/// round-tripped; use the binary format for weighted graphs).
+pub fn parse_edge_list<R: BufRead>(reader: R, opts: ParseOptions) -> Result<Csr, GraphError> {
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let s = parse_vid(parts.next(), idx + 1)?;
+        let t = parse_vid(parts.next(), idx + 1)?;
+        builder.add_edge(s, t);
+    }
+    builder
+        .symmetric(opts.symmetric)
+        .dedup(opts.dedup)
+        .drop_self_loops(opts.drop_self_loops)
+        .compact(opts.compact)
+        .build()
+}
+
+fn parse_vid(tok: Option<&str>, line: usize) -> Result<VertexId, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex IDs".into(),
+    })?;
+    tok.parse::<VertexId>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad vertex id {tok:?}: {e}"),
+    })
+}
+
+/// Reads a text edge list from a file.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P, opts: ParseOptions) -> Result<Csr, GraphError> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(std::io::BufReader::new(file), opts)
+}
+
+/// Writes a graph as a text edge list (one `src dst` pair per line).
+pub fn write_edge_list<W: Write>(graph: &Csr, mut writer: W) -> Result<(), GraphError> {
+    for (s, t) in graph.edges() {
+        writeln!(writer, "{s} {t}")?;
+    }
+    Ok(())
+}
+
+/// Encodes a graph into the binary CSR format.
+pub fn encode_binary(graph: &Csr) -> Bytes {
+    let weighted = graph.is_weighted();
+    let mut buf = BytesMut::with_capacity(
+        4 + 1 + 16 + (graph.vertex_count() + 1) * 8 + graph.edge_count() * 4,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u8(weighted as u8);
+    buf.put_u64_le(graph.vertex_count() as u64);
+    buf.put_u64_le(graph.edge_count() as u64);
+    for &o in graph.offsets() {
+        buf.put_u64_le(o as u64);
+    }
+    for &t in graph.targets() {
+        buf.put_u32_le(t);
+    }
+    if weighted {
+        for v in 0..graph.vertex_count() {
+            for &w in graph.edge_weights(v as VertexId).expect("weighted") {
+                buf.put_f32_le(w);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph from the binary CSR format.
+pub fn decode_binary(mut data: &[u8]) -> Result<Csr, GraphError> {
+    if data.len() < 21 {
+        return Err(GraphError::Format("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Format("bad magic".into()));
+    }
+    let weighted = match data.get_u8() {
+        0 => false,
+        1 => true,
+        b => return Err(GraphError::Format(format!("bad weight flag {b}"))),
+    };
+    let vcount = data.get_u64_le() as usize;
+    let ecount = data.get_u64_le() as usize;
+    let need = (vcount + 1) * 8 + ecount * 4 + if weighted { ecount * 4 } else { 0 };
+    if data.remaining() < need {
+        return Err(GraphError::Format(format!(
+            "need {need} payload bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(vcount + 1);
+    for _ in 0..=vcount {
+        offsets.push(data.get_u64_le() as usize);
+    }
+    let mut targets = Vec::with_capacity(ecount);
+    for _ in 0..ecount {
+        targets.push(data.get_u32_le());
+    }
+    let weights = if weighted {
+        let mut w = Vec::with_capacity(ecount);
+        for _ in 0..ecount {
+            w.push(data.get_f32_le());
+        }
+        Some(w)
+    } else {
+        None
+    };
+    Csr::from_parts(offsets, targets, weights)
+}
+
+/// Saves a graph to a binary file.
+pub fn save_binary<P: AsRef<Path>>(graph: &Csr, path: P) -> Result<(), GraphError> {
+    let bytes = encode_binary(graph);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a graph from a binary file.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Csr, GraphError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    decode_binary(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn parse_basic_edge_list() {
+        let text = "# comment\n0 1\n1 2\n\n% another comment\n2 0\n";
+        let g = parse_edge_list(text.as_bytes(), ParseOptions::default()).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn parse_with_options() {
+        let text = "5 7\n7 5\n5 5\n";
+        let opts = ParseOptions {
+            symmetric: true,
+            dedup: true,
+            drop_self_loops: true,
+            compact: true,
+        };
+        let g = parse_edge_list(text.as_bytes(), opts).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn parse_third_column_ignored() {
+        let text = "0 1 0.5\n1 0 2.0\n";
+        let g = parse_edge_list(text.as_bytes(), ParseOptions::default()).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        let err = parse_edge_list(text.as_bytes(), ParseOptions::default()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn parse_missing_column() {
+        let err = parse_edge_list("42\n".as_bytes(), ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = synth::power_law(100, 2.0, 1, 20, 5);
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = parse_edge_list(&out[..], ParseOptions::default()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_unweighted() {
+        let g = synth::rmat(6, 4, 0.57, 0.19, 0.19, 2);
+        let bytes = encode_binary(&g);
+        let g2 = decode_binary(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted() {
+        let g = Csr::from_parts(vec![0, 2, 3], vec![1, 1, 0], Some(vec![1.0, 2.5, -3.0])).unwrap();
+        let bytes = encode_binary(&g);
+        let g2 = decode_binary(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = synth::cycle(4);
+        let bytes = encode_binary(&g);
+        assert!(decode_binary(&bytes[..10]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(decode_binary(&bad).is_err());
+        bad = bytes.to_vec();
+        bad[4] = 7; // bad weight flag
+        assert!(decode_binary(&bad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = synth::power_law(50, 2.0, 1, 10, 8);
+        let dir = std::env::temp_dir().join("fm_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,301 @@
+//! Scaled-down analogs of the paper's evaluation graphs (Table 4).
+//!
+//! The paper tests on YouTube (YT), Twitter (TW), Friendster (FS),
+//! UK-Union (UK), and YahooWeb (YH).  None of these can be shipped with a
+//! repository (UK and YH alone are tens of gigabytes), so the benchmark
+//! harness substitutes synthetic analogs that preserve each graph's
+//! *shape*: average degree, degree-distribution skew (Table 2's
+//! per-percentile average degrees), and — for UK — edge locality.
+//! Anyone holding the real datasets can load them through [`crate::io`]
+//! and run the same harness unchanged.
+
+use crate::csr::Csr;
+use crate::synth;
+
+/// Published statistics of a paper graph (Table 4).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperStats {
+    /// Vertex count reported in Table 4.
+    pub vertices: u64,
+    /// Edge count reported in Table 4.
+    pub edges: u64,
+    /// CSR size reported in Table 4, in bytes.
+    pub csr_bytes: u64,
+}
+
+/// One of the five evaluation graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperGraph {
+    /// YouTube social network (Mislove et al.).
+    Youtube,
+    /// Twitter follower graph (Kwak et al.).
+    Twitter,
+    /// Friendster social network.
+    Friendster,
+    /// UK-Union web graph (high locality, large diameter).
+    UkUnion,
+    /// Yahoo AltaVista web graph (largest, 58 GB CSR).
+    YahooWeb,
+}
+
+impl PaperGraph {
+    /// All five graphs, in the paper's size order.
+    pub const ALL: [PaperGraph; 5] = [
+        PaperGraph::Youtube,
+        PaperGraph::Twitter,
+        PaperGraph::Friendster,
+        PaperGraph::UkUnion,
+        PaperGraph::YahooWeb,
+    ];
+
+    /// The paper's two-letter abbreviation.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PaperGraph::Youtube => "YT",
+            PaperGraph::Twitter => "TW",
+            PaperGraph::Friendster => "FS",
+            PaperGraph::UkUnion => "UK",
+            PaperGraph::YahooWeb => "YH",
+        }
+    }
+
+    /// Table 4 statistics for the real dataset.
+    pub fn paper_stats(self) -> PaperStats {
+        match self {
+            PaperGraph::Youtube => PaperStats {
+                vertices: 1_140_000,
+                edges: 4_950_000,
+                csr_bytes: 50 * 1024 * 1024 + 820 * 1024,
+            },
+            PaperGraph::Twitter => PaperStats {
+                vertices: 41_650_000,
+                edges: 1_470_000_000,
+                csr_bytes: 11 * (1 << 30) + 400 * (1 << 20),
+            },
+            PaperGraph::Friendster => PaperStats {
+                vertices: 65_610_000,
+                edges: 1_810_000_000,
+                csr_bytes: 14 * (1 << 30) + 200 * (1 << 20),
+            },
+            PaperGraph::UkUnion => PaperStats {
+                vertices: 131_810_000,
+                edges: 5_510_000_000,
+                csr_bytes: 42 * (1 << 30) + 512 * (1 << 20),
+            },
+            PaperGraph::YahooWeb => PaperStats {
+                vertices: 720_240_000,
+                edges: 6_640_000_000,
+                csr_bytes: 57 * (1 << 30) + 512 * (1 << 20),
+            },
+        }
+    }
+
+    /// Generation recipe for the analog at a given scale.
+    ///
+    /// Each recipe pins the paper's *average degree* (Table 4) and the
+    /// tail length (max degree); the zipf exponent is solved numerically
+    /// so the realized mean matches the target at every scale.
+    fn recipe(self, scale: AnalogScale) -> Recipe {
+        let f = scale.vertex_factor();
+        match self {
+            // avg 4.34; mild head (YT top-1% avg degree 338).
+            PaperGraph::Youtube => Recipe {
+                n: (2_800_000.0 * f) as usize,
+                target_avg: 4.34,
+                min_degree: 1,
+                max_degree: 3_000,
+                window: None,
+            },
+            // avg 35.3; extreme head (TW top-1% avg 3463).
+            PaperGraph::Twitter => Recipe {
+                n: (1_150_000.0 * f) as usize,
+                target_avg: 35.3,
+                min_degree: 1,
+                max_degree: 24_000,
+                window: None,
+            },
+            // avg 27.6; broad middle (FS 5-25% bucket holds 41% of edges).
+            PaperGraph::Friendster => Recipe {
+                n: (1_650_000.0 * f) as usize,
+                target_avg: 27.6,
+                min_degree: 2,
+                max_degree: 5_000,
+                window: None,
+            },
+            // avg 41.8; strong skew AND strong locality (diameter 147).
+            PaperGraph::UkUnion => {
+                let n = (1_200_000.0 * f) as usize;
+                Recipe {
+                    n,
+                    target_avg: 41.8,
+                    min_degree: 1,
+                    max_degree: 26_000,
+                    // Window scales with |V| so the diameter stays large
+                    // (~n / window BFS hops) at every analog scale.
+                    window: Some((n / 64).max(64)),
+                }
+            }
+            // avg 9.2; strong skew, largest vertex set.
+            PaperGraph::YahooWeb => Recipe {
+                n: (3_000_000.0 * f) as usize,
+                target_avg: 9.2,
+                min_degree: 1,
+                max_degree: 12_000,
+                window: None,
+            },
+        }
+    }
+
+    /// Generates the analog graph at the given scale (deterministic).
+    pub fn analog(self, scale: AnalogScale) -> Csr {
+        let r = self.recipe(scale);
+        // The tail cannot exceed a fraction of the vertex set.
+        let max_degree = r.max_degree.min(r.n / 4).max(r.min_degree + 1);
+        let alpha = solve_alpha(r.min_degree, max_degree, r.target_avg);
+        let seed = 0xF1A5_u64 ^ (self as u64) << 8 ^ scale.vertex_factor().to_bits();
+        match r.window {
+            Some(w) => synth::local_power_law(r.n, alpha, r.min_degree, max_degree, w, seed),
+            None => synth::power_law(r.n, alpha, r.min_degree, max_degree, seed),
+        }
+    }
+}
+
+/// Mean of the truncated zipf degree distribution `P(d) ∝ d^-alpha`
+/// over `[min, max]`.
+fn zipf_mean(min: usize, max: usize, alpha: f64) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for d in min..=max {
+        let w = (d as f64).powf(-alpha);
+        num += d as f64 * w;
+        den += w;
+    }
+    num / den
+}
+
+/// Solves for the zipf exponent whose truncated mean hits `target_avg`
+/// (bisection; the mean is strictly decreasing in alpha).
+fn solve_alpha(min: usize, max: usize, target_avg: f64) -> f64 {
+    let (mut lo, mut hi) = (0.2f64, 4.5f64);
+    let target = target_avg.clamp(min as f64 + 1e-6, max as f64 - 1e-6);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if zipf_mean(min, max, mid) > target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Recipe {
+    n: usize,
+    target_avg: f64,
+    min_degree: usize,
+    max_degree: usize,
+    window: Option<usize>,
+}
+
+/// How large an analog to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalogScale {
+    /// Tiny graphs for unit/integration tests (milliseconds to walk).
+    Test,
+    /// Default benchmarking scale: CSR footprints comparable to or
+    /// larger than a large server LLC, so the baseline's random accesses
+    /// really leave the cache (tens of seconds to walk on one core).
+    Bench,
+    /// Larger sweep scale for the scalability experiments.
+    Large,
+}
+
+impl AnalogScale {
+    fn vertex_factor(self) -> f64 {
+        match self {
+            AnalogScale::Test => 0.004,
+            AnalogScale::Bench => 1.0,
+            AnalogScale::Large => 2.0,
+        }
+    }
+}
+
+/// Builds a uniform-degree toy graph whose CSR targets occupy roughly
+/// `bytes` bytes — the Figure 1 "toy graphs sized to fit the L1/L2/L3
+/// capacities".
+pub fn toy_for_cache_bytes(bytes: usize) -> Csr {
+    synth::ring_sized_to_bytes(bytes, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn all_analogs_generate_and_have_no_sinks() {
+        for g in PaperGraph::ALL {
+            let csr = g.analog(AnalogScale::Test);
+            assert!(csr.vertex_count() > 1000, "{} too small", g.tag());
+            assert!(csr.has_no_sinks(), "{} has sinks", g.tag());
+        }
+    }
+
+    #[test]
+    fn analogs_are_deterministic() {
+        let a = PaperGraph::Youtube.analog(AnalogScale::Test);
+        let b = PaperGraph::Youtube.analog(AnalogScale::Test);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn average_degrees_track_paper_order() {
+        // Paper averages: YT 4.3 < YH 9.2 < FS 27.6 < TW 35.3 < UK 41.8.
+        let avg = |g: PaperGraph| stats::avg_degree(&g.analog(AnalogScale::Test));
+        let yt = avg(PaperGraph::Youtube);
+        let yh = avg(PaperGraph::YahooWeb);
+        let fs = avg(PaperGraph::Friendster);
+        let tw = avg(PaperGraph::Twitter);
+        assert!(yt < yh, "YT {yt} < YH {yh}");
+        assert!(yh < fs, "YH {yh} < FS {fs}");
+        assert!(fs < tw * 1.5, "FS {fs} should be near TW {tw}");
+    }
+
+    #[test]
+    fn skew_shape_matches_table2() {
+        // Top-5% of vertices should hold a large minority-to-majority of
+        // edges on the skewed analogs, mirroring Table 2 (45.6%-69.7%).
+        for g in [PaperGraph::Twitter, PaperGraph::YahooWeb] {
+            let csr = g.analog(AnalogScale::Test);
+            let b = stats::degree_group_stats(&csr, None, &stats::TABLE2_BUCKETS);
+            let top5 = b[0].edge_share + b[1].edge_share;
+            assert!(top5 > 0.35, "{}: top-5% edge share only {top5:.2}", g.tag());
+        }
+    }
+
+    #[test]
+    fn uk_analog_is_most_local() {
+        let uk = PaperGraph::UkUnion.analog(AnalogScale::Test);
+        let fs = PaperGraph::Friendster.analog(AnalogScale::Test);
+        let d_uk = stats::estimate_diameter(&uk, 2, 3);
+        let d_fs = stats::estimate_diameter(&fs, 2, 3);
+        assert!(d_uk > d_fs, "UK diameter {d_uk} vs FS {d_fs}");
+    }
+
+    #[test]
+    fn toy_graph_footprint_matches_cache_budget() {
+        let g = toy_for_cache_bytes(1 << 20);
+        let target_bytes = g.edge_count() * std::mem::size_of::<crate::VertexId>();
+        let ratio = target_bytes as f64 / (1u64 << 20) as f64;
+        assert!((ratio - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn paper_stats_are_positive() {
+        for g in PaperGraph::ALL {
+            let s = g.paper_stats();
+            assert!(s.vertices > 0 && s.edges > s.vertices);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Direct-indexed storage for uniform-degree vertex ranges.
+//!
+//! Real-world graphs' long tails produce huge runs of equal-degree
+//! vertices once sorted by degree (degree-1 vertices alone make up 3.5% to
+//! 49.3% of the paper's five graphs).  For a partition whose vertices all
+//! share one degree `d`, CSR's offsets array is pure overhead: the
+//! adjacency list of the partition's `i`-th vertex simply starts at
+//! `i * d`.  Dropping the offsets both halves the random reads per sample
+//! (no degree lookup) and shrinks the working set — the paper measures
+//! 13-33% fewer L2/L3 misses from this layout (Section 5.2).
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// Adjacency storage for a contiguous vertex range of uniform out-degree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedDegreeSlab {
+    /// First vertex ID covered by this slab (in the sorted ID space).
+    base: VertexId,
+    /// Number of vertices covered.
+    vertex_count: usize,
+    /// The shared out-degree.
+    degree: usize,
+    /// Flattened targets: vertex `base + i` owns `targets[i*d .. (i+1)*d]`.
+    targets: Vec<VertexId>,
+}
+
+impl FixedDegreeSlab {
+    /// Extracts the slab for `graph`'s vertices `[base, base + count)`.
+    ///
+    /// Returns `None` if any vertex in the range deviates from the degree
+    /// of the first one (the range is not uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the graph.
+    pub fn from_csr(graph: &Csr, base: VertexId, count: usize) -> Option<Self> {
+        assert!(count > 0, "slab range must be non-empty");
+        assert!(
+            base as usize + count <= graph.vertex_count(),
+            "slab range exceeds graph"
+        );
+        let degree = graph.degree(base);
+        let mut targets = Vec::with_capacity(count * degree);
+        for i in 0..count {
+            let v = base + i as VertexId;
+            if graph.degree(v) != degree {
+                return None;
+            }
+            targets.extend_from_slice(graph.neighbors(v));
+        }
+        Some(Self {
+            base,
+            vertex_count: count,
+            degree,
+            targets,
+        })
+    }
+
+    /// First vertex covered.
+    #[inline]
+    pub fn base(&self) -> VertexId {
+        self.base
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_count
+    }
+
+    /// The uniform out-degree.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Out-neighbors of the vertex with global ID `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the slab's range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let i = (v - self.base) as usize;
+        assert!(i < self.vertex_count, "vertex outside slab");
+        &self.targets[i * self.degree..(i + 1) * self.degree]
+    }
+
+    /// The `k`-th out-neighbor of global vertex `v`, by pure arithmetic —
+    /// the single-random-access sampling path that motivates this layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range `v` or `k`.
+    #[inline]
+    pub fn neighbor(&self, v: VertexId, k: usize) -> VertexId {
+        let i = (v - self.base) as usize;
+        debug_assert!(i < self.vertex_count && k < self.degree);
+        self.targets[i * self.degree + k]
+    }
+
+    /// Flat targets array.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Heap footprint in bytes: note the absence of any offsets array.
+    #[inline]
+    pub fn footprint_bytes(&self) -> usize {
+        self.targets.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_graph() -> Csr {
+        // 4 vertices, all degree 2.
+        Csr::from_edges(
+            4,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (2, 0),
+                (3, 0),
+                (3, 1),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_uniform_range() {
+        let g = uniform_graph();
+        let slab = FixedDegreeSlab::from_csr(&g, 0, 4).unwrap();
+        assert_eq!(slab.degree(), 2);
+        assert_eq!(slab.vertex_count(), 4);
+        for v in 0..4 {
+            assert_eq!(slab.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn arithmetic_indexing_matches_csr() {
+        let g = uniform_graph();
+        let slab = FixedDegreeSlab::from_csr(&g, 1, 3).unwrap();
+        for v in 1..4u32 {
+            for k in 0..2 {
+                assert_eq!(slab.neighbor(v, k), g.neighbors(v)[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_nonuniform_range() {
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 0), (2, 0)]).unwrap();
+        assert!(FixedDegreeSlab::from_csr(&g, 0, 3).is_none());
+        assert!(FixedDegreeSlab::from_csr(&g, 1, 2).is_some());
+    }
+
+    #[test]
+    fn footprint_has_no_offsets() {
+        let g = uniform_graph();
+        let slab = FixedDegreeSlab::from_csr(&g, 0, 4).unwrap();
+        assert_eq!(slab.footprint_bytes(), 8 * std::mem::size_of::<VertexId>());
+        assert!(slab.footprint_bytes() < g.footprint_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "slab range exceeds graph")]
+    fn out_of_range_panics() {
+        let g = uniform_graph();
+        let _ = FixedDegreeSlab::from_csr(&g, 2, 3);
+    }
+
+    #[test]
+    fn degree_one_slab() {
+        let g = Csr::from_edges(3, &[(0, 2), (1, 2), (2, 0)]).unwrap();
+        let slab = FixedDegreeSlab::from_csr(&g, 0, 2).unwrap();
+        assert_eq!(slab.degree(), 1);
+        assert_eq!(slab.neighbor(0, 0), 2);
+        assert_eq!(slab.neighbor(1, 0), 2);
+    }
+}

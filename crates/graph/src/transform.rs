@@ -1,0 +1,299 @@
+//! Graph transformations used to prepare real datasets for walking.
+//!
+//! The paper's datasets are cleaned before use ("0-degree vertices
+//! removed", Table 4); web graphs additionally need transposition (link
+//! direction vs navigation direction) and component extraction so
+//! walkers cannot get trapped.  These helpers cover that pipeline.
+
+use std::collections::VecDeque;
+
+use crate::csr::Csr;
+use crate::{GraphError, VertexId};
+
+/// Reverses every edge: `u -> v` becomes `v -> u`.
+///
+/// Weights follow their edges.
+pub fn transpose(graph: &Csr) -> Csr {
+    let n = graph.vertex_count();
+    let mut degree = vec![0usize; n];
+    for &t in graph.targets() {
+        degree[t as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    let mut cursor = offsets.clone();
+    let mut targets = vec![0 as VertexId; graph.edge_count()];
+    let mut weights = graph
+        .is_weighted()
+        .then(|| vec![0.0f32; graph.edge_count()]);
+    for s in 0..n {
+        let ws = graph.edge_weights(s as VertexId);
+        for (k, &t) in graph.neighbors(s as VertexId).iter().enumerate() {
+            let slot = cursor[t as usize];
+            cursor[t as usize] += 1;
+            targets[slot] = s as VertexId;
+            if let (Some(out), Some(src)) = (weights.as_mut(), ws) {
+                out[slot] = src[k];
+            }
+        }
+    }
+    Csr::from_parts(offsets, targets, weights).expect("transpose is structurally valid")
+}
+
+/// Makes the graph undirected by adding every reverse edge that is
+/// missing (deduplicated).
+pub fn symmetrize(graph: &Csr) -> Result<Csr, GraphError> {
+    let mut builder = crate::builder::GraphBuilder::new();
+    // Preserve the vertex count even if trailing vertices are isolated.
+    if graph.vertex_count() > 0 {
+        builder.add_edge(
+            (graph.vertex_count() - 1) as VertexId,
+            (graph.vertex_count() - 1) as VertexId,
+        );
+    }
+    for (s, t) in graph.edges() {
+        builder.add_edge(s, t);
+    }
+    builder
+        .symmetric(true)
+        .dedup(true)
+        .drop_self_loops(true)
+        .build()
+}
+
+/// Labels weakly connected components, treating edges as undirected;
+/// returns `(labels, component_count)`.
+pub fn weakly_connected_components(graph: &Csr) -> (Vec<u32>, usize) {
+    let n = graph.vertex_count();
+    const UNSEEN: u32 = u32::MAX;
+    let mut label = vec![UNSEEN; n];
+    // Undirected reachability needs in-edges too.
+    let reversed = transpose(graph);
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if label[start] != UNSEEN {
+            continue;
+        }
+        label[start] = count;
+        queue.push_back(start as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &w in graph.neighbors(u).iter().chain(reversed.neighbors(u)) {
+                if label[w as usize] == UNSEEN {
+                    label[w as usize] = count;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count as usize)
+}
+
+/// Extracts the induced subgraph of the largest weakly connected
+/// component, returning the subgraph and the kept original vertex IDs
+/// (`kept[new_id] = old_id`).
+pub fn largest_component(graph: &Csr) -> Result<(Csr, Vec<VertexId>), GraphError> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Ok((Csr::from_edges(0, &[])?, Vec::new()));
+    }
+    let (labels, count) = weakly_connected_components(graph);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    let biggest = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component");
+    keep_vertices(graph, |v| labels[v as usize] == biggest)
+}
+
+/// Removes every vertex whose *total* (in + out) degree is below
+/// `min_total_degree`, iterating until stable (a k-core-style peel).
+pub fn peel_low_degree(
+    graph: &Csr,
+    min_total_degree: usize,
+) -> Result<(Csr, Vec<VertexId>), GraphError> {
+    let mut current = graph.clone();
+    let mut kept: Vec<VertexId> = (0..graph.vertex_count() as VertexId).collect();
+    loop {
+        let reversed = transpose(&current);
+        let violating: Vec<bool> = (0..current.vertex_count())
+            .map(|v| {
+                current.degree(v as VertexId) + reversed.degree(v as VertexId) < min_total_degree
+            })
+            .collect();
+        if !violating.iter().any(|&b| b) {
+            return Ok((current, kept));
+        }
+        let (next, kept_local) = keep_vertices(&current, |v| !violating[v as usize])?;
+        kept = kept_local.iter().map(|&nv| kept[nv as usize]).collect();
+        current = next;
+        if current.vertex_count() == 0 {
+            return Ok((current, kept));
+        }
+    }
+}
+
+/// Induced subgraph over the vertices satisfying `keep`.
+fn keep_vertices(
+    graph: &Csr,
+    keep: impl Fn(VertexId) -> bool,
+) -> Result<(Csr, Vec<VertexId>), GraphError> {
+    let n = graph.vertex_count();
+    let mut remap = vec![VertexId::MAX; n];
+    let mut kept = Vec::new();
+    for v in 0..n as VertexId {
+        if keep(v) {
+            remap[v as usize] = kept.len() as VertexId;
+            kept.push(v);
+        }
+    }
+    let mut offsets = Vec::with_capacity(kept.len() + 1);
+    let mut targets = Vec::new();
+    let mut weights = graph.is_weighted().then(Vec::new);
+    offsets.push(0usize);
+    for &old in &kept {
+        let ws = graph.edge_weights(old);
+        for (k, &t) in graph.neighbors(old).iter().enumerate() {
+            if remap[t as usize] != VertexId::MAX {
+                targets.push(remap[t as usize]);
+                if let (Some(out), Some(src)) = (weights.as_mut(), ws) {
+                    out.push(src[k]);
+                }
+            }
+        }
+        offsets.push(targets.len());
+    }
+    Ok((Csr::from_parts(offsets, targets, weights)?, kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]).unwrap();
+        let t = transpose(&g);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.degree(0), 0);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let g = synth::power_law(300, 2.0, 1, 30, 4);
+        let tt = transpose(&transpose(&g));
+        // Same adjacency as the original up to in-list ordering.
+        for v in 0..300 {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b = tt.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn transpose_carries_weights() {
+        let g = Csr::from_parts(vec![0, 2, 2], vec![1, 1], Some(vec![3.0, 7.0])).unwrap();
+        let t = transpose(&g);
+        assert_eq!(t.edge_weights(1), Some(&[3.0f32, 7.0][..]));
+    }
+
+    #[test]
+    fn symmetrize_adds_missing_reverses() {
+        let g = Csr::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = symmetrize(&g).unwrap();
+        assert!(s.has_edge(1, 0));
+        assert!(s.has_edge(2, 1));
+        assert_eq!(s.vertex_count(), 3);
+        assert_eq!(s.edge_count(), 4);
+    }
+
+    #[test]
+    fn components_found_correctly() {
+        // Two triangles plus an isolated vertex.
+        let g = Csr::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[6], labels[0]);
+        assert_ne!(labels[6], labels[3]);
+    }
+
+    #[test]
+    fn directed_chains_are_weakly_connected() {
+        let g = Csr::from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = Csr::from_edges(6, &[(0, 1), (1, 0), (2, 3), (3, 4), (4, 2)]).unwrap();
+        let (sub, kept) = largest_component(&g).unwrap();
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(sub.edge_count(), 3);
+        assert!(sub.has_no_sinks());
+    }
+
+    #[test]
+    fn peel_removes_pendant_chains() {
+        // A triangle with a pendant path 3-4.
+        let g = Csr::from_edges(
+            5,
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 0),
+                (0, 2),
+                (2, 3),
+                (3, 2),
+                (3, 4),
+                (4, 3),
+            ],
+        )
+        .unwrap();
+        let (core, kept) = peel_low_degree(&g, 4).unwrap();
+        // Vertices 3 and 4 peel away; the triangle survives (total
+        // degree 4 each: 2 out + 2 in after 3 is gone... vertex 2 had
+        // an extra edge to 3).
+        assert!(kept.len() <= 3, "kept {kept:?}");
+        assert!(core.vertex_count() <= 3);
+    }
+
+    #[test]
+    fn peel_to_empty_is_safe() {
+        let g = synth::cycle(6);
+        let (core, kept) = peel_low_degree(&g, 100).unwrap();
+        assert_eq!(core.vertex_count(), 0);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn empty_graph_transforms() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert_eq!(transpose(&g).vertex_count(), 0);
+        let (sub, kept) = largest_component(&g).unwrap();
+        assert_eq!(sub.vertex_count(), 0);
+        assert!(kept.is_empty());
+    }
+}

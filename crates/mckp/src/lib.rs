@@ -1,0 +1,421 @@
+//! An exact solver for the Multiple-Choice Knapsack Problem (MCKP).
+//!
+//! FlashMob maps its vertex-partitioning/policy-assignment decision to
+//! MCKP (paper Section 4.4): each degree *group* is a class; each
+//! candidate `(partition size, per-partition policies)` combination is an
+//! item whose *profit* is the negated sampling cost and whose *weight* is
+//! the number of vertex partitions it creates; the capacity `P` is the
+//! number of partitions a single level of shuffle can handle from L2
+//! (2048 on the paper's platform).
+//!
+//! MCKP is NP-complete, but the classic dynamic program of Dudziński &
+//! Walukiewicz solves it in pseudo-polynomial `O(C · P · I)` time and
+//! `O(C · P)` space, which is negligible here (`C, P, I ≪ |V|`; the
+//! paper reports 0.01 s).  This crate implements that DP with full
+//! choice reconstruction, plus a brute-force reference used by the tests.
+
+/// One candidate item within a class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Profit if chosen (may be negative, e.g. a negated cost).
+    pub profit: f64,
+    /// Non-negative integral weight consumed if chosen.
+    pub weight: u32,
+}
+
+/// A solved MCKP instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// For each class, the index of the chosen item.
+    pub choices: Vec<usize>,
+    /// Total profit of the selection.
+    pub profit: f64,
+    /// Total weight of the selection.
+    pub weight: u32,
+}
+
+/// Errors from the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MckpError {
+    /// A class had no items, so "exactly one per class" is impossible.
+    EmptyClass(usize),
+    /// No selection fits within the capacity.
+    Infeasible,
+    /// A profit was NaN.
+    InvalidProfit(usize),
+}
+
+impl std::fmt::Display for MckpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MckpError::EmptyClass(c) => write!(f, "class {c} has no items"),
+            MckpError::Infeasible => write!(f, "no selection fits the capacity"),
+            MckpError::InvalidProfit(c) => write!(f, "class {c} contains a NaN profit"),
+        }
+    }
+}
+
+impl std::error::Error for MckpError {}
+
+/// Solves MCKP exactly: choose one item per class, total weight at most
+/// `capacity`, maximizing total profit.
+///
+/// Runs in `O(C · P · I)` time and `O(C · P)` space where `C` is the
+/// class count, `P = capacity + 1`, and `I` the largest class size.
+///
+/// # Examples
+///
+/// ```
+/// use fm_mckp::{solve, Item};
+///
+/// let classes = vec![
+///     vec![Item { profit: 3.0, weight: 2 }, Item { profit: 1.0, weight: 1 }],
+///     vec![Item { profit: 5.0, weight: 3 }, Item { profit: 2.0, weight: 1 }],
+/// ];
+/// let s = solve(&classes, 3).unwrap();
+/// assert_eq!(s.choices, vec![0, 1]); // 3.0+2.0 at weight 3
+/// ```
+pub fn solve(classes: &[Vec<Item>], capacity: u32) -> Result<Solution, MckpError> {
+    let c = classes.len();
+    let p = capacity as usize + 1;
+    for (ci, class) in classes.iter().enumerate() {
+        if class.is_empty() {
+            return Err(MckpError::EmptyClass(ci));
+        }
+        if class.iter().any(|i| i.profit.is_nan()) {
+            return Err(MckpError::InvalidProfit(ci));
+        }
+    }
+    if c == 0 {
+        return Ok(Solution {
+            choices: vec![],
+            profit: 0.0,
+            weight: 0,
+        });
+    }
+
+    // dp[ci * p + w]: best profit over classes [0, ci] with weight
+    // exactly <= w; NEG_INFINITY marks infeasible states.  choice holds
+    // the item index achieving it, for reconstruction.
+    let mut dp = vec![f64::NEG_INFINITY; c * p];
+    let mut choice = vec![usize::MAX; c * p];
+
+    for (ii, item) in classes[0].iter().enumerate() {
+        let w = item.weight as usize;
+        if w < p && item.profit > dp[w] {
+            dp[w] = item.profit;
+            choice[w] = ii;
+        }
+    }
+    // Make dp monotone in w for "weight <= w" semantics: not needed if
+    // we scan all previous weights; instead we keep "exact" semantics
+    // and take the max at the end.  For the transition we need, for each
+    // w, max over w' <= w - item.weight, which "exact" handles by
+    // iterating all w'.  To stay O(C*P*I) we convert each row to prefix
+    // maxima instead.
+    prefix_max_row(&mut dp[0..p], &mut choice[0..p]);
+
+    for ci in 1..c {
+        let (prev_rows, cur_rows) = dp.split_at_mut(ci * p);
+        let prev = &prev_rows[(ci - 1) * p..ci * p];
+        let cur = &mut cur_rows[0..p];
+        let cur_choice = &mut choice[ci * p..(ci + 1) * p];
+        for w in 0..p {
+            for (ii, item) in classes[ci].iter().enumerate() {
+                let iw = item.weight as usize;
+                if iw > w {
+                    continue;
+                }
+                let base = prev[w - iw];
+                if base == f64::NEG_INFINITY {
+                    continue;
+                }
+                let val = base + item.profit;
+                if val > cur[w] {
+                    cur[w] = val;
+                    cur_choice[w] = ii;
+                }
+            }
+        }
+        prefix_max_row(cur, cur_choice);
+    }
+
+    // Best final state.
+    let last = &dp[(c - 1) * p..c * p];
+    let best_w = capacity as usize;
+    if last[best_w] == f64::NEG_INFINITY {
+        return Err(MckpError::Infeasible);
+    }
+
+    // Reconstruct: rows are prefix-max'ed, so choice[ci*p + w] is the
+    // item chosen at the best state of weight <= w; walk backwards.
+    let mut choices = vec![0usize; c];
+    let mut w = best_w;
+    for ci in (0..c).rev() {
+        let ii = choice[ci * p + w];
+        debug_assert_ne!(ii, usize::MAX, "reachable state must have a choice");
+        choices[ci] = ii;
+        w -= classes[ci][ii].weight as usize;
+        // Within the previous row, move to the best state at weight <= w;
+        // prefix-max already guarantees dp[prev][w] is that state, and
+        // choice[prev][w] names its item, so nothing else to do.
+    }
+
+    let profit = last[best_w];
+    let weight: u32 = choices
+        .iter()
+        .zip(classes)
+        .map(|(&ii, class)| class[ii].weight)
+        .sum();
+    Ok(Solution {
+        choices,
+        profit,
+        weight,
+    })
+}
+
+/// Converts an "exact weight" DP row into "weight <= w" semantics by a
+/// running maximum, keeping the choice column aligned.
+fn prefix_max_row(dp: &mut [f64], choice: &mut [usize]) {
+    for w in 1..dp.len() {
+        if dp[w - 1] > dp[w] {
+            dp[w] = dp[w - 1];
+            choice[w] = choice[w - 1];
+        }
+    }
+}
+
+/// Exhaustive reference solver (exponential; tests only).
+pub fn solve_brute_force(classes: &[Vec<Item>], capacity: u32) -> Result<Solution, MckpError> {
+    for (ci, class) in classes.iter().enumerate() {
+        if class.is_empty() {
+            return Err(MckpError::EmptyClass(ci));
+        }
+        if class.iter().any(|i| i.profit.is_nan()) {
+            return Err(MckpError::InvalidProfit(ci));
+        }
+    }
+    let mut best: Option<Solution> = None;
+    let mut stack = vec![0usize; classes.len()];
+    fn recurse(
+        classes: &[Vec<Item>],
+        capacity: u32,
+        ci: usize,
+        stack: &mut Vec<usize>,
+        best: &mut Option<Solution>,
+    ) {
+        if ci == classes.len() {
+            let weight: u32 = stack
+                .iter()
+                .zip(classes)
+                .map(|(&ii, cl)| cl[ii].weight)
+                .sum();
+            if weight > capacity {
+                return;
+            }
+            let profit: f64 = stack
+                .iter()
+                .zip(classes)
+                .map(|(&ii, cl)| cl[ii].profit)
+                .sum();
+            if best.as_ref().is_none_or(|b| profit > b.profit) {
+                *best = Some(Solution {
+                    choices: stack.clone(),
+                    profit,
+                    weight,
+                });
+            }
+            return;
+        }
+        for ii in 0..classes[ci].len() {
+            stack[ci] = ii;
+            recurse(classes, capacity, ci + 1, stack, best);
+        }
+    }
+    recurse(classes, capacity, 0, &mut stack, &mut best);
+    best.ok_or(MckpError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(profit: f64, weight: u32) -> Item {
+        Item { profit, weight }
+    }
+
+    #[test]
+    fn picks_best_combination() {
+        let classes = vec![
+            vec![item(10.0, 5), item(4.0, 1)],
+            vec![item(6.0, 4), item(5.0, 2)],
+        ];
+        let s = solve(&classes, 7).unwrap();
+        assert_eq!(s.choices, vec![0, 1]);
+        assert_eq!(s.profit, 15.0);
+        assert_eq!(s.weight, 7);
+    }
+
+    #[test]
+    fn capacity_forces_cheap_items() {
+        let classes = vec![
+            vec![item(10.0, 5), item(4.0, 1)],
+            vec![item(6.0, 4), item(5.0, 1)],
+        ];
+        let s = solve(&classes, 2).unwrap();
+        assert_eq!(s.choices, vec![1, 1]);
+        assert_eq!(s.profit, 9.0);
+    }
+
+    #[test]
+    fn negative_profits_supported() {
+        // FlashMob uses profit = -cost; the solver must pick the least
+        // negative total.
+        let classes = vec![
+            vec![item(-3.0, 2), item(-8.0, 1)],
+            vec![item(-1.0, 2), item(-6.0, 1)],
+        ];
+        let s = solve(&classes, 4).unwrap();
+        assert_eq!(s.choices, vec![0, 0]);
+        assert_eq!(s.profit, -4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let classes = vec![vec![item(1.0, 10)], vec![item(1.0, 10)]];
+        assert_eq!(solve(&classes, 5).unwrap_err(), MckpError::Infeasible);
+    }
+
+    #[test]
+    fn empty_class_detected() {
+        let classes = vec![vec![item(1.0, 1)], vec![]];
+        assert_eq!(solve(&classes, 5).unwrap_err(), MckpError::EmptyClass(1));
+    }
+
+    #[test]
+    fn nan_profit_detected() {
+        let classes = vec![vec![item(f64::NAN, 1)]];
+        assert_eq!(solve(&classes, 5).unwrap_err(), MckpError::InvalidProfit(0));
+    }
+
+    #[test]
+    fn no_classes_is_trivially_solved() {
+        let s = solve(&[], 5).unwrap();
+        assert!(s.choices.is_empty());
+        assert_eq!(s.profit, 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_needs_zero_weight_items() {
+        let classes = vec![vec![item(1.0, 1), item(0.5, 0)]];
+        let s = solve(&classes, 0).unwrap();
+        assert_eq!(s.choices, vec![1]);
+    }
+
+    #[test]
+    fn single_class_picks_best_fitting_item() {
+        let classes = vec![vec![item(1.0, 3), item(9.0, 8), item(5.0, 4)]];
+        let s = solve(&classes, 5).unwrap();
+        assert_eq!(s.choices, vec![2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        let instances: Vec<(Vec<Vec<Item>>, u32)> = vec![
+            (
+                vec![
+                    vec![item(3.0, 2), item(4.0, 3), item(1.0, 1)],
+                    vec![item(2.0, 1), item(7.0, 5)],
+                    vec![item(1.0, 1), item(2.0, 2), item(3.0, 3)],
+                ],
+                6,
+            ),
+            (
+                vec![
+                    vec![item(-1.0, 0), item(-0.5, 2)],
+                    vec![item(-2.0, 1), item(-0.1, 4)],
+                ],
+                4,
+            ),
+        ];
+        for (classes, cap) in instances {
+            let fast = solve(&classes, cap).unwrap();
+            let slow = solve_brute_force(&classes, cap).unwrap();
+            assert!(
+                (fast.profit - slow.profit).abs() < 1e-9,
+                "profit {} vs {}",
+                fast.profit,
+                slow.profit
+            );
+            assert!(fast.weight <= cap);
+        }
+    }
+
+    #[test]
+    fn randomized_against_brute_force() {
+        // Deterministic LCG so the test is reproducible.
+        let mut state = 0x5EED_1234u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..200 {
+            let c = 1 + (next() % 4) as usize;
+            let classes: Vec<Vec<Item>> = (0..c)
+                .map(|_| {
+                    let n = 1 + (next() % 4) as usize;
+                    (0..n)
+                        .map(|_| Item {
+                            profit: (next() % 41) as f64 - 20.0,
+                            weight: next() % 6,
+                        })
+                        .collect()
+                })
+                .collect();
+            let cap = next() % 12;
+            let fast = solve(&classes, cap);
+            let slow = solve_brute_force(&classes, cap);
+            match (fast, slow) {
+                (Ok(f), Ok(s)) => {
+                    assert!(
+                        (f.profit - s.profit).abs() < 1e-9,
+                        "trial {trial}: {} vs {}",
+                        f.profit,
+                        s.profit
+                    );
+                    assert!(f.weight <= cap, "trial {trial}: weight over capacity");
+                    // Reconstructed choices must re-sum to the profit.
+                    let resum: f64 = f
+                        .choices
+                        .iter()
+                        .zip(&classes)
+                        .map(|(&ii, cl)| cl[ii].profit)
+                        .sum();
+                    assert!((resum - f.profit).abs() < 1e-9, "trial {trial}: resum");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "trial {trial}"),
+                (f, s) => panic!("trial {trial}: solver disagreement {f:?} vs {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn large_instance_runs_quickly() {
+        // 128 classes x 16 items, capacity 2048 — the paper's scale.
+        let classes: Vec<Vec<Item>> = (0..128)
+            .map(|ci| {
+                (0..16)
+                    .map(|ii| Item {
+                        profit: -((ci * 16 + ii) as f64 % 97.0),
+                        weight: (ii as u32 % 13) + 1,
+                    })
+                    .collect()
+            })
+            .collect();
+        let s = solve(&classes, 2048).unwrap();
+        assert_eq!(s.choices.len(), 128);
+        assert!(s.weight <= 2048);
+    }
+}

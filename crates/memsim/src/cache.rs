@@ -1,0 +1,242 @@
+//! A set-associative LRU cache level.
+
+/// One set-associative cache with LRU replacement.
+///
+/// Tags are full line addresses (no partial tag aliasing), which keeps the
+/// simulator exact.  LRU state is a per-way logical timestamp.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]`; `u64::MAX` marks an empty way.
+    tags: Vec<u64>,
+    /// Logical LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Builds a cache of `size_bytes` with the given line size and
+    /// associativity.
+    ///
+    /// The set count is rounded down to a power of two (at least 1) so
+    /// indexing is a mask, mirroring real hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `size_bytes` is smaller than
+    /// one way of lines.
+    pub fn new(size_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && ways > 0);
+        let lines = size_bytes / line_bytes;
+        assert!(lines >= ways, "cache must hold at least one full set");
+        let sets =
+            (lines / ways).next_power_of_two() >> usize::from(!(lines / ways).is_power_of_two());
+        let sets = sets.max(1);
+        Self {
+            sets,
+            ways,
+            tags: vec![EMPTY; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Capacity in lines.
+    #[inline]
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    /// Looks up `line`; on a hit refreshes its LRU stamp.
+    #[inline]
+    pub fn access(&mut self, line: u64) -> bool {
+        debug_assert_ne!(line, EMPTY);
+        let s = self.set_of(line);
+        let base = s * self.ways;
+        self.clock += 1;
+        for w in 0..self.ways {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Checks residency without touching LRU state.
+    #[inline]
+    pub fn contains(&self, line: u64) -> bool {
+        let base = self.set_of(line) * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+
+    /// Inserts `line`, returning the evicted victim line if the set was
+    /// full.  Inserting an already-resident line only refreshes it.
+    #[inline]
+    pub fn insert(&mut self, line: u64) -> Option<u64> {
+        debug_assert_ne!(line, EMPTY);
+        let base = self.set_of(line) * self.ways;
+        self.clock += 1;
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for w in 0..self.ways {
+            let t = self.tags[base + w];
+            if t == line {
+                self.stamps[base + w] = self.clock;
+                return None;
+            }
+            if t == EMPTY {
+                // Prefer empty ways outright.
+                self.tags[base + w] = line;
+                self.stamps[base + w] = self.clock;
+                return None;
+            }
+            if self.stamps[base + w] < victim_stamp {
+                victim_stamp = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        let evicted = self.tags[base + victim];
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        Some(evicted)
+    }
+
+    /// Removes `line` if resident (used by the exclusive-LLC promotion
+    /// path), returning whether it was present.
+    #[inline]
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let base = self.set_of(line) * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w] == line {
+                self.tags[base + w] = EMPTY;
+                self.stamps[base + w] = 0;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        self.tags.fill(EMPTY);
+        self.stamps.fill(0);
+        self.clock = 0;
+    }
+
+    /// Number of resident lines (test/diagnostic helper).
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = SetAssocCache::new(1024, 64, 4);
+        assert!(!c.access(5));
+        c.insert(5);
+        assert!(c.access(5));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 4 sets x 2 ways; lines 0, 4, 8 all map to set 0.
+        let mut c = SetAssocCache::new(8 * 64, 64, 2);
+        assert_eq!(c.sets(), 4);
+        c.insert(0);
+        c.insert(4);
+        c.access(0); // 0 is now more recent than 4
+        let evicted = c.insert(8);
+        assert_eq!(evicted, Some(4));
+        assert!(c.contains(0));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn insert_resident_line_refreshes_without_eviction() {
+        let mut c = SetAssocCache::new(2 * 64, 64, 2);
+        c.insert(0);
+        c.insert(1);
+        assert_eq!(c.insert(0), None);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = SetAssocCache::new(1024, 64, 4);
+        c.insert(7);
+        assert!(c.invalidate(7));
+        assert!(!c.contains(7));
+        assert!(!c.invalidate(7));
+    }
+
+    #[test]
+    fn capacity_and_working_set() {
+        let mut c = SetAssocCache::new(64 * 64, 64, 8);
+        // Fill exactly to capacity: all lines resident, no evictions.
+        for l in 0..c.capacity_lines() as u64 {
+            assert_eq!(c.insert(l), None);
+        }
+        for l in 0..c.capacity_lines() as u64 {
+            assert!(c.contains(l), "line {l} should be resident");
+        }
+        assert_eq!(c.resident_lines(), c.capacity_lines());
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = SetAssocCache::new(16 * 64, 64, 2);
+        let span = c.capacity_lines() as u64 * 4;
+        // Two sequential sweeps over 4x capacity: second sweep still
+        // misses everywhere under LRU.
+        let mut misses = 0;
+        for _ in 0..2 {
+            for l in 0..span {
+                if !c.access(l) {
+                    misses += 1;
+                    c.insert(l);
+                }
+            }
+        }
+        assert_eq!(misses, 2 * span as usize);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = SetAssocCache::new(1024, 64, 4);
+        c.insert(1);
+        c.insert(2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ways_panics() {
+        let _ = SetAssocCache::new(1024, 64, 0);
+    }
+}

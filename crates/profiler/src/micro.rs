@@ -1,0 +1,309 @@
+//! Micro-benchmarks timing the real sample kernel on synthetic VPs.
+
+use std::time::Instant;
+
+use fm_graph::{Csr, VertexId};
+use fm_memsim::NullProbe;
+use fm_rng::{Rng64, Xorshift64Star};
+
+use flashmob::algorithm::{StopRule, WalkAlgorithm};
+use flashmob::partition::PartitionMap;
+use flashmob::partition::{Partition, SamplePolicy};
+use flashmob::sample::{sample_partition, AddrMap, AlgoCtx, PsBuffers, TaskIo};
+use flashmob::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
+
+/// One measured grid cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilePoint {
+    /// VP size in vertices.
+    pub vp_size: usize,
+    /// Uniform vertex degree of the synthetic VP.
+    pub degree: usize,
+    /// Walkers per edge.
+    pub density: f64,
+    /// Measured policy.
+    pub policy: SamplePolicy,
+    /// Whether the DS kernel used the offset-free fixed-degree layout.
+    pub uniform_layout: bool,
+    /// Measured nanoseconds per walker-step.
+    pub ns_per_step: f64,
+}
+
+/// The parameter grid to sweep.
+#[derive(Debug, Clone)]
+pub struct ProfileGrid {
+    /// VP sizes (vertices); powers of two recommended.
+    pub vp_sizes: Vec<usize>,
+    /// Uniform degrees.
+    pub degrees: Vec<usize>,
+    /// Walker densities.
+    pub densities: Vec<f64>,
+    /// Minimum walker-steps to time per cell (controls noise).
+    pub min_steps: usize,
+}
+
+impl Default for ProfileGrid {
+    fn default() -> Self {
+        Self {
+            vp_sizes: vec![256, 1024, 4096, 16384, 65536],
+            degrees: vec![2, 8, 32, 128, 512],
+            densities: vec![0.25, 1.0, 4.0],
+            min_steps: 200_000,
+        }
+    }
+}
+
+impl ProfileGrid {
+    /// A small grid for tests and CI (milliseconds per cell).
+    pub fn tiny() -> Self {
+        Self {
+            vp_sizes: vec![256, 2048],
+            degrees: vec![2, 32],
+            densities: vec![0.5, 2.0],
+            min_steps: 20_000,
+        }
+    }
+}
+
+/// Builds a synthetic uniform-degree VP: `s` vertices of degree `d`
+/// whose targets point randomly within the VP (graph-independence is the
+/// point — only size, degree, and density matter).
+fn synthetic_vp(s: usize, d: usize, seed: u64) -> Csr {
+    let mut rng = Xorshift64Star::new(seed);
+    let mut offsets = Vec::with_capacity(s + 1);
+    let mut targets = Vec::with_capacity(s * d);
+    offsets.push(0usize);
+    for _ in 0..s {
+        for _ in 0..d {
+            targets.push(rng.gen_index(s) as VertexId);
+        }
+        offsets.push(targets.len());
+    }
+    Csr::from_parts(offsets, targets, None).expect("synthetic VP is valid")
+}
+
+/// Times the real sample kernel for one grid cell.
+///
+/// Walkers are placed uniformly on the VP (`density * s * d` of them,
+/// at least one) and the kernel is run repeatedly until `min_steps`
+/// walker-steps have been timed.
+pub fn measure_point(
+    vp_size: usize,
+    degree: usize,
+    density: f64,
+    policy: SamplePolicy,
+    uniform_layout: bool,
+    min_steps: usize,
+) -> ProfilePoint {
+    let graph = synthetic_vp(vp_size, degree, 0xC0FFEE ^ vp_size as u64 ^ degree as u64);
+    let (edges, uniform) = Partition::annotate(&graph, 0, vp_size as VertexId);
+    debug_assert_eq!(uniform, Some(degree));
+    let part = Partition {
+        start: 0,
+        end: vp_size as VertexId,
+        policy,
+        group: 0,
+        edges,
+        uniform_degree: uniform,
+    };
+    let slab = (policy == SamplePolicy::Direct && uniform_layout)
+        .then(|| part.slab(&graph))
+        .flatten();
+    let mut ps = (policy == SamplePolicy::PreSample).then(|| PsBuffers::new(&graph, &part));
+
+    let walkers = ((density * edges as f64) as usize).max(1);
+    let mut rng = Xorshift64Star::new(7);
+    let scur: Vec<VertexId> = (0..walkers)
+        .map(|_| rng.gen_index(vp_size) as VertexId)
+        .collect();
+    let mut snext = vec![0 as VertexId; walkers];
+    let ctx = AlgoCtx::new(WalkAlgorithm::DeepWalk, StopRule::FixedSteps(1), None);
+    let addr = AddrMap::default();
+
+    // Warm-up round (fills caches and PS buffers).
+    let mut task_rng = Xorshift64Star::new(99);
+    let io = TaskIo {
+        scur: &scur,
+        sprev: None,
+        snext: &mut snext,
+        slice_base: 0,
+        visits: None,
+    };
+    sample_partition(
+        &graph,
+        &part,
+        slab.as_ref(),
+        ps.as_mut(),
+        &ctx,
+        io,
+        &mut task_rng,
+        &mut NullProbe,
+        &addr,
+    );
+
+    let rounds = min_steps.div_ceil(walkers).max(1);
+    let start = Instant::now();
+    let mut steps = 0u64;
+    for _ in 0..rounds {
+        let io = TaskIo {
+            scur: &scur,
+            sprev: None,
+            snext: &mut snext,
+            slice_base: 0,
+            visits: None,
+        };
+        steps += sample_partition(
+            &graph,
+            &part,
+            slab.as_ref(),
+            ps.as_mut(),
+            &ctx,
+            io,
+            &mut task_rng,
+            &mut NullProbe,
+            &addr,
+        );
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(&snext);
+    ProfilePoint {
+        vp_size,
+        degree,
+        density,
+        policy,
+        uniform_layout,
+        ns_per_step: elapsed.as_nanos() as f64 / steps.max(1) as f64,
+    }
+}
+
+/// Sweeps the full grid for both policies (plus the DS slab layout when
+/// the degree admits it), returning every measured point.
+pub fn run_profile(grid: &ProfileGrid) -> Vec<ProfilePoint> {
+    let mut out = Vec::new();
+    for &s in &grid.vp_sizes {
+        for &d in &grid.degrees {
+            for &rho in &grid.densities {
+                out.push(measure_point(
+                    s,
+                    d,
+                    rho,
+                    SamplePolicy::PreSample,
+                    false,
+                    grid.min_steps,
+                ));
+                out.push(measure_point(
+                    s,
+                    d,
+                    rho,
+                    SamplePolicy::Direct,
+                    false,
+                    grid.min_steps,
+                ));
+                out.push(measure_point(
+                    s,
+                    d,
+                    rho,
+                    SamplePolicy::Direct,
+                    true,
+                    grid.min_steps,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Measures the real per-walker cost of one shuffle level (count +
+/// scatter + gather) at the given bin count.
+pub fn measure_shuffle_ns(walkers: usize, bins: usize, rounds: usize) -> f64 {
+    use flashmob::partition::SamplePolicy as SP;
+    let n = bins * 16;
+    let parts: Vec<Partition> = (0..bins)
+        .map(|i| Partition {
+            start: (i * 16) as VertexId,
+            end: ((i + 1) * 16) as VertexId,
+            policy: SP::Direct,
+            group: 0,
+            edges: 0,
+            uniform_degree: None,
+        })
+        .collect();
+    let map = PartitionMap::new(&parts, n);
+    let shuffler = Shuffler::single_level(&map);
+    let mut rng = Xorshift64Star::new(3);
+    let w: Vec<VertexId> = (0..walkers).map(|_| rng.gen_index(n) as VertexId).collect();
+    let mut sw = vec![0; walkers];
+    let mut back = vec![0; walkers];
+    let mut scratch = ShuffleScratch::default();
+    let addrs = ShuffleAddrs::default();
+    let start = Instant::now();
+    for _ in 0..rounds {
+        shuffler.count(&w, &mut scratch, addrs, &mut NullProbe);
+        shuffler.scatter(&w, None, &mut sw, None, &mut scratch, addrs, &mut NullProbe);
+        shuffler.gather(
+            &w,
+            &sw,
+            &mut back,
+            None,
+            None,
+            &mut scratch,
+            addrs,
+            &mut NullProbe,
+        );
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(&back);
+    elapsed.as_nanos() as f64 / (walkers * rounds) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_point_returns_sane_values() {
+        let p = measure_point(512, 8, 1.0, SamplePolicy::Direct, false, 10_000);
+        assert!(p.ns_per_step > 0.0 && p.ns_per_step < 100_000.0);
+    }
+
+    #[test]
+    fn ps_point_runs_and_refills() {
+        let p = measure_point(256, 16, 0.5, SamplePolicy::PreSample, false, 10_000);
+        assert!(p.ns_per_step > 0.0);
+    }
+
+    #[test]
+    fn slab_layout_not_slower_than_csr_for_tiny_degrees() {
+        // At degree 2 the offsets array is half the working set; the
+        // slab should never lose badly.  The bound is deliberately loose:
+        // the suite runs on shared, possibly single-core CI machines
+        // where wall-clock micro-measurements jitter by 2x.
+        let best = |uniform: bool| {
+            (0..3)
+                .map(|_| measure_point(4096, 2, 2.0, SamplePolicy::Direct, uniform, 50_000))
+                .map(|p| p.ns_per_step)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let csr = best(false);
+        let slab = best(true);
+        assert!(slab < csr * 2.0, "slab {slab} vs csr {csr}");
+    }
+
+    #[test]
+    fn run_profile_covers_grid() {
+        let grid = ProfileGrid {
+            vp_sizes: vec![128],
+            degrees: vec![4],
+            densities: vec![1.0],
+            min_steps: 2_000,
+        };
+        let points = run_profile(&grid);
+        assert_eq!(points.len(), 3); // PS + DS-csr + DS-slab
+    }
+
+    #[test]
+    fn shuffle_measurement_is_positive() {
+        let ns = measure_shuffle_ns(10_000, 64, 3);
+        assert!(ns > 0.0 && ns < 10_000.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Goodness-of-fit testing for sampler verification.
+//!
+//! Random-walk engines are only correct if their empirical transition
+//! frequencies match the specified distribution; eyeballing tolerances
+//! is fragile, so the test suites use Pearson's chi-square test with a
+//! proper critical value.  Implemented from scratch: the chi-square
+//! survival function via the regularized upper incomplete gamma
+//! function (continued-fraction + series evaluation, Numerical-Recipes
+//! style).
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy)]
+pub struct ChiSquare {
+    /// The test statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used.
+    pub dof: usize,
+    /// Probability of a statistic at least this large under H0.
+    pub p_value: f64,
+}
+
+impl ChiSquare {
+    /// Whether the observations are consistent with the expectation at
+    /// significance level `alpha` (i.e. H0 is *not* rejected).
+    pub fn fits(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Pearson chi-square test of observed counts against expected counts.
+///
+/// Bins with expected count below 5 are pooled into their neighbor, the
+/// standard validity fix.  Expected counts are rescaled so both totals
+/// match.
+///
+/// # Panics
+///
+/// Panics if lengths differ, everything pools away, or expectations are
+/// not all non-negative.
+pub fn chi_square_test(observed: &[u64], expected: &[f64]) -> ChiSquare {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(
+        expected.iter().all(|&e| e.is_finite() && e >= 0.0),
+        "expected counts must be non-negative"
+    );
+    let total_obs: f64 = observed.iter().map(|&o| o as f64).sum();
+    let total_exp: f64 = expected.iter().sum();
+    assert!(total_exp > 0.0, "expected total must be positive");
+    let scale = total_obs / total_exp;
+
+    // Pool small-expectation bins.
+    let mut pooled: Vec<(f64, f64)> = Vec::with_capacity(observed.len());
+    let mut acc_o = 0.0f64;
+    let mut acc_e = 0.0f64;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o as f64;
+        acc_e += e * scale;
+        if acc_e >= 5.0 {
+            pooled.push((acc_o, acc_e));
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_o;
+            last.1 += acc_e;
+        } else {
+            pooled.push((acc_o, acc_e));
+        }
+    }
+    assert!(pooled.len() >= 2, "need at least two usable bins");
+
+    let statistic: f64 = pooled
+        .iter()
+        .map(|&(o, e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum();
+    let dof = pooled.len() - 1;
+    ChiSquare {
+        statistic,
+        dof,
+        p_value: chi_square_sf(statistic, dof as f64),
+    }
+}
+
+/// Survival function of the chi-square distribution:
+/// `P(X >= x)` with `k` degrees of freedom = `Q(k/2, x/2)`.
+pub fn chi_square_sf(x: f64, k: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(k / 2.0, x / 2.0)
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x)`.
+fn gamma_q(a: f64, x: f64) -> f64 {
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Lower regularized gamma by series expansion (x < a + 1).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Upper regularized gamma by Lentz continued fraction (x >= a + 1).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lanczos approximation of `ln Γ(z)` (g = 7, n = 9 coefficients).
+fn ln_gamma(z: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.984_369_578_019_572e-6,
+        1.5056327351493116e-7,
+    ];
+    if z < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * z).sin().ln()
+            - ln_gamma(1.0 - z);
+    }
+    let z = z - 1.0;
+    let mut x = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        x += c / (z + i as f64);
+    }
+    let t = z + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + x.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng64, Xorshift64Star};
+
+    #[test]
+    fn ln_gamma_reference_values() {
+        // Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_sf_reference_values() {
+        // Classic table values: chi2(0.95; 3 dof) critical = 7.815.
+        assert!((chi_square_sf(7.815, 3.0) - 0.05).abs() < 0.001);
+        // chi2(0.99; 1 dof) = 6.635.
+        assert!((chi_square_sf(6.635, 1.0) - 0.01).abs() < 0.001);
+        // SF at 0 is 1.
+        assert_eq!(chi_square_sf(0.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn uniform_samples_pass() {
+        let mut rng = Xorshift64Star::new(3);
+        let mut counts = vec![0u64; 16];
+        for _ in 0..160_000 {
+            counts[rng.gen_index(16)] += 1;
+        }
+        let expected = vec![10_000.0; 16];
+        let r = chi_square_test(&counts, &expected);
+        assert!(r.fits(0.001), "uniform rejected: p = {}", r.p_value);
+    }
+
+    #[test]
+    fn biased_samples_fail() {
+        // Claim uniform, sample with a 20% bias toward bin 0.
+        let mut rng = Xorshift64Star::new(5);
+        let mut counts = vec![0u64; 8];
+        for _ in 0..80_000 {
+            let i = if rng.gen_bool(0.2) {
+                0
+            } else {
+                rng.gen_index(8)
+            };
+            counts[i] += 1;
+        }
+        let r = chi_square_test(&counts, &[10_000.0; 8]);
+        assert!(!r.fits(0.001), "bias not detected: p = {}", r.p_value);
+    }
+
+    #[test]
+    fn small_bins_are_pooled() {
+        // Expected counts of 1 would invalidate the test; pooling fixes.
+        let observed = vec![3, 2, 1, 0, 2, 1, 50, 41];
+        let expected = vec![1.5, 1.5, 1.5, 1.5, 1.5, 1.5, 45.0, 46.0];
+        let r = chi_square_test(&observed, &expected);
+        assert!(r.dof < observed.len() - 1);
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn totals_are_rescaled() {
+        // Expected given as proportions rather than counts.
+        let observed = vec![250u64, 250, 250, 250];
+        let expected = vec![0.25, 0.25, 0.25, 0.25];
+        let r = chi_square_test(&observed, &expected);
+        assert!(r.fits(0.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = chi_square_test(&[1, 2], &[1.0]);
+    }
+}

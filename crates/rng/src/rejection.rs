@@ -1,0 +1,173 @@
+//! Rejection sampling against a known weight upper bound.
+//!
+//! This is the technique KnightKing applies to *dynamic* transition
+//! probabilities (e.g. node2vec's second-order bias): draw a candidate
+//! outcome uniformly, then accept it with probability `w(candidate) /
+//! w_max`.  No per-vertex preprocessing is required, at the cost of a
+//! geometric number of attempts with mean `n * w_max / sum(w)`.
+
+use crate::Rng64;
+
+/// A rejection sampler over `n` outcomes whose weights are produced on
+/// demand by a closure and bounded above by `w_max`.
+#[derive(Debug, Clone, Copy)]
+pub struct RejectionSampler {
+    n: usize,
+    w_max: f64,
+}
+
+/// Errors from rejection-sampler construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectionError {
+    /// Zero outcomes.
+    Empty,
+    /// `w_max` was non-positive, NaN, or infinite.
+    InvalidBound,
+}
+
+impl std::fmt::Display for RejectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectionError::Empty => write!(f, "need at least one outcome"),
+            RejectionError::InvalidBound => write!(f, "w_max must be finite and positive"),
+        }
+    }
+}
+
+impl std::error::Error for RejectionError {}
+
+impl RejectionSampler {
+    /// Creates a sampler over `n` outcomes with weight bound `w_max`.
+    pub fn new(n: usize, w_max: f64) -> Result<Self, RejectionError> {
+        if n == 0 {
+            return Err(RejectionError::Empty);
+        }
+        if !w_max.is_finite() || w_max <= 0.0 {
+            return Err(RejectionError::InvalidBound);
+        }
+        Ok(Self { n, w_max })
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` when there are no outcomes (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Draws one outcome whose weight is given by `weight(i)`.
+    ///
+    /// `weight` must return values in `[0, w_max]`; values above the bound
+    /// are clamped (matching KnightKing's behaviour of treating the bound
+    /// as authoritative).  Returns the accepted index together with the
+    /// number of attempts, which engines feed into their cost accounting.
+    #[inline]
+    pub fn sample_counted<R, F>(&self, rng: &mut R, mut weight: F) -> (usize, u32)
+    where
+        R: Rng64,
+        F: FnMut(usize) -> f64,
+    {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let candidate = rng.gen_index(self.n);
+            let w = weight(candidate).min(self.w_max);
+            if rng.next_f64() * self.w_max < w {
+                return (candidate, attempts);
+            }
+            // A pathological all-zero weight function would never accept;
+            // bail out uniformly after a generous bound to keep engines
+            // live (treated as uniform fallback, flagged by attempt count).
+            if attempts >= 10_000 {
+                return (candidate, attempts);
+            }
+        }
+    }
+
+    /// Draws one outcome, discarding the attempt count.
+    #[inline]
+    pub fn sample<R, F>(&self, rng: &mut R, weight: F) -> usize
+    where
+        R: Rng64,
+        F: FnMut(usize) -> f64,
+    {
+        self.sample_counted(rng, weight).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xorshift64Star;
+
+    #[test]
+    fn matches_target_distribution() {
+        let weights = [1.0, 3.0, 2.0, 2.0];
+        let s = RejectionSampler::new(4, 3.0).unwrap();
+        let mut rng = Xorshift64Star::new(8);
+        let mut counts = [0usize; 4];
+        let n = 400_000;
+        for _ in 0..n {
+            counts[s.sample(&mut rng, |i| weights[i])] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / n as f64;
+            assert!((freq - w / 8.0).abs() < 0.01, "outcome {i}");
+        }
+    }
+
+    #[test]
+    fn attempt_count_tracks_acceptance_rate() {
+        // Acceptance rate = mean(w)/w_max = 0.25 -> ~4 attempts per draw.
+        let s = RejectionSampler::new(8, 4.0).unwrap();
+        let mut rng = Xorshift64Star::new(12);
+        let mut total_attempts = 0u64;
+        let draws = 50_000;
+        for _ in 0..draws {
+            let (_, a) = s.sample_counted(&mut rng, |_| 1.0);
+            total_attempts += a as u64;
+        }
+        let mean = total_attempts as f64 / draws as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean attempts {mean}");
+    }
+
+    #[test]
+    fn uniform_weights_accept_first_try() {
+        let s = RejectionSampler::new(16, 1.0).unwrap();
+        let mut rng = Xorshift64Star::new(13);
+        for _ in 0..1000 {
+            let (_, a) = s.sample_counted(&mut rng, |_| 1.0);
+            assert_eq!(a, 1);
+        }
+    }
+
+    #[test]
+    fn pathological_zero_weights_terminate() {
+        let s = RejectionSampler::new(4, 1.0).unwrap();
+        let mut rng = Xorshift64Star::new(14);
+        let (i, a) = s.sample_counted(&mut rng, |_| 0.0);
+        assert!(i < 4);
+        assert_eq!(a, 10_000);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(
+            RejectionSampler::new(0, 1.0).unwrap_err(),
+            RejectionError::Empty
+        );
+        assert_eq!(
+            RejectionSampler::new(3, 0.0).unwrap_err(),
+            RejectionError::InvalidBound
+        );
+        assert_eq!(
+            RejectionSampler::new(3, f64::NAN).unwrap_err(),
+            RejectionError::InvalidBound
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Reservoir sampling for fixed-size uniform samples from streams.
+//!
+//! Used by the neighborhood-sampling extension (GraphSage/ASAP-style
+//! subgraph expansion mentioned in the paper's introduction) where a
+//! bounded sample of each frontier must be drawn in one pass.
+
+use crate::Rng64;
+
+/// Draws a uniform sample of up to `k` items from an iterator of unknown
+/// length (Algorithm R).
+///
+/// Returns fewer than `k` items only when the stream itself is shorter.
+///
+/// # Examples
+///
+/// ```
+/// use fm_rng::{reservoir::sample_k, Xorshift64Star};
+///
+/// let mut rng = Xorshift64Star::new(1);
+/// let sample = sample_k(0..100u32, 10, &mut rng);
+/// assert_eq!(sample.len(), 10);
+/// ```
+pub fn sample_k<I, T, R>(stream: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng64,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    if k == 0 {
+        return reservoir;
+    }
+    for (seen, item) in stream.into_iter().enumerate() {
+        if seen < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_index(seen + 1);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xorshift64Star;
+
+    #[test]
+    fn short_stream_returned_whole() {
+        let mut rng = Xorshift64Star::new(1);
+        let s = sample_k(0..3u32, 10, &mut rng);
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_zero_yields_empty() {
+        let mut rng = Xorshift64Star::new(2);
+        assert!(sample_k(0..100u32, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn exact_size_when_stream_longer() {
+        let mut rng = Xorshift64Star::new(3);
+        assert_eq!(sample_k(0..1000u32, 32, &mut rng).len(), 32);
+    }
+
+    #[test]
+    fn inclusion_probability_is_uniform() {
+        // Each of 20 items should appear in a k=5 sample with p=0.25.
+        let trials = 40_000;
+        let mut hits = [0u32; 20];
+        let mut rng = Xorshift64Star::new(4);
+        for _ in 0..trials {
+            for v in sample_k(0..20u32, 5, &mut rng) {
+                hits[v as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let p = h as f64 / trials as f64;
+            assert!((p - 0.25).abs() < 0.02, "item {i}: p={p}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Cross-engine statistical equivalence.
+//!
+//! FlashMob reorganizes *when and where* sampling happens but must not
+//! change *what* is sampled: every engine implements the same Markov
+//! chain.  These tests compare empirical transition and occupancy
+//! statistics between FlashMob and the walker-at-a-time baseline.
+
+use flashmob_repro::baseline::{Baseline, BaselineConfig};
+use flashmob_repro::flashmob::{FlashMob, PlanStrategy, WalkAlgorithm, WalkConfig, WalkerInit};
+use flashmob_repro::graph::{synth, Csr, VertexId};
+
+fn flashmob_visits(g: &Csr, walkers: usize, steps: usize, seed: u64) -> Vec<u64> {
+    let engine = FlashMob::new(
+        g,
+        WalkConfig::deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .seed(seed)
+            .record_paths(false)
+            .record_visits(true),
+    )
+    .expect("engine");
+    let (_, stats) = engine.run_with_stats().expect("run");
+    stats.visits_original(engine.relabeling()).expect("visits")
+}
+
+fn baseline_visits(g: &Csr, walkers: usize, steps: usize, seed: u64) -> Vec<u64> {
+    let engine = Baseline::new(
+        g,
+        BaselineConfig::knightking_deepwalk()
+            .walkers(walkers)
+            .steps(steps)
+            .seed(seed)
+            .record_paths(false)
+            .record_visits(true),
+    )
+    .expect("engine");
+    engine
+        .run_with_stats()
+        .expect("run")
+        .1
+        .visits
+        .expect("visits")
+}
+
+/// Normalized L1 distance between two visit distributions.
+fn l1_distance(a: &[u64], b: &[u64]) -> f64 {
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 / ta as f64 - y as f64 / tb as f64).abs())
+        .sum()
+}
+
+#[test]
+fn deepwalk_occupancy_matches_baseline_on_skewed_graph() {
+    let g = synth::power_law(1_000, 1.9, 1, 100, 3);
+    let fm = flashmob_visits(&g, 20_000, 16, 42);
+    let bl = baseline_visits(&g, 20_000, 16, 42);
+    let d = l1_distance(&fm, &bl);
+    assert!(d < 0.08, "visit distributions diverge: L1 = {d:.4}");
+}
+
+#[test]
+fn deepwalk_stationary_distribution_is_degree_proportional() {
+    // On a connected undirected graph, the uniform walk's stationary
+    // distribution is d(v)/2|E|.  A long walk's late-step occupancy
+    // should match.
+    let g = synth::power_law(500, 2.0, 2, 60, 7);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(50_000)
+            .steps(30)
+            .seed(1)
+            .record_paths(true),
+    )
+    .expect("engine");
+    let out = engine.run().expect("run");
+    // Occupancy at the final step only (well past mixing).
+    let mut counts = vec![0u64; g.vertex_count()];
+    for path in out.paths() {
+        counts[*path.last().expect("non-empty") as usize] += 1;
+    }
+    let total: u64 = counts.iter().sum();
+    let edges = g.edge_count() as f64;
+    let mut l1 = 0.0;
+    #[allow(clippy::needless_range_loop)] // the index is a vertex ID
+    for v in 0..g.vertex_count() {
+        let expected = g.degree(v as VertexId) as f64 / edges;
+        l1 += (counts[v] as f64 / total as f64 - expected).abs();
+    }
+    assert!(l1 < 0.1, "stationary deviation L1 = {l1:.4}");
+}
+
+#[test]
+fn all_plan_strategies_sample_the_same_chain() {
+    let g = synth::power_law(800, 1.9, 1, 80, 5);
+    let reference = flashmob_visits(&g, 10_000, 12, 9);
+    for strategy in [
+        PlanStrategy::UniformPs,
+        PlanStrategy::UniformDs,
+        PlanStrategy::ManualHeuristic,
+    ] {
+        let engine = FlashMob::new(
+            &g,
+            WalkConfig::deepwalk()
+                .walkers(10_000)
+                .steps(12)
+                .seed(9)
+                .record_paths(false)
+                .record_visits(true)
+                .strategy(strategy),
+        )
+        .expect("engine");
+        let (_, stats) = engine.run_with_stats().expect("run");
+        let visits = stats.visits_original(engine.relabeling()).expect("visits");
+        let d = l1_distance(&reference, &visits);
+        assert!(d < 0.08, "{strategy:?} diverges: L1 = {d:.4}");
+    }
+}
+
+#[test]
+fn node2vec_transition_bias_matches_baseline() {
+    // A small graph where second-order effects are strong.
+    let g = synth::power_law(300, 2.0, 3, 40, 11);
+    let algo = WalkAlgorithm::Node2Vec { p: 0.25, q: 4.0 };
+
+    let fm = FlashMob::new(
+        &g,
+        WalkConfig::node2vec(0.25, 4.0)
+            .walkers(30_000)
+            .steps(8)
+            .seed(2)
+            .record_paths(false)
+            .record_visits(true),
+    )
+    .expect("engine");
+    let (_, fs) = fm.run_with_stats().expect("run");
+    let fv = fs.visits_original(fm.relabeling()).expect("visits");
+
+    let bl = Baseline::new(
+        &g,
+        BaselineConfig::knightking_deepwalk()
+            .algorithm(algo)
+            .walkers(30_000)
+            .steps(8)
+            .seed(2)
+            .record_paths(false)
+            .record_visits(true),
+    )
+    .expect("engine");
+    let (_, bs) = bl.run_with_stats().expect("run");
+    let bv = bs.visits.expect("visits");
+
+    let d = l1_distance(&fv, &bv);
+    assert!(d < 0.1, "node2vec occupancy diverges: L1 = {d:.4}");
+}
+
+#[test]
+fn geometric_stop_survival_matches_between_engines() {
+    let g = synth::cycle(64);
+    let run_fm = || {
+        let mut cfg = WalkConfig::deepwalk().walkers(20_000).seed(5);
+        cfg.stop = flashmob_repro::flashmob::StopRule::Geometric {
+            exit_prob: 0.25,
+            max_steps: 40,
+        };
+        let engine = FlashMob::new(&g, cfg).expect("engine");
+        let (_, stats) = engine.run_with_stats().expect("run");
+        stats.steps_taken as f64 / 20_000.0
+    };
+    let run_bl = || {
+        let mut cfg = BaselineConfig::knightking_deepwalk()
+            .walkers(20_000)
+            .seed(5);
+        cfg.stop = flashmob_repro::flashmob::StopRule::Geometric {
+            exit_prob: 0.25,
+            max_steps: 40,
+        };
+        let engine = Baseline::new(&g, cfg).expect("engine");
+        let (_, stats) = engine.run_with_stats().expect("run");
+        stats.steps_taken as f64 / 20_000.0
+    };
+    let (fm_len, bl_len) = (run_fm(), run_bl());
+    // Expected walk length 1/0.25 = 4 (bounded by 40).
+    assert!((fm_len - 4.0).abs() < 0.2, "FlashMob mean length {fm_len}");
+    assert!((bl_len - 4.0).abs() < 0.2, "baseline mean length {bl_len}");
+}
+
+#[test]
+fn hub_transitions_pass_chi_square_for_every_policy() {
+    use flashmob_repro::rng::gof::chi_square_test;
+    // A hub with 64 neighbors; walkers pinned on the hub must leave
+    // uniformly, under both PS and DS — verified at 0.1% significance.
+    let g = synth::star(65);
+    for strategy in [PlanStrategy::UniformPs, PlanStrategy::UniformDs] {
+        let engine = FlashMob::new(
+            &g,
+            WalkConfig::deepwalk()
+                .walkers(64_000)
+                .steps(1)
+                .seed(17)
+                .init(WalkerInit::Fixed(vec![0]))
+                .strategy(strategy),
+        )
+        .expect("engine");
+        let out = engine.run().expect("run");
+        let mut counts = vec![0u64; 64];
+        for path in out.paths() {
+            counts[path[1] as usize - 1] += 1;
+        }
+        let expected = vec![1000.0f64; 64];
+        let r = chi_square_test(&counts, &expected);
+        assert!(
+            r.fits(0.001),
+            "{strategy:?}: hub transitions not uniform (chi2 = {:.1}, p = {:.5})",
+            r.statistic,
+            r.p_value
+        );
+    }
+}
+
+#[test]
+fn stationary_distribution_passes_chi_square() {
+    use flashmob_repro::rng::gof::chi_square_test;
+    let g = synth::power_law(400, 2.0, 2, 50, 13);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk().walkers(100_000).steps(25).seed(4),
+    )
+    .expect("engine");
+    let out = engine.run().expect("run");
+    let mut counts = vec![0u64; g.vertex_count()];
+    for path in out.paths() {
+        counts[*path.last().expect("non-empty") as usize] += 1;
+    }
+    let expected: Vec<f64> = (0..g.vertex_count())
+        .map(|v| g.degree(v as VertexId) as f64)
+        .collect();
+    let r = chi_square_test(&counts, &expected);
+    assert!(
+        r.fits(0.001),
+        "stationary distribution rejected (chi2 = {:.1} at {} dof, p = {:.5})",
+        r.statistic,
+        r.dof,
+        r.p_value
+    );
+}
+
+#[test]
+fn weighted_walk_distribution_matches_weights_end_to_end() {
+    // Hub with two outgoing weights 1:4; both engines must honor it.
+    let g = Csr::from_parts(
+        vec![0, 2, 3, 4],
+        vec![1, 2, 0, 0],
+        Some(vec![1.0, 4.0, 1.0, 1.0]),
+    )
+    .expect("weighted graph");
+    let mut cfg = WalkConfig::deepwalk()
+        .walkers(40_000)
+        .steps(1)
+        .seed(3)
+        .init(WalkerInit::Fixed(vec![0]));
+    cfg.algorithm = WalkAlgorithm::Weighted;
+    let engine = FlashMob::new(&g, cfg).expect("engine");
+    let out = engine.run().expect("run");
+    let to2 = out.paths().iter().filter(|p| p[1] == 2).count() as f64 / 40_000.0;
+    assert!((to2 - 0.8).abs() < 0.01, "weighted split {to2}");
+}

@@ -1,0 +1,230 @@
+//! Degenerate and boundary inputs that real datasets produce.
+
+use flashmob_repro::baseline::{Baseline, BaselineConfig};
+use flashmob_repro::flashmob::{FlashMob, PlanStrategy, PlannerParams, WalkConfig, WalkerInit};
+use flashmob_repro::graph::{synth, Csr, VertexId};
+
+fn tiny_planner() -> PlannerParams {
+    PlannerParams {
+        target_groups: 4,
+        max_partitions: 16,
+        min_vp_vertices: 2,
+        ..PlannerParams::default()
+    }
+}
+
+#[test]
+fn self_loop_only_vertex_walks_in_place() {
+    let g = Csr::from_edges(1, &[(0, 0)]).unwrap();
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(5)
+            .steps(3)
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    let out = engine.run().unwrap();
+    for path in out.paths() {
+        assert_eq!(path, vec![0, 0, 0, 0]);
+    }
+}
+
+#[test]
+fn two_vertex_pendulum() {
+    let g = Csr::from_edges(2, &[(0, 1), (1, 0)]).unwrap();
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(4)
+            .steps(5)
+            .init(WalkerInit::Fixed(vec![0]))
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    for path in engine.run().unwrap().paths() {
+        assert_eq!(path, vec![0, 1, 0, 1, 0, 1]);
+    }
+}
+
+#[test]
+fn zero_steps_returns_initial_placement() {
+    let g = synth::cycle(8);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(6)
+            .steps(0)
+            .init(WalkerInit::EveryVertex)
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    let (out, stats) = engine.run_with_stats().unwrap();
+    assert_eq!(stats.steps_taken, 0);
+    assert_eq!(
+        out.paths(),
+        vec![vec![0], vec![1], vec![2], vec![3], vec![4], vec![5]]
+    );
+}
+
+#[test]
+fn parallel_edges_bias_transitions_by_multiplicity() {
+    // 0 has three parallel edges to 1 and one to 2.
+    let g = Csr::from_edges(3, &[(0, 1), (0, 1), (0, 1), (0, 2), (1, 0), (2, 0)]).unwrap();
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(40_000)
+            .steps(1)
+            .seed(3)
+            .init(WalkerInit::Fixed(vec![0]))
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    let out = engine.run().unwrap();
+    let to1 = out.paths().iter().filter(|p| p[1] == 1).count() as f64 / 40_000.0;
+    assert!((to1 - 0.75).abs() < 0.01, "multiplicity bias {to1}");
+}
+
+#[test]
+fn density_far_above_one_is_fine() {
+    // 200x more walkers than edges: PS buffers cycle many times per
+    // iteration.
+    let g = synth::star(9);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(3200)
+            .steps(8)
+            .planner(tiny_planner())
+            .strategy(PlanStrategy::UniformPs),
+    )
+    .unwrap();
+    let (out, stats) = engine.run_with_stats().unwrap();
+    assert_eq!(stats.steps_taken, 3200 * 8);
+    for path in out.paths().iter().take(50) {
+        for hop in path.windows(2) {
+            assert!(g.neighbors(hop[0]).contains(&hop[1]));
+        }
+    }
+}
+
+#[test]
+fn complete_graph_mixes_instantly() {
+    let g = synth::complete(32);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(32_000)
+            .steps(2)
+            .seed(5)
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    let out = engine.run().unwrap();
+    let mut counts = vec![0u64; 32];
+    for path in out.paths() {
+        counts[*path.last().unwrap() as usize] += 1;
+    }
+    let expected = vec![1000.0f64; 32];
+    let r = flashmob_repro::rng::gof::chi_square_test(&counts, &expected);
+    assert!(r.fits(0.001), "complete-graph occupancy p = {}", r.p_value);
+}
+
+#[test]
+fn single_walker_runs_everywhere() {
+    let g = synth::power_law(500, 2.0, 1, 50, 7);
+    for strategy in [PlanStrategy::DynamicProgramming, PlanStrategy::UniformDs] {
+        let engine = FlashMob::new(
+            &g,
+            WalkConfig::deepwalk()
+                .walkers(1)
+                .steps(50)
+                .planner(tiny_planner())
+                .strategy(strategy),
+        )
+        .unwrap();
+        let out = engine.run().unwrap();
+        assert_eq!(out.paths()[0].len(), 51);
+    }
+}
+
+#[test]
+fn baseline_and_flashmob_agree_on_degenerate_graphs() {
+    for g in [
+        Csr::from_edges(1, &[(0, 0)]).unwrap(),
+        Csr::from_edges(2, &[(0, 1), (1, 0)]).unwrap(),
+        synth::cycle(3),
+    ] {
+        let fm = FlashMob::new(
+            &g,
+            WalkConfig::deepwalk()
+                .walkers(10)
+                .steps(4)
+                .init(WalkerInit::EveryVertex)
+                .planner(tiny_planner()),
+        )
+        .unwrap();
+        let bl = Baseline::new(
+            &g,
+            BaselineConfig::knightking_deepwalk()
+                .walkers(10)
+                .steps(4)
+                .init(WalkerInit::EveryVertex),
+        )
+        .unwrap();
+        // Same path lengths and same per-step edge validity.
+        let fp = fm.run().unwrap().paths();
+        let bp = bl.run().unwrap().paths();
+        assert_eq!(fp.len(), bp.len());
+        for (a, b) in fp.iter().zip(&bp) {
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a[0], b[0], "same initial placement");
+        }
+    }
+}
+
+#[test]
+fn max_degree_hub_with_degree_one_tail() {
+    // The star is the extreme skew case: one vertex owns half the
+    // edges; the DP planner must handle a group containing a single
+    // vertex whose degree exceeds every cache budget.
+    let g = synth::star(50_000);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(10_000)
+            .steps(4)
+            .planner(PlannerParams {
+                hierarchy: flashmob_repro::memsim::HierarchyConfig::scaled(64),
+                target_groups: 16,
+                max_partitions: 128,
+                min_vp_vertices: 16,
+            }),
+    )
+    .unwrap();
+    engine
+        .plan()
+        .validate(50_000, 128)
+        .expect("plan must stay valid");
+    let (_, stats) = engine.run_with_stats().unwrap();
+    assert_eq!(stats.steps_taken, 40_000);
+}
+
+#[test]
+fn walker_ids_preserved_across_episodes_and_outputs() {
+    let g = synth::cycle(16);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::deepwalk()
+            .walkers(8)
+            .steps(2)
+            .init(WalkerInit::Fixed((0..8).collect::<Vec<VertexId>>()))
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    let out = engine.run().unwrap();
+    for (j, path) in out.paths().iter().enumerate() {
+        assert_eq!(path[0] as usize, j, "walker {j} starts where assigned");
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the core invariants.
+
+use proptest::prelude::*;
+
+use flashmob_repro::flashmob::partition::{Partition, PartitionMap, SamplePolicy};
+use flashmob_repro::flashmob::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
+use flashmob_repro::flashmob::{FlashMob, WalkConfig};
+use flashmob_repro::graph::relabel::sort_by_degree;
+use flashmob_repro::graph::{io, synth, Csr, GraphBuilder, VertexId};
+use flashmob_repro::mckp::{solve, solve_brute_force, Item};
+use flashmob_repro::memsim::NullProbe;
+use flashmob_repro::rng::{AliasTable, Xorshift64Star};
+
+/// Random cut points over [0, n) -> contiguous partitions.
+fn partitions_from_cuts(mut cuts: Vec<u32>, n: u32) -> Vec<Partition> {
+    cuts.retain(|&c| c > 0 && c < n);
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(n);
+    let mut parts = Vec::new();
+    let mut start = 0u32;
+    for end in cuts {
+        parts.push(Partition {
+            start,
+            end,
+            policy: SamplePolicy::Direct,
+            group: 0,
+            edges: 0,
+            uniform_degree: None,
+        });
+        start = end;
+    }
+    parts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shuffle_is_a_stable_permutation(
+        walkers in proptest::collection::vec(0u32..64, 1..300),
+        cuts in proptest::collection::vec(1u32..64, 0..6),
+    ) {
+        let parts = partitions_from_cuts(cuts, 64);
+        let map = PartitionMap::new(&parts, 64);
+        let shuffler = Shuffler::single_level(&map);
+        let mut scratch = ShuffleScratch::default();
+        let mut sw = vec![0; walkers.len()];
+        let mut p = NullProbe;
+        shuffler.count(&walkers, &mut scratch, ShuffleAddrs::default(), &mut p);
+        shuffler.scatter(&walkers, None, &mut sw, None, &mut scratch, ShuffleAddrs::default(), &mut p);
+
+        // Permutation: same multiset.
+        let mut a = walkers.clone();
+        let mut b = sw.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+
+        // Grouped: partition indices are non-decreasing across sw.
+        let bins: Vec<usize> = sw.iter().map(|&v| map.partition_of(v)).collect();
+        prop_assert!(bins.windows(2).all(|w| w[0] <= w[1]));
+
+        // Stable: within every bin, original scan order is preserved.
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); map.bins()];
+        for &v in &walkers {
+            expected[map.partition_of(v)].push(v);
+        }
+        let flat: Vec<u32> = expected.into_iter().flatten().collect();
+        prop_assert_eq!(flat, sw);
+    }
+
+    #[test]
+    fn gather_inverts_scatter_for_any_input(
+        walkers in proptest::collection::vec(0u32..128, 1..300),
+        cuts in proptest::collection::vec(1u32..128, 0..8),
+    ) {
+        let parts = partitions_from_cuts(cuts, 128);
+        let map = PartitionMap::new(&parts, 128);
+        let shuffler = Shuffler::single_level(&map);
+        let mut scratch = ShuffleScratch::default();
+        let mut sw = vec![0; walkers.len()];
+        let mut back = vec![0; walkers.len()];
+        let mut p = NullProbe;
+        shuffler.count(&walkers, &mut scratch, ShuffleAddrs::default(), &mut p);
+        shuffler.scatter(&walkers, None, &mut sw, None, &mut scratch, ShuffleAddrs::default(), &mut p);
+        shuffler.gather(&walkers, &sw, &mut back, None, None, &mut scratch, ShuffleAddrs::default(), &mut p);
+        prop_assert_eq!(back, walkers);
+    }
+
+    #[test]
+    fn mckp_dp_matches_brute_force(
+        class_sizes in proptest::collection::vec(1usize..4, 1..4),
+        profits in proptest::collection::vec(-20i32..20, 12),
+        weights in proptest::collection::vec(0u32..6, 12),
+        capacity in 0u32..12,
+    ) {
+        let mut classes = Vec::new();
+        let mut idx = 0;
+        for &cs in &class_sizes {
+            let mut items = Vec::new();
+            for _ in 0..cs {
+                items.push(Item {
+                    profit: profits[idx % profits.len()] as f64,
+                    weight: weights[idx % weights.len()],
+                });
+                idx += 1;
+            }
+            classes.push(items);
+        }
+        let fast = solve(&classes, capacity);
+        let slow = solve_brute_force(&classes, capacity);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => {
+                prop_assert!((f.profit - s.profit).abs() < 1e-9);
+                prop_assert!(f.weight <= capacity);
+            }
+            (Err(_), Err(_)) => {}
+            (f, s) => prop_assert!(false, "disagreement: {f:?} vs {s:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_table_marginals_match_weights(
+        raw in proptest::collection::vec(0u32..50, 2..12),
+    ) {
+        let weights: Vec<f64> = raw.iter().map(|&w| w as f64).collect();
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = Xorshift64Star::new(42);
+        let draws = 60_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            prop_assert!((expected - got).abs() < 0.02,
+                "outcome {}: expected {:.3} got {:.3}", i, expected, got);
+        }
+    }
+
+    #[test]
+    fn graph_binary_roundtrip(
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..150),
+    ) {
+        let mut b = GraphBuilder::new();
+        b.add_edges(edges);
+        let g = b.build().unwrap();
+        let bytes = io::encode_binary(&g);
+        let g2 = io::decode_binary(&bytes).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn relabel_preserves_multigraph_structure(
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..100),
+    ) {
+        let g = Csr::from_edges(30, &edges).unwrap();
+        let (sorted, relabel) = sort_by_degree(&g);
+        prop_assert_eq!(sorted.edge_count(), g.edge_count());
+        // Degree sequence sorted descending.
+        let degs: Vec<usize> =
+            (0..30).map(|v| sorted.degree(v as VertexId)).collect();
+        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+        // Edge multiset preserved under the bijection.
+        let mut orig: Vec<(u32, u32)> = g.edges().collect();
+        let mut back: Vec<(u32, u32)> = sorted
+            .edges()
+            .map(|(s, t)| (relabel.to_old(s), relabel.to_old(t)))
+            .collect();
+        orig.sort_unstable();
+        back.sort_unstable();
+        prop_assert_eq!(orig, back);
+    }
+}
+
+proptest! {
+    // Engine runs are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_walk_stays_on_edges(
+        n in 50usize..300,
+        seed in 0u64..1000,
+        walkers in 10usize..100,
+        steps in 1usize..10,
+    ) {
+        let g = synth::power_law(n, 2.0, 1, 20, seed);
+        let engine = FlashMob::new(
+            &g,
+            WalkConfig::deepwalk().walkers(walkers).steps(steps).seed(seed),
+        )
+        .unwrap();
+        let out = engine.run().unwrap();
+        for path in out.paths() {
+            prop_assert_eq!(path.len(), steps + 1);
+            for hop in path.windows(2) {
+                prop_assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results(
+        seed in 0u64..500,
+        threads in 2usize..5,
+    ) {
+        let g = synth::power_law(200, 2.0, 1, 30, seed);
+        let run = |t: usize| {
+            FlashMob::new(
+                &g,
+                WalkConfig::deepwalk().walkers(150).steps(5).seed(seed).threads(t),
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+            .paths()
+        };
+        prop_assert_eq!(run(1), run(threads));
+    }
+}
