@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lints, as a single gate:
+#   1. release build of the whole workspace
+#   2. full test suite
+#   3. clippy with warnings promoted to errors
+# Run from the repository root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -5,7 +5,9 @@ use std::time::{Duration, Instant};
 use fm_graph::relabel::Relabeling;
 use fm_graph::{Csr, VertexId};
 use fm_memsim::{AccessKind, AddressSpace, NullProbe, Probe};
-use fm_rng::{Mt19937, Rng64, Xorshift64Star};
+use fm_rng::{split_stream, Mt19937, Rng64, Xorshift64Star};
+
+use flashmob::pool::{DisjointSlice, PoolStats, WorkerPool};
 
 use flashmob::output::WalkOutput;
 use flashmob::walker::initialize;
@@ -41,6 +43,8 @@ pub struct BaselineStats {
     pub wall: Duration,
     /// Per-vertex visit counts (original ID space) when requested.
     pub visits: Option<Vec<u64>>,
+    /// Worker-pool accounting (zero for sequential runs).
+    pub pool: PoolStats,
 }
 
 impl BaselineStats {
@@ -134,27 +138,37 @@ impl Baseline {
     /// Runs the walk and returns statistics.
     pub fn run_with_stats(&self) -> Result<(WalkOutput, BaselineStats), WalkError> {
         let mut probe = NullProbe;
-        self.run_probed(&mut probe)
+        self.run_internal(&mut probe, true)
     }
 
     /// Runs the walk feeding every memory access into `probe`.
+    ///
+    /// Instrumented runs execute sequentially regardless of the
+    /// configured thread count so counter attribution is exact and
+    /// identical to the historical single-threaded baseline trace.
     pub fn run_probed<P: Probe>(
         &self,
         probe: &mut P,
     ) -> Result<(WalkOutput, BaselineStats), WalkError> {
+        self.run_internal(probe, false)
+    }
+
+    /// Builds the configured RNG from a seed value.
+    fn make_rng(&self, seed: u64) -> AnyRng {
+        match self.config.rng {
+            RngKind::Mt19937 => AnyRng::Mt(Box::new(Mt19937::new(seed as u32))),
+            RngKind::XorShift => AnyRng::Xs(Xorshift64Star::new(seed)),
+        }
+    }
+
+    fn run_internal<P: Probe>(
+        &self,
+        probe: &mut P,
+        allow_parallel: bool,
+    ) -> Result<(WalkOutput, BaselineStats), WalkError> {
         let start = Instant::now();
         let walkers = self.config.walkers;
         let steps = self.config.max_steps();
-        let second_order = self.config.algorithm.is_second_order();
-        let exit_prob = match self.config.stop {
-            StopRule::Geometric { exit_prob, .. } => exit_prob,
-            StopRule::FixedSteps(_) => 0.0,
-        };
-        let bound = if second_order {
-            self.config.algorithm.node2vec_bound()
-        } else {
-            1.0
-        };
 
         let w0 = initialize(&self.graph, &self.config.init, walkers, self.config.seed);
         let mut rows: Vec<Vec<VertexId>> = if self.config.record_paths {
@@ -166,19 +180,115 @@ impl Baseline {
             .config
             .record_visits
             .then(|| vec![0u64; self.graph.vertex_count()]);
-        let mut steps_taken = 0u64;
 
-        // One generator for the whole (single-threaded) walk, matching
-        // the real systems' per-thread RNG; constructing MT19937's
-        // 2.5 KiB state per walker would dominate short walks.
-        let mut rng = match self.config.rng {
-            RngKind::Mt19937 => AnyRng::Mt(Box::new(Mt19937::new(self.config.seed as u32))),
-            RngKind::XorShift => AnyRng::Xs(Xorshift64Star::new(self.config.seed)),
+        let steps_taken;
+        let mut pool_stats = PoolStats::default();
+        let threads = self.config.threads.max(1).min(walkers.max(1));
+        if allow_parallel && threads > 1 {
+            // Walker-chunk loop over the persistent pool: contiguous
+            // walker ranges, one per worker, each with its own RNG
+            // stream — the real systems' per-thread-generator design, so
+            // results are deterministic per `(seed, threads)` but not
+            // across thread counts.
+            let pool = WorkerPool::new(threads);
+            let chunk = walkers.div_ceil(threads);
+            let bounds: Vec<(usize, usize)> = (0..threads)
+                .map(|t| ((t * chunk).min(walkers), ((t + 1) * chunk).min(walkers)))
+                .collect();
+            let row_ptrs: Vec<DisjointSlice<VertexId>> =
+                rows.iter_mut().map(|r| DisjointSlice::new(r)).collect();
+            let mut shards: Vec<Vec<u64>> = if visits.is_some() {
+                (0..threads)
+                    .map(|_| vec![0u64; self.graph.vertex_count()])
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let record_visits = visits.is_some();
+            let shard_ptr = DisjointSlice::new(&mut shards);
+            let taken = std::sync::atomic::AtomicU64::new(0);
+            pool.run(&|t| {
+                let (lo, hi) = bounds[t];
+                if lo >= hi {
+                    return;
+                }
+                // SAFETY: every worker takes column range `[lo, hi)` of
+                // each row, and the ranges are pairwise disjoint.
+                let mut cols: Vec<&mut [VertexId]> = row_ptrs
+                    .iter()
+                    .map(|r| unsafe { r.slice_mut(lo, hi - lo) })
+                    .collect();
+                // SAFETY: visit shard `t` belongs to worker `t` alone.
+                let shard = record_visits
+                    .then(|| unsafe { &mut shard_ptr.slice_mut(t, 1)[0] });
+                let mut rng = self.make_rng(split_stream(self.config.seed, t as u64));
+                let local = self.walk_chunk(
+                    &w0[lo..hi],
+                    &mut cols,
+                    shard.map(Vec::as_mut_slice),
+                    &mut rng,
+                    &mut NullProbe,
+                );
+                taken.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+            });
+            steps_taken = taken.into_inner();
+            if let Some(vis) = visits.as_deref_mut() {
+                for shard in &shards {
+                    for (a, b) in vis.iter_mut().zip(shard) {
+                        *a += b;
+                    }
+                }
+            }
+            pool_stats = pool.stats();
+        } else {
+            // One generator for the whole (single-threaded) walk,
+            // matching the real systems' per-thread RNG; constructing
+            // MT19937's 2.5 KiB state per walker would dominate short
+            // walks.
+            let mut rng = self.make_rng(self.config.seed);
+            let mut cols: Vec<&mut [VertexId]> =
+                rows.iter_mut().map(Vec::as_mut_slice).collect();
+            steps_taken =
+                self.walk_chunk(&w0, &mut cols, visits.as_deref_mut(), &mut rng, probe);
+        }
+
+        let wall = start.elapsed();
+        let output = WalkOutput::new(rows, walkers, self.relabel.clone());
+        let stats = BaselineStats {
+            walkers,
+            steps_taken,
+            wall,
+            visits,
+            pool: pool_stats,
         };
+        Ok((output, stats))
+    }
 
-        // The defining baseline behavior: each walker runs to completion
-        // before the next starts (GraphVite: per-path; KnightKing:
-        // "moves a walker as much as possible" — identical on one node).
+    /// Walks one contiguous chunk of walkers to completion.
+    ///
+    /// `rows` holds this chunk's column slice of every recorded row.
+    /// The defining baseline behavior: each walker runs to completion
+    /// before the next starts (GraphVite: per-path; KnightKing: "moves a
+    /// walker as much as possible" — identical on one node).
+    fn walk_chunk<R: Rng64, P: Probe>(
+        &self,
+        w0: &[VertexId],
+        rows: &mut [&mut [VertexId]],
+        mut visits: Option<&mut [u64]>,
+        rng: &mut R,
+        probe: &mut P,
+    ) -> u64 {
+        let steps = self.config.max_steps();
+        let exit_prob = match self.config.stop {
+            StopRule::Geometric { exit_prob, .. } => exit_prob,
+            StopRule::FixedSteps(_) => 0.0,
+        };
+        let bound = if self.config.algorithm.is_second_order() {
+            self.config.algorithm.node2vec_bound()
+        } else {
+            1.0
+        };
+        let mut steps_taken = 0u64;
         for (j, &start_v) in w0.iter().enumerate() {
             let mut v = start_v;
             let mut prev: Option<VertexId> = None;
@@ -189,7 +299,7 @@ impl Baseline {
                 if let Some(vis) = visits.as_deref_mut() {
                     vis[v as usize] += 1;
                 }
-                let next = self.step(v, prev, bound, &mut rng, probe);
+                let next = self.step(v, prev, bound, rng, probe);
                 steps_taken += 1;
                 probe.step();
                 prev = Some(v);
@@ -207,16 +317,7 @@ impl Baseline {
                 rows[0][j] = v;
             }
         }
-
-        let wall = start.elapsed();
-        let output = WalkOutput::new(rows, walkers, self.relabel.clone());
-        let stats = BaselineStats {
-            walkers,
-            steps_taken,
-            wall,
-            visits,
-        };
-        Ok((output, stats))
+        steps_taken
     }
 
     /// One walker-step: pick a slot via the configured sampler, read the
@@ -415,6 +516,48 @@ mod tests {
         let visits = stats.visits.unwrap();
         assert_eq!(visits.iter().sum::<u64>(), 30);
         assert_eq!(visits, out.visit_counts(8));
+    }
+
+    #[test]
+    fn parallel_walk_is_deterministic_and_valid() {
+        let g = synth::power_law(300, 2.0, 1, 30, 2);
+        let engine = Baseline::new(&g, config(100, 6).threads(4)).unwrap();
+        let (out1, s1) = engine.run_with_stats().unwrap();
+        let (out2, _) = engine.run_with_stats().unwrap();
+        assert_eq!(out1.paths(), out2.paths(), "same (seed, threads) repeats");
+        assert_eq!(s1.pool.spawned, 4, "one spawn per configured thread");
+        assert_eq!(s1.pool.epochs, 1, "the whole walk is one dispatch");
+        for path in out1.paths() {
+            for hop in path.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_visits_merge_correctly() {
+        let g = synth::cycle(8);
+        let engine = Baseline::new(&g, config(10, 3).record_visits(true).threads(3)).unwrap();
+        let (out, stats) = engine.run_with_stats().unwrap();
+        let visits = stats.visits.unwrap();
+        assert_eq!(visits.iter().sum::<u64>(), 30);
+        assert_eq!(visits, out.visit_counts(8));
+    }
+
+    #[test]
+    fn probed_runs_stay_sequential() {
+        use fm_memsim::{HierarchyConfig, MemorySystem};
+        let g = synth::power_law(500, 2.0, 1, 30, 4);
+        let par = Baseline::new(&g, config(100, 5).record_paths(false).threads(4)).unwrap();
+        let seq = Baseline::new(&g, config(100, 5).record_paths(false)).unwrap();
+        let mut pp = MemorySystem::new(HierarchyConfig::skylake_server());
+        let mut sp = MemorySystem::new(HierarchyConfig::skylake_server());
+        let (po, ps) = par.run_probed(&mut pp).unwrap();
+        let (so, ss) = seq.run_probed(&mut sp).unwrap();
+        assert_eq!(po.paths(), so.paths(), "probed runs ignore thread count");
+        assert_eq!(pp.stats().accesses, sp.stats().accesses);
+        assert_eq!(ps.pool.spawned, 0, "no pool in instrumented runs");
+        assert_eq!(ss.steps_taken, ps.steps_taken);
     }
 
     #[test]

@@ -80,6 +80,14 @@ pub struct BaselineConfig {
     pub record_visits: bool,
     /// Which RNG to use.
     pub rng: RngKind,
+    /// Worker threads for the walker-chunk loop.
+    ///
+    /// Both emulated systems give each thread its own RNG, so parallel
+    /// runs are deterministic per `(seed, threads)` pair but do *not*
+    /// reproduce the single-threaded walk path-for-path (unlike
+    /// FlashMob's per-partition streams).  Instrumented (`run_probed`)
+    /// runs always execute sequentially.
+    pub threads: usize,
 }
 
 impl BaselineConfig {
@@ -95,6 +103,7 @@ impl BaselineConfig {
             record_paths: true,
             record_visits: false,
             rng: RngKind::Mt19937,
+            threads: 1,
         }
     }
 
@@ -151,6 +160,12 @@ impl BaselineConfig {
     /// Sets the walker initialization.
     pub fn init(mut self, init: WalkerInit) -> Self {
         self.init = init;
+        self
+    }
+
+    /// Sets the worker thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 

@@ -1,0 +1,53 @@
+//! Dispatch overhead: spawning a scope per step vs reusing the
+//! persistent worker pool.
+//!
+//! The step pipeline dispatches a parallel stage several times per step
+//! (count, scatter, sample, gather).  With scoped threads each dispatch
+//! pays a full spawn+join; the pool pays one condvar/spin handoff.  The
+//! gap at 4+ threads is the win the engine banks on every stage of
+//! every step.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flashmob::pool::WorkerPool;
+
+/// The per-worker payload: tiny on purpose, so the measurement is
+/// dominated by dispatch cost rather than compute.
+fn payload(sink: &AtomicU64, t: usize) {
+    sink.fetch_add(t as u64 + 1, Ordering::Relaxed);
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool/dispatch");
+    group.throughput(Throughput::Elements(1));
+    for threads in [1usize, 2, 4, 8] {
+        let sink = AtomicU64::new(0);
+        group.bench_with_input(
+            BenchmarkId::new("scoped-spawn", threads),
+            &threads,
+            |b, &n| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for t in 0..n {
+                            let sink = &sink;
+                            s.spawn(move || payload(sink, t));
+                        }
+                    });
+                });
+            },
+        );
+        let pool = WorkerPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("persistent-pool", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| pool.run(&|t| payload(&sink, t)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

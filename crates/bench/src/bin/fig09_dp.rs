@@ -7,47 +7,56 @@
 //! (b) Per-step time of the DP plan vs Uniform-PS, Uniform-DS (2048
 //!     equal VPs), and the authors' pre-MCKP manual heuristic.
 
+use flashmob::pool::PoolStats;
 use flashmob::{FlashMob, PlanStrategy, WalkConfig};
 use fm_bench::{analog, scaled_planner, HarnessOpts};
 use fm_graph::presets::PaperGraph;
 use fm_graph::Csr;
 
-fn run(g: &Csr, strategy: PlanStrategy, opts: &HarnessOpts) -> (f64, f64, f64, f64) {
+fn run(g: &Csr, strategy: PlanStrategy, opts: &HarnessOpts) -> (f64, f64, f64, f64, PoolStats) {
     let cfg = WalkConfig::deepwalk()
         .walkers(g.vertex_count() * opts.walkers_mult)
         .steps(opts.steps)
         .record_paths(false)
         .strategy(strategy)
+        .threads(opts.threads)
         .planner(scaled_planner(opts.scale));
     let engine = FlashMob::new(g, cfg).expect("flashmob");
     let (_, stats) = engine.run_with_stats().expect("run");
     let (sample, shuffle, other) = stats.stage_ns_per_step();
-    (stats.per_step_ns(), sample, shuffle, other)
+    (stats.per_step_ns(), sample, shuffle, other, stats.pool)
 }
 
 fn main() {
     let opts = HarnessOpts::from_args();
 
-    println!("Figure 9a — stage breakdown under the DP plan (ns/step)");
+    println!(
+        "Figure 9a — stage breakdown under the DP plan (ns/step, {} threads)",
+        opts.threads
+    );
     let header = format!(
-        "{:<8}{:>10}{:>10}{:>10}{:>10}",
-        "Graph", "total", "sample", "shuffle", "other"
+        "{:<8}{:>10}{:>10}{:>10}{:>10}{:>9}{:>12}",
+        "Graph", "total", "sample", "shuffle", "other", "epochs", "pool-idle"
     );
     println!("{header}");
     fm_bench::rule(&header);
     for which in PaperGraph::ALL {
         let g = analog(which, opts.scale);
-        let (total, sample, shuffle, other) = run(&g, PlanStrategy::DynamicProgramming, &opts);
+        let (total, sample, shuffle, other, pool) =
+            run(&g, PlanStrategy::DynamicProgramming, &opts);
         println!(
-            "{:<8}{:>10.1}{:>10.1}{:>10.1}{:>10.1}",
+            "{:<8}{:>10.1}{:>10.1}{:>10.1}{:>10.1}{:>9}{:>12}",
             which.tag(),
             total,
             sample,
             shuffle,
-            other
+            other,
+            pool.epochs,
+            format!("{:.1?}", pool.idle),
         );
     }
     println!("(paper: shuffle cost is comparable to sample cost)");
+    println!("(pool-idle is cumulative worker wait time across all epochs)");
 
     println!();
     println!("Figure 9b — DP plan vs alternatives (ns/step)");

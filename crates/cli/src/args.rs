@@ -60,6 +60,8 @@ pub enum Command {
         output: Option<PathBuf>,
         /// Optional visit-counts file.
         visits: Option<PathBuf>,
+        /// Print execution statistics (stage times, pool accounting).
+        stats: bool,
     },
     /// `fmwalk synth`.
     Synth {
@@ -303,6 +305,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut strategy = PlanStrategy::DynamicProgramming;
             let mut output = None;
             let mut visits = None;
+            let mut stats = false;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
                     "--engine" => {
@@ -326,6 +329,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
                     "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
                     "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
+                    "--stats" => stats = true,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -346,6 +350,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 strategy,
                 output,
                 visits,
+                stats,
             })
         }
         "synth" => {
@@ -458,6 +463,21 @@ mod tests {
                 assert_eq!(steps, 80);
                 assert_eq!(threads, 1);
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn walk_stats_flag() {
+        match p("walk g.bin --threads 4 --stats").unwrap() {
+            Command::Walk { threads, stats, .. } => {
+                assert_eq!(threads, 4);
+                assert!(stats);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("walk g.bin").unwrap() {
+            Command::Walk { stats, .. } => assert!(!stats),
             other => panic!("{other:?}"),
         }
     }

@@ -162,6 +162,7 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             strategy,
             output,
             visits,
+            stats: show_stats,
         } => {
             let g = load_graph(&graph)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
@@ -172,11 +173,12 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             };
             let record_paths = output.is_some();
             let record_visits = visits.is_some();
-            let (walk_output, steps_taken, per_step_ns, visits_vec): (
+            let (walk_output, steps_taken, per_step_ns, visits_vec, stats_report): (
                 Option<WalkOutput>,
                 u64,
                 f64,
                 Option<Vec<u64>>,
+                Option<String>,
             ) = match engine {
                 EngineChoice::FlashMob => {
                     let mut cfg = WalkConfig::deepwalk()
@@ -191,7 +193,17 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                     let e = FlashMob::new(&g, cfg).map_err(fail)?;
                     let (o, s) = e.run_with_stats().map_err(fail)?;
                     let v = s.visits_original(e.relabeling());
-                    (Some(o), s.steps_taken, s.per_step_ns(), v)
+                    let report = show_stats.then(|| {
+                        let (sample, shuffle, other) = s.stage_ns_per_step();
+                        format!(
+                            "stages (ns/step): sample {sample:.1}, shuffle {shuffle:.1}, \
+                             other {other:.1}\n\
+                             pool: {} threads spawned, {} epochs dispatched, \
+                             {:.1?} cumulative worker idle",
+                            s.pool.spawned, s.pool.epochs, s.pool.idle
+                        )
+                    });
+                    (Some(o), s.steps_taken, s.per_step_ns(), v, report)
                 }
                 EngineChoice::KnightKing | EngineChoice::GraphVite => {
                     let kind = if engine == EngineChoice::KnightKing {
@@ -207,11 +219,19 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                     .walkers(n_walkers)
                     .steps(steps)
                     .seed(seed)
+                    .threads(threads)
                     .record_paths(record_paths)
                     .record_visits(record_visits);
                     let e = Baseline::new(&g, cfg).map_err(fail)?;
                     let (o, s) = e.run_with_stats().map_err(fail)?;
-                    (Some(o), s.steps_taken, s.per_step_ns(), s.visits)
+                    let report = show_stats.then(|| {
+                        format!(
+                            "pool: {} threads spawned, {} epochs dispatched, \
+                             {:.1?} cumulative worker idle",
+                            s.pool.spawned, s.pool.epochs, s.pool.idle
+                        )
+                    });
+                    (Some(o), s.steps_taken, s.per_step_ns(), s.visits, report)
                 }
             };
             writeln!(
@@ -219,6 +239,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 "walked {steps_taken} walker-steps at {per_step_ns:.1} ns/step"
             )
             .map_err(fail)?;
+            if let Some(report) = stats_report {
+                writeln!(out, "{report}").map_err(fail)?;
+            }
             if let (Some(path), Some(o)) = (output, walk_output.as_ref()) {
                 let mut f = std::fs::File::create(&path).map_err(fail)?;
                 let mut buffered = std::io::BufWriter::new(&mut f);
@@ -376,6 +399,26 @@ mod tests {
         assert_eq!(dumped.lines().count(), 64);
         std::fs::remove_file(bin).ok();
         std::fs::remove_file(visits).ok();
+    }
+
+    #[test]
+    fn walk_stats_reports_pool() {
+        let bin = tmp("stats_pool.bin");
+        exec(&format!("synth ring {} --n 128 --degree 4", bin.display())).unwrap();
+        let msg = exec(&format!(
+            "walk {} --steps 4 --walkers 64 --threads 2 --stats",
+            bin.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("stages (ns/step)"), "{msg}");
+        assert!(msg.contains("pool: 2 threads spawned"), "{msg}");
+        let msg = exec(&format!(
+            "walk {} --engine knightking --steps 4 --walkers 64 --threads 2 --stats",
+            bin.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("pool: 2 threads spawned"), "{msg}");
+        std::fs::remove_file(bin).ok();
     }
 
     #[test]

@@ -20,7 +20,7 @@ USAGE:
                       [--algo deepwalk|node2vec|weighted] [--p X] [--q X]
                       [--walkers N | --walkers-mult M] [--steps N] [--seed N]
                       [--threads N] [--strategy dp|ups|uds|manual]
-                      [--output <paths.txt>] [--visits <visits.txt>]
+                      [--output <paths.txt>] [--visits <visits.txt>] [--stats]
   fmwalk synth <power-law|rmat|ba|ws|ring> <out.bin>
                       [--n N] [--alpha X] [--min-degree N] [--max-degree N]
                       [--scale N] [--edge-factor N] [--m N] [--beta X]

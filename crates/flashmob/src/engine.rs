@@ -11,6 +11,7 @@ use crate::cost::CostModel;
 use crate::output::WalkOutput;
 use crate::partition::SamplePolicy;
 use crate::plan::{Plan, Planner};
+use crate::pool::{DisjointSlice, PoolStats, WorkerPool};
 use crate::sample::{
     apply_exit, node2vec_weight, propose, sample_partition, AddrMap, AlgoCtx, PsBuffers, TaskIo,
 };
@@ -45,6 +46,10 @@ pub struct RunStats {
     /// Per-vertex visit counts in the *sorted* ID space, when
     /// `record_visits` was set.
     pub visits_sorted: Option<Vec<u64>>,
+    /// Worker-pool overhead: threads spawned (exactly the configured
+    /// thread count, once per run — never O(steps)), epochs dispatched,
+    /// and cumulative worker idle time.  All zero for sequential runs.
+    pub pool: PoolStats,
 }
 
 impl RunStats {
@@ -307,6 +312,9 @@ impl FlashMob {
             agg.stages.sample += stats.stages.sample;
             agg.stages.shuffle += stats.stages.shuffle;
             agg.stages.other += stats.stages.other;
+            agg.pool.spawned += stats.pool.spawned;
+            agg.pool.epochs += stats.pool.epochs;
+            agg.pool.idle += stats.pool.idle;
             for (a, b) in agg
                 .per_partition_steps
                 .iter_mut()
@@ -398,22 +406,25 @@ impl FlashMob {
         };
 
         // The parallel paths run only from the uninstrumented entry point
-        // (NullProbe), so counter attribution stays exact; two-level
-        // shuffles stay sequential.
-        let parallel_shuffle = allow_parallel
-            && self.config.threads > 1
-            && shuffler.levels() == 1
-            && walkers >= 4 * self.config.threads;
-        // Cursor matrix carried from the parallel scatter to the
-        // matching gather (both passes scan the same pre-shuffle `w`).
-        let mut gather_cursors: Option<Vec<Vec<u32>>> = None;
+        // (NullProbe), so counter attribution stays exact.  The pool is
+        // created once here and reused by every stage of every step —
+        // thread spawns per run equal the configured thread count.
+        let pool = (allow_parallel && self.config.threads > 1)
+            .then(|| WorkerPool::new(self.config.threads));
+        // Two-level shuffles stay sequential.
+        let parallel_shuffle =
+            pool.is_some() && shuffler.levels() == 1 && walkers >= 4 * self.config.threads;
+        // Partition ranges for the parallel sample stage, reused across
+        // steps (walker distribution shifts each step, so the ranges are
+        // recomputed, but in place).
+        let mut sample_ranges: Vec<(usize, usize)> = Vec::with_capacity(self.config.threads);
 
         for iter in 0..steps {
             // Shuffle: count + scatter.
             let t0 = Instant::now();
             if parallel_shuffle {
-                let cursors = shuffler.par_count(&w, self.config.threads, &mut scratch);
-                gather_cursors = Some(cursors.clone());
+                let pool = pool.as_ref().expect("parallel shuffle requires the pool");
+                shuffler.par_count(&w, pool, &mut scratch);
                 shuffler.par_scatter(
                     &w,
                     second_order.then_some(prev.as_slice()),
@@ -421,7 +432,8 @@ impl FlashMob {
                     second_order
                         .then_some(sprev.as_mut_slice())
                         .map(|s| &mut s[..]),
-                    cursors,
+                    pool,
+                    &mut scratch,
                 );
             } else {
                 shuffler.count(&w, &mut scratch, shuffle_addrs, probe);
@@ -456,9 +468,9 @@ impl FlashMob {
             let dead_start = scratch.offsets[self.plan.partitions.len()] as usize;
             snext[dead_start..].fill(DEAD);
 
-            let parallel = allow_parallel && self.config.threads > 1 && !self.config.record_visits;
-            if parallel {
+            if let Some(pool) = pool.as_ref() {
                 steps_taken += self.sample_stage_parallel(
+                    pool,
                     &ctx,
                     &scratch.offsets,
                     &sw,
@@ -466,6 +478,8 @@ impl FlashMob {
                     &mut snext,
                     &mut ps_buffers,
                     &mut per_partition_steps,
+                    visits.as_deref_mut(),
+                    &mut sample_ranges,
                     iter,
                     seed,
                 );
@@ -504,10 +518,12 @@ impl FlashMob {
             }
             stage.sample += t1.elapsed();
 
-            // Shuffle: gather back into walker order.
+            // Shuffle: gather back into walker order.  The parallel
+            // gather rebuilds its cursors in place from the count matrix
+            // `par_count` left in the scratch — no per-step clone.
             let t2 = Instant::now();
             if parallel_shuffle {
-                let cursors = gather_cursors.take().expect("set during scatter");
+                let pool = pool.as_ref().expect("parallel shuffle requires the pool");
                 shuffler.par_gather(
                     &w,
                     &snext,
@@ -516,7 +532,8 @@ impl FlashMob {
                     second_order
                         .then_some(prev_next.as_mut_slice())
                         .map(|s| &mut s[..]),
-                    cursors,
+                    pool,
+                    &mut scratch,
                 );
             } else {
                 shuffler.gather(
@@ -569,6 +586,7 @@ impl FlashMob {
             stages: stage,
             per_partition_steps,
             visits_sorted: visits,
+            pool: pool.as_ref().map(WorkerPool::stats).unwrap_or_default(),
         };
         Ok((output, stats))
     }
@@ -879,14 +897,21 @@ impl FlashMob {
         taken
     }
 
-    /// Parallel sample stage: partitions are split into contiguous
-    /// chunks balanced by walker count; each thread owns disjoint slices
-    /// of `snext` and the PS buffers, so no synchronization is needed
-    /// beyond the scope join (the paper's lock-free disjoint-array
-    /// design).
+    /// Parallel sample stage over the persistent pool: partitions are
+    /// split into contiguous ranges balanced by walker count; each
+    /// worker owns disjoint slices of `snext`, the PS buffers, the
+    /// per-partition counters, and (because partitions are contiguous,
+    /// non-overlapping vertex ranges) the visit-count array — the
+    /// paper's lock-free disjoint-array design, with no per-step
+    /// allocation.
+    ///
+    /// Each partition keeps its own seeded RNG stream regardless of
+    /// which worker runs it, so first-order output is bit-identical to
+    /// the sequential stage.
     #[allow(clippy::too_many_arguments)]
     fn sample_stage_parallel(
         &self,
+        pool: &WorkerPool,
         ctx: &AlgoCtx<'_>,
         offsets: &[u32],
         sw: &[VertexId],
@@ -894,15 +919,18 @@ impl FlashMob {
         snext: &mut [VertexId],
         ps_buffers: &mut [Option<PsBuffers>],
         per_partition_steps: &mut [u64],
+        visits: Option<&mut [u64]>,
+        ranges: &mut Vec<(usize, usize)>,
         iter: usize,
         seed: u64,
     ) -> u64 {
         let parts = &self.plan.partitions;
-        let threads = self.config.threads.min(parts.len()).max(1);
-        // Contiguous partition ranges balanced by walker count.
+        let threads = pool.threads().min(parts.len()).max(1);
+        // Contiguous partition ranges balanced by walker count (at most
+        // `threads` of them; the Vec is reused across steps).
         let total_walkers = offsets[parts.len()] as usize;
         let target = total_walkers.div_ceil(threads).max(1);
-        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(threads);
+        ranges.clear();
         let mut start = 0usize;
         while start < parts.len() {
             let budget = offsets[start] as usize + target;
@@ -915,72 +943,65 @@ impl FlashMob {
         }
 
         let taken = std::sync::atomic::AtomicU64::new(0);
-        crossbeam::thread::scope(|scope| {
-            let mut snext_rest = snext;
-            let mut ps_rest = ps_buffers;
-            let mut steps_rest = per_partition_steps;
-            let mut consumed_walkers = 0usize;
-            let mut consumed_parts = 0usize;
-            for &(ps_start, ps_end) in &ranges {
-                let walkers_here = offsets[ps_end] as usize - offsets[ps_start] as usize;
-                let (snext_chunk, rest) = snext_rest.split_at_mut(walkers_here);
-                snext_rest = rest;
-                let (ps_chunk, rest) = ps_rest.split_at_mut(ps_end - ps_start);
-                ps_rest = rest;
-                let (steps_chunk, rest) = steps_rest.split_at_mut(ps_end - ps_start);
-                steps_rest = rest;
-                let base_walker = consumed_walkers;
-                consumed_walkers += walkers_here;
-                consumed_parts += ps_end - ps_start;
-                debug_assert_eq!(consumed_parts, ps_end);
-                let taken = &taken;
-                let graph = &self.graph;
-                let plan = &self.plan;
-                let slabs = &self.slabs;
-
-                let addrs = self.addr;
-                scope.spawn(move |_| {
-                    let mut local = 0u64;
-                    for pi in ps_start..ps_end {
-                        let part = &plan.partitions[pi];
-                        let (a, b) = (offsets[pi] as usize, offsets[pi + 1] as usize);
-                        if a == b {
-                            continue;
-                        }
-                        let (la, lb) = (a - base_walker, b - base_walker);
-                        let mut addr = addrs.map;
-                        addr.scur = addrs.sw;
-                        addr.snext = addrs.snext_region;
-                        addr.sprev = addrs.sprev_region;
-                        addr.slab_targets = addrs.slab_region + 4 * edge_offset(plan, pi) as u64;
-                        let io = TaskIo {
-                            scur: &sw[a..b],
-                            sprev: sprev.map(|s| &s[a..b]),
-                            snext: &mut snext_chunk[la..lb],
-                            slice_base: a,
-                            visits: None,
-                        };
-                        let mut rng =
-                            Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64));
-                        let steps = sample_partition(
-                            graph,
-                            part,
-                            slabs[pi].as_ref(),
-                            ps_chunk[pi - ps_start].as_mut(),
-                            &ctx.clone(),
-                            io,
-                            &mut rng,
-                            &mut NullProbe,
-                            &addr,
-                        );
-                        steps_chunk[pi - ps_start] += steps;
-                        local += steps;
-                    }
-                    taken.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-                });
+        let snext_ptr = DisjointSlice::new(snext);
+        let ps_ptr = DisjointSlice::new(ps_buffers);
+        let steps_ptr = DisjointSlice::new(per_partition_steps);
+        let visits_ptr = visits.map(DisjointSlice::new);
+        let ranges = &*ranges;
+        pool.run(&|t| {
+            let Some(&(ps_start, ps_end)) = ranges.get(t) else {
+                return;
+            };
+            let mut local = 0u64;
+            for pi in ps_start..ps_end {
+                let part = &self.plan.partitions[pi];
+                let (a, b) = (offsets[pi] as usize, offsets[pi + 1] as usize);
+                if a == b {
+                    continue;
+                }
+                let mut addr = self.addr.map;
+                addr.scur = self.addr.sw;
+                addr.snext = self.addr.snext_region;
+                addr.sprev = self.addr.sprev_region;
+                addr.slab_targets = self.addr.slab_region + 4 * edge_offset(&self.plan, pi) as u64;
+                let io = TaskIo {
+                    scur: &sw[a..b],
+                    sprev: sprev.map(|s| &s[a..b]),
+                    // SAFETY: walker range `[a, b)` belongs to partition
+                    // `pi` alone, and each partition to one range.
+                    snext: unsafe { snext_ptr.slice_mut(a, b - a) },
+                    slice_base: a,
+                    // SAFETY: partitions are contiguous, non-overlapping
+                    // vertex ranges, so visit slots `[start, end)` are
+                    // exclusive to this partition's task.
+                    visits: visits_ptr.as_ref().map(|vp| unsafe {
+                        vp.slice_mut(part.start as usize, (part.end - part.start) as usize)
+                    }),
+                };
+                let mut rng =
+                    Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64));
+                // SAFETY: PS buffer and step counter `pi` belong to this
+                // range alone (ranges partition the partition indices).
+                let ps = unsafe { ps_ptr.slice_mut(pi, 1) };
+                let steps = sample_partition(
+                    &self.graph,
+                    part,
+                    self.slabs[pi].as_ref(),
+                    ps[0].as_mut(),
+                    ctx,
+                    io,
+                    &mut rng,
+                    &mut NullProbe,
+                    &addr,
+                );
+                // SAFETY: as above — index `pi` is exclusive to this
+                // worker.
+                let step_slot = unsafe { steps_ptr.slice_mut(pi, 1) };
+                step_slot[0] += steps;
+                local += steps;
             }
-        })
-        .expect("sample workers must not panic");
+            taken.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
+        });
         taken.into_inner()
     }
 }
@@ -1041,16 +1062,96 @@ mod tests {
         assert_eq!(a.paths(), b.paths());
     }
 
+    /// Copies a graph, attaching deterministic pseudo-random weights.
+    fn weighted_copy(g: &Csr) -> Csr {
+        let mut rng = fm_rng::Xorshift64Star::new(0x77e1);
+        let weights: Vec<f32> = (0..g.edge_count())
+            .map(|_| 0.25 + (rng.next_u64() % 8) as f32 * 0.25)
+            .collect();
+        Csr::from_parts(g.offsets().to_vec(), g.targets().to_vec(), Some(weights)).unwrap()
+    }
+
     #[test]
     fn parallel_matches_sequential() {
-        let g = synth::power_law(400, 2.0, 1, 40, 9);
-        let seq = FlashMob::new(&g, config(300, 5).threads(1)).unwrap();
-        let par = FlashMob::new(&g, config(300, 5).threads(3)).unwrap();
-        assert_eq!(
-            seq.run().unwrap().paths(),
-            par.run().unwrap().paths(),
-            "thread count must not change results"
+        // Determinism matrix: {1, 2, 3, 8} threads × three algorithms ×
+        // parallel shuffle on/off.  The parallel shuffle is gated on
+        // `walkers >= 4 * threads`, so 16 walkers disables it at high
+        // thread counts while 300 enables it everywhere.  First-order
+        // walks must be bit-identical across ALL thread counts;
+        // node2vec's parallel runs are mutually bit-identical but use the
+        // unbatched stage, so threads = 1 is excluded from its
+        // comparison (see `WalkConfig::threads`).
+        let g = synth::power_law(400, 2.0, 2, 40, 9);
+        let wg = weighted_copy(&g);
+        for walkers in [16usize, 300] {
+            for algo in ["deepwalk", "node2vec", "weighted"] {
+                let run = |threads: usize| {
+                    let mut cfg = match algo {
+                        "node2vec" => WalkConfig::node2vec(0.5, 2.0)
+                            .walkers(walkers)
+                            .steps(5)
+                            .seed(7)
+                            .planner(small_params()),
+                        _ => config(walkers, 5),
+                    };
+                    if algo == "weighted" {
+                        cfg.algorithm = WalkAlgorithm::Weighted;
+                    }
+                    let graph = if algo == "weighted" { &wg } else { &g };
+                    FlashMob::new(graph, cfg.threads(threads)).unwrap().run().unwrap()
+                };
+                let seq = run(1);
+                let two = run(2);
+                if algo != "node2vec" {
+                    assert_eq!(
+                        seq.paths(),
+                        two.paths(),
+                        "{algo} walkers={walkers}: 1 vs 2 threads"
+                    );
+                }
+                for threads in [3usize, 8] {
+                    assert_eq!(
+                        two.paths(),
+                        run(threads).paths(),
+                        "{algo} walkers={walkers}: 2 vs {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_record_visits_matches_sequential() {
+        // Visit slots are partition-disjoint, so the parallel sample
+        // stage may write them lock-free; counts must equal the
+        // sequential run's exactly.
+        let g = synth::power_law(300, 2.0, 1, 30, 5);
+        let run = |threads: usize| {
+            let cfg = config(200, 6).record_visits(true).threads(threads);
+            let engine = FlashMob::new(&g, cfg).unwrap();
+            let (_, stats) = engine.run_with_stats().unwrap();
+            stats.visits_sorted.unwrap()
+        };
+        let seq = run(1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(seq, run(threads), "visit counts at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn pool_stats_reflect_one_spawn_per_thread() {
+        let g = synth::power_law(300, 2.0, 1, 30, 5);
+        let engine = FlashMob::new(&g, config(200, 8).threads(4)).unwrap();
+        let (_, stats) = engine.run_with_stats().unwrap();
+        assert_eq!(stats.pool.spawned, 4, "one spawn per thread, not per step");
+        assert!(
+            stats.pool.epochs >= 8,
+            "at least one dispatch per step, got {}",
+            stats.pool.epochs
         );
+        let seq = FlashMob::new(&g, config(200, 8)).unwrap();
+        let (_, s) = seq.run_with_stats().unwrap();
+        assert_eq!(s.pool, PoolStats::default(), "sequential runs skip the pool");
     }
 
     #[test]

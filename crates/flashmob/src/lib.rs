@@ -47,6 +47,7 @@ pub mod oocore;
 pub mod output;
 pub mod partition;
 pub mod plan;
+pub mod pool;
 pub mod sample;
 pub mod shuffle;
 pub mod walker;
@@ -55,6 +56,7 @@ pub use algorithm::{StopRule, WalkAlgorithm};
 pub use engine::{FlashMob, RunStats, StageTimes};
 pub use output::WalkOutput;
 pub use partition::{Partition, PartitionMap, SamplePolicy};
+pub use pool::{DisjointSlice, PoolStats, WorkerPool};
 pub use plan::{Plan, PlanStrategy, Planner, PlannerParams};
 pub use walker::WalkerInit;
 

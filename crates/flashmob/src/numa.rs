@@ -22,6 +22,7 @@ use fm_graph::Csr;
 use fm_memsim::{HierarchyConfig, MemorySystem};
 
 use crate::engine::FlashMob;
+use crate::pool::PoolStats;
 use crate::{WalkConfig, WalkError};
 
 /// Which cross-socket mode to run.
@@ -66,6 +67,9 @@ pub struct NumaReport {
     /// Remote DRAM loads per step from the instrumented verification run
     /// (P-mode only; 0 for R-mode by construction).
     pub remote_loads_per_step: f64,
+    /// Worker-pool accounting from the timed run (R-mode sums its
+    /// per-socket instances).  Zero for single-threaded configs.
+    pub pool: PoolStats,
 }
 
 /// Bytes of walker-array state per walker (W, SW, Snext, Wnext, plus
@@ -145,6 +149,7 @@ pub fn run_numa(
                 density: walkers as f64 / graph.edge_count() as f64,
                 per_step_ns: stats.per_step_ns() / machine.sockets as f64,
                 remote_loads_per_step: remote,
+                pool: stats.pool,
             })
         }
         NumaMode::Replicated => {
@@ -154,6 +159,7 @@ pub fn run_numa(
             let per_socket = walkers / machine.sockets;
             let mut total_ns = 0.0;
             let mut total_steps = 0u64;
+            let mut pool = PoolStats::default();
             for s in 0..machine.sockets {
                 let config = base
                     .clone()
@@ -164,6 +170,9 @@ pub fn run_numa(
                 let (_, stats) = engine.run_with_stats()?;
                 total_ns += stats.wall.as_nanos() as f64;
                 total_steps += stats.steps_taken;
+                pool.spawned += stats.pool.spawned;
+                pool.epochs += stats.pool.epochs;
+                pool.idle += stats.pool.idle;
             }
             Ok(NumaReport {
                 mode,
@@ -171,6 +180,7 @@ pub fn run_numa(
                 density: per_socket as f64 / graph.edge_count() as f64,
                 per_step_ns: total_ns / total_steps.max(1) as f64 / machine.sockets as f64,
                 remote_loads_per_step: 0.0,
+                pool,
             })
         }
     }

@@ -23,6 +23,7 @@ use fm_graph::VertexId;
 use fm_memsim::{AccessKind, Probe};
 
 use crate::partition::PartitionMap;
+use crate::pool::{DisjointSlice, WorkerPool};
 
 /// Reusable shuffle working memory.
 #[derive(Debug, Default, Clone)]
@@ -39,6 +40,15 @@ pub struct ShuffleScratch {
     tmp_aux: Vec<VertexId>,
     /// Outer-bin cursors for the two-level path.
     outer_cursors: Vec<u32>,
+    /// Per-(chunk, bin) walker counts for the parallel passes, flattened
+    /// chunk-major (`chunk * bins + bin`); filled by `par_count` and kept
+    /// valid through the matching `par_scatter` / `par_gather` (all
+    /// three passes scan the same pre-shuffle walker array).
+    chunk_counts: Vec<u32>,
+    /// Per-(chunk, bin) write cursors derived from `chunk_counts`,
+    /// rebuilt in place before each parallel scatter/gather pass so the
+    /// steady-state step performs no heap allocation.
+    chunk_cursors: Vec<u32>,
 }
 
 /// Simulated-address bases for probe attribution.
@@ -294,54 +304,55 @@ impl<'p> Shuffler<'p> {
     }
 }
 
-/// Parallel variants of the three shuffle passes.
+/// Parallel variants of the three shuffle passes, dispatched over the
+/// persistent [`WorkerPool`].
 ///
-/// The walker array is split into `threads` contiguous chunks.  The
-/// count pass produces a per-(chunk, bin) count matrix; prefix-summing
-/// it *bin-major* yields disjoint per-(chunk, bin) output ranges, so the
-/// scatter threads write to non-overlapping positions of the shared
-/// destination — the classic parallel stable counting sort, and exactly
-/// the paper's "threads work on disjoint array areas, eliminating the
-/// need for locks".  Results are bit-identical to the sequential passes
-/// (verified by tests).
+/// The walker array is split into one contiguous chunk per pool worker.
+/// The count pass produces a per-(chunk, bin) count matrix; prefix-
+/// summing it *bin-major* yields disjoint per-(chunk, bin) output
+/// ranges, so the scatter workers write to non-overlapping positions of
+/// the shared destination — the classic parallel stable counting sort,
+/// and exactly the paper's "threads work on disjoint array areas,
+/// eliminating the need for locks".  Results are bit-identical to the
+/// sequential passes (verified by tests).
+///
+/// All per-chunk state lives in [`ShuffleScratch`], so a steady-state
+/// count/scatter/gather cycle performs no heap allocation.
 impl<'p> Shuffler<'p> {
     /// Parallel counting pass; fills `scratch` exactly like
-    /// [`Shuffler::count`] and returns the per-chunk cursor matrix for
-    /// [`Shuffler::par_scatter`] / [`Shuffler::par_gather`].
+    /// [`Shuffler::count`] plus the per-(chunk, bin) count matrix
+    /// consumed by [`Shuffler::par_scatter`] / [`Shuffler::par_gather`].
     ///
     /// Only single-level shuffles support the parallel path; two-level
     /// plans fall back to the sequential implementation in the engine.
-    pub fn par_count(
-        &self,
-        w: &[VertexId],
-        threads: usize,
-        scratch: &mut ShuffleScratch,
-    ) -> Vec<Vec<u32>> {
+    pub fn par_count(&self, w: &[VertexId], pool: &WorkerPool, scratch: &mut ShuffleScratch) {
         assert!(
             self.outer_of_fine.is_none(),
             "parallel path is single-level"
         );
         let bins = self.map.bins();
-        let threads = threads.clamp(1, w.len().max(1));
-        let chunk = w.len().div_ceil(threads);
-        let mut matrix: Vec<Vec<u32>> = vec![vec![0u32; bins]; threads];
-        crossbeam::thread::scope(|scope| {
-            for (t, counts) in matrix.iter_mut().enumerate() {
-                let slice = &w[(t * chunk).min(w.len())..((t + 1) * chunk).min(w.len())];
-                let map = self.map;
-                scope.spawn(move |_| {
-                    for &v in slice {
-                        counts[map.partition_of(v)] += 1;
-                    }
-                });
-            }
-        })
-        .expect("count workers must not panic");
+        let chunks = pool.threads();
+        let chunk = w.len().div_ceil(chunks);
+        scratch.chunk_counts.clear();
+        scratch.chunk_counts.resize(chunks * bins, 0);
+        {
+            let rows = DisjointSlice::new(&mut scratch.chunk_counts);
+            pool.run(&|t| {
+                let lo = (t * chunk).min(w.len());
+                let hi = ((t + 1) * chunk).min(w.len());
+                // SAFETY: row `t` of the matrix belongs to worker `t`
+                // alone.
+                let counts = unsafe { rows.slice_mut(t * bins, bins) };
+                for &v in &w[lo..hi] {
+                    counts[self.map.partition_of(v)] += 1;
+                }
+            });
+        }
 
         // Global counts + offsets.
         scratch.counts.clear();
         scratch.counts.resize(bins, 0);
-        for row in &matrix {
+        for row in scratch.chunk_counts.chunks_exact(bins) {
             for (b, &c) in row.iter().enumerate() {
                 scratch.counts[b] += c;
             }
@@ -354,77 +365,79 @@ impl<'p> Shuffler<'p> {
             acc += c;
         }
         scratch.offsets[bins] = acc;
-
-        // Turn the matrix into per-(chunk, bin) start cursors: bin-major
-        // prefix over chunks, offset by the bin start.
-        let mut cursors = matrix;
-        for b in 0..bins {
-            let mut start = scratch.offsets[b];
-            for row in cursors.iter_mut() {
-                let n = row[b];
-                row[b] = start;
-                start += n;
-            }
-        }
-        cursors
     }
 
-    /// Parallel stable scatter using cursors from [`Shuffler::par_count`].
+    /// Rebuilds the per-(chunk, bin) start cursors from the count matrix
+    /// left by [`Shuffler::par_count`]: bin-major prefix over chunks,
+    /// offset by the bin start.  Scatter and gather each rebuild in
+    /// place instead of cloning, because both scan the same pre-shuffle
+    /// walker array.
+    fn rebuild_chunk_cursors(&self, scratch: &mut ShuffleScratch) -> usize {
+        let bins = self.map.bins();
+        let chunks = scratch.chunk_counts.len() / bins;
+        scratch.chunk_cursors.clear();
+        scratch.chunk_cursors.resize(chunks * bins, 0);
+        for b in 0..bins {
+            let mut start = scratch.offsets[b];
+            for c in 0..chunks {
+                scratch.chunk_cursors[c * bins + b] = start;
+                start += scratch.chunk_counts[c * bins + b];
+            }
+        }
+        chunks
+    }
+
+    /// Parallel stable scatter over the pool, using the count matrix
+    /// from [`Shuffler::par_count`].
     ///
-    /// # Safety-free concurrency
-    ///
-    /// Each thread writes only within its pre-computed per-(chunk, bin)
+    /// Each worker writes only within its pre-computed per-(chunk, bin)
     /// ranges, which partition `sw`; the disjointness is what makes the
-    /// single `unsafe` pointer share sound.
+    /// pointer share sound.
     pub fn par_scatter(
         &self,
         w: &[VertexId],
         aux: Option<&[VertexId]>,
         sw: &mut [VertexId],
         saux: Option<&mut [VertexId]>,
-        mut cursors: Vec<Vec<u32>>,
+        pool: &WorkerPool,
+        scratch: &mut ShuffleScratch,
     ) {
         assert_eq!(w.len(), sw.len());
-        let threads = cursors.len();
-        let chunk = w.len().div_ceil(threads.max(1));
-        let sw_ptr = SharedSlice::new(sw);
+        let bins = self.map.bins();
+        let chunks = self.rebuild_chunk_cursors(scratch);
+        let chunk = w.len().div_ceil(chunks);
+        let sw_ptr = DisjointSlice::new(sw);
         let saux_ptr = saux.map(|s| {
             assert_eq!(s.len(), w.len());
-            SharedSlice::new(s)
+            DisjointSlice::new(s)
         });
-        crossbeam::thread::scope(|scope| {
-            for (t, cur) in cursors.iter_mut().enumerate() {
-                let lo = (t * chunk).min(w.len());
-                let hi = ((t + 1) * chunk).min(w.len());
-                let slice = &w[lo..hi];
-                let aux_slice = aux.map(|a| &a[lo..hi]);
-                let map = self.map;
-                let sw_ptr = &sw_ptr;
-                let saux_ptr = &saux_ptr;
-                scope.spawn(move |_| {
-                    for (j, &v) in slice.iter().enumerate() {
-                        let bin = map.partition_of(v);
-                        let pos = cur[bin] as usize;
-                        cur[bin] += 1;
-                        // SAFETY: `pos` lies in this thread's exclusive
-                        // per-(chunk, bin) range established by
-                        // `par_count`'s bin-major prefix sums; no two
-                        // threads ever receive the same position.
-                        unsafe { sw_ptr.write(pos, v) };
-                        if let (Some(a), Some(sa)) = (aux_slice, saux_ptr) {
-                            // SAFETY: same disjoint position as above.
-                            unsafe { sa.write(pos, a[j]) };
-                        }
-                    }
-                });
+        let cursors = DisjointSlice::new(&mut scratch.chunk_cursors);
+        pool.run(&|t| {
+            let lo = (t * chunk).min(w.len());
+            let hi = ((t + 1) * chunk).min(w.len());
+            // SAFETY: cursor row `t` belongs to worker `t` alone.
+            let cur = unsafe { cursors.slice_mut(t * bins, bins) };
+            for (j, &v) in w[lo..hi].iter().enumerate() {
+                let bin = self.map.partition_of(v);
+                let pos = cur[bin] as usize;
+                cur[bin] += 1;
+                // SAFETY: `pos` lies in this worker's exclusive
+                // per-(chunk, bin) range established by `par_count`'s
+                // bin-major prefix sums; no two workers ever receive
+                // the same position.
+                unsafe { sw_ptr.write(pos, v) };
+                if let (Some(a), Some(sa)) = (aux, &saux_ptr) {
+                    // SAFETY: same disjoint position as above.
+                    unsafe { sa.write(pos, a[lo + j]) };
+                }
             }
-        })
-        .expect("scatter workers must not panic");
+        });
     }
 
-    /// Parallel gather: the inverse permutation, with per-chunk cursor
-    /// rows recomputed by [`Shuffler::par_count`] on the *pre-shuffle*
-    /// walker array.
+    /// Parallel gather over the pool: the inverse permutation, with the
+    /// cursor matrix rebuilt in place from [`Shuffler::par_count`]'s
+    /// counts (both passes scan the same *pre-shuffle* walker array, so
+    /// the matrix is still valid — no per-step clone).
     #[allow(clippy::too_many_arguments)]
     pub fn par_gather(
         &self,
@@ -433,86 +446,50 @@ impl<'p> Shuffler<'p> {
         w_new: &mut [VertexId],
         aux_src: Option<&[VertexId]>,
         aux_new: Option<&mut [VertexId]>,
-        mut cursors: Vec<Vec<u32>>,
+        pool: &WorkerPool,
+        scratch: &mut ShuffleScratch,
     ) {
         assert_eq!(w_old.len(), snext.len());
         assert_eq!(w_old.len(), w_new.len());
-        let threads = cursors.len();
-        let chunk = w_old.len().div_ceil(threads.max(1));
-        crossbeam::thread::scope(|scope| {
-            let mut w_new_rest = w_new;
-            let mut aux_new_rest = aux_new;
-            for (t, cur) in cursors.iter_mut().enumerate() {
-                let lo = (t * chunk).min(w_old.len());
-                let hi = ((t + 1) * chunk).min(w_old.len());
-                let (out, rest) = w_new_rest.split_at_mut(hi - lo);
-                w_new_rest = rest;
-                let aux_out = match aux_new_rest {
-                    Some(a) => {
-                        let (head, rest) = a.split_at_mut(hi - lo);
-                        aux_new_rest = Some(rest);
-                        Some(head)
+        let bins = self.map.bins();
+        let chunks = self.rebuild_chunk_cursors(scratch);
+        let chunk = w_old.len().div_ceil(chunks);
+        let w_new_ptr = DisjointSlice::new(w_new);
+        let aux_new_ptr = aux_new.map(|a| {
+            assert_eq!(a.len(), w_old.len());
+            DisjointSlice::new(a)
+        });
+        let cursors = DisjointSlice::new(&mut scratch.chunk_cursors);
+        pool.run(&|t| {
+            let lo = (t * chunk).min(w_old.len());
+            let hi = ((t + 1) * chunk).min(w_old.len());
+            // SAFETY: cursor row `t` belongs to worker `t` alone.
+            let cur = unsafe { cursors.slice_mut(t * bins, bins) };
+            // SAFETY: output range `[lo, hi)` belongs to worker `t`
+            // alone (chunks are contiguous and non-overlapping).
+            let out = unsafe { w_new_ptr.slice_mut(lo, hi - lo) };
+            match (aux_src, &aux_new_ptr) {
+                (Some(asrc), Some(anew)) => {
+                    // SAFETY: same disjoint output range as above.
+                    let aout = unsafe { anew.slice_mut(lo, hi - lo) };
+                    for (j, &v) in w_old[lo..hi].iter().enumerate() {
+                        let bin = self.map.partition_of(v);
+                        let slot = cur[bin] as usize;
+                        cur[bin] += 1;
+                        out[j] = snext[slot];
+                        aout[j] = asrc[slot];
                     }
-                    None => None,
-                };
-                let slice = &w_old[lo..hi];
-                let map = self.map;
-                scope.spawn(move |_| match (aux_src, aux_out) {
-                    (Some(asrc), Some(aout)) => {
-                        for (j, &v) in slice.iter().enumerate() {
-                            let bin = map.partition_of(v);
-                            let slot = cur[bin] as usize;
-                            cur[bin] += 1;
-                            out[j] = snext[slot];
-                            aout[j] = asrc[slot];
-                        }
+                }
+                _ => {
+                    for (j, &v) in w_old[lo..hi].iter().enumerate() {
+                        let bin = self.map.partition_of(v);
+                        let slot = cur[bin] as usize;
+                        cur[bin] += 1;
+                        out[j] = snext[slot];
                     }
-                    _ => {
-                        for (j, &v) in slice.iter().enumerate() {
-                            let bin = map.partition_of(v);
-                            let slot = cur[bin] as usize;
-                            cur[bin] += 1;
-                            out[j] = snext[slot];
-                        }
-                    }
-                });
+                }
             }
-        })
-        .expect("gather workers must not panic");
-    }
-}
-
-/// A raw-pointer wrapper allowing disjoint-index writes from multiple
-/// threads.
-struct SharedSlice<T> {
-    ptr: *mut T,
-    len: usize,
-}
-
-// SAFETY: the wrapper itself is just a pointer + length; all use sites
-// guarantee disjoint index sets per thread (see `par_scatter`).
-unsafe impl<T: Send> Sync for SharedSlice<T> {}
-
-impl<T: Copy> SharedSlice<T> {
-    fn new(slice: &mut [T]) -> Self {
-        Self {
-            ptr: slice.as_mut_ptr(),
-            len: slice.len(),
-        }
-    }
-
-    /// Writes `value` at `index`.
-    ///
-    /// # Safety
-    ///
-    /// `index` must be in bounds and no other thread may concurrently
-    /// access the same index.
-    #[inline]
-    unsafe fn write(&self, index: usize, value: T) {
-        debug_assert!(index < self.len);
-        // SAFETY: in-bounds per the caller contract; exclusive per-index
-        // access per the caller contract.
-        unsafe { *self.ptr.add(index) = value };
+        });
     }
 }
 
@@ -844,17 +821,27 @@ mod tests {
         );
 
         for threads in [1usize, 2, 3, 7] {
+            let pool = WorkerPool::new(threads);
             let mut scratch2 = ShuffleScratch::default();
-            let cursors = s.par_count(&w, threads, &mut scratch2);
+            s.par_count(&w, &pool, &mut scratch2);
             assert_eq!(scratch.counts, scratch2.counts, "{threads} threads");
             assert_eq!(scratch.offsets, scratch2.offsets);
             let (mut sw2, mut sp2) = (vec![0; w.len()], vec![0; w.len()]);
-            s.par_scatter(&w, Some(&prev), &mut sw2, Some(&mut sp2), cursors);
+            s.par_scatter(&w, Some(&prev), &mut sw2, Some(&mut sp2), &pool, &mut scratch2);
             assert_eq!(sw1, sw2, "{threads} threads scatter");
             assert_eq!(sp1, sp2, "{threads} threads scatter aux");
-            let cursors = s.par_count(&w, threads, &mut scratch2);
+            // Gather reuses the count matrix in place — no re-count, no
+            // clone.
             let (mut wn2, mut pn2) = (vec![0; w.len()], vec![0; w.len()]);
-            s.par_gather(&w, &snext, &mut wn2, Some(&sw2), Some(&mut pn2), cursors);
+            s.par_gather(
+                &w,
+                &snext,
+                &mut wn2,
+                Some(&sw2),
+                Some(&mut pn2),
+                &pool,
+                &mut scratch2,
+            );
             assert_eq!(wn1, wn2, "{threads} threads gather");
             assert_eq!(pn1, pn2, "{threads} threads gather aux");
         }
@@ -879,10 +866,11 @@ mod tests {
             &mut p,
         );
 
+        let pool = WorkerPool::new(4);
         let mut scratch2 = ShuffleScratch::default();
-        let cursors = s.par_count(&w, 4, &mut scratch2);
+        s.par_count(&w, &pool, &mut scratch2);
         let mut sw2 = vec![0; w.len()];
-        s.par_scatter(&w, None, &mut sw2, None, cursors);
+        s.par_scatter(&w, None, &mut sw2, None, &pool, &mut scratch2);
         assert_eq!(sw1, sw2);
     }
 

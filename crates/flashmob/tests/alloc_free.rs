@@ -1,0 +1,64 @@
+//! Verifies the steady-state step loop allocates nothing.
+//!
+//! A counting global allocator measures two parallel runs that differ
+//! only in step count (4 vs 64 steps).  Setup allocations — walker
+//! arrays, scratch, PS buffers, worker stacks — are identical for both,
+//! so if the per-step loop is allocation-free the totals match exactly;
+//! any per-step Vec/Box (the old cursor-matrix clone, scoped-spawn
+//! bookkeeping, …) would show up as ~60 extra allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flashmob::{FlashMob, WalkConfig};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count of one measured `run()` at the given step count.
+fn measured_allocs(steps: usize) -> u64 {
+    let g = fm_graph::synth::power_law(400, 2.0, 1, 40, 9);
+    let cfg = WalkConfig::deepwalk()
+        .walkers(512)
+        .steps(steps)
+        .seed(3)
+        .threads(4)
+        .record_paths(false);
+    let engine = FlashMob::new(&g, cfg).unwrap();
+    // Warm-up run so lazily initialized state doesn't skew the count.
+    engine.run().unwrap();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    engine.run().unwrap();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+#[test]
+fn steady_state_step_loop_is_allocation_free() {
+    let short = measured_allocs(4);
+    let long = measured_allocs(64);
+    assert_eq!(
+        short, long,
+        "allocation count must not grow with step count \
+         ({short} allocs at 4 steps vs {long} at 64)"
+    );
+}

@@ -10,8 +10,6 @@
 use std::io::{BufRead, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::builder::GraphBuilder;
 use crate::csr::Csr;
 use crate::{GraphError, VertexId};
@@ -83,72 +81,87 @@ pub fn write_edge_list<W: Write>(graph: &Csr, mut writer: W) -> Result<(), Graph
 }
 
 /// Encodes a graph into the binary CSR format.
-pub fn encode_binary(graph: &Csr) -> Bytes {
+pub fn encode_binary(graph: &Csr) -> Vec<u8> {
     let weighted = graph.is_weighted();
-    let mut buf = BytesMut::with_capacity(
+    let mut buf = Vec::with_capacity(
         4 + 1 + 16 + (graph.vertex_count() + 1) * 8 + graph.edge_count() * 4,
     );
-    buf.put_slice(MAGIC);
-    buf.put_u8(weighted as u8);
-    buf.put_u64_le(graph.vertex_count() as u64);
-    buf.put_u64_le(graph.edge_count() as u64);
+    buf.extend_from_slice(MAGIC);
+    buf.push(weighted as u8);
+    buf.extend_from_slice(&(graph.vertex_count() as u64).to_le_bytes());
+    buf.extend_from_slice(&(graph.edge_count() as u64).to_le_bytes());
     for &o in graph.offsets() {
-        buf.put_u64_le(o as u64);
+        buf.extend_from_slice(&(o as u64).to_le_bytes());
     }
     for &t in graph.targets() {
-        buf.put_u32_le(t);
+        buf.extend_from_slice(&t.to_le_bytes());
     }
     if weighted {
         for v in 0..graph.vertex_count() {
             for &w in graph.edge_weights(v as VertexId).expect("weighted") {
-                buf.put_f32_le(w);
+                buf.extend_from_slice(&w.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
+}
+
+/// A little-endian read cursor over a byte slice.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let bytes: [u8; N] = self.data[self.pos..self.pos + N]
+            .try_into()
+            .expect("length checked by caller");
+        self.pos += N;
+        bytes
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
 }
 
 /// Decodes a graph from the binary CSR format.
-pub fn decode_binary(mut data: &[u8]) -> Result<Csr, GraphError> {
+pub fn decode_binary(data: &[u8]) -> Result<Csr, GraphError> {
     if data.len() < 21 {
         return Err(GraphError::Format("truncated header".into()));
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    let mut r = Reader { data, pos: 0 };
+    if &r.take::<4>() != MAGIC {
         return Err(GraphError::Format("bad magic".into()));
     }
-    let weighted = match data.get_u8() {
+    let weighted = match r.take::<1>()[0] {
         0 => false,
         1 => true,
         b => return Err(GraphError::Format(format!("bad weight flag {b}"))),
     };
-    let vcount = data.get_u64_le() as usize;
-    let ecount = data.get_u64_le() as usize;
+    let vcount = u64::from_le_bytes(r.take()) as usize;
+    let ecount = u64::from_le_bytes(r.take()) as usize;
     let need = (vcount + 1) * 8 + ecount * 4 + if weighted { ecount * 4 } else { 0 };
-    if data.remaining() < need {
+    if r.remaining() < need {
         return Err(GraphError::Format(format!(
             "need {need} payload bytes, have {}",
-            data.remaining()
+            r.remaining()
         )));
     }
     let mut offsets = Vec::with_capacity(vcount + 1);
     for _ in 0..=vcount {
-        offsets.push(data.get_u64_le() as usize);
+        offsets.push(u64::from_le_bytes(r.take()) as usize);
     }
     let mut targets = Vec::with_capacity(ecount);
     for _ in 0..ecount {
-        targets.push(data.get_u32_le());
+        targets.push(u32::from_le_bytes(r.take()));
     }
-    let weights = if weighted {
-        let mut w = Vec::with_capacity(ecount);
-        for _ in 0..ecount {
-            w.push(data.get_f32_le());
-        }
-        Some(w)
-    } else {
-        None
-    };
+    let weights = weighted.then(|| {
+        (0..ecount)
+            .map(|_| f32::from_le_bytes(r.take()))
+            .collect()
+    });
     Csr::from_parts(offsets, targets, weights)
 }
 

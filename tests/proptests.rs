@@ -1,6 +1,10 @@
-//! Property-based tests over the core invariants.
-
-use proptest::prelude::*;
+//! Randomized property tests over the core invariants.
+//!
+//! These were originally written with `proptest`; the workspace must
+//! build without registry access, so the same invariants are now driven
+//! by the in-tree `fm_rng` generator over a fixed number of seeded
+//! cases.  Failures print the case seed so a shrunk repro can be added
+//! as a dedicated unit test.
 
 use flashmob_repro::flashmob::partition::{Partition, PartitionMap, SamplePolicy};
 use flashmob_repro::flashmob::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
@@ -9,7 +13,20 @@ use flashmob_repro::graph::relabel::sort_by_degree;
 use flashmob_repro::graph::{io, synth, Csr, GraphBuilder, VertexId};
 use flashmob_repro::mckp::{solve, solve_brute_force, Item};
 use flashmob_repro::memsim::NullProbe;
-use flashmob_repro::rng::{AliasTable, Xorshift64Star};
+use flashmob_repro::rng::{AliasTable, Rng64, Xorshift64Star};
+
+/// Uniform integer in [lo, hi) from the test-case RNG.
+fn gen_range(rng: &mut Xorshift64Star, lo: u64, hi: u64) -> u64 {
+    assert!(lo < hi);
+    lo + rng.next_u64() % (hi - lo)
+}
+
+fn gen_vec(rng: &mut Xorshift64Star, len_range: (u64, u64), val_range: (u64, u64)) -> Vec<u32> {
+    let len = gen_range(rng, len_range.0, len_range.1) as usize;
+    (0..len)
+        .map(|_| gen_range(rng, val_range.0, val_range.1) as u32)
+        .collect()
+}
 
 /// Random cut points over [0, n) -> contiguous partitions.
 fn partitions_from_cuts(mut cuts: Vec<u32>, n: u32) -> Vec<Partition> {
@@ -33,14 +50,12 @@ fn partitions_from_cuts(mut cuts: Vec<u32>, n: u32) -> Vec<Partition> {
     parts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn shuffle_is_a_stable_permutation(
-        walkers in proptest::collection::vec(0u32..64, 1..300),
-        cuts in proptest::collection::vec(1u32..64, 0..6),
-    ) {
+#[test]
+fn shuffle_is_a_stable_permutation() {
+    for case in 0..64u64 {
+        let mut rng = Xorshift64Star::new(0x5151_0000 + case);
+        let walkers = gen_vec(&mut rng, (1, 300), (0, 64));
+        let cuts = gen_vec(&mut rng, (0, 6), (1, 64));
         let parts = partitions_from_cuts(cuts, 64);
         let map = PartitionMap::new(&parts, 64);
         let shuffler = Shuffler::single_level(&map);
@@ -48,18 +63,26 @@ proptest! {
         let mut sw = vec![0; walkers.len()];
         let mut p = NullProbe;
         shuffler.count(&walkers, &mut scratch, ShuffleAddrs::default(), &mut p);
-        shuffler.scatter(&walkers, None, &mut sw, None, &mut scratch, ShuffleAddrs::default(), &mut p);
+        shuffler.scatter(
+            &walkers,
+            None,
+            &mut sw,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
 
         // Permutation: same multiset.
         let mut a = walkers.clone();
         let mut b = sw.clone();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
 
         // Grouped: partition indices are non-decreasing across sw.
         let bins: Vec<usize> = sw.iter().map(|&v| map.partition_of(v)).collect();
-        prop_assert!(bins.windows(2).all(|w| w[0] <= w[1]));
+        assert!(bins.windows(2).all(|w| w[0] <= w[1]), "case {case}");
 
         // Stable: within every bin, original scan order is preserved.
         let mut expected: Vec<Vec<u32>> = vec![Vec::new(); map.bins()];
@@ -67,14 +90,16 @@ proptest! {
             expected[map.partition_of(v)].push(v);
         }
         let flat: Vec<u32> = expected.into_iter().flatten().collect();
-        prop_assert_eq!(flat, sw);
+        assert_eq!(flat, sw, "case {case}");
     }
+}
 
-    #[test]
-    fn gather_inverts_scatter_for_any_input(
-        walkers in proptest::collection::vec(0u32..128, 1..300),
-        cuts in proptest::collection::vec(1u32..128, 0..8),
-    ) {
+#[test]
+fn gather_inverts_scatter_for_any_input() {
+    for case in 0..64u64 {
+        let mut rng = Xorshift64Star::new(0x6a77_0000 + case);
+        let walkers = gen_vec(&mut rng, (1, 300), (0, 128));
+        let cuts = gen_vec(&mut rng, (0, 8), (1, 128));
         let parts = partitions_from_cuts(cuts, 128);
         let map = PartitionMap::new(&parts, 128);
         let shuffler = Shuffler::single_level(&map);
@@ -83,88 +108,128 @@ proptest! {
         let mut back = vec![0; walkers.len()];
         let mut p = NullProbe;
         shuffler.count(&walkers, &mut scratch, ShuffleAddrs::default(), &mut p);
-        shuffler.scatter(&walkers, None, &mut sw, None, &mut scratch, ShuffleAddrs::default(), &mut p);
-        shuffler.gather(&walkers, &sw, &mut back, None, None, &mut scratch, ShuffleAddrs::default(), &mut p);
-        prop_assert_eq!(back, walkers);
+        shuffler.scatter(
+            &walkers,
+            None,
+            &mut sw,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        shuffler.gather(
+            &walkers,
+            &sw,
+            &mut back,
+            None,
+            None,
+            &mut scratch,
+            ShuffleAddrs::default(),
+            &mut p,
+        );
+        assert_eq!(back, walkers, "case {case}");
     }
+}
 
-    #[test]
-    fn mckp_dp_matches_brute_force(
-        class_sizes in proptest::collection::vec(1usize..4, 1..4),
-        profits in proptest::collection::vec(-20i32..20, 12),
-        weights in proptest::collection::vec(0u32..6, 12),
-        capacity in 0u32..12,
-    ) {
+#[test]
+fn mckp_dp_matches_brute_force() {
+    for case in 0..64u64 {
+        let mut rng = Xorshift64Star::new(0x3c4b_0000 + case);
+        let nclasses = gen_range(&mut rng, 1, 4) as usize;
         let mut classes = Vec::new();
-        let mut idx = 0;
-        for &cs in &class_sizes {
-            let mut items = Vec::new();
-            for _ in 0..cs {
-                items.push(Item {
-                    profit: profits[idx % profits.len()] as f64,
-                    weight: weights[idx % weights.len()],
-                });
-                idx += 1;
-            }
+        for _ in 0..nclasses {
+            let nitems = gen_range(&mut rng, 1, 4) as usize;
+            let items: Vec<Item> = (0..nitems)
+                .map(|_| Item {
+                    profit: gen_range(&mut rng, 0, 40) as f64 - 20.0,
+                    weight: gen_range(&mut rng, 0, 6) as u32,
+                })
+                .collect();
             classes.push(items);
         }
+        let capacity = gen_range(&mut rng, 0, 12) as u32;
         let fast = solve(&classes, capacity);
         let slow = solve_brute_force(&classes, capacity);
         match (fast, slow) {
             (Ok(f), Ok(s)) => {
-                prop_assert!((f.profit - s.profit).abs() < 1e-9);
-                prop_assert!(f.weight <= capacity);
+                assert!((f.profit - s.profit).abs() < 1e-9, "case {case}");
+                assert!(f.weight <= capacity, "case {case}");
             }
             (Err(_), Err(_)) => {}
-            (f, s) => prop_assert!(false, "disagreement: {f:?} vs {s:?}"),
+            (f, s) => panic!("case {case} disagreement: {f:?} vs {s:?}"),
         }
     }
+}
 
-    #[test]
-    fn alias_table_marginals_match_weights(
-        raw in proptest::collection::vec(0u32..50, 2..12),
-    ) {
+#[test]
+fn alias_table_marginals_match_weights() {
+    for case in 0..8u64 {
+        let mut rng = Xorshift64Star::new(0xa11a_0000 + case);
+        let raw = gen_vec(&mut rng, (2, 12), (0, 50));
         let weights: Vec<f64> = raw.iter().map(|&w| w as f64).collect();
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        if weights.iter().sum::<f64>() <= 0.0 {
+            continue;
+        }
         let table = AliasTable::new(&weights).unwrap();
-        let mut rng = Xorshift64Star::new(42);
+        let mut draw_rng = Xorshift64Star::new(42);
         let draws = 60_000;
         let mut counts = vec![0usize; weights.len()];
         for _ in 0..draws {
-            counts[table.sample(&mut rng)] += 1;
+            counts[table.sample(&mut draw_rng)] += 1;
         }
         let total: f64 = weights.iter().sum();
         for (i, &w) in weights.iter().enumerate() {
             let expected = w / total;
             let got = counts[i] as f64 / draws as f64;
-            prop_assert!((expected - got).abs() < 0.02,
-                "outcome {}: expected {:.3} got {:.3}", i, expected, got);
+            assert!(
+                (expected - got).abs() < 0.02,
+                "case {case} outcome {i}: expected {expected:.3} got {got:.3}"
+            );
         }
     }
+}
 
-    #[test]
-    fn graph_binary_roundtrip(
-        edges in proptest::collection::vec((0u32..40, 0u32..40), 1..150),
-    ) {
+#[test]
+fn graph_binary_roundtrip() {
+    for case in 0..64u64 {
+        let mut rng = Xorshift64Star::new(0xb19a_0000 + case);
+        let nedges = gen_range(&mut rng, 1, 150) as usize;
+        let edges: Vec<(u32, u32)> = (0..nedges)
+            .map(|_| {
+                (
+                    gen_range(&mut rng, 0, 40) as u32,
+                    gen_range(&mut rng, 0, 40) as u32,
+                )
+            })
+            .collect();
         let mut b = GraphBuilder::new();
         b.add_edges(edges);
         let g = b.build().unwrap();
         let bytes = io::encode_binary(&g);
         let g2 = io::decode_binary(&bytes).unwrap();
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2, "case {case}");
     }
+}
 
-    #[test]
-    fn relabel_preserves_multigraph_structure(
-        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..100),
-    ) {
+#[test]
+fn relabel_preserves_multigraph_structure() {
+    for case in 0..64u64 {
+        let mut rng = Xorshift64Star::new(0x4e1a_0000 + case);
+        let nedges = gen_range(&mut rng, 1, 100) as usize;
+        let edges: Vec<(u32, u32)> = (0..nedges)
+            .map(|_| {
+                (
+                    gen_range(&mut rng, 0, 30) as u32,
+                    gen_range(&mut rng, 0, 30) as u32,
+                )
+            })
+            .collect();
         let g = Csr::from_edges(30, &edges).unwrap();
         let (sorted, relabel) = sort_by_degree(&g);
-        prop_assert_eq!(sorted.edge_count(), g.edge_count());
+        assert_eq!(sorted.edge_count(), g.edge_count(), "case {case}");
         // Degree sequence sorted descending.
-        let degs: Vec<usize> =
-            (0..30).map(|v| sorted.degree(v as VertexId)).collect();
-        prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]));
+        let degs: Vec<usize> = (0..30).map(|v| sorted.degree(v as VertexId)).collect();
+        assert!(degs.windows(2).all(|w| w[0] >= w[1]), "case {case}");
         // Edge multiset preserved under the bijection.
         let mut orig: Vec<(u32, u32)> = g.edges().collect();
         let mut back: Vec<(u32, u32)> = sorted
@@ -173,21 +238,20 @@ proptest! {
             .collect();
         orig.sort_unstable();
         back.sort_unstable();
-        prop_assert_eq!(orig, back);
+        assert_eq!(orig, back, "case {case}");
     }
 }
 
-proptest! {
-    // Engine runs are slower; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+// Engine runs are slower; fewer cases.
 
-    #[test]
-    fn every_walk_stays_on_edges(
-        n in 50usize..300,
-        seed in 0u64..1000,
-        walkers in 10usize..100,
-        steps in 1usize..10,
-    ) {
+#[test]
+fn every_walk_stays_on_edges() {
+    for case in 0..12u64 {
+        let mut rng = Xorshift64Star::new(0xedbe_0000 + case);
+        let n = gen_range(&mut rng, 50, 300) as usize;
+        let seed = gen_range(&mut rng, 0, 1000);
+        let walkers = gen_range(&mut rng, 10, 100) as usize;
+        let steps = gen_range(&mut rng, 1, 10) as usize;
         let g = synth::power_law(n, 2.0, 1, 20, seed);
         let engine = FlashMob::new(
             &g,
@@ -196,29 +260,35 @@ proptest! {
         .unwrap();
         let out = engine.run().unwrap();
         for path in out.paths() {
-            prop_assert_eq!(path.len(), steps + 1);
+            assert_eq!(path.len(), steps + 1, "case {case}");
             for hop in path.windows(2) {
-                prop_assert!(g.neighbors(hop[0]).contains(&hop[1]));
+                assert!(g.neighbors(hop[0]).contains(&hop[1]), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn thread_count_never_changes_results(
-        seed in 0u64..500,
-        threads in 2usize..5,
-    ) {
+#[test]
+fn thread_count_never_changes_results() {
+    for case in 0..12u64 {
+        let mut rng = Xorshift64Star::new(0x711d_0000 + case);
+        let seed = gen_range(&mut rng, 0, 500);
+        let threads = gen_range(&mut rng, 2, 5) as usize;
         let g = synth::power_law(200, 2.0, 1, 30, seed);
         let run = |t: usize| {
             FlashMob::new(
                 &g,
-                WalkConfig::deepwalk().walkers(150).steps(5).seed(seed).threads(t),
+                WalkConfig::deepwalk()
+                    .walkers(150)
+                    .steps(5)
+                    .seed(seed)
+                    .threads(t),
             )
             .unwrap()
             .run()
             .unwrap()
             .paths()
         };
-        prop_assert_eq!(run(1), run(threads));
+        assert_eq!(run(1), run(threads), "case {case} threads {threads}");
     }
 }
