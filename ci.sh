@@ -2,7 +2,9 @@
 # Tier-1 verification plus lints, as a single gate:
 #   1. release build of the whole workspace
 #   2. full test suite
-#   3. clippy with warnings promoted to errors
+#   3. cross-engine conformance, quick tier (sub-second; pass
+#      CONFORM_FULL=1 to sweep the full thread lattice instead)
+#   4. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -12,6 +14,13 @@ cargo build --release --workspace
 
 echo "== cargo test =="
 cargo test -q --workspace
+
+echo "== fmwalk conform (oracle + golden traces) =="
+if [[ "${CONFORM_FULL:-0}" == "1" ]]; then
+    cargo run --release -q -p fm-cli -- conform --full
+else
+    cargo run --release -q -p fm-cli -- conform --quick
+fi
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

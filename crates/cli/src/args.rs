@@ -79,6 +79,14 @@ pub enum Command {
         /// Use the small grid.
         quick: bool,
     },
+    /// `fmwalk conform`.
+    Conform {
+        /// Run the full {1, 2, 3, 8}-thread lattice instead of the CI
+        /// quick tier's {1, 8}.
+        full: bool,
+        /// Print golden-table rows for every cell instead of checking.
+        emit_golden: bool,
+    },
     /// `fmwalk help`.
     Help,
 }
@@ -397,6 +405,19 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             }
             Ok(Command::Profile { out, quick })
         }
+        "conform" => {
+            let mut full = false;
+            let mut emit_golden = false;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--quick" => full = false,
+                    "--full" => full = true,
+                    "--emit-golden" => emit_golden = true,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Conform { full, emit_golden })
+        }
         other => Err(err(format!("unknown command {other}; try `fmwalk help`"))),
     }
 }
@@ -541,6 +562,39 @@ mod tests {
             .contains("bad value"));
         assert!(p("frobnicate").unwrap_err().0.contains("unknown command"));
         assert!(p("synth ring").unwrap_err().0.contains("output path"));
+    }
+
+    #[test]
+    fn conform_flags() {
+        assert_eq!(
+            p("conform").unwrap(),
+            Command::Conform {
+                full: false,
+                emit_golden: false
+            }
+        );
+        assert_eq!(
+            p("conform --quick").unwrap(),
+            Command::Conform {
+                full: false,
+                emit_golden: false
+            }
+        );
+        assert_eq!(
+            p("conform --full").unwrap(),
+            Command::Conform {
+                full: true,
+                emit_golden: false
+            }
+        );
+        assert_eq!(
+            p("conform --full --emit-golden").unwrap(),
+            Command::Conform {
+                full: true,
+                emit_golden: true
+            }
+        );
+        assert!(p("conform --fast").unwrap_err().0.contains("unknown flag"));
     }
 
     #[test]

@@ -300,6 +300,95 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             }
             Ok(())
         }
+        Command::Conform { full, emit_golden } => {
+            use fm_conformance::runner::{self, AlgoKind, EngineKind, LatticeConfig, Outcome};
+
+            if emit_golden {
+                // Golden digests cover the *full* thread lattice so the
+                // quick tier's cells are always a committed subset.
+                writeln!(
+                    out,
+                    "// Paste into crates/conformance/src/golden.rs (GOLDEN table):"
+                )
+                .map_err(fail)?;
+                for engine in EngineKind::ALL {
+                    for algo in AlgoKind::ALL {
+                        for threads in [1usize, 2, 3, 8] {
+                            if let Some(d) = runner::cell_digest(engine, algo, threads) {
+                                writeln!(
+                                    out,
+                                    "    (\"{}\", \"{}\", {}, {:#018x}),",
+                                    engine.label(),
+                                    algo.label(),
+                                    threads,
+                                    d
+                                )
+                                .map_err(fail)?;
+                            }
+                        }
+                    }
+                }
+                return Ok(());
+            }
+
+            let config = if full {
+                LatticeConfig::full()
+            } else {
+                LatticeConfig::quick()
+            };
+            let report = runner::run_lattice(&config);
+            writeln!(
+                out,
+                "conformance lattice ({} tier): {} cells, per-test alpha {:.2e}",
+                if full { "full" } else { "quick" },
+                report.cells.len(),
+                report.per_test_alpha
+            )
+            .map_err(fail)?;
+            writeln!(
+                out,
+                "{:<14} {:<9} {:>7}  {:<7} detail",
+                "engine", "algo", "threads", "result"
+            )
+            .map_err(fail)?;
+            for cell in &report.cells {
+                let (result, detail) = match &cell.outcome {
+                    Outcome::Pass {
+                        occupancy_p,
+                        transition_p,
+                        digest,
+                        golden_checked,
+                    } => (
+                        "pass",
+                        format!(
+                            "p_occ {occupancy_p:.3}, p_tr {transition_p:.3}, \
+                             digest {digest:#018x}{}",
+                            if *golden_checked { " (golden ok)" } else { "" }
+                        ),
+                    ),
+                    Outcome::Skipped { reason } => ("skip", (*reason).to_string()),
+                    Outcome::Fail { reason } => ("FAIL", reason.clone()),
+                };
+                writeln!(
+                    out,
+                    "{:<14} {:<9} {:>7}  {:<7} {}",
+                    cell.engine.label(),
+                    cell.algo.label(),
+                    cell.threads,
+                    result,
+                    detail
+                )
+                .map_err(fail)?;
+            }
+            let (passed, skipped, failed) = report.tally();
+            writeln!(out, "{passed} passed, {skipped} skipped, {failed} failed").map_err(fail)?;
+            if failed > 0 {
+                return Err(CmdError(format!(
+                    "{failed} conformance cell(s) failed; see table above"
+                )));
+            }
+            Ok(())
+        }
     }
 }
 

@@ -26,6 +26,7 @@ USAGE:
                       [--scale N] [--edge-factor N] [--m N] [--beta X]
                       [--degree N] [--seed N]
   fmwalk profile [--out <profile.txt>] [--quick]
+  fmwalk conform [--quick | --full] [--emit-golden]
   fmwalk help
 
 Graphs are loaded as the binary format when the file starts with the

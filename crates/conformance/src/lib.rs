@@ -1,0 +1,40 @@
+//! Cross-engine conformance: exact Markov-chain oracles, a
+//! differential lattice runner, and golden-trace digests.
+//!
+//! FlashMob's entire design bet (PAPER.md §3) is that reorganizing
+//! *when and where* sampling happens — PS/DS policies, the two-pass
+//! counting shuffle, NUMA partitioning or replication, out-of-core
+//! streaming — must not change *what* is sampled: every engine
+//! realizes the same Markov chain.  This crate is the gate that makes
+//! that claim testable after every refactor:
+//!
+//! * [`oracle`] — closed-form one-step transition matrices for
+//!   DeepWalk (uniform and weighted) and node2vec (exact p/q biases
+//!   with exact connectivity), plus exact k-step occupancy by repeated
+//!   matrix application ([`matrix`]).
+//! * [`runner`] — sweeps {FlashMob auto/PS/DS, NUMA-P/R, out-of-core,
+//!   KnightKing, GraphVite} × {deepwalk, weighted, node2vec} ×
+//!   thread counts and chi-square-tests each cell's final occupancy
+//!   and last-hop transitions against the oracle, with fixed seeds and
+//!   a Bonferroni-corrected alpha (zero flake budget).
+//! * [`digest`] / [`golden`] — bit-exact FNV-1a digests of each cell's
+//!   path matrix, committed so that a refactor which silently perturbs
+//!   RNG stream assignment fails loudly even when the perturbed walk
+//!   is statistically indistinguishable.
+//!
+//! Driven by `fmwalk conform` (quick tier in `ci.sh`, full lattice
+//! behind `--full`).
+
+pub mod digest;
+pub mod golden;
+pub mod matrix;
+pub mod oracle;
+pub mod runner;
+
+pub use digest::{digest_paths, PathDigest};
+pub use matrix::StochasticMatrix;
+pub use oracle::{init_distribution, EdgeIndex, FirstOrderOracle, Node2VecOracle};
+pub use runner::{
+    cell_digest, conformance_graph, run_lattice, weighted_conformance_graph, AlgoKind, Cell,
+    EngineKind, LatticeConfig, LatticeReport, Outcome,
+};

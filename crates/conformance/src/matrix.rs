@@ -1,0 +1,128 @@
+//! Sparse row-stochastic matrices and their repeated application.
+//!
+//! The oracle graphs are tiny (tens of vertices), but the node2vec
+//! second-order chain lives on the *edge* state space, which can run to
+//! a few thousand states — a sparse representation keeps k-step
+//! occupancy computation exact and instant.
+
+/// A sparse row-stochastic matrix: `rows[i]` lists `(j, p)` pairs with
+/// `p > 0` and `sum_j p = 1`.
+#[derive(Debug, Clone)]
+pub struct StochasticMatrix {
+    rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl StochasticMatrix {
+    /// Builds from raw rows, normalizing each and validating that every
+    /// row has positive total mass and in-range columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty matrix, a row with no mass (a Markov chain
+    /// must leave every state), a negative entry, or an out-of-range
+    /// column index.
+    pub fn from_rows(mut rows: Vec<Vec<(u32, f64)>>) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one state");
+        let n = rows.len();
+        for (i, row) in rows.iter_mut().enumerate() {
+            let total: f64 = row.iter().map(|&(_, p)| p).sum();
+            assert!(
+                total > 0.0 && total.is_finite(),
+                "state {i} has no outgoing mass"
+            );
+            for (j, p) in row.iter_mut() {
+                assert!((*j as usize) < n, "state {i} references column {j} >= {n}");
+                assert!(*p >= 0.0, "negative transition weight at ({i}, {j})");
+                *p /= total;
+            }
+        }
+        Self { rows }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the chain has no states (never true for a valid matrix).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// One-step transition probability `P(i -> j)`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.rows[i]
+            .iter()
+            .find(|&&(c, _)| c as usize == j)
+            .map_or(0.0, |&(_, p)| p)
+    }
+
+    /// One step of the chain: `pi' = pi * P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` has the wrong length.
+    pub fn apply(&self, pi: &[f64]) -> Vec<f64> {
+        assert_eq!(pi.len(), self.rows.len(), "distribution length mismatch");
+        let mut next = vec![0.0f64; pi.len()];
+        for (i, row) in self.rows.iter().enumerate() {
+            let mass = pi[i];
+            if mass == 0.0 {
+                continue;
+            }
+            for &(j, p) in row {
+                next[j as usize] += mass * p;
+            }
+        }
+        next
+    }
+
+    /// `k` steps of the chain from `pi0` (the exact distribution after
+    /// `k` transitions).
+    pub fn power_apply(&self, pi0: &[f64], k: usize) -> Vec<f64> {
+        let mut pi = pi0.to_vec();
+        for _ in 0..k {
+            pi = self.apply(&pi);
+        }
+        pi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_normalized() {
+        let m = StochasticMatrix::from_rows(vec![vec![(0, 2.0), (1, 2.0)], vec![(0, 5.0)]]);
+        assert!((m.prob(0, 0) - 0.5).abs() < 1e-12);
+        assert!((m.prob(0, 1) - 0.5).abs() < 1e-12);
+        assert!((m.prob(1, 0) - 1.0).abs() < 1e-12);
+        assert_eq!(m.prob(1, 1), 0.0);
+    }
+
+    #[test]
+    fn apply_preserves_mass() {
+        let m = StochasticMatrix::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(0, 0.5), (2, 0.5)],
+            vec![(2, 1.0)],
+        ]);
+        let pi = m.power_apply(&[1.0, 0.0, 0.0], 7);
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_cycle_alternates() {
+        let m = StochasticMatrix::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]);
+        assert_eq!(m.power_apply(&[1.0, 0.0], 3), vec![0.0, 1.0]);
+        assert_eq!(m.power_apply(&[1.0, 0.0], 4), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outgoing mass")]
+    fn empty_row_panics() {
+        let _ = StochasticMatrix::from_rows(vec![vec![(0, 1.0)], vec![]]);
+    }
+}

@@ -263,6 +263,19 @@ impl FlashMob {
         self.addr.sprev_region + (self.config.walkers as u64) * 4
     }
 
+    /// The per-partition RNG stream ids iteration `iter` will consume
+    /// under the configured seed.
+    ///
+    /// Exposed for the conformance harness, which folds these into the
+    /// golden run digests: a refactor that changes how streams are
+    /// assigned to partitions changes the digest even when it happens to
+    /// leave one particular walk's paths intact.
+    pub fn partition_stream_ids(&self, iter: usize) -> Vec<u64> {
+        (0..self.plan.partitions.len())
+            .map(|pi| partition_stream_id(self.config.seed, iter, pi))
+            .collect()
+    }
+
     /// Runs the walk, returning the recorded output.
     pub fn run(&self) -> Result<WalkOutput, WalkError> {
         self.run_with_stats().map(|(out, _)| out)
@@ -661,7 +674,7 @@ impl FlashMob {
                     .as_deref_mut()
                     .map(|v| &mut v[part.start as usize..part.end as usize]),
             };
-            let mut rng = Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64));
+            let mut rng = Xorshift64Star::new(partition_stream_id(seed, iter, pi));
             let steps = sample_partition(
                 &self.graph,
                 part,
@@ -715,7 +728,7 @@ impl FlashMob {
         // One RNG stream per partition, continued across rounds so the
         // run stays deterministic regardless of backlog sizes.
         let mut rngs: Vec<Xorshift64Star> = (0..parts.len())
-            .map(|pi| Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64)))
+            .map(|pi| Xorshift64Star::new(partition_stream_id(seed, iter, pi)))
             .collect();
         let addr_for = |pi: usize| {
             let mut addr = self.addr.map;
@@ -835,8 +848,15 @@ impl FlashMob {
 
         // Resolution rounds: check the backlog grouped by prev-partition,
         // then redraw the rejected walkers grouped by source partition.
+        // 63 rounds give every walker up to 64 proposals in total (one in
+        // round 0 plus one per redraw), matching the unbatched path's
+        // 64-attempt cap.  Fewer rounds bias the output measurably: with
+        // per-proposal acceptance rate r, a fraction (1-r)^rounds of
+        // walkers falls through to the backstop, which accepts a uniform
+        // (weight-blind) candidate.  The backlog empties geometrically,
+        // so the loop almost always breaks long before the cap.
         let mut redraw: Vec<u32> = Vec::new();
-        for _round in 0..16 {
+        for _round in 0..63 {
             if pending.is_empty() {
                 break;
             }
@@ -978,8 +998,7 @@ impl FlashMob {
                         vp.slice_mut(part.start as usize, (part.end - part.start) as usize)
                     }),
                 };
-                let mut rng =
-                    Xorshift64Star::new(split_stream(seed, (iter * 1_000_003 + pi) as u64));
+                let mut rng = Xorshift64Star::new(partition_stream_id(seed, iter, pi));
                 // SAFETY: PS buffer and step counter `pi` belong to this
                 // range alone (ranges partition the partition indices).
                 let ps = unsafe { ps_ptr.slice_mut(pi, 1) };
@@ -1010,6 +1029,19 @@ impl FlashMob {
 /// address attribution).
 fn edge_offset(plan: &Plan, pi: usize) -> usize {
     plan.partitions[..pi].iter().map(|p| p.edges).sum()
+}
+
+/// The RNG stream id consumed by partition `pi` during iteration `iter`
+/// of a run seeded with `seed`.
+///
+/// Every sample-stage variant (sequential, parallel, batched node2vec,
+/// out-of-core) derives its per-partition generator from this single
+/// function, which is why first-order output is bit-identical across
+/// thread counts.  The conformance harness folds these ids into its
+/// golden digests so that any refactor that silently re-assigns streams
+/// fails loudly rather than shifting the sampled chain unnoticed.
+pub fn partition_stream_id(seed: u64, iter: usize, pi: usize) -> u64 {
+    split_stream(seed, (iter * 1_000_003 + pi) as u64)
 }
 
 #[cfg(test)]
@@ -1051,6 +1083,25 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn partition_stream_ids_are_distinct_and_stable() {
+        let g = synth::power_law(300, 2.0, 1, 30, 5);
+        let engine = FlashMob::new(&g, config(200, 6)).unwrap();
+        let mut all = Vec::new();
+        for iter in 0..6 {
+            let ids = engine.partition_stream_ids(iter);
+            assert_eq!(ids.len(), engine.plan().partitions.len());
+            for (pi, &id) in ids.iter().enumerate() {
+                assert_eq!(id, partition_stream_id(7, iter, pi));
+                all.push(id);
+            }
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "stream ids must not collide");
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod shuffle;
 pub mod walker;
 
 pub use algorithm::{StopRule, WalkAlgorithm};
-pub use engine::{FlashMob, RunStats, StageTimes};
+pub use engine::{partition_stream_id, FlashMob, RunStats, StageTimes};
 pub use output::WalkOutput;
 pub use partition::{Partition, PartitionMap, SamplePolicy};
 pub use pool::{DisjointSlice, PoolStats, WorkerPool};

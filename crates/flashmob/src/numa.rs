@@ -186,6 +186,54 @@ pub fn run_numa(
     }
 }
 
+/// Runs one cross-socket mode with path recording and an *explicit*
+/// walker count, returning the per-instance outputs: one output for
+/// P-mode (a single engine spans all sockets), `sockets` outputs for
+/// R-mode (independent per-socket instances, socket `s` seeded with
+/// `seed + s` exactly as [`run_numa`] seeds them).
+///
+/// [`run_numa`] sizes walkers from a DRAM budget and reports timings
+/// only; the conformance harness needs the actual sampled paths of both
+/// modes to prove they realize the same Markov chain, which is what this
+/// entry point provides.
+pub fn run_numa_paths(
+    graph: &Csr,
+    base: WalkConfig,
+    mode: NumaMode,
+    sockets: usize,
+) -> Result<Vec<crate::output::WalkOutput>, WalkError> {
+    if sockets == 0 {
+        return Err(WalkError::Planning("need at least one socket".into()));
+    }
+    match mode {
+        NumaMode::Partitioned => {
+            let engine = FlashMob::new(graph, base.record_paths(true))?;
+            Ok(vec![engine.run()?])
+        }
+        NumaMode::Replicated => {
+            let total = base.walkers;
+            if total < sockets {
+                return Err(WalkError::NoWalkers);
+            }
+            let share = total / sockets;
+            let mut outputs = Vec::with_capacity(sockets);
+            for s in 0..sockets {
+                // The first socket absorbs the remainder so every walker
+                // is accounted for.
+                let walkers = if s == 0 { total - share * (sockets - 1) } else { share };
+                let config = base
+                    .clone()
+                    .walkers(walkers)
+                    .seed(base.seed.wrapping_add(s as u64))
+                    .record_paths(true);
+                let engine = FlashMob::new(graph, config)?;
+                outputs.push(engine.run()?);
+            }
+            Ok(outputs)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use fm_graph::relabel::{sort_by_degree, Relabeling};
 use fm_graph::{Csr, GraphError, VertexId};
 use fm_memsim::NullProbe;
-use fm_rng::{split_stream, Rng64, Xorshift64Star};
+use fm_rng::{Rng64, Xorshift64Star};
 
 use crate::output::WalkOutput;
 use crate::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
@@ -312,7 +312,7 @@ pub fn run_ooc(
 
             let base = disk.offsets[part.start as usize];
             let mut rng =
-                Xorshift64Star::new(split_stream(config.seed, (iter * 1_000_003 + pi) as u64));
+                Xorshift64Star::new(crate::engine::partition_stream_id(config.seed, iter, pi));
             for j in a..b {
                 let v = sw[j];
                 let lo = disk.offsets[v as usize] - base;

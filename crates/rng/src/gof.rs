@@ -104,12 +104,23 @@ fn gamma_q(a: f64, x: f64) -> f64 {
     }
 }
 
+/// Iteration budget for the series/continued-fraction evaluations.
+///
+/// Both expansions converge in O(sqrt(a)) iterations near the series/CF
+/// crossover at `x = a + 1`, so a fixed cap of 500 silently truncates
+/// once the degrees of freedom climb into the hundreds of thousands —
+/// exactly the regime the conformance lattice's transition tests reach
+/// (one bin per distinct edge).  Scale the budget with `a` instead.
+fn gamma_iterations(a: f64) -> usize {
+    (500.0 + 10.0 * a.sqrt()).min(1e7) as usize
+}
+
 /// Lower regularized gamma by series expansion (x < a + 1).
 fn gamma_p_series(a: f64, x: f64) -> f64 {
     let mut term = 1.0 / a;
     let mut sum = term;
     let mut n = a;
-    for _ in 0..500 {
+    for _ in 0..gamma_iterations(a) {
         n += 1.0;
         term *= x / n;
         sum += term;
@@ -127,7 +138,7 @@ fn gamma_q_cf(a: f64, x: f64) -> f64 {
     let mut c = 1.0 / tiny;
     let mut d = 1.0 / b;
     let mut h = d;
-    for i in 1..500 {
+    for i in 1..gamma_iterations(a) {
         let an = -(i as f64) * (i as f64 - a);
         b += 2.0;
         d = an * d + b;
@@ -198,6 +209,43 @@ mod tests {
         assert!((chi_square_sf(6.635, 1.0) - 0.01).abs() < 0.001);
         // SF at 0 is 1.
         assert_eq!(chi_square_sf(0.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn chi_square_sf_high_dof() {
+        // The chi-square mean is k, and for large k the distribution is
+        // nearly symmetric, so SF(k; k) sits just below 1/2 (the median
+        // is about k - 2/3).  The fixed 500-iteration budget used to
+        // underflow these to garbage.
+        for &k in &[1e3, 1e5, 1e6] {
+            let sf = chi_square_sf(k, k);
+            assert!(
+                sf > 0.45 && sf < 0.5,
+                "sf({k}, {k}) = {sf} outside (0.45, 0.5)"
+            );
+        }
+        // Far tails stay exact: mean + 5 sigma has SF ~ 2.8e-7.
+        let k: f64 = 1e6;
+        let sf_tail = chi_square_sf(k + 5.0 * (2.0 * k).sqrt(), k);
+        assert!(
+            sf_tail > 1e-8 && sf_tail < 1e-6,
+            "5-sigma tail sf = {sf_tail}"
+        );
+    }
+
+    #[test]
+    fn chi_square_sf_continuous_at_series_cf_boundary() {
+        // gamma_q switches from series to continued fraction at
+        // x = a + 1; the two evaluations must agree there.
+        for &k in &[10.0, 1e3, 1e5] {
+            let x = k + 2.0; // chi_square_sf halves both ⇒ a+1 boundary
+            let below = chi_square_sf(x - 1e-9, k);
+            let above = chi_square_sf(x + 1e-9, k);
+            assert!(
+                (below - above).abs() < 1e-9,
+                "discontinuity at dof {k}: {below} vs {above}"
+            );
+        }
     }
 
     #[test]

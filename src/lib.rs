@@ -16,6 +16,8 @@
 //! * [`mckp`] — the exact Multiple-Choice Knapsack DP solver.
 //! * [`profiler`] — offline machine profiling feeding the planner.
 //! * [`baseline`] — KnightKing- and GraphVite-style comparison engines.
+//! * [`conformance`] — exact Markov-chain oracles and the cross-engine
+//!   differential conformance lattice (`fmwalk conform`).
 //!
 //! # Quickstart
 //!
@@ -32,6 +34,7 @@
 
 pub use flashmob;
 pub use fm_baseline as baseline;
+pub use fm_conformance as conformance;
 pub use fm_graph as graph;
 pub use fm_mckp as mckp;
 pub use fm_memsim as memsim;

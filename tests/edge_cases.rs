@@ -212,6 +212,184 @@ fn max_degree_hub_with_degree_one_tail() {
 }
 
 #[test]
+fn node2vec_on_self_loops_hits_the_return_branch() {
+    // A self-loop makes the "candidate == predecessor" (distance-0,
+    // weight 1/p) branch reachable from the looped vertex itself; the
+    // exact oracle pins the resulting chain and the engines must match
+    // it.  Graph: 0 has a self-loop and an edge to 1; 1 connects back.
+    use flashmob_repro::conformance::{init_distribution, Node2VecOracle};
+    use flashmob_repro::rng::gof::chi_square_test;
+
+    let g = Csr::from_edges(2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+    let (p, q) = (0.3, 3.0);
+    let (walkers, steps) = (20_000usize, 6usize);
+    let oracle = Node2VecOracle::new(&g, p, q);
+    let init = WalkerInit::Fixed(vec![0]);
+    let pi0 = init_distribution(&g, &init, walkers);
+    let expected: Vec<f64> = oracle
+        .occupancy(&pi0, steps)
+        .iter()
+        .map(|x| x * walkers as f64)
+        .collect();
+
+    let fm = FlashMob::new(
+        &g,
+        WalkConfig::node2vec(p, q)
+            .walkers(walkers)
+            .steps(steps)
+            .seed(11)
+            .init(init.clone())
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    let bl = Baseline::new(
+        &g,
+        BaselineConfig::knightking_deepwalk()
+            .algorithm(flashmob_repro::flashmob::WalkAlgorithm::Node2Vec { p, q })
+            .walkers(walkers)
+            .steps(steps)
+            .seed(11)
+            .init(init),
+    )
+    .unwrap();
+    for paths in [fm.run().unwrap().paths(), bl.run().unwrap().paths()] {
+        let mut counts = vec![0u64; 2];
+        for path in &paths {
+            for hop in path.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+            counts[*path.last().unwrap() as usize] += 1;
+        }
+        let r = chi_square_test(&counts, &expected);
+        assert!(r.fits(1e-4), "self-loop node2vec p = {}", r.p_value);
+    }
+}
+
+#[test]
+fn node2vec_on_star_exercises_both_connectivity_extremes() {
+    // On a star the connectivity check is degenerate in both
+    // directions: stepping hub -> leaf, the return edge (leaf == prev)
+    // always exists, and any other leaf is never adjacent to the
+    // previous leaf (distance 2, weight 1/q); stepping leaf -> hub the
+    // only candidate is the hub's predecessor.  From state
+    // (prev = leaf_a, cur = hub): P(leaf_a) ∝ 1/p, P(other leaf) ∝ 1/q.
+    use flashmob_repro::conformance::Node2VecOracle;
+    use flashmob_repro::rng::gof::chi_square_test;
+
+    let leaves = 9usize;
+    let g = synth::star(leaves + 1); // hub 0, leaves 1..=9
+    let (p, q) = (0.2, 5.0);
+    let oracle = Node2VecOracle::new(&g, p, q);
+    let s = oracle.edge_index().index_of(1, 0).unwrap();
+    let back = oracle.edge_index().index_of(0, 1).unwrap();
+    // 1/p = 5 vs (leaves-1)/q = 1.6 of total 6.6.
+    let want_return = (1.0 / p) / (1.0 / p + (leaves - 1) as f64 / q);
+    assert!((oracle.matrix().prob(s, back) - want_return).abs() < 1e-12);
+
+    // Walkers start on leaf 1; step 1 goes to the hub; step 2 decides.
+    let (walkers, steps) = (30_000usize, 2usize);
+    let engine = FlashMob::new(
+        &g,
+        WalkConfig::node2vec(p, q)
+            .walkers(walkers)
+            .steps(steps)
+            .seed(7)
+            .init(WalkerInit::Fixed(vec![1]))
+            .planner(tiny_planner()),
+    )
+    .unwrap();
+    let mut returned = 0u64;
+    let mut elsewhere = 0u64;
+    for path in engine.run().unwrap().paths() {
+        assert_eq!(path[1], 0, "step 1 must reach the hub");
+        if path[2] == 1 {
+            returned += 1;
+        } else {
+            elsewhere += 1;
+        }
+    }
+    let r = chi_square_test(
+        &[returned, elsewhere],
+        &[
+            want_return * walkers as f64,
+            (1.0 - want_return) * walkers as f64,
+        ],
+    );
+    assert!(r.fits(1e-4), "star return share p = {}", r.p_value);
+}
+
+#[test]
+fn zero_walkers_and_zero_steps_return_cleanly_on_every_engine() {
+    use flashmob_repro::flashmob::numa::{run_numa_paths, NumaMode};
+    use flashmob_repro::flashmob::oocore::{run_ooc, DiskGraph};
+    use flashmob_repro::flashmob::WalkError;
+
+    let g = synth::power_law(64, 2.0, 2, 12, 21);
+    let fm_cfg = WalkConfig::deepwalk().planner(tiny_planner());
+
+    // walkers = 0: a defined error, never a panic, on every entry point.
+    for strategy in [
+        PlanStrategy::DynamicProgramming,
+        PlanStrategy::UniformPs,
+        PlanStrategy::UniformDs,
+    ] {
+        let err = FlashMob::new(&g, fm_cfg.clone().walkers(0).strategy(strategy)).err();
+        assert!(matches!(err, Some(WalkError::NoWalkers)), "{strategy:?}");
+    }
+    for kind in [
+        BaselineConfig::knightking_deepwalk(),
+        BaselineConfig::graphvite_deepwalk(),
+    ] {
+        let err = Baseline::new(&g, kind.walkers(0)).err();
+        assert!(matches!(err, Some(WalkError::NoWalkers)));
+    }
+    for mode in [NumaMode::Partitioned, NumaMode::Replicated] {
+        let err = run_numa_paths(&g, fm_cfg.clone().walkers(0), mode, 2).err();
+        assert!(matches!(err, Some(WalkError::NoWalkers)), "{mode:?}");
+    }
+    let disk_path = std::env::temp_dir().join("fm_edge_zero_walkers.fmdisk");
+    let disk = DiskGraph::create(&g, &disk_path).unwrap();
+    let err = run_ooc(&disk, &fm_cfg.clone().walkers(0), 1 << 16).err();
+    assert!(matches!(err, Some(WalkError::NoWalkers)));
+
+    // steps = 0: every engine returns the initial placement unscathed.
+    let zero_steps = fm_cfg.clone().walkers(12).steps(0);
+    for strategy in [
+        PlanStrategy::DynamicProgramming,
+        PlanStrategy::UniformPs,
+        PlanStrategy::UniformDs,
+    ] {
+        let out = FlashMob::new(&g, zero_steps.clone().strategy(strategy))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.paths().iter().all(|p| p.len() == 1), "{strategy:?}");
+    }
+    for kind in [
+        BaselineConfig::knightking_deepwalk(),
+        BaselineConfig::graphvite_deepwalk(),
+    ] {
+        let out = Baseline::new(&g, kind.walkers(12).steps(0))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(out.paths().iter().all(|p| p.len() == 1));
+    }
+    for mode in [NumaMode::Partitioned, NumaMode::Replicated] {
+        let outputs = run_numa_paths(&g, zero_steps.clone(), mode, 2).unwrap();
+        let total: usize = outputs.iter().map(|o| o.paths().len()).sum();
+        assert_eq!(total, 12, "{mode:?}");
+        for o in &outputs {
+            assert!(o.paths().iter().all(|p| p.len() == 1));
+        }
+    }
+    let (out, stats) = run_ooc(&disk, &zero_steps, 1 << 16).unwrap();
+    assert_eq!(stats.steps_taken, 0);
+    assert!(out.paths().iter().all(|p| p.len() == 1));
+    std::fs::remove_file(disk_path).ok();
+}
+
+#[test]
 fn walker_ids_preserved_across_episodes_and_outputs() {
     let g = synth::cycle(16);
     let engine = FlashMob::new(
