@@ -4,7 +4,9 @@
 #   2. full test suite
 #   3. cross-engine conformance, quick tier (sub-second; pass
 #      CONFORM_FULL=1 to sweep the full thread lattice instead)
-#   4. clippy with warnings promoted to errors
+#   4. telemetry tier: compile-out build, overhead guard, and an
+#      end-to-end `walk --trace` -> `trace-check` round trip
+#   5. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -21,6 +23,23 @@ if [[ "${CONFORM_FULL:-0}" == "1" ]]; then
 else
     cargo run --release -q -p fm-cli -- conform --quick
 fi
+
+echo "== telemetry tier =="
+# The compile-out feature must keep the whole stack building and its
+# (telemetry-independent) tests green.
+cargo build --release -q -p flashmob -p fm-baseline -p fm-cli --features telemetry-off
+cargo test -q -p fm-telemetry --features telemetry-off
+# Overhead guard: enabled recorder within 5% of disabled.
+cargo test -q --test telemetry_suite telemetry_overhead_stays_under_five_percent
+# End-to-end: synth a graph, walk with tracing, validate the emitted
+# Chrome trace with the in-tree TEF checker.
+TELEMETRY_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP"' EXIT
+cargo run --release -q -p fm-cli -- synth ring "$TELEMETRY_TMP/g.bin" --n 4096 --degree 8
+cargo run --release -q -p fm-cli -- walk "$TELEMETRY_TMP/g.bin" \
+    --steps 12 --walkers 2048 --threads 2 \
+    --trace "$TELEMETRY_TMP/trace.json" --metrics "$TELEMETRY_TMP/metrics.jsonl"
+cargo run --release -q -p fm-cli -- trace-check "$TELEMETRY_TMP/trace.json"
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -6,6 +6,7 @@ use fm_graph::relabel::Relabeling;
 use fm_graph::{Csr, VertexId};
 use fm_memsim::{AccessKind, AddressSpace, NullProbe, Probe};
 use fm_rng::{split_stream, Mt19937, Rng64, Xorshift64Star};
+use fm_telemetry::{json, SpanEvent, Stage, Telemetry, NO_STEP};
 
 use flashmob::pool::{DisjointSlice, PoolStats, WorkerPool};
 
@@ -54,6 +55,52 @@ impl BaselineStats {
             return 0.0;
         }
         self.wall.as_nanos() as f64 / self.steps_taken as f64
+    }
+
+    /// Fraction of worker capacity spent idle (0.0 for sequential runs
+    /// and zero-length walls — never NaN).
+    pub fn pool_idle_ratio(&self) -> f64 {
+        let denom = self.pool.spawned as f64 * self.wall.as_secs_f64();
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (self.pool.idle.as_secs_f64() / denom).min(1.0)
+    }
+
+    /// Human-readable summary; all ratios guarded against
+    /// `steps_taken == 0`.
+    pub fn human_summary(&self) -> String {
+        let mut out = format!(
+            "walkers: {}, steps taken: {}, wall: {:.3?}\n",
+            self.walkers, self.steps_taken, self.wall
+        );
+        out.push_str(&format!("per-step: {:.1} ns\n", self.per_step_ns()));
+        if self.pool.spawned > 0 {
+            out.push_str(&format!(
+                "pool: {} threads spawned, {} epochs dispatched, {:.1?} cumulative worker idle (idle ratio {:.1}%)\n",
+                self.pool.spawned,
+                self.pool.epochs,
+                self.pool.idle,
+                100.0 * self.pool_idle_ratio(),
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled, no dependencies).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"walkers\": {}, \"steps_taken\": {}, \"wall_ns\": {}, \"per_step_ns\": {}, \
+             \"pool\": {{\"spawned\": {}, \"epochs\": {}, \"idle_ns\": {}, \"idle_ratio\": {}}}}}",
+            self.walkers,
+            self.steps_taken,
+            self.wall.as_nanos(),
+            json::num(self.per_step_ns()),
+            self.pool.spawned,
+            self.pool.epochs,
+            self.pool.idle.as_nanos(),
+            json::num(self.pool_idle_ratio()),
+        )
     }
 }
 
@@ -141,6 +188,21 @@ impl Baseline {
         self.run_internal(&mut probe, true)
     }
 
+    /// Runs the walk recording telemetry into `tel`.
+    ///
+    /// Baselines have no vertex partitions, so the partition axis maps
+    /// to the *worker chunk* index: chunk `t`'s spans and step counters
+    /// land on partition `t`, and the counter totals still sum exactly
+    /// to [`BaselineStats::steps_taken`].  Recording does not touch the
+    /// walk's RNG streams, so traced output is bit-identical.
+    pub fn run_traced(
+        &self,
+        tel: &mut Telemetry,
+    ) -> Result<(WalkOutput, BaselineStats), WalkError> {
+        let mut probe = NullProbe;
+        self.run_internal_tel(&mut probe, true, tel)
+    }
+
     /// Runs the walk feeding every memory access into `probe`.
     ///
     /// Instrumented runs execute sequentially regardless of the
@@ -165,6 +227,15 @@ impl Baseline {
         &self,
         probe: &mut P,
         allow_parallel: bool,
+    ) -> Result<(WalkOutput, BaselineStats), WalkError> {
+        self.run_internal_tel(probe, allow_parallel, &mut Telemetry::off())
+    }
+
+    fn run_internal_tel<P: Probe>(
+        &self,
+        probe: &mut P,
+        allow_parallel: bool,
+        tel: &mut Telemetry,
     ) -> Result<(WalkOutput, BaselineStats), WalkError> {
         let start = Instant::now();
         let walkers = self.config.walkers;
@@ -207,11 +278,21 @@ impl Baseline {
             let record_visits = visits.is_some();
             let shard_ptr = DisjointSlice::new(&mut shards);
             let taken = std::sync::atomic::AtomicU64::new(0);
+            // Per-worker telemetry lanes (spans) and step slots
+            // (counters), both single-writer during the dispatch and
+            // read back by the coordinator after it returns.
+            let traced = tel.is_on();
+            let origin = tel.origin();
+            let mut chunk_steps = vec![0u64; threads];
+            let chunk_ptr = DisjointSlice::new(&mut chunk_steps);
+            let lanes = tel.worker_lanes(if traced { threads } else { 0 });
+            let lanes_ptr = DisjointSlice::new(lanes);
             pool.run(&|t| {
                 let (lo, hi) = bounds[t];
                 if lo >= hi {
                     return;
                 }
+                let span_start = traced.then(|| origin.elapsed().as_nanos() as u64);
                 // SAFETY: every worker takes column range `[lo, hi)` of
                 // each row, and the ranges are pairwise disjoint.
                 let mut cols: Vec<&mut [VertexId]> = row_ptrs
@@ -229,8 +310,29 @@ impl Baseline {
                     &mut rng,
                     &mut NullProbe,
                 );
+                if let Some(start_ns) = span_start {
+                    let now = origin.elapsed().as_nanos() as u64;
+                    // SAFETY: lane `t` belongs to this worker alone.
+                    let lane = unsafe { lanes_ptr.slice_mut(t, 1) };
+                    lane[0].record(SpanEvent {
+                        stage: Stage::Sample,
+                        start_ns,
+                        dur_ns: now.saturating_sub(start_ns),
+                        thread: t as u32 + 1,
+                        step: NO_STEP,
+                        partition: t as u32,
+                    });
+                }
+                // SAFETY: step slot `t` belongs to this worker alone.
+                unsafe { chunk_ptr.slice_mut(t, 1)[0] = local };
                 taken.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
             });
+            tel.drain_workers();
+            if traced {
+                for (t, &steps) in chunk_steps.iter().enumerate() {
+                    tel.record_partition_step(t, steps, false);
+                }
+            }
             steps_taken = taken.into_inner();
             if let Some(vis) = visits.as_deref_mut() {
                 for shard in &shards {
@@ -248,8 +350,13 @@ impl Baseline {
             let mut rng = self.make_rng(self.config.seed);
             let mut cols: Vec<&mut [VertexId]> =
                 rows.iter_mut().map(Vec::as_mut_slice).collect();
+            let span_start = tel.is_on().then(|| tel.now_ns());
             steps_taken =
                 self.walk_chunk(&w0, &mut cols, visits.as_deref_mut(), &mut rng, probe);
+            if let Some(s) = span_start {
+                tel.span_since(Stage::Sample, s, NO_STEP, 0);
+                tel.record_partition_step(0, steps_taken, false);
+            }
         }
 
         let wall = start.elapsed();
@@ -558,6 +665,70 @@ mod tests {
         assert_eq!(pp.stats().accesses, sp.stats().accesses);
         assert_eq!(ps.pool.spawned, 0, "no pool in instrumented runs");
         assert_eq!(ss.steps_taken, ps.steps_taken);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_run_is_bit_identical_and_counts_exactly() {
+        let g = synth::power_law(300, 2.0, 1, 30, 2);
+        for threads in [1, 4] {
+            let engine = Baseline::new(&g, config(100, 6).threads(threads)).unwrap();
+            let (plain, ps) = engine.run_with_stats().unwrap();
+            let mut tel = fm_telemetry::Telemetry::new();
+            let (traced, ts) = engine.run_traced(&mut tel).unwrap();
+            assert_eq!(plain.paths(), traced.paths(), "tracing must not perturb RNG");
+            assert_eq!(ps.steps_taken, ts.steps_taken);
+            assert_eq!(
+                tel.partition_steps_total(),
+                ts.steps_taken,
+                "chunk counters sum to steps_taken at {threads} threads"
+            );
+            let sample_spans = tel
+                .events()
+                .iter()
+                .filter(|e| e.stage == Stage::Sample)
+                .count();
+            assert!(sample_spans >= 1, "at least one Sample span per run");
+            if threads > 1 {
+                // Worker spans carry the chunk index as partition.
+                assert!(tel
+                    .events()
+                    .iter()
+                    .any(|e| e.thread > 0 && e.partition < threads as u32));
+            }
+        }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_stats_summaries_are_machine_readable() {
+        let g = synth::cycle(16);
+        let engine = Baseline::new(&g, config(10, 3).threads(2)).unwrap();
+        let (_, stats) = engine.run_with_stats().unwrap();
+        let text = stats.human_summary();
+        assert!(text.contains("per-step"));
+        assert!(text.contains("idle ratio"));
+        let parsed = json::parse(&stats.to_json()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("steps_taken").and_then(json::Value::as_num),
+            Some(stats.steps_taken as f64)
+        );
+        assert!(parsed.get("pool").is_some());
+    }
+
+    #[test]
+    fn zero_step_stats_are_nan_free() {
+        let stats = BaselineStats {
+            walkers: 0,
+            steps_taken: 0,
+            wall: Duration::ZERO,
+            visits: None,
+            pool: PoolStats::default(),
+        };
+        assert_eq!(stats.per_step_ns(), 0.0);
+        assert_eq!(stats.pool_idle_ratio(), 0.0);
+        let text = stats.human_summary();
+        assert!(!text.contains("NaN") && !text.contains("inf"));
     }
 
     #[test]

@@ -14,13 +14,13 @@ use fm_bench::{analog, scaled_planner, HarnessOpts};
 use fm_graph::presets::PaperGraph;
 use fm_graph::Csr;
 
-fn baseline_ns(
+fn baseline_stats(
     g: &Csr,
     kind: BaselineKind,
     algo: WalkAlgorithm,
     walkers: usize,
     steps: usize,
-) -> f64 {
+) -> fm_baseline::BaselineStats {
     let cfg = BaselineConfig {
         kind,
         ..BaselineConfig::knightking_deepwalk()
@@ -34,16 +34,15 @@ fn baseline_ns(
         .run_with_stats()
         .expect("run")
         .1
-        .per_step_ns()
 }
 
-fn flashmob_ns(
+fn flashmob_stats(
     g: &Csr,
     algo: WalkAlgorithm,
     walkers: usize,
     steps: usize,
     opts: &HarnessOpts,
-) -> f64 {
+) -> flashmob::RunStats {
     let mut cfg = WalkConfig::deepwalk()
         .walkers(walkers)
         .steps(steps)
@@ -56,7 +55,22 @@ fn flashmob_ns(
         .run_with_stats()
         .expect("run")
         .1
-        .per_step_ns()
+}
+
+/// One machine-readable record per (figure, graph, engine) cell.
+fn emit_json(fig: &str, graph: &str, engine: &str, stats_json: String) {
+    use fm_telemetry::json;
+    println!(
+        "{}",
+        fm_bench::json_line(
+            fig,
+            graph,
+            &[
+                ("engine", format!("\"{}\"", json::escape(engine))),
+                ("stats", stats_json),
+            ],
+        )
+    );
 }
 
 fn main() {
@@ -72,21 +86,22 @@ fn main() {
     for which in PaperGraph::ALL {
         let g = analog(which, opts.scale);
         let walkers = g.vertex_count() * opts.walkers_mult;
-        let gv = baseline_ns(
+        let gvs = baseline_stats(
             &g,
             BaselineKind::GraphVite,
             WalkAlgorithm::DeepWalk,
             walkers,
             opts.steps,
         );
-        let kk = baseline_ns(
+        let kks = baseline_stats(
             &g,
             BaselineKind::KnightKing,
             WalkAlgorithm::DeepWalk,
             walkers,
             opts.steps,
         );
-        let fm = flashmob_ns(&g, WalkAlgorithm::DeepWalk, walkers, opts.steps, &opts);
+        let fms = flashmob_stats(&g, WalkAlgorithm::DeepWalk, walkers, opts.steps, &opts);
+        let (gv, kk, fm) = (gvs.per_step_ns(), kks.per_step_ns(), fms.per_step_ns());
         println!(
             "{:<8}{:>12.1}{:>12.1}{:>12.1}{:>9.1}x{:>9.1}x",
             which.tag(),
@@ -96,6 +111,11 @@ fn main() {
             gv / kk,
             kk / fm
         );
+        if opts.json {
+            emit_json("08a", which.tag(), "graphvite", gvs.to_json());
+            emit_json("08a", which.tag(), "knightking", kks.to_json());
+            emit_json("08a", which.tag(), "flashmob", fms.to_json());
+        }
     }
     println!("(paper: GV/KK = 2.2-3.8x, KK/FM = 5.4-13.7x, FlashMob 21.5-36.7 ns/step)");
 
@@ -112,8 +132,9 @@ fn main() {
     for which in PaperGraph::ALL {
         let g = analog(which, opts.scale);
         let walkers = g.vertex_count() * opts.walkers_mult;
-        let kk = baseline_ns(&g, BaselineKind::KnightKing, n2v, walkers, n2v_steps);
-        let fm = flashmob_ns(&g, n2v, walkers, n2v_steps, &opts);
+        let kks = baseline_stats(&g, BaselineKind::KnightKing, n2v, walkers, n2v_steps);
+        let fms = flashmob_stats(&g, n2v, walkers, n2v_steps, &opts);
+        let (kk, fm) = (kks.per_step_ns(), fms.per_step_ns());
         println!(
             "{:<8}{:>12.1}{:>12.1}{:>9.1}x",
             which.tag(),
@@ -121,6 +142,10 @@ fn main() {
             fm,
             kk / fm
         );
+        if opts.json {
+            emit_json("08b", which.tag(), "knightking", kks.to_json());
+            emit_json("08b", which.tag(), "flashmob", fms.to_json());
+        }
     }
     println!("(paper: KK/FM = 3.9-19.9x; smaller than DeepWalk because the");
     println!(" connectivity check escapes the current VP)");

@@ -25,6 +25,8 @@ pub struct HarnessOpts {
     pub walkers_mult: usize,
     /// Worker threads.
     pub threads: usize,
+    /// Also emit machine-readable JSON-lines records (one per cell).
+    pub json: bool,
 }
 
 impl HarnessOpts {
@@ -36,6 +38,7 @@ impl HarnessOpts {
             steps: 16,
             walkers_mult: 1,
             threads: 1,
+            json: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -70,6 +73,7 @@ impl HarnessOpts {
                         .and_then(|v| v.parse().ok())
                         .expect("--threads expects a number");
                 }
+                "--json" => opts.json = true,
                 other => panic!("unknown argument {other:?} (try --full)"),
             }
         }
@@ -133,6 +137,26 @@ pub fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Renders one machine-readable JSON-lines record for a benchmark cell.
+///
+/// `fields` values must already be rendered JSON (use
+/// [`fm_telemetry::json::escape`] for strings, or an engine stats
+/// `to_json()` for whole objects); keys and the fig/label pair are
+/// escaped here.
+pub fn json_line(fig: &str, label: &str, fields: &[(&str, String)]) -> String {
+    use fm_telemetry::json;
+    let mut out = format!(
+        "{{\"fig\": \"{}\", \"label\": \"{}\"",
+        json::escape(fig),
+        json::escape(label)
+    );
+    for (k, v) in fields {
+        out.push_str(&format!(", \"{}\": {}", json::escape(k), v));
+    }
+    out.push('}');
+    out
+}
+
 /// Formats a byte count with binary units.
 pub fn fmt_bytes(b: usize) -> String {
     const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
@@ -156,6 +180,29 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512.0B");
         assert_eq!(fmt_bytes(2048), "2.0KiB");
         assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+    }
+
+    #[test]
+    fn json_line_is_valid_json() {
+        use fm_telemetry::json;
+        let line = json_line(
+            "08a",
+            "YT \"quoted\"",
+            &[
+                ("per_step_ns", json::num(21.5)),
+                ("engine", format!("\"{}\"", json::escape("flashmob"))),
+            ],
+        );
+        let v = json::parse(&line).expect("valid JSON");
+        assert_eq!(v.get("fig").and_then(json::Value::as_str), Some("08a"));
+        assert_eq!(
+            v.get("label").and_then(json::Value::as_str),
+            Some("YT \"quoted\"")
+        );
+        assert_eq!(
+            v.get("per_step_ns").and_then(json::Value::as_num),
+            Some(21.5)
+        );
     }
 
     #[test]

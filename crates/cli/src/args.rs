@@ -62,6 +62,12 @@ pub enum Command {
         visits: Option<PathBuf>,
         /// Print execution statistics (stage times, pool accounting).
         stats: bool,
+        /// Optional Chrome Trace Event Format output file.
+        trace: Option<PathBuf>,
+        /// Optional JSONL metrics output file.
+        metrics: Option<PathBuf>,
+        /// Print a periodic progress heartbeat to stderr.
+        progress: bool,
     },
     /// `fmwalk synth`.
     Synth {
@@ -86,6 +92,11 @@ pub enum Command {
         full: bool,
         /// Print golden-table rows for every cell instead of checking.
         emit_golden: bool,
+    },
+    /// `fmwalk trace-check`.
+    TraceCheck {
+        /// Chrome-trace JSON file to validate.
+        file: PathBuf,
     },
     /// `fmwalk help`.
     Help,
@@ -314,6 +325,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut output = None;
             let mut visits = None;
             let mut stats = false;
+            let mut trace = None;
+            let mut metrics = None;
+            let mut progress = false;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
                     "--engine" => {
@@ -338,6 +352,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
                     "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
                     "--stats" => stats = true,
+                    "--trace" => trace = Some(PathBuf::from(c.expect("trace path")?)),
+                    "--metrics" => metrics = Some(PathBuf::from(c.expect("metrics path")?)),
+                    "--progress" => progress = true,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -359,6 +376,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 output,
                 visits,
                 stats,
+                trace,
+                metrics,
+                progress,
             })
         }
         "synth" => {
@@ -417,6 +437,13 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 }
             }
             Ok(Command::Conform { full, emit_golden })
+        }
+        "trace-check" => {
+            let file = PathBuf::from(c.expect("trace file")?);
+            if let Some(flag) = c.next() {
+                return Err(err(format!("unknown flag {flag}")));
+            }
+            Ok(Command::TraceCheck { file })
         }
         other => Err(err(format!("unknown command {other}; try `fmwalk help`"))),
     }
@@ -595,6 +622,50 @@ mod tests {
             }
         );
         assert!(p("conform --fast").unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn walk_telemetry_flags() {
+        match p("walk g.bin --trace t.json --metrics m.jsonl --progress").unwrap() {
+            Command::Walk {
+                trace,
+                metrics,
+                progress,
+                ..
+            } => {
+                assert_eq!(trace, Some(PathBuf::from("t.json")));
+                assert_eq!(metrics, Some(PathBuf::from("m.jsonl")));
+                assert!(progress);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("walk g.bin").unwrap() {
+            Command::Walk {
+                trace,
+                metrics,
+                progress,
+                ..
+            } => {
+                assert!(trace.is_none() && metrics.is_none() && !progress);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p("walk g.bin --trace").unwrap_err().0.contains("trace path"));
+    }
+
+    #[test]
+    fn trace_check_command() {
+        assert_eq!(
+            p("trace-check out.json").unwrap(),
+            Command::TraceCheck {
+                file: PathBuf::from("out.json")
+            }
+        );
+        assert!(p("trace-check").unwrap_err().0.contains("trace file"));
+        assert!(p("trace-check a.json --x")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
     }
 
     #[test]

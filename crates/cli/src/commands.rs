@@ -6,6 +6,7 @@ use std::path::Path;
 use flashmob::{FlashMob, WalkAlgorithm, WalkConfig, WalkOutput};
 use fm_baseline::{Baseline, BaselineConfig, BaselineKind};
 use fm_graph::{io, stats, synth, transform, Csr};
+use fm_telemetry::{export, tef, Telemetry};
 
 use crate::args::{AlgoChoice, Command, EngineChoice, SynthKind, SynthParams};
 
@@ -163,6 +164,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             output,
             visits,
             stats: show_stats,
+            trace,
+            metrics,
+            progress,
         } => {
             let g = load_graph(&graph)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
@@ -173,6 +177,22 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             };
             let record_paths = output.is_some();
             let record_visits = visits.is_some();
+            // Telemetry is recorded whenever any consumer asked for it;
+            // otherwise the recorder stays disabled and the engines take
+            // their untraced path.
+            let mut tel = if trace.is_some() || metrics.is_some() || progress || show_stats {
+                Telemetry::new()
+            } else {
+                Telemetry::off()
+            };
+            if progress {
+                tel.set_heartbeat(std::time::Duration::from_secs(1), |p| {
+                    eprintln!(
+                        "[fmwalk] step {}/{}: {} walker-steps in {:.1?}",
+                        p.step, p.total_steps, p.steps_taken, p.elapsed
+                    );
+                });
+            }
             let (walk_output, steps_taken, per_step_ns, visits_vec, stats_report): (
                 Option<WalkOutput>,
                 u64,
@@ -191,18 +211,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                         .record_visits(record_visits);
                     cfg.algorithm = algorithm;
                     let e = FlashMob::new(&g, cfg).map_err(fail)?;
-                    let (o, s) = e.run_with_stats().map_err(fail)?;
+                    let (o, s) = e.run_traced(&mut tel).map_err(fail)?;
                     let v = s.visits_original(e.relabeling());
-                    let report = show_stats.then(|| {
-                        let (sample, shuffle, other) = s.stage_ns_per_step();
-                        format!(
-                            "stages (ns/step): sample {sample:.1}, shuffle {shuffle:.1}, \
-                             other {other:.1}\n\
-                             pool: {} threads spawned, {} epochs dispatched, \
-                             {:.1?} cumulative worker idle",
-                            s.pool.spawned, s.pool.epochs, s.pool.idle
-                        )
-                    });
+                    let report = show_stats.then(|| s.human_summary());
                     (Some(o), s.steps_taken, s.per_step_ns(), v, report)
                 }
                 EngineChoice::KnightKing | EngineChoice::GraphVite => {
@@ -223,14 +234,8 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                     .record_paths(record_paths)
                     .record_visits(record_visits);
                     let e = Baseline::new(&g, cfg).map_err(fail)?;
-                    let (o, s) = e.run_with_stats().map_err(fail)?;
-                    let report = show_stats.then(|| {
-                        format!(
-                            "pool: {} threads spawned, {} epochs dispatched, \
-                             {:.1?} cumulative worker idle",
-                            s.pool.spawned, s.pool.epochs, s.pool.idle
-                        )
-                    });
+                    let (o, s) = e.run_traced(&mut tel).map_err(fail)?;
+                    let report = show_stats.then(|| s.human_summary());
                     (Some(o), s.steps_taken, s.per_step_ns(), s.visits, report)
                 }
             };
@@ -240,7 +245,24 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             )
             .map_err(fail)?;
             if let Some(report) = stats_report {
-                writeln!(out, "{report}").map_err(fail)?;
+                write!(out, "{report}").map_err(fail)?;
+                if tel.is_on() {
+                    write!(out, "{}", export::human_summary(&tel)).map_err(fail)?;
+                }
+            }
+            if let Some(path) = trace {
+                let f = std::fs::File::create(&path).map_err(fail)?;
+                let mut w = std::io::BufWriter::new(f);
+                export::write_chrome_trace(&mut w, &tel).map_err(fail)?;
+                w.flush().map_err(fail)?;
+                writeln!(out, "trace written to {}", path.display()).map_err(fail)?;
+            }
+            if let Some(path) = metrics {
+                let f = std::fs::File::create(&path).map_err(fail)?;
+                let mut w = std::io::BufWriter::new(f);
+                export::write_metrics_jsonl(&mut w, &tel).map_err(fail)?;
+                w.flush().map_err(fail)?;
+                writeln!(out, "metrics written to {}", path.display()).map_err(fail)?;
             }
             if let (Some(path), Some(o)) = (output, walk_output.as_ref()) {
                 let mut f = std::fs::File::create(&path).map_err(fail)?;
@@ -389,6 +411,22 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             }
             Ok(())
         }
+        Command::TraceCheck { file } => {
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| fail(format!("cannot read {}: {e}", file.display())))?;
+            let report = tef::validate(&text)
+                .map_err(|e| fail(format!("{}: invalid trace: {e}", file.display())))?;
+            writeln!(
+                out,
+                "{}: valid Chrome trace, {} events ({} complete spans) across {} lanes",
+                file.display(),
+                report.events,
+                report.complete_events,
+                report.lanes
+            )
+            .map_err(fail)?;
+            Ok(())
+        }
     }
 }
 
@@ -507,6 +545,74 @@ mod tests {
         ))
         .unwrap();
         assert!(msg.contains("pool: 2 threads spawned"), "{msg}");
+        std::fs::remove_file(bin).ok();
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn walk_trace_and_metrics_round_trip() {
+        let bin = tmp("trace_walk.bin");
+        let trace = tmp("trace_walk.json");
+        let metrics = tmp("trace_walk.jsonl");
+        exec(&format!("synth ring {} --n 128 --degree 4", bin.display())).unwrap();
+        let msg = exec(&format!(
+            "walk {} --steps 5 --walkers 64 --threads 2 --trace {} --metrics {}",
+            bin.display(),
+            trace.display(),
+            metrics.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("trace written to"), "{msg}");
+        assert!(msg.contains("metrics written to"), "{msg}");
+
+        // The emitted trace passes the in-tree TEF checker via the
+        // trace-check subcommand.
+        let msg = exec(&format!("trace-check {}", trace.display())).unwrap();
+        assert!(msg.contains("valid Chrome trace"), "{msg}");
+
+        // Every metrics line parses as JSON, and the partition counters
+        // sum exactly to the walked steps (5 steps x 64 walkers on a
+        // sink-free ring).
+        let dumped = std::fs::read_to_string(&metrics).unwrap();
+        let mut partition_steps = 0u64;
+        for line in dumped.lines() {
+            let v = fm_telemetry::json::parse(line).expect("metrics line is JSON");
+            if v.get("kind").and_then(fm_telemetry::json::Value::as_str) == Some("partition") {
+                partition_steps +=
+                    v.get("steps").and_then(fm_telemetry::json::Value::as_num).unwrap() as u64;
+            }
+        }
+        assert_eq!(partition_steps, 320);
+
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(trace).ok();
+        std::fs::remove_file(metrics).ok();
+    }
+
+    #[test]
+    fn trace_check_rejects_garbage() {
+        let bad = tmp("bad_trace.json");
+        std::fs::write(&bad, "{\"traceEvents\": [{\"ph\": \"X\"}]}").unwrap();
+        let err = exec(&format!("trace-check {}", bad.display())).unwrap_err();
+        assert!(err.0.contains("invalid trace"), "{}", err.0);
+        let err = exec("trace-check /definitely/not/here.json").unwrap_err();
+        assert!(err.0.contains("cannot read"), "{}", err.0);
+        std::fs::remove_file(bad).ok();
+    }
+
+    #[test]
+    fn walk_stats_is_nan_free_at_zero_steps() {
+        // A 1-vertex self-loop ring is degenerate; force zero steps via
+        // --steps 0 and make sure the summary stays finite.
+        let bin = tmp("zero_steps.bin");
+        exec(&format!("synth ring {} --n 32 --degree 2", bin.display())).unwrap();
+        let msg = exec(&format!(
+            "walk {} --steps 0 --walkers 16 --stats",
+            bin.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("walked 0 walker-steps"), "{msg}");
+        assert!(!msg.contains("NaN") && !msg.contains("inf"), "{msg}");
         std::fs::remove_file(bin).ok();
     }
 

@@ -21,14 +21,21 @@ USAGE:
                       [--walkers N | --walkers-mult M] [--steps N] [--seed N]
                       [--threads N] [--strategy dp|ups|uds|manual]
                       [--output <paths.txt>] [--visits <visits.txt>] [--stats]
+                      [--trace <out.json>] [--metrics <out.jsonl>] [--progress]
   fmwalk synth <power-law|rmat|ba|ws|ring> <out.bin>
                       [--n N] [--alpha X] [--min-degree N] [--max-degree N]
                       [--scale N] [--edge-factor N] [--m N] [--beta X]
                       [--degree N] [--seed N]
   fmwalk profile [--out <profile.txt>] [--quick]
   fmwalk conform [--quick | --full] [--emit-golden]
+  fmwalk trace-check <trace.json>
   fmwalk help
 
 Graphs are loaded as the binary format when the file starts with the
 FMG1 magic, as a whitespace edge list otherwise.
+
+`walk --trace` writes a Chrome Trace Event Format file (open in
+chrome://tracing or Perfetto); `--metrics` writes per-stage and
+per-partition counters as JSON Lines; `trace-check` validates a trace
+file against the in-tree TEF checker.
 ";

@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use fm_graph::{synth, Csr, VertexId};
 use fm_rng::gof::chi_square_test;
+use fm_telemetry::{Stage, Telemetry, NO_PARTITION};
 use flashmob::{
     numa::{run_numa_paths, NumaMode},
     oocore::{run_ooc, DiskGraph},
@@ -501,6 +502,15 @@ fn check_cell(
 
 /// Runs the configured lattice slice and reports every cell.
 pub fn run_lattice(config: &LatticeConfig) -> LatticeReport {
+    run_lattice_traced(config, &mut Telemetry::off())
+}
+
+/// [`run_lattice`] with telemetry: one [`Stage::Cell`] span per
+/// *executed* (non-skipped) cell, `step` carrying the cell's index in
+/// sweep order, plus a progress tick after every cell so a heartbeat
+/// sink can report lattice progress.  Cell execution itself is
+/// untouched — digests stay bit-identical to untraced sweeps.
+pub fn run_lattice_traced(config: &LatticeConfig, tel: &mut Telemetry) -> LatticeReport {
     let unweighted = conformance_graph();
     let weighted = weighted_conformance_graph();
 
@@ -532,6 +542,7 @@ pub fn run_lattice(config: &LatticeConfig) -> LatticeReport {
         })
         .collect();
 
+    let total_cells = EngineKind::ALL.len() * AlgoKind::ALL.len() * config.threads.len();
     let mut cells = Vec::new();
     for engine in EngineKind::ALL {
         for algo in AlgoKind::ALL {
@@ -545,10 +556,12 @@ pub fn run_lattice(config: &LatticeConfig) -> LatticeReport {
                 .find(|(a, _)| *a == algo)
                 .expect("oracle precomputed for every algorithm");
             for &threads in &config.threads {
+                let cell_index = cells.len();
                 let outcome = if let Some(reason) = engine.skip_reason(algo, threads) {
                     Outcome::Skipped { reason }
                 } else {
-                    match run_cell_data(graph, engine, algo, threads)
+                    let span_start = tel.is_on().then(|| tel.now_ns());
+                    let outcome = match run_cell_data(graph, engine, algo, threads)
                         .and_then(|data| check_cell(&data, occ, edge, edges, per_test_alpha))
                     {
                         Ok((occupancy_p, transition_p, digest)) => {
@@ -572,8 +585,13 @@ pub fn run_lattice(config: &LatticeConfig) -> LatticeReport {
                             }
                         }
                         Err(reason) => Outcome::Fail { reason },
+                    };
+                    if let Some(s) = span_start {
+                        tel.span_since(Stage::Cell, s, cell_index as u32, NO_PARTITION);
                     }
+                    outcome
                 };
+                tel.tick(cell_index + 1, total_cells, 0);
                 cells.push(Cell {
                     engine,
                     algo,
@@ -657,6 +675,37 @@ mod tests {
             check_cell(&data, &occ, &edge, &edges, 1e-6).expect("cell conforms");
         assert!(p_occ > 1e-6 && p_tr > 1e-6);
         assert_ne!(digest, 0);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_lattice_records_one_cell_span_per_executed_cell() {
+        let config = LatticeConfig {
+            threads: vec![1],
+            check_golden: false,
+        };
+        let mut tel = Telemetry::new();
+        let report = run_lattice_traced(&config, &mut tel);
+        assert!(report.failures().is_empty(), "lattice must pass");
+        let (passed, skipped, _) = report.tally();
+        let cell_spans: Vec<u32> = tel
+            .events()
+            .iter()
+            .filter(|e| e.stage == Stage::Cell)
+            .map(|e| e.step)
+            .collect();
+        assert_eq!(
+            cell_spans.len(),
+            passed,
+            "one Cell span per executed cell, none for the {skipped} skipped"
+        );
+        // Step attribution is the cell index in sweep order: all
+        // distinct, all in range, and matching the non-skipped cells.
+        for (i, cell) in report.cells.iter().enumerate() {
+            let has_span = cell_spans.contains(&(i as u32));
+            let skipped = matches!(cell.outcome, Outcome::Skipped { .. });
+            assert_eq!(has_span, !skipped, "span presence for cell {i}");
+        }
     }
 
     #[test]

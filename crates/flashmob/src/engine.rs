@@ -6,6 +6,7 @@ use fm_graph::relabel::{sort_by_degree, Relabeling};
 use fm_graph::{Csr, VertexId};
 use fm_memsim::{AddressSpace, NullProbe, Probe};
 use fm_rng::{split_stream, Rng64, Xorshift64Star};
+use fm_telemetry::{json, SpanEvent, Stage, Telemetry, NO_PARTITION, NO_STEP};
 
 use crate::cost::CostModel;
 use crate::output::WalkOutput;
@@ -75,6 +76,92 @@ impl RunStats {
         )
     }
 
+    /// Fraction of worker capacity spent idle: cumulative worker idle
+    /// time over `threads × wall`.  0.0 for sequential runs or
+    /// zero-length walls — never NaN.
+    pub fn pool_idle_ratio(&self) -> f64 {
+        let denom = self.pool.spawned as f64 * self.wall.as_secs_f64();
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        (self.pool.idle.as_secs_f64() / denom).min(1.0)
+    }
+
+    /// Percentage of wall-clock time attributed to each stage:
+    /// `(sample, shuffle, other)`.  All zeros when the wall is zero —
+    /// never NaN.
+    pub fn stage_shares(&self) -> (f64, f64, f64) {
+        let wall = self.wall.as_nanos() as f64;
+        if wall <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.stages.sample.as_nanos() as f64 / wall,
+            100.0 * self.stages.shuffle.as_nanos() as f64 / wall,
+            100.0 * self.stages.other.as_nanos() as f64 / wall,
+        )
+    }
+
+    /// Human-readable multi-line summary (the `--stats` block).  Every
+    /// ratio is guarded for `steps_taken == 0` and zero walls, so the
+    /// output never contains NaN or infinity.
+    pub fn human_summary(&self) -> String {
+        let (sample, shuffle, other) = self.stage_ns_per_step();
+        let (p_sample, p_shuffle, p_other) = self.stage_shares();
+        let mut out = format!(
+            "walkers: {}, steps taken: {}, wall: {:.3?}\n",
+            self.walkers, self.steps_taken, self.wall
+        );
+        out.push_str(&format!("per-step: {:.1} ns\n", self.per_step_ns()));
+        out.push_str(&format!(
+            "stages (ns/step): sample {sample:.1}, shuffle {shuffle:.1}, other {other:.1}\n"
+        ));
+        out.push_str(&format!(
+            "stage share: sample {p_sample:.1}%, shuffle {p_shuffle:.1}%, other {p_other:.1}%\n"
+        ));
+        if self.pool.spawned > 0 {
+            out.push_str(&format!(
+                "pool: {} threads spawned, {} epochs dispatched, {:.1?} cumulative worker idle (idle ratio {:.1}%)\n",
+                self.pool.spawned,
+                self.pool.epochs,
+                self.pool.idle,
+                100.0 * self.pool_idle_ratio(),
+            ));
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering (hand-rolled; the workspace has
+    /// no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let (sample, shuffle, other) = self.stage_ns_per_step();
+        let mut out = format!(
+            "{{\"walkers\": {}, \"steps_taken\": {}, \"wall_ns\": {}, \"per_step_ns\": {}, \
+             \"sample_ns_per_step\": {}, \"shuffle_ns_per_step\": {}, \"other_ns_per_step\": {}, \
+             \"pool\": {{\"spawned\": {}, \"epochs\": {}, \"idle_ns\": {}, \"idle_ratio\": {}}}, \
+             \"per_partition_steps\": [",
+            self.walkers,
+            self.steps_taken,
+            self.wall.as_nanos(),
+            json::num(self.per_step_ns()),
+            json::num(sample),
+            json::num(shuffle),
+            json::num(other),
+            self.pool.spawned,
+            self.pool.epochs,
+            self.pool.idle.as_nanos(),
+            json::num(self.pool_idle_ratio()),
+        );
+        for (i, s) in self.per_partition_steps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Visit counts translated to the caller's original vertex IDs.
     pub fn visits_original(&self, relabel: &Relabeling) -> Option<Vec<u64>> {
         let sorted = self.visits_sorted.as_ref()?;
@@ -107,6 +194,9 @@ pub struct FlashMob {
     edge_bloom: Option<fm_graph::bloom::EdgeBloom>,
     /// Simulated base addresses for probe attribution.
     addr: EngineAddrs,
+    /// Wall-clock time spent in pre-processing (relabel + planning),
+    /// attributed to the Plan stage of traced runs.
+    plan_wall: Duration,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -156,6 +246,7 @@ impl FlashMob {
             ));
         }
 
+        let plan_start = Instant::now();
         // Pre-processing 1: degree-descending relabel (counting sort).
         let (mut sorted, relabel) = sort_by_degree(graph);
         if second_order {
@@ -186,6 +277,7 @@ impl FlashMob {
             config.strategy,
             model,
         )?;
+        let plan_wall = plan_start.elapsed();
 
         // Materialize fixed-degree slabs for uniform DS partitions.
         let slabs: Vec<_> = plan
@@ -234,6 +326,7 @@ impl FlashMob {
             slabs,
             edge_bloom,
             addr,
+            plan_wall,
         })
     }
 
@@ -287,6 +380,32 @@ impl FlashMob {
         self.run_internal(&mut probe, true)
     }
 
+    /// Runs the walk while recording telemetry into `tel`: a Plan span
+    /// for the pre-processing done at construction, Shuffle/Sample/
+    /// Output spans for every step (plus per-partition worker-lane
+    /// sample spans on parallel runs), and per-partition counters whose
+    /// step totals match [`RunStats::steps_taken`] exactly.
+    ///
+    /// Telemetry recording never touches the sampled chain: RNG streams
+    /// are derived exactly as in [`FlashMob::run`], so traced output is
+    /// bit-identical to untraced output.
+    pub fn run_traced(&self, tel: &mut Telemetry) -> Result<(WalkOutput, RunStats), WalkError> {
+        if tel.is_on() {
+            tel.ensure_partitions(self.plan.partitions.len());
+            let start_ns = tel.now_ns();
+            tel.span(SpanEvent {
+                stage: Stage::Plan,
+                start_ns,
+                dur_ns: self.plan_wall.as_nanos() as u64,
+                thread: 0,
+                step: NO_STEP,
+                partition: NO_PARTITION,
+            });
+        }
+        let mut probe = NullProbe;
+        self.run_internal_seeded(&mut probe, true, self.config.seed, tel)
+    }
+
     /// Runs enough episodes of `config.walkers` walkers each to cover at
     /// least `total_walkers`, streaming each episode's output to `sink`.
     ///
@@ -318,6 +437,7 @@ impl FlashMob {
                 &mut probe,
                 true,
                 self.config.seed.wrapping_add(0x9E37 * e as u64 + e as u64),
+                &mut Telemetry::off(),
             )?;
             agg.walkers += stats.walkers;
             agg.steps_taken += stats.steps_taken;
@@ -359,7 +479,7 @@ impl FlashMob {
         probe: &mut P,
         allow_parallel: bool,
     ) -> Result<(WalkOutput, RunStats), WalkError> {
-        self.run_internal_seeded(probe, allow_parallel, self.config.seed)
+        self.run_internal_seeded(probe, allow_parallel, self.config.seed, &mut Telemetry::off())
     }
 
     fn run_internal_seeded<P: Probe>(
@@ -367,6 +487,7 @@ impl FlashMob {
         probe: &mut P,
         allow_parallel: bool,
         seed: u64,
+        tel: &mut Telemetry,
     ) -> Result<(WalkOutput, RunStats), WalkError> {
         let wall_start = Instant::now();
         let walkers = self.config.walkers;
@@ -433,7 +554,9 @@ impl FlashMob {
         let mut sample_ranges: Vec<(usize, usize)> = Vec::with_capacity(self.config.threads);
 
         for iter in 0..steps {
+            let traced = tel.is_on();
             // Shuffle: count + scatter.
+            let span0 = traced.then(|| tel.now_ns());
             let t0 = Instant::now();
             if parallel_shuffle {
                 let pool = pool.as_ref().expect("parallel shuffle requires the pool");
@@ -463,9 +586,13 @@ impl FlashMob {
                 );
             }
             stage.shuffle += t0.elapsed();
+            if let Some(s) = span0 {
+                tel.span_since(Stage::Shuffle, s, iter as u32, NO_PARTITION);
+            }
 
             // Sample: one task per partition.  The first iteration of a
             // second-order walk has no history yet and runs first-order.
+            let span1 = traced.then(|| tel.now_ns());
             let t1 = Instant::now();
             let effective_algo = if second_order && iter == 0 {
                 crate::WalkAlgorithm::DeepWalk
@@ -495,6 +622,7 @@ impl FlashMob {
                     &mut sample_ranges,
                     iter,
                     seed,
+                    tel,
                 );
             } else if effective_algo.is_second_order() {
                 // The paper's batched connectivity checks: rejection
@@ -530,10 +658,25 @@ impl FlashMob {
                 );
             }
             stage.sample += t1.elapsed();
+            if traced {
+                if let Some(s) = span1 {
+                    tel.span_since(Stage::Sample, s, iter as u32, NO_PARTITION);
+                }
+                // Per-partition counters from the shuffle occupancy:
+                // live walkers land grouped by VP (dead walkers go to
+                // the dead bin past `partitions.len()`), and every live
+                // walker takes exactly one step per iteration, so bin
+                // width equals steps taken in that partition.
+                for (pi, part) in self.plan.partitions.iter().enumerate() {
+                    let occ = (scratch.offsets[pi + 1] - scratch.offsets[pi]) as u64;
+                    tel.record_partition_step(pi, occ, part.policy == SamplePolicy::PreSample);
+                }
+            }
 
             // Shuffle: gather back into walker order.  The parallel
             // gather rebuilds its cursors in place from the count matrix
             // `par_count` left in the scratch — no per-step clone.
+            let span2 = traced.then(|| tel.now_ns());
             let t2 = Instant::now();
             if parallel_shuffle {
                 let pool = pool.as_ref().expect("parallel shuffle requires the pool");
@@ -570,12 +713,20 @@ impl FlashMob {
                 std::mem::swap(&mut prev, &mut prev_next);
             }
             stage.shuffle += t2.elapsed();
+            if let Some(s) = span2 {
+                tel.span_since(Stage::Shuffle, s, iter as u32, NO_PARTITION);
+            }
 
+            let span3 = (traced && self.config.record_paths).then(|| tel.now_ns());
             let t3 = Instant::now();
             if self.config.record_paths {
                 rows.push(w.clone());
             }
             stage.other += t3.elapsed();
+            if let Some(s) = span3 {
+                tel.span_since(Stage::Output, s, iter as u32, NO_PARTITION);
+            }
+            tel.tick(iter + 1, steps, steps_taken);
 
             // Early exit when every walker has terminated.
             if matches!(self.config.stop, crate::StopRule::Geometric { .. })
@@ -943,6 +1094,7 @@ impl FlashMob {
         ranges: &mut Vec<(usize, usize)>,
         iter: usize,
         seed: u64,
+        tel: &mut Telemetry,
     ) -> u64 {
         let parts = &self.plan.partitions;
         let threads = pool.threads().min(parts.len()).max(1);
@@ -967,6 +1119,14 @@ impl FlashMob {
         let ps_ptr = DisjointSlice::new(ps_buffers);
         let steps_ptr = DisjointSlice::new(per_partition_steps);
         let visits_ptr = visits.map(DisjointSlice::new);
+        // Per-worker span lanes: worker `t` writes lane `t` exclusively
+        // during the dispatch; the coordinator drains them once the pool
+        // has gone quiescent (same disjoint-ownership argument as the
+        // `DisjointSlice` wrappers above).
+        let traced = tel.is_on();
+        let origin = tel.origin();
+        let lanes = tel.worker_lanes(if traced { pool.threads() } else { 0 });
+        let lanes_ptr = DisjointSlice::new(lanes);
         let ranges = &*ranges;
         pool.run(&|t| {
             let Some(&(ps_start, ps_end)) = ranges.get(t) else {
@@ -979,6 +1139,7 @@ impl FlashMob {
                 if a == b {
                     continue;
                 }
+                let span_start = traced.then(|| origin.elapsed().as_nanos() as u64);
                 let mut addr = self.addr.map;
                 addr.scur = self.addr.sw;
                 addr.snext = self.addr.snext_region;
@@ -1018,9 +1179,24 @@ impl FlashMob {
                 let step_slot = unsafe { steps_ptr.slice_mut(pi, 1) };
                 step_slot[0] += steps;
                 local += steps;
+                if let Some(start_ns) = span_start {
+                    let now = origin.elapsed().as_nanos() as u64;
+                    // SAFETY: lane `t` belongs to this worker alone for
+                    // the duration of the dispatch.
+                    let lane = unsafe { lanes_ptr.slice_mut(t, 1) };
+                    lane[0].record(SpanEvent {
+                        stage: Stage::Sample,
+                        start_ns,
+                        dur_ns: now.saturating_sub(start_ns),
+                        thread: t as u32 + 1,
+                        step: iter as u32,
+                        partition: pi as u32,
+                    });
+                }
             }
             taken.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
         });
+        tel.drain_workers();
         taken.into_inner()
     }
 }
@@ -1390,6 +1566,101 @@ mod tests {
             engine.run_episodes(0, |_, _| {}),
             Err(WalkError::NoWalkers)
         ));
+    }
+
+    #[test]
+    fn stats_summaries_are_nan_free_at_zero_steps() {
+        // A default RunStats has steps_taken == 0 and a zero wall; every
+        // derived ratio and rendered summary must stay finite.
+        let stats = RunStats::default();
+        assert_eq!(stats.per_step_ns(), 0.0);
+        assert_eq!(stats.stage_ns_per_step(), (0.0, 0.0, 0.0));
+        assert_eq!(stats.stage_shares(), (0.0, 0.0, 0.0));
+        assert_eq!(stats.pool_idle_ratio(), 0.0);
+        let human = stats.human_summary();
+        assert!(!human.contains("NaN") && !human.contains("inf"), "{human}");
+        let json = stats.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        fm_telemetry::json::parse(&json).expect("to_json emits valid JSON");
+    }
+
+    #[test]
+    fn run_stats_to_json_round_trips() {
+        let g = synth::power_law(300, 2.0, 1, 30, 5);
+        let engine = FlashMob::new(&g, config(200, 4).threads(2)).unwrap();
+        let (_, stats) = engine.run_with_stats().unwrap();
+        let v = fm_telemetry::json::parse(&stats.to_json()).unwrap();
+        assert_eq!(
+            v.get("steps_taken").unwrap().as_num(),
+            Some(stats.steps_taken as f64)
+        );
+        assert_eq!(
+            v.get("per_partition_steps").unwrap().as_arr().unwrap().len(),
+            stats.per_partition_steps.len()
+        );
+        assert_eq!(
+            v.get("pool").unwrap().get("spawned").unwrap().as_num(),
+            Some(2.0)
+        );
+        let human = stats.human_summary();
+        assert!(human.contains("stages (ns/step)"), "{human}");
+        assert!(human.contains("stage share"), "{human}");
+        assert!(human.contains("idle ratio"), "{human}");
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_run_is_bit_identical_and_counts_exactly() {
+        let g = synth::power_law(400, 2.0, 1, 40, 3);
+        for threads in [1usize, 4] {
+            let engine = FlashMob::new(&g, config(300, 5).threads(threads)).unwrap();
+            let plain = engine.run().unwrap();
+            let mut tel = fm_telemetry::Telemetry::new();
+            let (traced, stats) = engine.run_traced(&mut tel).unwrap();
+            assert_eq!(plain.paths(), traced.paths(), "tracing must not perturb RNG");
+            assert_eq!(
+                tel.partition_steps_total(),
+                stats.steps_taken,
+                "partition counters must sum to steps_taken ({threads} threads)"
+            );
+            // Every step has coordinator-lane sample and shuffle spans
+            // (shuffle twice: count+scatter and gather).
+            assert!(tel.stage(Stage::Sample).spans >= 5, "{threads} threads");
+            assert!(tel.stage(Stage::Shuffle).spans >= 10);
+            assert_eq!(tel.stage(Stage::Plan).spans, 1);
+            if threads > 1 {
+                // Worker-lane spans carry partition + worker attribution.
+                let worker_spans: Vec<_> = tel
+                    .events()
+                    .iter()
+                    .filter(|e| e.thread > 0 && e.stage == Stage::Sample)
+                    .collect();
+                assert!(!worker_spans.is_empty(), "parallel runs record worker spans");
+                assert!(worker_spans.iter().all(|e| e.partition != NO_PARTITION));
+            }
+        }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_run_attributes_ps_and_ds_policies() {
+        let g = synth::power_law(600, 1.9, 1, 60, 4);
+        let engine = FlashMob::new(&g, config(400, 4)).unwrap();
+        let mut tel = fm_telemetry::Telemetry::new();
+        let (_, stats) = engine.run_traced(&mut tel).unwrap();
+        let (ps, ds): (u64, u64) = tel
+            .partition_counters()
+            .iter()
+            .fold((0, 0), |(p, d), c| (p + c.ps_steps, d + c.ds_steps));
+        assert_eq!(ps + ds, stats.steps_taken, "every step has a policy");
+        // Per-partition policy split must match the plan.
+        for (pi, part) in engine.plan().partitions.iter().enumerate() {
+            let c = tel.partition_counters()[pi];
+            match part.policy {
+                SamplePolicy::PreSample => assert_eq!(c.ds_steps, 0, "partition {pi}"),
+                SamplePolicy::Direct => assert_eq!(c.ps_steps, 0, "partition {pi}"),
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use fm_graph::Csr;
 use fm_memsim::{HierarchyConfig, MemorySystem};
+use fm_telemetry::Telemetry;
 
 use crate::engine::FlashMob;
 use crate::pool::PoolStats;
@@ -72,6 +73,18 @@ pub struct NumaReport {
     pub pool: PoolStats,
 }
 
+/// A per-socket recorder matching the parent's enablement: socket `s`
+/// records under trace pid `s` and is later merged into the parent with
+/// [`Telemetry::absorb`], which keeps span attribution per socket while
+/// summing counters exactly once.
+fn socket_recorder(parent: &Telemetry, s: usize) -> Telemetry {
+    if parent.is_on() {
+        Telemetry::new().with_pid(s as u32)
+    } else {
+        Telemetry::off()
+    }
+}
+
 /// Bytes of walker-array state per walker (W, SW, Snext, Wnext, plus
 /// prev arrays for second-order walks).
 fn bytes_per_walker(second_order: bool) -> usize {
@@ -117,6 +130,21 @@ pub fn run_numa(
     machine: &NumaMachine,
     mode: NumaMode,
 ) -> Result<NumaReport, WalkError> {
+    run_numa_traced(graph, base, machine, mode, &mut Telemetry::off())
+}
+
+/// [`run_numa`] with telemetry: in R-mode each socket records into its
+/// own recorder (tagged with the socket index as the trace pid) which is
+/// then merged into `tel` — spans keep per-socket attribution and the
+/// partition counters sum exactly once, so the merged
+/// `partition_steps_total` equals the total steps across sockets.
+pub fn run_numa_traced(
+    graph: &Csr,
+    base: WalkConfig,
+    machine: &NumaMachine,
+    mode: NumaMode,
+    tel: &mut Telemetry,
+) -> Result<NumaReport, WalkError> {
     let second_order = base.algorithm.is_second_order();
     let walkers = walker_capacity(graph, machine, mode, second_order).max(machine.sockets);
     match mode {
@@ -127,7 +155,7 @@ pub fn run_numa(
             // simulated sockets.
             let config = base.clone().walkers(walkers).record_paths(false);
             let engine = FlashMob::new(graph, config)?;
-            let (_, stats) = engine.run_with_stats()?;
+            let (_, stats) = engine.run_traced(tel)?;
 
             // Instrumented verification: place the walker arrays beyond a
             // remote boundary covering half the address space, proving
@@ -167,7 +195,9 @@ pub fn run_numa(
                     .seed(base.seed.wrapping_add(s as u64))
                     .record_paths(false);
                 let engine = FlashMob::new(graph, config)?;
-                let (_, stats) = engine.run_with_stats()?;
+                let mut socket_tel = socket_recorder(tel, s);
+                let (_, stats) = engine.run_traced(&mut socket_tel)?;
+                tel.absorb(socket_tel);
                 total_ns += stats.wall.as_nanos() as f64;
                 total_steps += stats.steps_taken;
                 pool.spawned += stats.pool.spawned;
@@ -202,13 +232,27 @@ pub fn run_numa_paths(
     mode: NumaMode,
     sockets: usize,
 ) -> Result<Vec<crate::output::WalkOutput>, WalkError> {
+    run_numa_paths_traced(graph, base, mode, sockets, &mut Telemetry::off())
+}
+
+/// [`run_numa_paths`] with telemetry, following the same per-socket
+/// merge protocol as [`run_numa_traced`]: each R-mode socket records
+/// into a pid-tagged recorder absorbed into `tel`, so counters sum
+/// exactly once across sockets.
+pub fn run_numa_paths_traced(
+    graph: &Csr,
+    base: WalkConfig,
+    mode: NumaMode,
+    sockets: usize,
+    tel: &mut Telemetry,
+) -> Result<Vec<crate::output::WalkOutput>, WalkError> {
     if sockets == 0 {
         return Err(WalkError::Planning("need at least one socket".into()));
     }
     match mode {
         NumaMode::Partitioned => {
             let engine = FlashMob::new(graph, base.record_paths(true))?;
-            Ok(vec![engine.run()?])
+            Ok(vec![engine.run_traced(tel)?.0])
         }
         NumaMode::Replicated => {
             let total = base.walkers;
@@ -227,7 +271,9 @@ pub fn run_numa_paths(
                     .seed(base.seed.wrapping_add(s as u64))
                     .record_paths(true);
                 let engine = FlashMob::new(graph, config)?;
-                outputs.push(engine.run()?);
+                let mut socket_tel = socket_recorder(tel, s);
+                outputs.push(engine.run_traced(&mut socket_tel)?.0);
+                tel.absorb(socket_tel);
             }
             Ok(outputs)
         }
@@ -266,6 +312,54 @@ mod tests {
         let first = walker_capacity(&g, &m, NumaMode::Partitioned, false);
         let second = walker_capacity(&g, &m, NumaMode::Partitioned, true);
         assert!(second < first);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_numa_paths_merge_without_double_counting() {
+        let g = synth::power_law(400, 2.0, 1, 40, 2);
+        let base = crate::WalkConfig::deepwalk()
+            .walkers(120)
+            .steps(4)
+            .seed(5)
+            .planner(PlannerParams {
+                target_groups: 8,
+                max_partitions: 64,
+                min_vp_vertices: 8,
+                ..PlannerParams::default()
+            });
+        let mut tel = Telemetry::new();
+        let outputs =
+            run_numa_paths_traced(&g, base.clone(), NumaMode::Replicated, 3, &mut tel).unwrap();
+        assert_eq!(outputs.len(), 3);
+        // 120 walkers × 4 steps across all sockets, counted exactly once
+        // in the merged recorder.
+        assert_eq!(tel.partition_steps_total(), 120 * 4);
+        // Sockets 1 and 2 keep their own span lanes (pid tag in the
+        // thread lane's high bits); socket 0 shares the parent's pid.
+        for s in 1..3u32 {
+            assert!(
+                tel.events().iter().any(|e| e.thread >> 16 == s + 1),
+                "socket {s} spans must survive the merge with attribution"
+            );
+        }
+        // Tracing must not perturb the sampled paths.
+        let plain = run_numa_paths(&g, base, NumaMode::Replicated, 3).unwrap();
+        for (a, b) in plain.iter().zip(&outputs) {
+            assert_eq!(a.paths(), b.paths());
+        }
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_numa_partitioned_counts_exactly() {
+        let g = synth::power_law(300, 2.0, 1, 30, 4);
+        let base = crate::WalkConfig::deepwalk().walkers(90).steps(3).seed(2);
+        let mut tel = Telemetry::new();
+        let outputs =
+            run_numa_paths_traced(&g, base, NumaMode::Partitioned, 2, &mut tel).unwrap();
+        assert_eq!(outputs.len(), 1, "P-mode is a single spanning instance");
+        assert_eq!(tel.partition_steps_total(), 90 * 3);
     }
 
     #[test]

@@ -26,6 +26,7 @@ use fm_graph::relabel::{sort_by_degree, Relabeling};
 use fm_graph::{Csr, GraphError, VertexId};
 use fm_memsim::NullProbe;
 use fm_rng::{Rng64, Xorshift64Star};
+use fm_telemetry::{Stage, Telemetry, NO_PARTITION};
 
 use crate::output::WalkOutput;
 use crate::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
@@ -190,6 +191,18 @@ pub fn run_ooc(
     config: &WalkConfig,
     partition_budget_bytes: usize,
 ) -> Result<(WalkOutput, OocStats), WalkError> {
+    run_ooc_traced(disk, config, partition_budget_bytes, &mut Telemetry::off())
+}
+
+/// [`run_ooc`] with telemetry: Shuffle/Sample spans per iteration, an
+/// Io span per partition read, per-partition counters (steps plus the
+/// actual adjacency bytes streamed from disk), and heartbeat ticks.
+pub fn run_ooc_traced(
+    disk: &DiskGraph,
+    config: &WalkConfig,
+    partition_budget_bytes: usize,
+    tel: &mut Telemetry,
+) -> Result<(WalkOutput, OocStats), WalkError> {
     if !matches!(config.algorithm, crate::WalkAlgorithm::DeepWalk) {
         return Err(WalkError::Planning(
             "out-of-core walking supports DeepWalk only".into(),
@@ -277,8 +290,13 @@ pub fn run_ooc(
     let mut file = File::open(&disk.path).map_err(|e| WalkError::Planning(e.to_string()))?;
     let mut buf: Vec<VertexId> = Vec::new();
     let mut probe = NullProbe;
+    if tel.is_on() {
+        tel.ensure_partitions(partitions.len());
+    }
 
     for iter in 0..steps {
+        let traced = tel.is_on();
+        let span0 = traced.then(|| tel.now_ns());
         shuffler.count(&w, &mut scratch, ShuffleAddrs::default(), &mut probe);
         shuffler.scatter(
             &w,
@@ -289,6 +307,9 @@ pub fn run_ooc(
             ShuffleAddrs::default(),
             &mut probe,
         );
+        if let Some(s) = span0 {
+            tel.span_since(Stage::Shuffle, s, iter as u32, NO_PARTITION);
+        }
         let dead_start = scratch.offsets[partitions.len()] as usize;
         snext[dead_start..].fill(DEAD);
 
@@ -302,6 +323,7 @@ pub fn run_ooc(
                 continue;
             }
             // Stream this partition's adjacency bytes from disk.
+            let io_span = traced.then(|| tel.now_ns());
             let t0 = Instant::now();
             let bytes = disk
                 .read_partition(&mut file, part.start, part.end, &mut buf)
@@ -309,7 +331,12 @@ pub fn run_ooc(
             stats.read_time += t0.elapsed();
             stats.bytes_read += bytes as u64;
             stats.partitions_read += 1;
+            if let Some(s) = io_span {
+                tel.span_since(Stage::Io, s, iter as u32, pi as u32);
+                tel.record_partition_bytes(pi, bytes as u64);
+            }
 
+            let sample_span = traced.then(|| tel.now_ns());
             let base = disk.offsets[part.start as usize];
             let mut rng =
                 Xorshift64Star::new(crate::engine::partition_stream_id(config.seed, iter, pi));
@@ -321,7 +348,12 @@ pub fn run_ooc(
                 snext[j] = buf[lo + k];
                 stats.steps_taken += 1;
             }
+            if let Some(s) = sample_span {
+                tel.span_since(Stage::Sample, s, iter as u32, pi as u32);
+                tel.record_partition_step(pi, (b - a) as u64, false);
+            }
         }
+        tel.tick(iter + 1, steps, stats.steps_taken);
 
         shuffler.gather(
             &w,
@@ -445,6 +477,27 @@ mod tests {
         let (a, _) = run_ooc(&disk, &cfg, 8 << 10).unwrap();
         let (b, _) = run_ooc(&disk, &cfg, 8 << 10).unwrap();
         assert_eq!(a.paths(), b.paths());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn traced_ooc_records_io_spans_and_exact_counters() {
+        let g = synth::power_law(400, 2.0, 1, 40, 5);
+        let path = temp_path("traced.fmdisk");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let cfg = WalkConfig::deepwalk().walkers(200).steps(6).seed(9);
+        let mut tel = Telemetry::new();
+        let (out, stats) = run_ooc_traced(&disk, &cfg, 8 << 10, &mut tel).unwrap();
+        assert_eq!(tel.partition_steps_total(), stats.steps_taken);
+        // One Io span per performed partition read, none for skips.
+        assert_eq!(tel.stage(Stage::Io).spans, stats.partitions_read);
+        // Counters include the streamed adjacency bytes.
+        let counted: u64 = tel.partition_counters().iter().map(|c| c.edge_bytes).sum();
+        assert!(counted >= stats.bytes_read);
+        // Tracing must not perturb the chain.
+        let (plain, _) = run_ooc(&disk, &cfg, 8 << 10).unwrap();
+        assert_eq!(plain.paths(), out.paths());
         std::fs::remove_file(path).ok();
     }
 

@@ -1,0 +1,196 @@
+//! Log2-bucketed histograms: 64 buckets, O(1) record, zero allocation.
+
+/// A 64-bucket log2 histogram of `u64` samples.
+///
+/// Bucket `b` counts samples whose value `v` satisfies
+/// `2^(b-1) <= v < 2^b` (bucket 0 counts zeros), i.e. the bucket index
+/// is the bit length of the value.  Recording is branch-light and
+/// allocation-free, cheap enough for per-step use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist64 {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Hist64 {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Hist64 {
+    /// Bucket index of a value: its bit length (0 for 0).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `b` (inclusive).
+    pub fn bucket_low(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        // Bit length is at most 64; index 64 maps into the last bucket.
+        let b = Self::bucket_of(v).min(63);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty — never NaN).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The raw bucket array.
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// Smallest upper-quantile bound: the lower edge of the bucket at or
+    /// above which `1 - q` of the mass lies (a coarse but monotone
+    /// log2-resolution quantile; 0 when empty).
+    pub fn quantile_low(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(b);
+            }
+        }
+        Self::bucket_low(63)
+    }
+
+    /// Bucket-wise sum with another histogram.
+    pub fn absorb(&mut self, other: &Hist64) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low_bound, count)` pairs (for export).
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (Self::bucket_low(b), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist64::bucket_of(0), 0);
+        assert_eq!(Hist64::bucket_of(1), 1);
+        assert_eq!(Hist64::bucket_of(2), 2);
+        assert_eq!(Hist64::bucket_of(3), 2);
+        assert_eq!(Hist64::bucket_of(4), 3);
+        assert_eq!(Hist64::bucket_of(1023), 10);
+        assert_eq!(Hist64::bucket_of(1024), 11);
+        assert_eq!(Hist64::bucket_low(0), 0);
+        assert_eq!(Hist64::bucket_low(1), 1);
+        assert_eq!(Hist64::bucket_low(11), 1024);
+    }
+
+    #[test]
+    fn record_tracks_stats() {
+        let mut h = Hist64::default();
+        for v in [0u64, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1104);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 220.8).abs() < 1e-9);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[2], 1);
+    }
+
+    #[test]
+    fn empty_hist_is_nan_free() {
+        let h = Hist64::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_low(0.99), 0);
+        assert!(h.nonzero().is_empty());
+    }
+
+    #[test]
+    fn extreme_values_saturate() {
+        let mut h = Hist64::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[63], 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = Hist64::default();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile_low(0.5);
+        let q99 = h.quantile_low(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 <= h.max());
+    }
+
+    #[test]
+    fn absorb_sums_buckets() {
+        let mut a = Hist64::default();
+        let mut b = Hist64::default();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        a.absorb(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.buckets()[3], 2);
+        assert_eq!(a.max(), 100);
+    }
+}

@@ -1,0 +1,142 @@
+//! A minimal Chrome Trace Event Format checker.
+//!
+//! Validates the subset of the TEF spec our exporter emits (and that
+//! the viewers actually require): a JSON object with a `traceEvents`
+//! array (or a bare array), where every event carries `name`, `ph`,
+//! `ts`, `pid`, and `tid`, and complete (`"X"`) events also carry a
+//! non-negative `dur`.  Used by the `fmwalk trace-check` subcommand and
+//! the ci.sh telemetry tier so emitted traces are provably loadable.
+
+use crate::json::{parse, Value};
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TefReport {
+    /// Total events in the trace.
+    pub events: usize,
+    /// Events with phase `"X"` (complete spans).
+    pub complete_events: usize,
+    /// Distinct (pid, tid) lanes observed.
+    pub lanes: usize,
+}
+
+/// Validates `text` as a Chrome Trace Event Format document.
+///
+/// Returns a [`TefReport`] on success, or a message naming the first
+/// offending event on failure.
+pub fn validate(text: &str) -> Result<TefReport, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = match &doc {
+        Value::Arr(items) => items.as_slice(),
+        Value::Obj(_) => doc
+            .get("traceEvents")
+            .ok_or("object form must contain a \"traceEvents\" key")?
+            .as_arr()
+            .ok_or("\"traceEvents\" must be an array")?,
+        _ => return Err("top level must be an object or an array".into()),
+    };
+    let mut report = TefReport::default();
+    let mut lanes = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ctx = |field: &str| format!("event {i}: missing or invalid \"{field}\"");
+        if !matches!(ev, Value::Obj(_)) {
+            return Err(format!("event {i}: not an object"));
+        }
+        ev.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("name"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ctx("ph"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("ts"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: ts must be finite and non-negative"));
+        }
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_num)
+            .ok_or_else(|| ctx("tid"))?;
+        if ph == "X" {
+            let dur = ev
+                .get("dur")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("event {i}: complete (\"X\") event missing \"dur\""))?;
+            if !dur.is_finite() || dur < 0.0 {
+                return Err(format!("event {i}: dur must be finite and non-negative"));
+            }
+            report.complete_events += 1;
+        }
+        report.events += 1;
+        let lane = (pid as i64, tid as i64);
+        if !lanes.contains(&lane) {
+            lanes.push(lane);
+        }
+    }
+    report.lanes = lanes.len();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_object_form() {
+        let doc = r#"{"traceEvents": [
+            {"name": "sample", "ph": "X", "ts": 1.5, "dur": 2.0, "pid": 0, "tid": 1},
+            {"name": "shuffle", "ph": "X", "ts": 4.0, "dur": 1.0, "pid": 0, "tid": 0}
+        ], "displayTimeUnit": "ms"}"#;
+        let r = validate(doc).unwrap();
+        assert_eq!(r.events, 2);
+        assert_eq!(r.complete_events, 2);
+        assert_eq!(r.lanes, 2);
+    }
+
+    #[test]
+    fn accepts_bare_array_form() {
+        let doc = r#"[{"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1}]"#;
+        let r = validate(doc).unwrap();
+        assert_eq!(r.events, 1);
+        assert_eq!(r.complete_events, 0);
+    }
+
+    #[test]
+    fn accepts_empty_trace() {
+        assert_eq!(validate(r#"{"traceEvents": []}"#).unwrap().events, 0);
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let no_ts = r#"[{"name": "a", "ph": "X", "dur": 1, "pid": 0, "tid": 0}]"#;
+        assert!(validate(no_ts).unwrap_err().contains("ts"));
+        let no_dur = r#"[{"name": "a", "ph": "X", "ts": 1, "pid": 0, "tid": 0}]"#;
+        assert!(validate(no_dur).unwrap_err().contains("dur"));
+        let no_name = r#"[{"ph": "X", "ts": 1, "dur": 1, "pid": 0, "tid": 0}]"#;
+        assert!(validate(no_name).unwrap_err().contains("name"));
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(validate("42").is_err());
+        assert!(validate(r#"{"notTraceEvents": []}"#).is_err());
+        assert!(validate(r#"{"traceEvents": "nope"}"#).is_err());
+        assert!(validate(r#"[["not", "an", "object"]]"#).is_err());
+        assert!(validate("{").is_err());
+    }
+
+    #[test]
+    fn rejects_negative_times() {
+        let doc = r#"[{"name": "a", "ph": "X", "ts": -1, "dur": 1, "pid": 0, "tid": 0}]"#;
+        assert!(validate(doc).is_err());
+        let doc = r#"[{"name": "a", "ph": "X", "ts": 1, "dur": -1, "pid": 0, "tid": 0}]"#;
+        assert!(validate(doc).is_err());
+    }
+}

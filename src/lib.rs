@@ -15,6 +15,8 @@
 //!   for perf/VTune counters.
 //! * [`mckp`] — the exact Multiple-Choice Knapsack DP solver.
 //! * [`profiler`] — offline machine profiling feeding the planner.
+//! * [`telemetry`] — dependency-free spans, per-partition counters,
+//!   and exporters (Chrome Trace Event Format, JSONL, human summary).
 //! * [`baseline`] — KnightKing- and GraphVite-style comparison engines.
 //! * [`conformance`] — exact Markov-chain oracles and the cross-engine
 //!   differential conformance lattice (`fmwalk conform`).
@@ -40,3 +42,4 @@ pub use fm_mckp as mckp;
 pub use fm_memsim as memsim;
 pub use fm_profiler as profiler;
 pub use fm_rng as rng;
+pub use fm_telemetry as telemetry;

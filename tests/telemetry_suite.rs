@@ -1,0 +1,170 @@
+//! Cross-engine telemetry guarantees, as executable tests:
+//!
+//! 1. **Overhead**: an enabled recorder must cost < 5% wall time over a
+//!    disabled one on a fixed workload (best-of-N, interleaved so the
+//!    two configurations see the same thermal/cache conditions).
+//! 2. **Exactness**: per-partition step counters sum to `steps_taken`
+//!    exactly, for every engine and thread count — telemetry is an
+//!    accounting system, not a sampling profiler.
+//! 3. **Merging**: the NUMA per-socket merge protocol preserves
+//!    counters without double-counting.
+//! 4. **Export**: the emitted Chrome trace passes the in-tree TEF
+//!    validator with one complete span per recorded event.
+
+#![cfg(not(feature = "telemetry-off"))]
+
+use std::time::Instant;
+
+use flashmob_repro::baseline::{Baseline, BaselineConfig, BaselineKind};
+use flashmob_repro::flashmob::numa::{run_numa_paths_traced, NumaMode};
+use flashmob_repro::flashmob::oocore::{run_ooc_traced, DiskGraph};
+use flashmob_repro::flashmob::{FlashMob, WalkConfig};
+use flashmob_repro::graph::synth;
+use flashmob_repro::telemetry::{export, tef, Stage, Telemetry};
+
+fn walk_config(walkers: usize, steps: usize, threads: usize) -> WalkConfig {
+    WalkConfig::deepwalk()
+        .walkers(walkers)
+        .steps(steps)
+        .seed(23)
+        .threads(threads)
+        .record_paths(false)
+}
+
+#[test]
+fn telemetry_overhead_stays_under_five_percent() {
+    let g = synth::power_law(10_000, 2.0, 1, 300, 7);
+    let engine = FlashMob::new(&g, walk_config(20_000, 16, 1)).expect("engine");
+    engine.run().expect("warm-up");
+
+    // Best-of-N interleaved pairs; retry to shrug off scheduler noise.
+    let mut ratio = f64::INFINITY;
+    for _attempt in 0..3 {
+        let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+        for _rep in 0..5 {
+            let t0 = Instant::now();
+            engine.run().expect("untraced");
+            best_off = best_off.min(t0.elapsed().as_secs_f64());
+
+            let mut tel = Telemetry::new();
+            let t0 = Instant::now();
+            engine.run_traced(&mut tel).expect("traced");
+            best_on = best_on.min(t0.elapsed().as_secs_f64());
+        }
+        ratio = ratio.min(best_on / best_off);
+        if ratio <= 1.05 {
+            break;
+        }
+    }
+    assert!(
+        ratio <= 1.05,
+        "telemetry-on best wall is {:.1}% of telemetry-off (must be <= 105%)",
+        ratio * 100.0
+    );
+}
+
+#[test]
+fn partition_step_counters_sum_exactly_across_engines_and_threads() {
+    let g = synth::power_law(600, 2.0, 1, 40, 11);
+    for threads in [1usize, 2, 3, 8] {
+        let engine = FlashMob::new(&g, walk_config(300, 7, threads)).expect("engine");
+        let mut tel = Telemetry::new();
+        let (_, stats) = engine.run_traced(&mut tel).expect("run");
+        assert_eq!(
+            tel.partition_steps_total(),
+            stats.steps_taken,
+            "flashmob at {threads} threads"
+        );
+
+        for kind in [BaselineKind::KnightKing, BaselineKind::GraphVite] {
+            let cfg = BaselineConfig {
+                kind,
+                ..BaselineConfig::knightking_deepwalk()
+            }
+            .walkers(300)
+            .steps(7)
+            .seed(23)
+            .threads(threads)
+            .record_paths(false);
+            let engine = Baseline::new(&g, cfg).expect("baseline");
+            let mut tel = Telemetry::new();
+            let (_, stats) = engine.run_traced(&mut tel).expect("run");
+            assert_eq!(
+                tel.partition_steps_total(),
+                stats.steps_taken,
+                "{kind:?} at {threads} threads"
+            );
+        }
+    }
+
+    // The out-of-core engine is single-threaded but streams partitions
+    // through a bounded buffer; counters must still be exact and its
+    // Io spans must cover real bytes.
+    let path = std::env::temp_dir().join(format!("fm-telsuite-{}.fmdisk", std::process::id()));
+    let disk = DiskGraph::create(&g, &path).expect("disk graph");
+    let mut tel = Telemetry::new();
+    let config = walk_config(300, 7, 1);
+    let result = run_ooc_traced(&disk, &config, 16 * 1024, &mut tel);
+    std::fs::remove_file(&path).ok();
+    let (_, stats) = result.expect("ooc run");
+    assert_eq!(tel.partition_steps_total(), stats.steps_taken, "oocore");
+    assert!(
+        tel.events().iter().any(|e| e.stage == Stage::Io),
+        "streaming runs must record Io spans"
+    );
+}
+
+#[test]
+fn numa_merge_does_not_double_count() {
+    let g = synth::power_law(400, 2.0, 1, 30, 5);
+    for mode in [NumaMode::Partitioned, NumaMode::Replicated] {
+        let mut tel = Telemetry::new();
+        let outputs =
+            run_numa_paths_traced(&g, walk_config(240, 5, 2), mode, 3, &mut tel).expect("numa");
+        let walkers: usize = outputs.iter().map(|o| o.paths().len()).sum();
+        assert_eq!(walkers, 240);
+        // A sink-free power-law graph never kills walkers, so the merged
+        // counters must equal walkers x steps exactly once.
+        assert_eq!(tel.partition_steps_total(), 240 * 5, "{mode:?}");
+    }
+}
+
+#[test]
+fn emitted_chrome_trace_validates_with_exact_span_coverage() {
+    let g = synth::power_law(500, 2.0, 1, 40, 3);
+    let steps = 6;
+    let engine = FlashMob::new(&g, walk_config(400, steps, 2)).expect("engine");
+    let mut tel = Telemetry::new();
+    engine.run_traced(&mut tel).expect("run");
+
+    let mut buf = Vec::new();
+    export::write_chrome_trace(&mut buf, &tel).expect("export");
+    let text = String::from_utf8(buf).expect("utf8");
+    let report = tef::validate(&text).expect("trace validates");
+    assert_eq!(report.events, tel.events().len());
+    assert_eq!(report.complete_events, tel.events().len());
+    assert!(report.lanes >= 2, "coordinator plus worker lanes");
+
+    // Every step contributes coordinator spans for both pipeline
+    // stages: sample and shuffle (count/scatter + gather) per step.
+    let sample = tel
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::Sample && e.thread == 0)
+        .count();
+    let shuffle = tel
+        .events()
+        .iter()
+        .filter(|e| e.stage == Stage::Shuffle)
+        .count();
+    assert!(sample >= steps, "one coordinator sample span per step");
+    assert!(shuffle >= 2 * steps, "two shuffle spans per step");
+    assert_eq!(
+        tel.events()
+            .iter()
+            .filter(|e| e.stage == Stage::Plan)
+            .count(),
+        1,
+        "exactly one plan span"
+    );
+}
