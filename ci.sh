@@ -6,7 +6,9 @@
 #      CONFORM_FULL=1 to sweep the full thread lattice instead)
 #   4. telemetry tier: compile-out build, overhead guard, and an
 #      end-to-end `walk --trace` -> `trace-check` round trip
-#   5. clippy with warnings promoted to errors
+#   5. recover tier: an end-to-end checkpoint -> kill -> resume round
+#      trip through the CLI (bit-identical output, correct exit codes)
+#   6. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -40,6 +42,32 @@ cargo run --release -q -p fm-cli -- walk "$TELEMETRY_TMP/g.bin" \
     --steps 12 --walkers 2048 --threads 2 \
     --trace "$TELEMETRY_TMP/trace.json" --metrics "$TELEMETRY_TMP/metrics.jsonl"
 cargo run --release -q -p fm-cli -- trace-check "$TELEMETRY_TMP/trace.json"
+
+echo "== recover tier =="
+# Checkpoint a walk, then resume it from the written snapshots and
+# demand bit-identical paths.  (The in-process crash matrix — kill at
+# every generation, all engines, golden digests — runs in tier 2 via
+# tests/recover_suite.rs and the conformance crash tests.)
+RECOVER_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP" "$RECOVER_TMP"' EXIT
+cargo run --release -q -p fm-cli -- synth power-law "$RECOVER_TMP/g.bin" \
+    --n 4096 --alpha 2.0 --min-degree 2 --max-degree 64 --seed 11
+cargo run --release -q -p fm-cli -- walk "$RECOVER_TMP/g.bin" \
+    --steps 12 --walkers 2048 --seed 5 \
+    --checkpoint-dir "$RECOVER_TMP/ckpt" --checkpoint-every 4 \
+    --output "$RECOVER_TMP/full.txt"
+cargo run --release -q -p fm-cli -- resume "$RECOVER_TMP/g.bin" "$RECOVER_TMP/ckpt" \
+    --steps 12 --walkers 2048 --seed 5 \
+    --output "$RECOVER_TMP/resumed.txt"
+cmp "$RECOVER_TMP/full.txt" "$RECOVER_TMP/resumed.txt"
+# A mismatched resume configuration must exit 4 (invalid plan).
+if cargo run --release -q -p fm-cli -- resume "$RECOVER_TMP/g.bin" "$RECOVER_TMP/ckpt" \
+    --steps 12 --walkers 2048 --seed 6 --output /dev/null 2>/dev/null; then
+    echo "resume with wrong seed unexpectedly succeeded" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 4 ]] || { echo "wrong-seed resume exited $code, want 4" >&2; exit 1; }
+fi
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings

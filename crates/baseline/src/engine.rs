@@ -287,7 +287,7 @@ impl Baseline {
             let chunk_ptr = DisjointSlice::new(&mut chunk_steps);
             let lanes = tel.worker_lanes(if traced { threads } else { 0 });
             let lanes_ptr = DisjointSlice::new(lanes);
-            pool.run(&|t| {
+            pool.run_labeled("baseline-sample", &|t| {
                 let (lo, hi) = bounds[t];
                 if lo >= hi {
                     return;

@@ -68,6 +68,46 @@ pub enum Command {
         metrics: Option<PathBuf>,
         /// Print a periodic progress heartbeat to stderr.
         progress: bool,
+        /// Checkpoint directory (enables crash-safe checkpointing;
+        /// FlashMob engine only).
+        checkpoint_dir: Option<PathBuf>,
+        /// Checkpoint cadence in iterations (0 = default of 8 when a
+        /// directory is given).
+        checkpoint_every: usize,
+    },
+    /// `fmwalk resume`: continue an interrupted `walk` from the latest
+    /// checkpoint in a directory.  The configuration flags must match
+    /// the interrupted run (mismatches are rejected by the checkpoint's
+    /// embedded config fingerprint); thread count may differ.
+    Resume {
+        /// Graph path (same graph as the interrupted run).
+        graph: PathBuf,
+        /// Checkpoint directory written by `walk --checkpoint-dir`.
+        dir: PathBuf,
+        /// Algorithm selection.
+        algo: AlgoChoice,
+        /// Walker specification.
+        walkers: WalkerCount,
+        /// Steps per walker.
+        steps: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Worker threads.
+        threads: usize,
+        /// Partitioning strategy.
+        strategy: PlanStrategy,
+        /// Optional path-output file.
+        output: Option<PathBuf>,
+        /// Optional visit-counts file.
+        visits: Option<PathBuf>,
+        /// Print execution statistics.
+        stats: bool,
+        /// Optional Chrome Trace Event Format output file.
+        trace: Option<PathBuf>,
+        /// Optional JSONL metrics output file.
+        metrics: Option<PathBuf>,
+        /// Print a periodic progress heartbeat to stderr.
+        progress: bool,
     },
     /// `fmwalk synth`.
     Synth {
@@ -328,8 +368,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut trace = None;
             let mut metrics = None;
             let mut progress = false;
+            let mut checkpoint_dir = None;
+            let mut checkpoint_every = 0usize;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
+                    "--checkpoint-dir" => {
+                        checkpoint_dir = Some(PathBuf::from(c.expect("checkpoint directory")?))
+                    }
+                    "--checkpoint-every" => checkpoint_every = c.value("--checkpoint-every")?,
                     "--engine" => {
                         engine = match c.expect("engine")?.as_str() {
                             "flashmob" => EngineChoice::FlashMob,
@@ -367,6 +413,69 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             Ok(Command::Walk {
                 graph,
                 engine,
+                algo,
+                walkers,
+                steps,
+                seed,
+                threads,
+                strategy,
+                output,
+                visits,
+                stats,
+                trace,
+                metrics,
+                progress,
+                checkpoint_dir,
+                checkpoint_every,
+            })
+        }
+        "resume" => {
+            let graph = PathBuf::from(c.expect("graph path")?);
+            let dir = PathBuf::from(c.expect("checkpoint directory")?);
+            let mut algo_name = "deepwalk".to_string();
+            let (mut p, mut q) = (1.0f64, 1.0f64);
+            let mut walkers = WalkerCount::PerVertex(1);
+            let mut steps = 80usize;
+            let mut seed = 1u64;
+            let mut threads = 1usize;
+            let mut strategy = PlanStrategy::DynamicProgramming;
+            let mut output = None;
+            let mut visits = None;
+            let mut stats = false;
+            let mut trace = None;
+            let mut metrics = None;
+            let mut progress = false;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--algo" => algo_name = c.expect("algorithm")?,
+                    "--p" => p = c.value("--p")?,
+                    "--q" => q = c.value("--q")?,
+                    "--walkers" => walkers = WalkerCount::Absolute(c.value("--walkers")?),
+                    "--walkers-mult" => {
+                        walkers = WalkerCount::PerVertex(c.value("--walkers-mult")?)
+                    }
+                    "--steps" => steps = c.value("--steps")?,
+                    "--seed" => seed = c.value("--seed")?,
+                    "--threads" => threads = c.value("--threads")?,
+                    "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
+                    "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
+                    "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
+                    "--stats" => stats = true,
+                    "--trace" => trace = Some(PathBuf::from(c.expect("trace path")?)),
+                    "--metrics" => metrics = Some(PathBuf::from(c.expect("metrics path")?)),
+                    "--progress" => progress = true,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            let algo = match algo_name.as_str() {
+                "deepwalk" => AlgoChoice::DeepWalk,
+                "node2vec" => AlgoChoice::Node2Vec { p, q },
+                "weighted" => AlgoChoice::Weighted,
+                other => return Err(err(format!("unknown algorithm {other}"))),
+            };
+            Ok(Command::Resume {
+                graph,
+                dir,
                 algo,
                 walkers,
                 steps,
@@ -663,6 +772,64 @@ mod tests {
         );
         assert!(p("trace-check").unwrap_err().0.contains("trace file"));
         assert!(p("trace-check a.json --x")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn walk_checkpoint_flags() {
+        match p("walk g.bin --checkpoint-dir ck --checkpoint-every 16").unwrap() {
+            Command::Walk {
+                checkpoint_dir,
+                checkpoint_every,
+                ..
+            } => {
+                assert_eq!(checkpoint_dir, Some(PathBuf::from("ck")));
+                assert_eq!(checkpoint_every, 16);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("walk g.bin").unwrap() {
+            Command::Walk {
+                checkpoint_dir,
+                checkpoint_every,
+                ..
+            } => {
+                assert!(checkpoint_dir.is_none());
+                assert_eq!(checkpoint_every, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p("walk g.bin --checkpoint-dir")
+            .unwrap_err()
+            .0
+            .contains("checkpoint directory"));
+    }
+
+    #[test]
+    fn resume_command() {
+        match p("resume g.bin ck --steps 40 --seed 7 --threads 4 --output o.txt").unwrap() {
+            Command::Resume {
+                graph,
+                dir,
+                steps,
+                seed,
+                threads,
+                output,
+                ..
+            } => {
+                assert_eq!(graph, PathBuf::from("g.bin"));
+                assert_eq!(dir, PathBuf::from("ck"));
+                assert_eq!(steps, 40);
+                assert_eq!(seed, 7);
+                assert_eq!(threads, 4);
+                assert_eq!(output, Some(PathBuf::from("o.txt")));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p("resume g.bin").unwrap_err().0.contains("checkpoint directory"));
+        assert!(p("resume g.bin ck --engine knightking")
             .unwrap_err()
             .0
             .contains("unknown flag"));

@@ -10,9 +10,45 @@ use fm_telemetry::{export, tef, Telemetry};
 
 use crate::args::{AlgoChoice, Command, EngineChoice, SynthKind, SynthParams};
 
-/// A command-execution failure with a user-facing message.
+/// Process exit-code class of a command failure.
+///
+/// Scripted callers can dispatch on the code: retry on transient IO,
+/// discard the checkpoint directory on corruption, fix the invocation
+/// on a plan error.  Usage errors (bad flags) exit with the
+/// conventional `EX_USAGE` 64, assigned in `main` before a command
+/// ever runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// The environment failed us: missing files, permission errors,
+    /// exhausted retries on transient IO.
+    Io,
+    /// A checkpoint failed CRC/structure validation; the snapshot is
+    /// unusable and should be discarded.
+    CorruptSnapshot,
+    /// The invocation is semantically invalid for this graph or
+    /// configuration (planning errors, sink vertices, missing weights,
+    /// config/checkpoint mismatches).
+    Plan,
+    /// Anything else.
+    Other,
+}
+
+impl ExitKind {
+    /// The process exit code for this class.
+    pub fn code(self) -> i32 {
+        match self {
+            ExitKind::Io => 2,
+            ExitKind::CorruptSnapshot => 3,
+            ExitKind::Plan => 4,
+            ExitKind::Other => 1,
+        }
+    }
+}
+
+/// A command-execution failure with a user-facing message and an
+/// exit-code class.
 #[derive(Debug)]
-pub struct CmdError(pub String);
+pub struct CmdError(pub String, pub ExitKind);
 
 impl std::fmt::Display for CmdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -23,17 +59,65 @@ impl std::fmt::Display for CmdError {
 impl std::error::Error for CmdError {}
 
 fn fail(e: impl std::fmt::Display) -> CmdError {
-    CmdError(e.to_string())
+    CmdError(e.to_string(), ExitKind::Other)
+}
+
+fn fail_io(e: impl std::fmt::Display) -> CmdError {
+    CmdError(e.to_string(), ExitKind::Io)
+}
+
+fn fail_plan(e: impl std::fmt::Display) -> CmdError {
+    CmdError(e.to_string(), ExitKind::Plan)
+}
+
+/// Classifies a graph-storage error: anything carrying an underlying
+/// `std::io::Error` is an environment failure, the rest (format,
+/// validation) are generic.
+fn fail_graph(e: fm_graph::GraphError) -> CmdError {
+    let kind = if e.io_source().is_some() {
+        ExitKind::Io
+    } else {
+        ExitKind::Other
+    };
+    CmdError(e.to_string(), kind)
+}
+
+/// Classifies an engine error into its exit class: checkpoint
+/// corruption → [`ExitKind::CorruptSnapshot`], IO (including recovery
+/// IO and missing snapshots) → [`ExitKind::Io`], config mismatches and
+/// planning failures → [`ExitKind::Plan`].
+fn fail_walk(e: flashmob::WalkError) -> CmdError {
+    use flashmob::{RecoverError, WalkError};
+    let kind = match &e {
+        WalkError::Graph(g) => {
+            if g.io_source().is_some() {
+                ExitKind::Io
+            } else {
+                ExitKind::Other
+            }
+        }
+        WalkError::Recover(r) => {
+            if r.is_corrupt() {
+                ExitKind::CorruptSnapshot
+            } else if matches!(r, RecoverError::Mismatch { .. }) {
+                ExitKind::Plan
+            } else {
+                ExitKind::Io
+            }
+        }
+        _ => ExitKind::Plan,
+    };
+    CmdError(e.to_string(), kind)
 }
 
 /// Loads a graph: binary when the FMG1 magic is present, else text.
 pub fn load_graph(path: &Path) -> Result<Csr, CmdError> {
-    let head =
-        std::fs::read(path).map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?;
+    let head = std::fs::read(path)
+        .map_err(|e| fail_io(format!("cannot read {}: {e}", path.display())))?;
     if head.starts_with(b"FMG1") {
-        io::decode_binary(&head).map_err(fail)
+        io::decode_binary(&head).map_err(fail_graph)
     } else {
-        io::parse_edge_list(&head[..], io::ParseOptions::default()).map_err(fail)
+        io::parse_edge_list(&head[..], io::ParseOptions::default()).map_err(fail_graph)
     }
 }
 
@@ -59,10 +143,10 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 compact,
             };
             let text = std::fs::read(&input)
-                .map_err(|e| fail(format!("cannot read {}: {e}", input.display())))?;
+                .map_err(|e| fail_io(format!("cannot read {}: {e}", input.display())))?;
             let graph = if text.starts_with(b"FMG1") {
                 // Binary input: apply clean-up passes via the builder.
-                let g = io::decode_binary(&text).map_err(fail)?;
+                let g = io::decode_binary(&text).map_err(fail_graph)?;
                 let mut b = fm_graph::GraphBuilder::new();
                 for (s, t) in g.edges() {
                     b.add_edge(s, t);
@@ -74,9 +158,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                     .build()
                     .map_err(fail)?
             } else {
-                io::parse_edge_list(&text[..], opts).map_err(fail)?
+                io::parse_edge_list(&text[..], opts).map_err(fail_graph)?
             };
-            io::save_binary(&graph, &output).map_err(fail)?;
+            io::save_binary(&graph, &output).map_err(fail_graph)?;
             writeln!(
                 out,
                 "wrote {}: |V| = {}, |E| = {}",
@@ -130,7 +214,7 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 .walkers(n_walkers)
                 .strategy(strategy)
                 .record_paths(false);
-            let engine = FlashMob::new(&g, cfg).map_err(fail)?;
+            let engine = FlashMob::new(&g, cfg).map_err(fail_walk)?;
             let plan = engine.plan();
             writeln!(out, "strategy          {strategy:?}").map_err(fail)?;
             writeln!(out, "partitions        {}", plan.partitions.len()).map_err(fail)?;
@@ -167,32 +251,34 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             trace,
             metrics,
             progress,
+            checkpoint_dir,
+            checkpoint_every,
         } => {
             let g = load_graph(&graph)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
-            let algorithm = match algo {
-                AlgoChoice::DeepWalk => WalkAlgorithm::DeepWalk,
-                AlgoChoice::Node2Vec { p, q } => WalkAlgorithm::Node2Vec { p, q },
-                AlgoChoice::Weighted => WalkAlgorithm::Weighted,
-            };
+            let algorithm = walk_algorithm(algo);
             let record_paths = output.is_some();
             let record_visits = visits.is_some();
-            // Telemetry is recorded whenever any consumer asked for it;
-            // otherwise the recorder stays disabled and the engines take
-            // their untraced path.
-            let mut tel = if trace.is_some() || metrics.is_some() || progress || show_stats {
-                Telemetry::new()
-            } else {
-                Telemetry::off()
+            let mut tel = make_telemetry(trace.is_some() || metrics.is_some(), progress, show_stats);
+            let checkpoint = match (checkpoint_dir, checkpoint_every) {
+                (None, 0) => None,
+                (None, _) => {
+                    return Err(fail_plan(
+                        "--checkpoint-every requires --checkpoint-dir",
+                    ))
+                }
+                (Some(dir), every) => {
+                    if engine != EngineChoice::FlashMob {
+                        return Err(fail_plan(
+                            "checkpointing requires --engine flashmob",
+                        ));
+                    }
+                    Some(flashmob::CheckpointSpec::new(
+                        dir,
+                        if every == 0 { 8 } else { every },
+                    ))
+                }
             };
-            if progress {
-                tel.set_heartbeat(std::time::Duration::from_secs(1), |p| {
-                    eprintln!(
-                        "[fmwalk] step {}/{}: {} walker-steps in {:.1?}",
-                        p.step, p.total_steps, p.steps_taken, p.elapsed
-                    );
-                });
-            }
             let (walk_output, steps_taken, per_step_ns, visits_vec, stats_report): (
                 Option<WalkOutput>,
                 u64,
@@ -210,8 +296,13 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                         .record_paths(record_paths)
                         .record_visits(record_visits);
                     cfg.algorithm = algorithm;
-                    let e = FlashMob::new(&g, cfg).map_err(fail)?;
-                    let (o, s) = e.run_traced(&mut tel).map_err(fail)?;
+                    let e = FlashMob::new(&g, cfg).map_err(fail_walk)?;
+                    let (o, s) = match &checkpoint {
+                        Some(spec) => e
+                            .run_with_checkpoints_traced(spec, &mut tel)
+                            .map_err(fail_walk)?,
+                        None => e.run_traced(&mut tel).map_err(fail_walk)?,
+                    };
                     let v = s.visits_original(e.relabeling());
                     let report = show_stats.then(|| s.human_summary());
                     (Some(o), s.steps_taken, s.per_step_ns(), v, report)
@@ -233,55 +324,78 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                     .threads(threads)
                     .record_paths(record_paths)
                     .record_visits(record_visits);
-                    let e = Baseline::new(&g, cfg).map_err(fail)?;
-                    let (o, s) = e.run_traced(&mut tel).map_err(fail)?;
+                    let e = Baseline::new(&g, cfg).map_err(fail_walk)?;
+                    let (o, s) = e.run_traced(&mut tel).map_err(fail_walk)?;
                     let report = show_stats.then(|| s.human_summary());
                     (Some(o), s.steps_taken, s.per_step_ns(), s.visits, report)
                 }
             };
-            writeln!(
+            report_run(
                 out,
-                "walked {steps_taken} walker-steps at {per_step_ns:.1} ns/step"
+                &tel,
+                RunReport {
+                    walk_output,
+                    steps_taken,
+                    per_step_ns,
+                    visits_vec,
+                    stats_report,
+                    output,
+                    visits,
+                    trace,
+                    metrics,
+                },
             )
-            .map_err(fail)?;
-            if let Some(report) = stats_report {
-                write!(out, "{report}").map_err(fail)?;
-                if tel.is_on() {
-                    write!(out, "{}", export::human_summary(&tel)).map_err(fail)?;
-                }
-            }
-            if let Some(path) = trace {
-                let f = std::fs::File::create(&path).map_err(fail)?;
-                let mut w = std::io::BufWriter::new(f);
-                export::write_chrome_trace(&mut w, &tel).map_err(fail)?;
-                w.flush().map_err(fail)?;
-                writeln!(out, "trace written to {}", path.display()).map_err(fail)?;
-            }
-            if let Some(path) = metrics {
-                let f = std::fs::File::create(&path).map_err(fail)?;
-                let mut w = std::io::BufWriter::new(f);
-                export::write_metrics_jsonl(&mut w, &tel).map_err(fail)?;
-                w.flush().map_err(fail)?;
-                writeln!(out, "metrics written to {}", path.display()).map_err(fail)?;
-            }
-            if let (Some(path), Some(o)) = (output, walk_output.as_ref()) {
-                let mut f = std::fs::File::create(&path).map_err(fail)?;
-                let mut buffered = std::io::BufWriter::new(&mut f);
-                for walk in o.paths() {
-                    let line: Vec<String> = walk.iter().map(|v| v.to_string()).collect();
-                    writeln!(buffered, "{}", line.join(" ")).map_err(fail)?;
-                }
-                writeln!(out, "paths written to {}", path.display()).map_err(fail)?;
-            }
-            if let (Some(path), Some(v)) = (visits, visits_vec) {
-                let mut f = std::fs::File::create(&path).map_err(fail)?;
-                let mut buffered = std::io::BufWriter::new(&mut f);
-                for (vertex, count) in v.iter().enumerate() {
-                    writeln!(buffered, "{vertex} {count}").map_err(fail)?;
-                }
-                writeln!(out, "visit counts written to {}", path.display()).map_err(fail)?;
-            }
-            Ok(())
+        }
+        Command::Resume {
+            graph,
+            dir,
+            algo,
+            walkers,
+            steps,
+            seed,
+            threads,
+            strategy,
+            output,
+            visits,
+            stats: show_stats,
+            trace,
+            metrics,
+            progress,
+        } => {
+            let g = load_graph(&graph)?;
+            let n_walkers = walkers.resolve(g.vertex_count()).max(1);
+            let record_paths = output.is_some();
+            let record_visits = visits.is_some();
+            let mut tel = make_telemetry(trace.is_some() || metrics.is_some(), progress, show_stats);
+            let mut cfg = WalkConfig::deepwalk()
+                .walkers(n_walkers)
+                .steps(steps)
+                .seed(seed)
+                .threads(threads)
+                .strategy(strategy)
+                .record_paths(record_paths)
+                .record_visits(record_visits);
+            cfg.algorithm = walk_algorithm(algo);
+            let e = FlashMob::new(&g, cfg).map_err(fail_walk)?;
+            let (o, s) = e.resume_with(&dir, None, &mut tel).map_err(fail_walk)?;
+            writeln!(out, "resumed from {}", dir.display()).map_err(fail)?;
+            let v = s.visits_original(e.relabeling());
+            let report = show_stats.then(|| s.human_summary());
+            report_run(
+                out,
+                &tel,
+                RunReport {
+                    walk_output: Some(o),
+                    steps_taken: s.steps_taken,
+                    per_step_ns: s.per_step_ns(),
+                    visits_vec: v,
+                    stats_report: report,
+                    output,
+                    visits,
+                    trace,
+                    metrics,
+                },
+            )
         }
         Command::Synth {
             kind,
@@ -289,7 +403,7 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             params,
         } => {
             let g = generate(kind, &params);
-            io::save_binary(&g, &output).map_err(fail)?;
+            io::save_binary(&g, &output).map_err(fail_graph)?;
             writeln!(
                 out,
                 "wrote {}: |V| = {}, |E| = {}, avg degree {:.1}",
@@ -405,15 +519,16 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             let (passed, skipped, failed) = report.tally();
             writeln!(out, "{passed} passed, {skipped} skipped, {failed} failed").map_err(fail)?;
             if failed > 0 {
-                return Err(CmdError(format!(
-                    "{failed} conformance cell(s) failed; see table above"
-                )));
+                return Err(CmdError(
+                    format!("{failed} conformance cell(s) failed; see table above"),
+                    ExitKind::Other,
+                ));
             }
             Ok(())
         }
         Command::TraceCheck { file } => {
             let text = std::fs::read_to_string(&file)
-                .map_err(|e| fail(format!("cannot read {}: {e}", file.display())))?;
+                .map_err(|e| fail_io(format!("cannot read {}: {e}", file.display())))?;
             let report = tef::validate(&text)
                 .map_err(|e| fail(format!("{}: invalid trace: {e}", file.display())))?;
             writeln!(
@@ -428,6 +543,96 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             Ok(())
         }
     }
+}
+
+fn walk_algorithm(algo: AlgoChoice) -> WalkAlgorithm {
+    match algo {
+        AlgoChoice::DeepWalk => WalkAlgorithm::DeepWalk,
+        AlgoChoice::Node2Vec { p, q } => WalkAlgorithm::Node2Vec { p, q },
+        AlgoChoice::Weighted => WalkAlgorithm::Weighted,
+    }
+}
+
+/// Telemetry is recorded whenever any consumer asked for it; otherwise
+/// the recorder stays disabled and the engines take their untraced
+/// path.
+fn make_telemetry(exporting: bool, progress: bool, show_stats: bool) -> Telemetry {
+    let mut tel = if exporting || progress || show_stats {
+        Telemetry::new()
+    } else {
+        Telemetry::off()
+    };
+    if progress {
+        tel.set_heartbeat(std::time::Duration::from_secs(1), |p| {
+            eprintln!(
+                "[fmwalk] step {}/{}: {} walker-steps in {:.1?}",
+                p.step, p.total_steps, p.steps_taken, p.elapsed
+            );
+        });
+    }
+    tel
+}
+
+/// Everything the `walk`/`resume` reporting tail needs.
+struct RunReport {
+    walk_output: Option<WalkOutput>,
+    steps_taken: u64,
+    per_step_ns: f64,
+    visits_vec: Option<Vec<u64>>,
+    stats_report: Option<String>,
+    output: Option<std::path::PathBuf>,
+    visits: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+}
+
+/// Prints the run summary and writes the requested artifact files
+/// (shared by `walk` and `resume`).
+fn report_run<W: Write>(out: &mut W, tel: &Telemetry, r: RunReport) -> Result<(), CmdError> {
+    writeln!(
+        out,
+        "walked {} walker-steps at {:.1} ns/step",
+        r.steps_taken, r.per_step_ns
+    )
+    .map_err(fail)?;
+    if let Some(report) = r.stats_report {
+        write!(out, "{report}").map_err(fail)?;
+        if tel.is_on() {
+            write!(out, "{}", export::human_summary(tel)).map_err(fail)?;
+        }
+    }
+    if let Some(path) = r.trace {
+        let f = std::fs::File::create(&path).map_err(fail_io)?;
+        let mut w = std::io::BufWriter::new(f);
+        export::write_chrome_trace(&mut w, tel).map_err(fail_io)?;
+        w.flush().map_err(fail_io)?;
+        writeln!(out, "trace written to {}", path.display()).map_err(fail)?;
+    }
+    if let Some(path) = r.metrics {
+        let f = std::fs::File::create(&path).map_err(fail_io)?;
+        let mut w = std::io::BufWriter::new(f);
+        export::write_metrics_jsonl(&mut w, tel).map_err(fail_io)?;
+        w.flush().map_err(fail_io)?;
+        writeln!(out, "metrics written to {}", path.display()).map_err(fail)?;
+    }
+    if let (Some(path), Some(o)) = (r.output, r.walk_output.as_ref()) {
+        let mut f = std::fs::File::create(&path).map_err(fail_io)?;
+        let mut buffered = std::io::BufWriter::new(&mut f);
+        for walk in o.paths() {
+            let line: Vec<String> = walk.iter().map(|v| v.to_string()).collect();
+            writeln!(buffered, "{}", line.join(" ")).map_err(fail_io)?;
+        }
+        writeln!(out, "paths written to {}", path.display()).map_err(fail)?;
+    }
+    if let (Some(path), Some(v)) = (r.visits, r.visits_vec) {
+        let mut f = std::fs::File::create(&path).map_err(fail_io)?;
+        let mut buffered = std::io::BufWriter::new(&mut f);
+        for (vertex, count) in v.iter().enumerate() {
+            writeln!(buffered, "{vertex} {count}").map_err(fail_io)?;
+        }
+        writeln!(out, "visit counts written to {}", path.display()).map_err(fail)?;
+    }
+    Ok(())
 }
 
 fn grid_cells(grid: &fm_profiler::ProfileGrid) -> usize {
@@ -637,5 +842,125 @@ mod tests {
     fn missing_graph_is_a_clean_error() {
         let err = exec("stats /definitely/not/here.bin").unwrap_err();
         assert!(err.0.contains("cannot read"), "{}", err.0);
+        assert_eq!(err.1, ExitKind::Io);
+        assert_eq!(err.1.code(), 2);
+    }
+
+    #[test]
+    fn exit_kind_codes_are_stable() {
+        assert_eq!(ExitKind::Other.code(), 1);
+        assert_eq!(ExitKind::Io.code(), 2);
+        assert_eq!(ExitKind::CorruptSnapshot.code(), 3);
+        assert_eq!(ExitKind::Plan.code(), 4);
+    }
+
+    #[test]
+    fn plan_errors_exit_as_plan() {
+        let bin = tmp("plan_err.bin");
+        exec(&format!("synth ring {} --n 64 --degree 4", bin.display())).unwrap();
+        // Weighted walk on an unweighted graph is a configuration error.
+        let err = exec(&format!("walk {} --algo weighted --steps 2", bin.display())).unwrap_err();
+        assert_eq!(err.1, ExitKind::Plan, "{}", err.0);
+        // Checkpoint flag misuse is caught before any engine runs.
+        let err = exec(&format!("walk {} --checkpoint-every 4", bin.display())).unwrap_err();
+        assert!(err.0.contains("--checkpoint-dir"), "{}", err.0);
+        assert_eq!(err.1, ExitKind::Plan);
+        let err = exec(&format!(
+            "walk {} --engine knightking --checkpoint-dir d",
+            bin.display()
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("--engine flashmob"), "{}", err.0);
+        assert_eq!(err.1, ExitKind::Plan);
+        std::fs::remove_file(bin).ok();
+    }
+
+    #[test]
+    fn walk_checkpoint_resume_round_trip() {
+        let bin = tmp("ckpt_walk.bin");
+        let dir = tmp("ckpt_walk_dir");
+        let full = tmp("ckpt_full.txt");
+        let resumed = tmp("ckpt_resumed.txt");
+        std::fs::remove_dir_all(&dir).ok();
+        exec(&format!("synth ring {} --n 64 --degree 4", bin.display())).unwrap();
+        let walk_flags = "--steps 6 --walkers 32 --seed 11";
+
+        // Checkpointed run completes and leaves snapshots behind.
+        let msg = exec(&format!(
+            "walk {} {walk_flags} --output {} --checkpoint-dir {} --checkpoint-every 2",
+            bin.display(),
+            full.display(),
+            dir.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("ns/step"), "{msg}");
+        assert!(dir.join("MANIFEST").is_file());
+
+        // Resuming from the final checkpoint reproduces the paths file
+        // bit for bit (here the walk is already complete, so resume
+        // executes zero iterations — the hardest edge case).
+        let msg = exec(&format!(
+            "resume {} {} {walk_flags} --output {}",
+            bin.display(),
+            dir.display(),
+            resumed.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("resumed from"), "{msg}");
+        let a = std::fs::read(&full).unwrap();
+        let b = std::fs::read(&resumed).unwrap();
+        assert!(!a.is_empty() && a == b);
+
+        // A mismatched configuration is rejected as a plan error.
+        let err = exec(&format!(
+            "resume {} {} --steps 6 --walkers 32 --seed 999 --output {}",
+            bin.display(),
+            dir.display(),
+            resumed.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::Plan, "{}", err.0);
+
+        // A flipped byte in the snapshot is detected and classified as
+        // corruption (exit 3).
+        // All generations stay on disk but the manifest references the
+        // newest, so corrupt the highest-numbered snapshot file.
+        let snap = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "fmck"))
+            .max()
+            .expect("snapshot file");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = exec(&format!(
+            "resume {} {} {walk_flags} --output {}",
+            bin.display(),
+            dir.display(),
+            resumed.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::CorruptSnapshot, "{}", err.0);
+        assert_eq!(err.1.code(), 3);
+
+        // An empty checkpoint directory is an IO-class failure (exit 2).
+        let empty = tmp("ckpt_empty_dir");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = exec(&format!(
+            "resume {} {} {walk_flags}",
+            bin.display(),
+            empty.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::Io, "{}", err.0);
+
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(full).ok();
+        std::fs::remove_file(resumed).ok();
+        std::fs::remove_dir_all(dir).ok();
+        std::fs::remove_dir_all(empty).ok();
     }
 }

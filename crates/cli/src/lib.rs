@@ -22,6 +22,9 @@ USAGE:
                       [--threads N] [--strategy dp|ups|uds|manual]
                       [--output <paths.txt>] [--visits <visits.txt>] [--stats]
                       [--trace <out.json>] [--metrics <out.jsonl>] [--progress]
+                      [--checkpoint-dir <dir>] [--checkpoint-every N]
+  fmwalk resume <graph> <ckpt-dir> [same flags as walk, minus --engine
+                      and the checkpoint flags]
   fmwalk synth <power-law|rmat|ba|ws|ring> <out.bin>
                       [--n N] [--alpha X] [--min-degree N] [--max-degree N]
                       [--scale N] [--edge-factor N] [--m N] [--beta X]
@@ -38,4 +41,13 @@ FMG1 magic, as a whitespace edge list otherwise.
 chrome://tracing or Perfetto); `--metrics` writes per-stage and
 per-partition counters as JSON Lines; `trace-check` validates a trace
 file against the in-tree TEF checker.
+
+`walk --checkpoint-dir` writes a crash-consistent checkpoint every
+`--checkpoint-every` iterations (default 8); `resume` continues an
+interrupted run from the latest checkpoint, bit-identically to the
+uninterrupted run.  The `resume` configuration flags must match the
+interrupted invocation (thread count may differ).
+
+Exit codes: 0 success, 1 generic failure, 2 IO error, 3 corrupt
+checkpoint, 4 invalid plan or configuration, 64 usage error.
 ";

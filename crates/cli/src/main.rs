@@ -1,4 +1,12 @@
 //! The `fmwalk` binary: parse, run, report.
+//!
+//! Exit codes: 0 success, 64 usage error (bad flags), and for command
+//! failures the [`fm_cli::commands::ExitKind`] classes — 2 IO error,
+//! 3 corrupt checkpoint, 4 invalid plan/configuration, 1 anything
+//! else.
+
+/// Conventional `EX_USAGE` from BSD `sysexits.h`.
+const EX_USAGE: i32 = 64;
 
 fn main() {
     let cmd = match fm_cli::parse(std::env::args().skip(1)) {
@@ -6,13 +14,13 @@ fn main() {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", fm_cli::USAGE);
-            std::process::exit(2);
+            std::process::exit(EX_USAGE);
         }
     };
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if let Err(e) = fm_cli::commands::run(cmd, &mut out) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        std::process::exit(e.1.code());
     }
 }

@@ -1,0 +1,362 @@
+//! The crash-recovery conformance matrix.
+//!
+//! The lattice in [`crate::runner`] proves that every engine produces
+//! the committed golden digest when nothing goes wrong.  This module
+//! proves the stronger robustness claim: **killing a run at any epoch
+//! boundary and resuming it from the latest on-disk checkpoint
+//! reproduces the same digest, bit for bit.**
+//!
+//! For each covered cell (FlashMob auto/PS/DS at 1 and 8 threads, plus
+//! the out-of-core engine) the matrix:
+//!
+//! 1. runs uninterrupted once to get the reference digest (and checks
+//!    it against the committed golden table where an entry exists);
+//! 2. re-runs with checkpoints every [`CRASH_EVERY`] iterations and a
+//!    programmed halt after generation `k`, for every reachable
+//!    generation `k` — including the final one, where the walk is
+//!    already complete and resume must execute **zero** iterations;
+//! 3. resumes each halted run from its checkpoint directory and
+//!    demands digest equality with the uninterrupted reference.
+//!
+//! Digests fold the full path matrix plus (for FlashMob cells) the
+//! per-partition RNG stream ids of every iteration, exactly as the
+//! golden lattice does, so a resume that silently re-seeds or replays
+//! a partition fails loudly even if the paths happen to look sane.
+
+use std::path::PathBuf;
+
+use fm_graph::VertexId;
+use flashmob::{
+    oocore::{run_ooc_with, DiskGraph, OocOptions},
+    CheckpointSpec, FlashMob, PlanStrategy, WalkError,
+};
+use fm_telemetry::Telemetry;
+
+use crate::digest::PathDigest;
+use crate::golden;
+use crate::runner::{
+    conformance_graph, flashmob_config, ooc_temp_path, AlgoKind, EngineKind, LATTICE_STEPS,
+};
+
+/// Checkpoint cadence for the crash matrix.  With [`LATTICE_STEPS`]`
+/// = 8` this yields checkpoints after iterations 2, 4, 6 and 8 —
+/// generations 1 through 4, the last of which fires when the walk is
+/// already complete (the resume-executes-nothing edge case).
+pub const CRASH_EVERY: usize = 2;
+
+/// Outcome of one (cell, kill-generation) pair.
+#[derive(Debug, Clone)]
+pub struct CrashCase {
+    /// Engine label (golden-table key).
+    pub engine: &'static str,
+    /// Thread count of the interrupted run (resume always uses the
+    /// same count here; thread invariance is covered by the lattice).
+    pub threads: usize,
+    /// Checkpoint generation after which the run was killed.
+    pub generation: u64,
+    /// Whether the resumed digest matched the uninterrupted one.
+    pub ok: bool,
+    /// Failure detail, empty when `ok`.
+    pub detail: String,
+}
+
+/// The full crash-matrix report.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Every (cell, kill point) pair, in sweep order.
+    pub cases: Vec<CrashCase>,
+}
+
+impl CrashReport {
+    /// All failing cases.
+    pub fn failures(&self) -> Vec<&CrashCase> {
+        self.cases.iter().filter(|c| !c.ok).collect()
+    }
+
+    /// Whether every case passed.
+    pub fn all_ok(&self) -> bool {
+        self.cases.iter().all(|c| c.ok)
+    }
+}
+
+/// Unique checkpoint directory per (cell, generation) so concurrent
+/// test processes never share state.
+fn crash_dir(label: &str, threads: usize, generation: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fm-crash-{}-{label}-t{threads}-g{generation}",
+        std::process::id()
+    ))
+}
+
+fn digest_output(paths: &[Vec<VertexId>], extra: &[u64]) -> u64 {
+    let mut d = PathDigest::new();
+    d.fold_u64(paths.len() as u64);
+    for p in paths {
+        d.fold_path(p);
+    }
+    for &x in extra {
+        d.fold_u64(x);
+    }
+    d.finish()
+}
+
+fn fail(case: &mut CrashCase, detail: String) {
+    case.ok = false;
+    case.detail = detail;
+}
+
+/// Runs kill-and-resume at every generation for one FlashMob cell and
+/// appends the per-generation cases to `out`.
+fn crash_flashmob(engine: EngineKind, threads: usize, out: &mut Vec<CrashCase>) {
+    let strategy = match engine {
+        EngineKind::FlashMobAuto => PlanStrategy::DynamicProgramming,
+        EngineKind::FlashMobPs => PlanStrategy::UniformPs,
+        _ => PlanStrategy::UniformDs,
+    };
+    let graph = conformance_graph();
+    let config = flashmob_config(AlgoKind::DeepWalk, threads).strategy(strategy);
+    let fm = match FlashMob::new(&graph, config) {
+        Ok(fm) => fm,
+        Err(e) => {
+            out.push(CrashCase {
+                engine: engine.label(),
+                threads,
+                generation: 0,
+                ok: false,
+                detail: format!("engine construction failed: {e}"),
+            });
+            return;
+        }
+    };
+    let mut extra = Vec::new();
+    for iter in 0..LATTICE_STEPS {
+        extra.extend(fm.partition_stream_ids(iter));
+    }
+
+    // Uninterrupted reference, checked against the golden table.
+    let reference = match fm.run() {
+        Ok(output) => digest_output(&output.paths(), &extra),
+        Err(e) => {
+            out.push(CrashCase {
+                engine: engine.label(),
+                threads,
+                generation: 0,
+                ok: false,
+                detail: format!("uninterrupted run failed: {e}"),
+            });
+            return;
+        }
+    };
+    if let Some(want) = golden::lookup(engine.label(), "deepwalk", threads) {
+        if reference != want {
+            out.push(CrashCase {
+                engine: engine.label(),
+                threads,
+                generation: 0,
+                ok: false,
+                detail: format!(
+                    "uninterrupted digest {reference:#018x} != golden {want:#018x}"
+                ),
+            });
+            return;
+        }
+    }
+
+    let generations = (LATTICE_STEPS / CRASH_EVERY) as u64;
+    for k in 1..=generations {
+        let mut case = CrashCase {
+            engine: engine.label(),
+            threads,
+            generation: k,
+            ok: true,
+            detail: String::new(),
+        };
+        let dir = crash_dir(engine.label(), threads, k);
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = CheckpointSpec::new(&dir, CRASH_EVERY).halt_after(k);
+        match fm.run_with_checkpoints(&spec) {
+            Err(WalkError::Halted { generation }) if generation == k => {}
+            Err(e) => fail(&mut case, format!("expected halt at generation {k}, got {e}")),
+            Ok(_) => fail(
+                &mut case,
+                format!("run completed instead of halting at generation {k}"),
+            ),
+        }
+        if case.ok {
+            match fm.resume(&dir) {
+                Ok((output, _)) => {
+                    let got = digest_output(&output.paths(), &extra);
+                    if got != reference {
+                        fail(
+                            &mut case,
+                            format!(
+                                "resumed digest {got:#018x} != uninterrupted {reference:#018x}"
+                            ),
+                        );
+                    }
+                }
+                Err(e) => fail(&mut case, format!("resume failed: {e}")),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        out.push(case);
+    }
+}
+
+/// Runs kill-and-resume at every generation for the out-of-core engine.
+fn crash_oocore(out: &mut Vec<CrashCase>) {
+    let label = EngineKind::OutOfCore.label();
+    let graph = conformance_graph();
+    let config = flashmob_config(AlgoKind::DeepWalk, 1);
+    let path = ooc_temp_path();
+    let disk = match DiskGraph::create(&graph, &path) {
+        Ok(d) => d,
+        Err(e) => {
+            out.push(CrashCase {
+                engine: label,
+                threads: 1,
+                generation: 0,
+                ok: false,
+                detail: format!("disk graph creation failed: {e}"),
+            });
+            return;
+        }
+    };
+
+    let reference = match run_ooc_with(
+        &disk,
+        &config,
+        64 * 1024,
+        &OocOptions::default(),
+        &mut Telemetry::off(),
+    ) {
+        Ok((output, _)) => digest_output(&output.paths(), &[]),
+        Err(e) => {
+            std::fs::remove_file(&path).ok();
+            out.push(CrashCase {
+                engine: label,
+                threads: 1,
+                generation: 0,
+                ok: false,
+                detail: format!("uninterrupted run failed: {e}"),
+            });
+            return;
+        }
+    };
+    if let Some(want) = golden::lookup(label, "deepwalk", 1) {
+        if reference != want {
+            std::fs::remove_file(&path).ok();
+            out.push(CrashCase {
+                engine: label,
+                threads: 1,
+                generation: 0,
+                ok: false,
+                detail: format!(
+                    "uninterrupted digest {reference:#018x} != golden {want:#018x}"
+                ),
+            });
+            return;
+        }
+    }
+
+    let generations = (LATTICE_STEPS / CRASH_EVERY) as u64;
+    for k in 1..=generations {
+        let mut case = CrashCase {
+            engine: label,
+            threads: 1,
+            generation: k,
+            ok: true,
+            detail: String::new(),
+        };
+        let dir = crash_dir(label, 1, k);
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = CheckpointSpec::new(&dir, CRASH_EVERY).halt_after(k);
+        let kill = run_ooc_with(
+            &disk,
+            &config,
+            64 * 1024,
+            &OocOptions::default().checkpoint(spec),
+            &mut Telemetry::off(),
+        );
+        match kill {
+            Err(WalkError::Halted { generation }) if generation == k => {}
+            Err(e) => fail(&mut case, format!("expected halt at generation {k}, got {e}")),
+            Ok(_) => fail(
+                &mut case,
+                format!("run completed instead of halting at generation {k}"),
+            ),
+        }
+        if case.ok {
+            let resumed = run_ooc_with(
+                &disk,
+                &config,
+                64 * 1024,
+                &OocOptions::default().resume_from(&dir),
+                &mut Telemetry::off(),
+            );
+            match resumed {
+                Ok((output, _)) => {
+                    let got = digest_output(&output.paths(), &[]);
+                    if got != reference {
+                        fail(
+                            &mut case,
+                            format!(
+                                "resumed digest {got:#018x} != uninterrupted {reference:#018x}"
+                            ),
+                        );
+                    }
+                }
+                Err(e) => fail(&mut case, format!("resume failed: {e}")),
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        out.push(case);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Runs the crash matrix.
+///
+/// `full` sweeps FlashMob auto/PS/DS at 1 and 8 threads plus the
+/// out-of-core engine; the quick tier keeps the auto plan at 1 thread
+/// and the out-of-core engine (every kill generation in both tiers).
+pub fn run_crash_matrix(full: bool) -> CrashReport {
+    let mut cases = Vec::new();
+    let engines = [
+        EngineKind::FlashMobAuto,
+        EngineKind::FlashMobPs,
+        EngineKind::FlashMobDs,
+    ];
+    let threads: &[usize] = if full { &[1, 8] } else { &[1] };
+    let engines: &[EngineKind] = if full { &engines } else { &engines[..1] };
+    for &engine in engines {
+        for &t in threads {
+            crash_flashmob(engine, t, &mut cases);
+        }
+    }
+    crash_oocore(&mut cases);
+    CrashReport { cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_crash_matrix_is_bit_exact() {
+        let report = run_crash_matrix(false);
+        let failures: Vec<String> = report
+            .failures()
+            .iter()
+            .map(|c| {
+                format!(
+                    "{} t={} gen={}: {}",
+                    c.engine, c.threads, c.generation, c.detail
+                )
+            })
+            .collect();
+        assert!(report.all_ok(), "crash matrix failures:\n{}", failures.join("\n"));
+        // auto@1 has 4 kill points, oocore has 4.
+        assert_eq!(report.cases.len(), 8);
+    }
+}

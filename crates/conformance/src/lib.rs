@@ -25,12 +25,14 @@
 //! Driven by `fmwalk conform` (quick tier in `ci.sh`, full lattice
 //! behind `--full`).
 
+pub mod crash;
 pub mod digest;
 pub mod golden;
 pub mod matrix;
 pub mod oracle;
 pub mod runner;
 
+pub use crash::{run_crash_matrix, CrashCase, CrashReport};
 pub use digest::{digest_paths, PathDigest};
 pub use matrix::StochasticMatrix;
 pub use oracle::{init_distribution, EdgeIndex, FirstOrderOracle, Node2VecOracle};

@@ -78,7 +78,7 @@ pub fn weighted_conformance_graph() -> Csr {
 }
 
 /// Planner parameters scaled to the 96-vertex conformance graph.
-fn conformance_planner() -> PlannerParams {
+pub(crate) fn conformance_planner() -> PlannerParams {
     PlannerParams {
         target_groups: 8,
         max_partitions: 16,
@@ -298,7 +298,7 @@ struct CellData {
 
 /// Unique temp path for out-of-core cells (tests in one process run
 /// concurrently, so a pid alone would collide).
-fn ooc_temp_path() -> PathBuf {
+pub(crate) fn ooc_temp_path() -> PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
     std::env::temp_dir().join(format!(
@@ -308,7 +308,7 @@ fn ooc_temp_path() -> PathBuf {
     ))
 }
 
-fn flashmob_config(algo: AlgoKind, threads: usize) -> WalkConfig {
+pub(crate) fn flashmob_config(algo: AlgoKind, threads: usize) -> WalkConfig {
     let mut config = WalkConfig::deepwalk()
         .walkers(LATTICE_WALKERS)
         .steps(LATTICE_STEPS)

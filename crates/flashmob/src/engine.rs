@@ -1,10 +1,15 @@
 //! The FlashMob execution engine: plan, then iterate shuffle → sample.
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use fm_graph::relabel::{sort_by_degree, Relabeling};
 use fm_graph::{Csr, VertexId};
 use fm_memsim::{AddressSpace, NullProbe, Probe};
+use fm_recover::{
+    load_latest, CheckpointSink, CheckpointSpec, Fingerprint, PsPartState, RecoverError,
+    WalkSnapshot,
+};
 use fm_rng::{split_stream, Rng64, Xorshift64Star};
 use fm_telemetry::{json, SpanEvent, Stage, Telemetry, NO_PARTITION, NO_STEP};
 
@@ -210,6 +215,25 @@ struct EngineAddrs {
     sprev_region: u64,
 }
 
+/// A background checkpoint write in flight: the thread owns the sink
+/// and returns it together with the transient retries it absorbed and
+/// the write result.
+type CheckpointHandle = std::thread::JoinHandle<(CheckpointSink, u64, Result<(), RecoverError>)>;
+
+/// Joins a background checkpoint write, folds its retry count into the
+/// telemetry, and surfaces its (deferred) IO error.
+fn join_checkpoint(
+    handle: CheckpointHandle,
+    tel: &mut Telemetry,
+) -> Result<CheckpointSink, RecoverError> {
+    let (sink, retries, result) = handle
+        .join()
+        .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+    tel.record_io_retries(retries);
+    result?;
+    Ok(sink)
+}
+
 impl FlashMob {
     /// Prepares the engine with the default analytic cost model.
     pub fn new(graph: &Csr, config: WalkConfig) -> Result<Self, WalkError> {
@@ -406,6 +430,213 @@ impl FlashMob {
         self.run_internal_seeded(&mut probe, true, self.config.seed, tel)
     }
 
+    /// Runs the walk, writing a crash-consistent checkpoint into
+    /// `spec.dir` every `spec.every` iterations (see [`CheckpointSpec`]).
+    ///
+    /// Checkpoints are published atomically (write-to-temp → fsync →
+    /// rename), so a crash at any instant leaves either the previous
+    /// generation or the new one — never a torn state.
+    pub fn run_with_checkpoints(
+        &self,
+        spec: &CheckpointSpec,
+    ) -> Result<(WalkOutput, RunStats), WalkError> {
+        let mut probe = NullProbe;
+        self.run_internal_ckpt(
+            &mut probe,
+            true,
+            self.config.seed,
+            &mut Telemetry::off(),
+            Some(spec),
+            None,
+        )
+    }
+
+    /// [`FlashMob::run_with_checkpoints`] with telemetry recording:
+    /// checkpoint writes appear as `Checkpoint` spans and transient IO
+    /// retries are counted.
+    pub fn run_with_checkpoints_traced(
+        &self,
+        spec: &CheckpointSpec,
+        tel: &mut Telemetry,
+    ) -> Result<(WalkOutput, RunStats), WalkError> {
+        let mut probe = NullProbe;
+        self.run_internal_ckpt(&mut probe, true, self.config.seed, tel, Some(spec), None)
+    }
+
+    /// Resumes from the latest checkpoint in `dir` and runs to
+    /// completion without writing further checkpoints.
+    ///
+    /// The engine must be constructed over the same graph with the same
+    /// configuration as the interrupted run (thread count may differ —
+    /// runs are bit-identical across thread counts); mismatches are
+    /// rejected with [`fm_recover::RecoverError::Mismatch`].  The final
+    /// output is bit-identical to the uninterrupted run's.
+    pub fn resume(&self, dir: impl AsRef<Path>) -> Result<(WalkOutput, RunStats), WalkError> {
+        self.resume_with(dir, None, &mut Telemetry::off())
+    }
+
+    /// Resumes from the latest checkpoint in `dir`; with `spec` the
+    /// resumed run keeps checkpointing (generation numbers continue
+    /// from the interrupted run — they derive from the absolute
+    /// iteration, not from time since resume).
+    pub fn resume_with(
+        &self,
+        dir: impl AsRef<Path>,
+        spec: Option<&CheckpointSpec>,
+        tel: &mut Telemetry,
+    ) -> Result<(WalkOutput, RunStats), WalkError> {
+        let span = tel.is_on().then(|| tel.now_ns());
+        let (_generation, snap) = load_latest(dir.as_ref())?;
+        if let Some(s) = span {
+            tel.span_since(Stage::Recovery, s, NO_STEP, NO_PARTITION);
+        }
+        let mut probe = NullProbe;
+        self.run_internal_ckpt(&mut probe, true, self.config.seed, tel, spec, Some(snap))
+    }
+
+    /// Fingerprint of everything that determines the sampled chain.
+    ///
+    /// Snapshots carry this tag and `resume` verifies it: resuming under
+    /// a different algorithm, stop rule, seed, or plan would silently
+    /// produce garbage.  Thread count is deliberately excluded — runs
+    /// are bit-identical across thread counts, so a checkpoint written
+    /// at 8 threads resumes correctly at 1 (and vice versa).
+    fn config_tag(&self) -> u64 {
+        let c = &self.config;
+        let mut fp = Fingerprint::new();
+        match c.algorithm {
+            crate::WalkAlgorithm::DeepWalk => {
+                fp.fold_u64(1);
+            }
+            crate::WalkAlgorithm::Weighted => {
+                fp.fold_u64(2);
+            }
+            crate::WalkAlgorithm::Node2Vec { p, q } => {
+                fp.fold_u64(3).fold_u64(p.to_bits()).fold_u64(q.to_bits());
+            }
+        }
+        match c.stop {
+            crate::StopRule::FixedSteps(n) => {
+                fp.fold_u64(1).fold_u64(n as u64);
+            }
+            crate::StopRule::Geometric {
+                exit_prob,
+                max_steps,
+            } => {
+                fp.fold_u64(2)
+                    .fold_u64(exit_prob.to_bits())
+                    .fold_u64(max_steps as u64);
+            }
+        }
+        match &c.init {
+            WalkerInit::UniformVertex => {
+                fp.fold_u64(1);
+            }
+            WalkerInit::UniformEdge => {
+                fp.fold_u64(2);
+            }
+            WalkerInit::EveryVertex => {
+                fp.fold_u64(3);
+            }
+            WalkerInit::Fixed(starts) => {
+                fp.fold_u64(4).fold_u64(starts.len() as u64);
+                for &s in starts {
+                    fp.fold_u64(s as u64);
+                }
+            }
+        }
+        fp.fold_u64(c.walkers as u64)
+            .fold_u64(c.seed)
+            .fold_u64(c.record_paths as u64)
+            .fold_u64(c.record_visits as u64)
+            .fold_u64(match c.strategy {
+                crate::PlanStrategy::DynamicProgramming => 1,
+                crate::PlanStrategy::UniformPs => 2,
+                crate::PlanStrategy::UniformDs => 3,
+                crate::PlanStrategy::ManualHeuristic => 4,
+            })
+            .fold_u64(c.planner.target_groups as u64)
+            .fold_u64(c.planner.max_partitions as u64)
+            .fold_u64(c.planner.min_vp_vertices as u64);
+        fp.value()
+    }
+
+    /// Fingerprint of the sorted internal graph (shape, not weights:
+    /// the offsets pin the degree sequence, which pins the relabeling).
+    fn graph_tag(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.fold_u64(self.graph.vertex_count() as u64)
+            .fold_u64(self.graph.edge_count() as u64);
+        for &o in self.graph.offsets() {
+            fp.fold_u64(o as u64);
+        }
+        fp.value()
+    }
+
+    /// Rejects snapshots that do not belong to this engine + seed.
+    fn validate_snapshot(
+        &self,
+        snap: &WalkSnapshot,
+        seed: u64,
+        steps: usize,
+    ) -> Result<(), WalkError> {
+        let mismatch =
+            |detail: String| WalkError::Recover(RecoverError::Mismatch { detail });
+        if snap.config_tag != self.config_tag() {
+            return Err(mismatch(
+                "snapshot was written under a different walk configuration".into(),
+            ));
+        }
+        if snap.graph_tag != self.graph_tag() {
+            return Err(mismatch(
+                "snapshot was written against a different graph".into(),
+            ));
+        }
+        if snap.seed != seed {
+            return Err(mismatch(format!(
+                "snapshot seed {} does not match run seed {seed}",
+                snap.seed
+            )));
+        }
+        let walkers = self.config.walkers;
+        if snap.walkers as usize != walkers || snap.w.len() != walkers {
+            return Err(mismatch(format!(
+                "snapshot has {} walkers, engine has {walkers}",
+                snap.walkers
+            )));
+        }
+        if snap.steps_total as usize != steps || snap.iter_next as usize > steps {
+            return Err(mismatch(format!(
+                "snapshot iteration {}/{} does not fit a {steps}-step run",
+                snap.iter_next, snap.steps_total
+            )));
+        }
+        if self.config.algorithm.is_second_order() && snap.prev.len() != walkers {
+            return Err(mismatch(
+                "second-order snapshot is missing previous-vertex state".into(),
+            ));
+        }
+        if self.config.record_visits && snap.visits.len() != self.graph.vertex_count() {
+            return Err(mismatch(
+                "snapshot visit counters do not match the graph".into(),
+            ));
+        }
+        let parts = self.plan.partitions.len();
+        if snap.per_partition_steps.len() != parts || snap.ps.len() != parts {
+            return Err(mismatch(format!(
+                "snapshot has {} partitions, plan has {parts}",
+                snap.ps.len()
+            )));
+        }
+        if self.config.record_paths
+            && (snap.rows.len() != snap.iter_next as usize + 1
+                || snap.rows.iter().any(|r| r.len() != walkers))
+        {
+            return Err(mismatch("snapshot path rows are inconsistent".into()));
+        }
+        Ok(())
+    }
+
     /// Runs enough episodes of `config.walkers` walkers each to cover at
     /// least `total_walkers`, streaming each episode's output to `sink`.
     ///
@@ -489,6 +720,18 @@ impl FlashMob {
         seed: u64,
         tel: &mut Telemetry,
     ) -> Result<(WalkOutput, RunStats), WalkError> {
+        self.run_internal_ckpt(probe, allow_parallel, seed, tel, None, None)
+    }
+
+    fn run_internal_ckpt<P: Probe>(
+        &self,
+        probe: &mut P,
+        allow_parallel: bool,
+        seed: u64,
+        tel: &mut Telemetry,
+        ckpt: Option<&CheckpointSpec>,
+        resume: Option<WalkSnapshot>,
+    ) -> Result<(WalkOutput, RunStats), WalkError> {
         let wall_start = Instant::now();
         let walkers = self.config.walkers;
         let second_order = self.config.algorithm.is_second_order();
@@ -532,8 +775,71 @@ impl FlashMob {
             rows.push(w.clone());
         }
 
+        // A checkpoint sink, when checkpointing is on; the tags pin the
+        // snapshot to this engine + graph so `resume` can verify them.
+        // The sink shuttles between `sink` (idle) and `pending` (owned
+        // by a background write of the previous generation).
+        let mut sink = match ckpt {
+            Some(ck) if ck.every > 0 => Some(CheckpointSink::from_spec(ck)),
+            _ => None,
+        };
+        let checkpointing = sink.is_some();
+        let mut pending: Option<CheckpointHandle> = None;
+        let (config_tag, graph_tag) = if checkpointing {
+            (self.config_tag(), self.graph_tag())
+        } else {
+            (0, 0)
+        };
+
+        // Resume: replace the freshly initialized mutable state with the
+        // snapshot's.  Everything else (plan, shuffler, PS layout) is
+        // deterministic from graph + config and was rebuilt identically.
+        let mut start_iter = 0usize;
+        let mut resumed_steps = 0u64;
+        if let Some(snap) = resume {
+            let span = tel.is_on().then(|| tel.now_ns());
+            self.validate_snapshot(&snap, seed, steps)?;
+            w = snap.w;
+            if second_order {
+                prev = snap.prev;
+            }
+            if self.config.record_visits {
+                visits = Some(snap.visits);
+            }
+            if self.config.record_paths {
+                rows = snap.rows;
+            }
+            per_partition_steps = snap.per_partition_steps;
+            for (pb, state) in ps_buffers.iter_mut().zip(snap.ps) {
+                match (pb.as_mut(), state) {
+                    (Some(b), Some(s)) => {
+                        if !b.import(s.buf, s.cursor) {
+                            return Err(RecoverError::Mismatch {
+                                detail: "pre-sample buffer shapes do not match the plan"
+                                    .into(),
+                            }
+                            .into());
+                        }
+                    }
+                    (None, None) => {}
+                    _ => {
+                        return Err(RecoverError::Mismatch {
+                            detail: "pre-sample partition layout does not match the plan"
+                                .into(),
+                        }
+                        .into());
+                    }
+                }
+            }
+            start_iter = snap.iter_next as usize;
+            resumed_steps = snap.steps_taken;
+            if let Some(s) = span {
+                tel.span_since(Stage::Recovery, s, NO_STEP, NO_PARTITION);
+            }
+        }
+
         let mut stage = StageTimes::default();
-        let mut steps_taken = 0u64;
+        let mut steps_taken = resumed_steps;
         let shuffle_addrs = ShuffleAddrs {
             src: self.addr.w,
             dst: self.addr.sw,
@@ -553,7 +859,16 @@ impl FlashMob {
         // recomputed, but in place).
         let mut sample_ranges: Vec<(usize, usize)> = Vec::with_capacity(self.config.threads);
 
-        for iter in 0..steps {
+        for iter in start_iter..steps {
+            // Early exit when every walker has terminated.  Checked at
+            // the loop head (equivalent to the tail of the previous
+            // iteration) so a resumed run that restored an all-dead
+            // state exits exactly where the uninterrupted run would.
+            if matches!(self.config.stop, crate::StopRule::Geometric { .. })
+                && w.iter().all(|&v| v == DEAD)
+            {
+                break;
+            }
             let traced = tel.is_on();
             // Shuffle: count + scatter.
             let span0 = traced.then(|| tel.now_ns());
@@ -728,12 +1043,79 @@ impl FlashMob {
             }
             tel.tick(iter + 1, steps, steps_taken);
 
-            // Early exit when every walker has terminated.
-            if matches!(self.config.stop, crate::StopRule::Geometric { .. })
-                && w.iter().all(|&v| v == DEAD)
-            {
-                break;
+            // Checkpoint at the epoch boundary: the walker state here is
+            // exactly the input of iteration `iter + 1`, so the snapshot
+            // captures a clean inter-iteration cut.  Generations derive
+            // from the absolute iteration, so a resumed run that keeps
+            // checkpointing continues the numbering seamlessly.
+            //
+            // The expensive part (encode + CRC + write + fsync) runs on
+            // a background thread, overlapped with the next `every`
+            // iterations of compute; the walk loop only pays for the
+            // state clone and for joining the previous generation's
+            // write (normally long finished).  A halted generation is
+            // written synchronously so the snapshot is durable before
+            // `Halted` returns.
+            if let Some(ck) = ckpt {
+                if checkpointing && (iter + 1) % ck.every == 0 {
+                    let span = traced.then(|| tel.now_ns());
+                    let generation = ((iter + 1) / ck.every) as u64;
+                    let snap = WalkSnapshot {
+                        seed,
+                        iter_next: (iter + 1) as u64,
+                        steps_total: steps as u64,
+                        walkers: walkers as u64,
+                        steps_taken,
+                        config_tag,
+                        graph_tag,
+                        per_partition_steps: per_partition_steps.clone(),
+                        w: w.clone(),
+                        prev: prev.clone(),
+                        visits: visits.clone().unwrap_or_default(),
+                        ps: ps_buffers
+                            .iter()
+                            .map(|o| {
+                                o.as_ref().map(|b| {
+                                    let (buf, cursor) = b.export();
+                                    PsPartState { buf, cursor }
+                                })
+                            })
+                            .collect(),
+                        rows: rows.clone(),
+                    };
+                    // Reclaim the sink: idle, or still finishing the
+                    // previous generation's background write.
+                    let mut s = match pending.take() {
+                        Some(handle) => join_checkpoint(handle, tel)?,
+                        None => sink.take().expect("sink is idle"),
+                    };
+                    if allow_parallel && ck.halt_after != Some(generation) {
+                        pending = Some(std::thread::spawn(move || {
+                            let before = s.retries;
+                            let result = s.save(generation, &snap);
+                            let retries = s.retries - before;
+                            (s, retries, result)
+                        }));
+                    } else {
+                        let before = s.retries;
+                        let result = s.save(generation, &snap);
+                        tel.record_io_retries(s.retries - before);
+                        result?;
+                        sink = Some(s);
+                    }
+                    if let Some(sp) = span {
+                        tel.span_since(Stage::Checkpoint, sp, iter as u32, NO_PARTITION);
+                    }
+                    if ck.halt_after == Some(generation) {
+                        return Err(WalkError::Halted { generation });
+                    }
+                }
             }
+        }
+        // Wait out an in-flight background checkpoint before reporting
+        // the run complete (and surface any deferred write error).
+        if let Some(handle) = pending.take() {
+            join_checkpoint(handle, tel)?;
         }
 
         let wall = wall_start.elapsed();
@@ -1128,7 +1510,7 @@ impl FlashMob {
         let lanes = tel.worker_lanes(if traced { pool.threads() } else { 0 });
         let lanes_ptr = DisjointSlice::new(lanes);
         let ranges = &*ranges;
-        pool.run(&|t| {
+        pool.run_labeled("sample", &|t| {
             let Some(&(ps_start, ps_end)) = ranges.get(t) else {
                 return;
             };

@@ -60,6 +60,12 @@ pub use pool::{DisjointSlice, PoolStats, WorkerPool};
 pub use plan::{Plan, PlanStrategy, Planner, PlannerParams};
 pub use walker::WalkerInit;
 
+// Checkpoint/resume and fault-injection types, re-exported so engine
+// callers need not depend on `fm-recover` directly.
+pub use fm_recover::{
+    CheckpointSpec, FaultCounts, FaultPolicy, RecoverError, RetryPolicy,
+};
+
 use fm_graph::VertexId;
 
 /// Sentinel vertex ID marking a terminated walker (stochastic stop
@@ -204,6 +210,16 @@ pub enum WalkError {
     MissingWeights,
     /// The planner failed to find a feasible partitioning.
     Planning(String),
+    /// An underlying graph-storage failure (disk graphs, binary IO).
+    Graph(fm_graph::GraphError),
+    /// A checkpoint/resume failure from the recovery layer.
+    Recover(fm_recover::RecoverError),
+    /// The run halted deliberately after writing checkpoint
+    /// `generation` — the crash-matrix kill switch, never a real error.
+    Halted {
+        /// The generation whose checkpoint was the last one written.
+        generation: u64,
+    },
 }
 
 impl std::fmt::Display for WalkError {
@@ -218,11 +234,36 @@ impl std::fmt::Display for WalkError {
                 write!(f, "weighted walk requested on an unweighted graph")
             }
             WalkError::Planning(m) => write!(f, "partition planning failed: {m}"),
+            WalkError::Graph(e) => write!(f, "graph storage error: {e}"),
+            WalkError::Recover(e) => write!(f, "checkpoint error: {e}"),
+            WalkError::Halted { generation } => {
+                write!(f, "halted after checkpoint generation {generation}")
+            }
         }
     }
 }
 
-impl std::error::Error for WalkError {}
+impl std::error::Error for WalkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalkError::Graph(e) => Some(e),
+            WalkError::Recover(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fm_graph::GraphError> for WalkError {
+    fn from(e: fm_graph::GraphError) -> Self {
+        WalkError::Graph(e)
+    }
+}
+
+impl From<fm_recover::RecoverError> for WalkError {
+    fn from(e: fm_recover::RecoverError) -> Self {
+        WalkError::Recover(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

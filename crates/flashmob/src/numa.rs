@@ -18,8 +18,11 @@
 //! remote-address boundary verifies that P-mode's remote traffic is
 //! streaming-only and rare.
 
+use std::path::Path;
+
 use fm_graph::Csr;
 use fm_memsim::{HierarchyConfig, MemorySystem};
+use fm_recover::{CheckpointSpec, MANIFEST_NAME};
 use fm_telemetry::Telemetry;
 
 use crate::engine::FlashMob;
@@ -274,6 +277,119 @@ pub fn run_numa_paths_traced(
                 let mut socket_tel = socket_recorder(tel, s);
                 outputs.push(engine.run_traced(&mut socket_tel)?.0);
                 tel.absorb(socket_tel);
+            }
+            Ok(outputs)
+        }
+    }
+}
+
+/// The checkpoint directory of R-mode socket `s` under the run's root
+/// checkpoint directory (P-mode uses the root directly — it is one
+/// spanning engine instance).
+fn socket_dir(root: &Path, s: usize) -> std::path::PathBuf {
+    root.join(format!("socket-{s}"))
+}
+
+/// [`run_numa_paths_traced`] with crash-consistent checkpointing.
+///
+/// P-mode delegates to the spanning engine's checkpoint path.  R-mode
+/// gives every socket its own subdirectory (`<dir>/socket-<s>`) so the
+/// independent instances never race on a manifest; sockets run serially,
+/// so a `halt_after` kill stops the whole mode at the first socket that
+/// reaches it — exactly the state [`resume_numa_paths`] recovers from.
+pub fn run_numa_paths_with_checkpoints(
+    graph: &Csr,
+    base: WalkConfig,
+    mode: NumaMode,
+    sockets: usize,
+    spec: &CheckpointSpec,
+    tel: &mut Telemetry,
+) -> Result<Vec<crate::output::WalkOutput>, WalkError> {
+    if sockets == 0 {
+        return Err(WalkError::Planning("need at least one socket".into()));
+    }
+    match mode {
+        NumaMode::Partitioned => {
+            let engine = FlashMob::new(graph, base.record_paths(true))?;
+            Ok(vec![engine.run_with_checkpoints_traced(spec, tel)?.0])
+        }
+        NumaMode::Replicated => {
+            let total = base.walkers;
+            if total < sockets {
+                return Err(WalkError::NoWalkers);
+            }
+            let share = total / sockets;
+            let mut outputs = Vec::with_capacity(sockets);
+            for s in 0..sockets {
+                let walkers = if s == 0 { total - share * (sockets - 1) } else { share };
+                let config = base
+                    .clone()
+                    .walkers(walkers)
+                    .seed(base.seed.wrapping_add(s as u64))
+                    .record_paths(true);
+                let engine = FlashMob::new(graph, config)?;
+                let socket_spec = CheckpointSpec {
+                    dir: socket_dir(&spec.dir, s),
+                    ..spec.clone()
+                };
+                let mut socket_tel = socket_recorder(tel, s);
+                let result = engine.run_with_checkpoints_traced(&socket_spec, &mut socket_tel);
+                tel.absorb(socket_tel);
+                outputs.push(result?.0);
+            }
+            Ok(outputs)
+        }
+    }
+}
+
+/// Resumes a [`run_numa_paths_with_checkpoints`] run killed mid-flight,
+/// producing outputs bit-identical to the uninterrupted run's.
+///
+/// R-mode sockets recover independently: a socket whose subdirectory
+/// holds a checkpoint resumes from it (a socket that had already
+/// finished resumes from its final checkpoint and completes in zero
+/// iterations); a socket the kill never reached starts fresh.
+pub fn resume_numa_paths(
+    graph: &Csr,
+    base: WalkConfig,
+    mode: NumaMode,
+    sockets: usize,
+    dir: impl AsRef<Path>,
+    tel: &mut Telemetry,
+) -> Result<Vec<crate::output::WalkOutput>, WalkError> {
+    if sockets == 0 {
+        return Err(WalkError::Planning("need at least one socket".into()));
+    }
+    let dir = dir.as_ref();
+    match mode {
+        NumaMode::Partitioned => {
+            let engine = FlashMob::new(graph, base.record_paths(true))?;
+            Ok(vec![engine.resume_with(dir, None, tel)?.0])
+        }
+        NumaMode::Replicated => {
+            let total = base.walkers;
+            if total < sockets {
+                return Err(WalkError::NoWalkers);
+            }
+            let share = total / sockets;
+            let mut outputs = Vec::with_capacity(sockets);
+            for s in 0..sockets {
+                let walkers = if s == 0 { total - share * (sockets - 1) } else { share };
+                let config = base
+                    .clone()
+                    .walkers(walkers)
+                    .seed(base.seed.wrapping_add(s as u64))
+                    .record_paths(true);
+                let engine = FlashMob::new(graph, config)?;
+                let sdir = socket_dir(dir, s);
+                let mut socket_tel = socket_recorder(tel, s);
+                let result = if sdir.join(MANIFEST_NAME).is_file() {
+                    engine.resume_with(&sdir, None, &mut socket_tel)
+                } else {
+                    engine.run_traced(&mut socket_tel)
+                };
+                tel.absorb(socket_tel);
+                outputs.push(result?.0);
             }
             Ok(outputs)
         }

@@ -25,8 +25,12 @@ use std::time::{Duration, Instant};
 use fm_graph::relabel::{sort_by_degree, Relabeling};
 use fm_graph::{Csr, GraphError, VertexId};
 use fm_memsim::NullProbe;
+use fm_recover::{
+    load_latest, transient_io, with_retries, CheckpointSink, CheckpointSpec, FaultPolicy,
+    FaultyFile, Fingerprint, RecoverError, RetryPolicy, WalkSnapshot,
+};
 use fm_rng::{Rng64, Xorshift64Star};
-use fm_telemetry::{Stage, Telemetry, NO_PARTITION};
+use fm_telemetry::{Stage, Telemetry, NO_PARTITION, NO_STEP};
 
 use crate::output::WalkOutput;
 use crate::shuffle::{ShuffleAddrs, ShuffleScratch, Shuffler};
@@ -50,44 +54,92 @@ impl DiskGraph {
     /// Sorts `graph` by descending degree and writes its targets to
     /// `path`, returning the handle.
     pub fn create<P: AsRef<Path>>(graph: &Csr, path: P) -> Result<Self, GraphError> {
+        let path = path.as_ref();
+        let at = |e: std::io::Error| GraphError::io_at(path, None, e);
         let (sorted, relabel) = sort_by_degree(graph);
-        let file = File::create(path.as_ref())?;
+        let file = File::create(path).map_err(at)?;
         let mut w = BufWriter::new(file);
-        w.write_all(MAGIC)?;
-        w.write_all(&(sorted.vertex_count() as u64).to_le_bytes())?;
-        w.write_all(&(sorted.edge_count() as u64).to_le_bytes())?;
+        w.write_all(MAGIC).map_err(at)?;
+        w.write_all(&(sorted.vertex_count() as u64).to_le_bytes())
+            .map_err(at)?;
+        w.write_all(&(sorted.edge_count() as u64).to_le_bytes())
+            .map_err(at)?;
         for &o in sorted.offsets() {
-            w.write_all(&(o as u64).to_le_bytes())?;
+            w.write_all(&(o as u64).to_le_bytes()).map_err(at)?;
         }
         for &t in sorted.targets() {
-            w.write_all(&t.to_le_bytes())?;
+            w.write_all(&t.to_le_bytes()).map_err(at)?;
         }
-        w.flush()?;
+        w.flush().map_err(at)?;
         Ok(Self {
-            path: path.as_ref().to_path_buf(),
+            path: path.to_path_buf(),
             offsets: sorted.offsets().to_vec(),
             relabel,
         })
     }
 
     /// Opens an existing on-disk graph, loading only the offsets index.
+    ///
+    /// The header is validated against the actual file length before any
+    /// allocation: a corrupt vertex count can claim an index far larger
+    /// than the file (or than the address space), and must fail with a
+    /// clean `Format` error instead of a panic or a wild allocation.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, GraphError> {
-        let mut f = File::open(path.as_ref())?;
+        let path = path.as_ref();
+        let mut f = File::open(path).map_err(|e| GraphError::io_at(path, None, e))?;
+        let file_len = f
+            .metadata()
+            .map_err(|e| GraphError::io_at(path, None, e))?
+            .len();
         let mut header = [0u8; 24];
-        f.read_exact(&mut header)?;
+        f.read_exact(&mut header)
+            .map_err(|e| GraphError::io_at(path, Some(0), e))?;
         if &header[..8] != MAGIC {
             return Err(GraphError::Format("bad disk-graph magic".into()));
         }
-        let vcount = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
-        let _ecount = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
+        let mut word = [0u8; 8];
+        word.copy_from_slice(&header[8..16]);
+        let vcount64 = u64::from_le_bytes(word);
+        word.copy_from_slice(&header[16..24]);
+        let ecount64 = u64::from_le_bytes(word);
+        let expect_len = vcount64
+            .checked_add(1)
+            .and_then(|v| v.checked_mul(8))
+            .and_then(|idx| ecount64.checked_mul(4).and_then(|t| idx.checked_add(t)))
+            .and_then(|payload| payload.checked_add(24))
+            .filter(|&n| n <= usize::MAX as u64)
+            .ok_or_else(|| {
+                GraphError::Format(format!(
+                    "disk-graph header counts overflow: {vcount64} vertices, {ecount64} edges"
+                ))
+            })?;
+        if file_len != expect_len {
+            return Err(GraphError::Format(format!(
+                "disk graph is {file_len} bytes, header implies {expect_len}"
+            )));
+        }
+        let vcount = vcount64 as usize;
         let mut raw = vec![0u8; (vcount + 1) * 8];
-        f.read_exact(&mut raw)?;
+        f.read_exact(&mut raw)
+            .map_err(|e| GraphError::io_at(path, Some(24), e))?;
         let offsets: Vec<usize> = raw
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")) as usize)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(c);
+                u64::from_le_bytes(w) as usize
+            })
             .collect();
+        if offsets.first() != Some(&0)
+            || offsets.last() != Some(&(ecount64 as usize))
+            || offsets.windows(2).any(|p| p[0] > p[1])
+        {
+            return Err(GraphError::Format(
+                "disk-graph offsets index is not a monotone CSR".into(),
+            ));
+        }
         Ok(Self {
-            path: path.as_ref().to_path_buf(),
+            path: path.to_path_buf(),
             offsets,
             relabel: Relabeling::identity(vcount),
         })
@@ -100,7 +152,7 @@ impl DiskGraph {
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        *self.offsets.last().expect("non-empty offsets")
+        self.offsets.last().map_or(0, |&o| o)
     }
 
     /// Out-degree of sorted-space vertex `v`.
@@ -121,9 +173,12 @@ impl DiskGraph {
 
     /// Reads the adjacency bytes for the vertex range `[start, end)`
     /// into `buf` (resized to fit); returns the bytes read.
-    fn read_partition(
+    ///
+    /// Generic over the reader so the fault-injection wrapper slots in
+    /// under it; IO errors carry the file path and byte offset.
+    fn read_partition<R: Read + Seek>(
         &self,
-        file: &mut File,
+        file: &mut R,
         start: VertexId,
         end: VertexId,
         buf: &mut Vec<VertexId>,
@@ -132,13 +187,18 @@ impl DiskGraph {
         let hi = self.offsets[end as usize];
         let bytes = (hi - lo) * 4;
         buf.resize(hi - lo, 0);
-        file.seek(SeekFrom::Start(self.targets_base() + (lo as u64) * 4))?;
+        let off = self.targets_base() + (lo as u64) * 4;
+        file.seek(SeekFrom::Start(off))
+            .map_err(|e| GraphError::io_at(&self.path, Some(off), e))?;
         // SAFETY-free byte view: read into a u8 scratch then decode;
         // avoids unsafe transmutes at a small copy cost.
         let mut raw = vec![0u8; bytes];
-        file.read_exact(&mut raw)?;
+        file.read_exact(&mut raw)
+            .map_err(|e| GraphError::io_at(&self.path, Some(off), e))?;
         for (slot, c) in buf.iter_mut().zip(raw.chunks_exact(4)) {
-            *slot = VertexId::from_le_bytes(c.try_into().expect("4 bytes"));
+            let mut le = [0u8; 4];
+            le.copy_from_slice(c);
+            *slot = VertexId::from_le_bytes(le);
         }
         Ok(bytes)
     }
@@ -159,6 +219,9 @@ pub struct OocStats {
     pub partitions_skipped: u64,
     /// Partition reads performed.
     pub partitions_read: u64,
+    /// Transient IO errors absorbed by the retry layer (disk reads and
+    /// checkpoint writes).
+    pub io_retries: u64,
 }
 
 impl OocStats {
@@ -176,6 +239,47 @@ impl OocStats {
             return 0.0;
         }
         self.bytes_read as f64 / self.steps_taken as f64
+    }
+}
+
+/// Robustness options of an out-of-core run: checkpointing, fault
+/// injection, retries, and resume.
+#[derive(Debug, Default)]
+pub struct OocOptions {
+    /// Write crash-consistent checkpoints per this spec.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Inject seeded faults into the disk-graph read stream (tests).
+    pub fault: Option<FaultPolicy>,
+    /// Retry policy for transient disk-read errors.
+    pub retry: RetryPolicy,
+    /// Resume from the latest checkpoint in this directory instead of
+    /// starting fresh.
+    pub resume_from: Option<PathBuf>,
+}
+
+impl OocOptions {
+    /// Enables checkpointing per `spec`.
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Injects seeded faults into disk-graph reads.
+    pub fn fault(mut self, policy: FaultPolicy) -> Self {
+        self.fault = Some(policy);
+        self
+    }
+
+    /// Sets the transient-read retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Resumes from the latest checkpoint in `dir`.
+    pub fn resume_from(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(dir.into());
+        self
     }
 }
 
@@ -201,6 +305,67 @@ pub fn run_ooc_traced(
     disk: &DiskGraph,
     config: &WalkConfig,
     partition_budget_bytes: usize,
+    tel: &mut Telemetry,
+) -> Result<(WalkOutput, OocStats), WalkError> {
+    run_ooc_with(
+        disk,
+        config,
+        partition_budget_bytes,
+        &OocOptions::default(),
+        tel,
+    )
+}
+
+/// Fingerprint of everything that determines the out-of-core chain;
+/// the partition budget is included because it fixes the partition
+/// layout and therefore the per-partition RNG stream assignment.
+fn ooc_config_tag(config: &WalkConfig, partition_budget_bytes: usize) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.fold_u64(0x00C0_FEED) // domain separator: out-of-core engine
+        .fold_u64(config.walkers as u64)
+        .fold_u64(config.seed)
+        .fold_u64(config.max_steps() as u64)
+        .fold_u64(config.record_paths as u64)
+        .fold_u64(partition_budget_bytes as u64);
+    match &config.init {
+        WalkerInit::UniformVertex => {
+            fp.fold_u64(1);
+        }
+        WalkerInit::UniformEdge => {
+            fp.fold_u64(2);
+        }
+        WalkerInit::EveryVertex => {
+            fp.fold_u64(3);
+        }
+        WalkerInit::Fixed(starts) => {
+            fp.fold_u64(4).fold_u64(starts.len() as u64);
+            for &s in starts {
+                fp.fold_u64(s as u64);
+            }
+        }
+    }
+    fp.value()
+}
+
+/// Fingerprint of the disk graph's shape.
+fn ooc_graph_tag(disk: &DiskGraph) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.fold_u64(disk.vertex_count() as u64)
+        .fold_u64(disk.edge_count() as u64);
+    for &o in &disk.offsets {
+        fp.fold_u64(o as u64);
+    }
+    fp.value()
+}
+
+/// [`run_ooc`] with the full robustness surface: crash-consistent
+/// checkpoints, resume, seeded fault injection on the read stream, and
+/// bounded retries with exponential backoff for transient IO errors.
+pub fn run_ooc_with(
+    disk: &DiskGraph,
+    config: &WalkConfig,
+    partition_budget_bytes: usize,
+    opts: &OocOptions,
     tel: &mut Telemetry,
 ) -> Result<(WalkOutput, OocStats), WalkError> {
     if !matches!(config.algorithm, crate::WalkAlgorithm::DeepWalk) {
@@ -287,14 +452,75 @@ pub fn run_ooc_traced(
     }
 
     let mut stats = OocStats::default();
-    let mut file = File::open(&disk.path).map_err(|e| WalkError::Planning(e.to_string()))?;
+    let file = File::open(&disk.path).map_err(|e| GraphError::io_at(&disk.path, None, e))?;
+    let mut file = match opts.fault {
+        Some(policy) => FaultyFile::with_policy(file, policy),
+        None => FaultyFile::passthrough(file),
+    };
     let mut buf: Vec<VertexId> = Vec::new();
     let mut probe = NullProbe;
     if tel.is_on() {
         tel.ensure_partitions(partitions.len());
     }
 
-    for iter in 0..steps {
+    // Checkpoint sink and the tags that pin snapshots to this engine.
+    let mut sink = opts
+        .checkpoint
+        .as_ref()
+        .filter(|ck| ck.every > 0)
+        .map(CheckpointSink::from_spec);
+    let (config_tag, graph_tag) = if sink.is_some() || opts.resume_from.is_some() {
+        (
+            ooc_config_tag(config, partition_budget_bytes),
+            ooc_graph_tag(disk),
+        )
+    } else {
+        (0, 0)
+    };
+
+    // Resume: replace the fresh walker state with the snapshot's.
+    let mut start_iter = 0usize;
+    if let Some(dir) = opts.resume_from.as_ref() {
+        let span = tel.is_on().then(|| tel.now_ns());
+        let (_generation, snap) = load_latest(dir)?;
+        let mismatch = |detail: String| WalkError::Recover(RecoverError::Mismatch { detail });
+        if snap.config_tag != config_tag {
+            return Err(mismatch(
+                "snapshot was written under a different out-of-core configuration".into(),
+            ));
+        }
+        if snap.graph_tag != graph_tag {
+            return Err(mismatch(
+                "snapshot was written against a different disk graph".into(),
+            ));
+        }
+        if snap.seed != config.seed
+            || snap.walkers as usize != walkers
+            || snap.w.len() != walkers
+            || snap.steps_total as usize != steps
+            || snap.iter_next as usize > steps
+            || snap.ps.len() != partitions.len()
+        {
+            return Err(mismatch("snapshot shape does not fit this run".into()));
+        }
+        if config.record_paths
+            && (snap.rows.len() != snap.iter_next as usize + 1
+                || snap.rows.iter().any(|r| r.len() != walkers))
+        {
+            return Err(mismatch("snapshot path rows are inconsistent".into()));
+        }
+        w = snap.w;
+        if config.record_paths {
+            rows = snap.rows;
+        }
+        stats.steps_taken = snap.steps_taken;
+        start_iter = snap.iter_next as usize;
+        if let Some(s) = span {
+            tel.span_since(Stage::Recovery, s, NO_STEP, NO_PARTITION);
+        }
+    }
+
+    for iter in start_iter..steps {
         let traced = tel.is_on();
         let span0 = traced.then(|| tel.now_ns());
         shuffler.count(&w, &mut scratch, ShuffleAddrs::default(), &mut probe);
@@ -325,9 +551,14 @@ pub fn run_ooc_traced(
             // Stream this partition's adjacency bytes from disk.
             let io_span = traced.then(|| tel.now_ns());
             let t0 = Instant::now();
-            let bytes = disk
-                .read_partition(&mut file, part.start, part.end, &mut buf)
-                .map_err(|e| WalkError::Planning(e.to_string()))?;
+            // Transient read errors (injected or real) are retried with
+            // exponential backoff; permanent ones escalate typed.
+            let bytes = with_retries(
+                &opts.retry,
+                &mut stats.io_retries,
+                |e: &GraphError| e.io_source().is_some_and(transient_io),
+                || disk.read_partition(&mut file, part.start, part.end, &mut buf),
+            )?;
             stats.read_time += t0.elapsed();
             stats.bytes_read += bytes as u64;
             stats.partitions_read += 1;
@@ -369,8 +600,42 @@ pub fn run_ooc_traced(
         if config.record_paths {
             rows.push(w.clone());
         }
+
+        // Checkpoint at the epoch boundary: the walker array here is
+        // exactly the input of iteration `iter + 1`.
+        if let Some((ck, sink)) = opts.checkpoint.as_ref().zip(sink.as_mut()) {
+            if (iter + 1) % ck.every == 0 {
+                let span = tel.is_on().then(|| tel.now_ns());
+                let generation = ((iter + 1) / ck.every) as u64;
+                let snap = WalkSnapshot {
+                    seed: config.seed,
+                    iter_next: (iter + 1) as u64,
+                    steps_total: steps as u64,
+                    walkers: walkers as u64,
+                    steps_taken: stats.steps_taken,
+                    config_tag,
+                    graph_tag,
+                    per_partition_steps: vec![0; partitions.len()],
+                    w: w.clone(),
+                    prev: Vec::new(),
+                    visits: Vec::new(),
+                    ps: vec![None; partitions.len()],
+                    rows: rows.clone(),
+                };
+                let retries_before = sink.retries;
+                sink.save(generation, &snap)?;
+                stats.io_retries += sink.retries - retries_before;
+                if let Some(s) = span {
+                    tel.span_since(Stage::Checkpoint, s, iter as u32, NO_PARTITION);
+                }
+                if ck.halt_after == Some(generation) {
+                    return Err(WalkError::Halted { generation });
+                }
+            }
+        }
     }
 
+    tel.record_io_retries(stats.io_retries);
     stats.wall = wall_start.elapsed();
     let output = if config.record_paths {
         WalkOutput::new(rows, walkers, disk.relabel.clone())

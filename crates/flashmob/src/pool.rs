@@ -39,7 +39,7 @@
 //! buffers reused across epochs.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -102,7 +102,9 @@ struct Shared {
     /// Lock-free mirror of `state.epoch` for the workers' spin phase
     /// (`u64::MAX` signals shutdown).
     epoch_hint: AtomicU64,
-    panicked: AtomicBool,
+    /// 0 = no panic; otherwise 1 + the index of the *first* worker
+    /// whose job panicked this epoch (for the re-raise message).
+    panicked: AtomicUsize,
     idle_ns: AtomicU64,
     /// Spin iterations before parking (0 when cores are oversubscribed).
     spin: u32,
@@ -137,7 +139,7 @@ impl WorkerPool {
             done: Condvar::new(),
             remaining: AtomicUsize::new(0),
             epoch_hint: AtomicU64::new(0),
-            panicked: AtomicBool::new(false),
+            panicked: AtomicUsize::new(0),
             idle_ns: AtomicU64::new(0),
             spin: spin_budget(threads),
         });
@@ -166,6 +168,20 @@ impl WorkerPool {
     ///
     /// Re-raises (as a panic) if any worker's job panicked.
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        self.run_labeled("unlabeled", job);
+    }
+
+    /// [`WorkerPool::run`] with a stage label: if a worker's job
+    /// panics, the re-raised panic names the worker index and `stage`,
+    /// so a crash in an 8-thread 80-step run points at the failing
+    /// stage instead of a bare "job panicked".
+    ///
+    /// A panicked epoch never publishes partial state to later stages:
+    /// every stage writes through disjoint slices into its *output*
+    /// arrays only, and the re-raise happens before the engine swaps
+    /// those outputs in — the walker arrays a subsequent run observes
+    /// are the untouched inputs.
+    pub fn run_labeled(&self, stage: &'static str, job: &(dyn Fn(usize) + Sync)) {
         let threads = self.handles.len();
         // SAFETY: the job outlives this call, and workers dereference
         // the pointer only while this call blocks below (it returns only
@@ -193,8 +209,12 @@ impl WorkerPool {
                 st = self.shared.done.wait(st).expect("pool lock poisoned");
             }
         }
-        if self.shared.panicked.swap(false, Ordering::AcqRel) {
-            panic!("worker pool job panicked");
+        let panicked = self.shared.panicked.swap(0, Ordering::AcqRel);
+        if panicked != 0 {
+            panic!(
+                "worker pool job panicked (worker {}, stage {stage})",
+                panicked - 1
+            );
         }
     }
 
@@ -250,7 +270,14 @@ fn worker_loop(shared: &Shared, index: usize) {
         // reaches zero, keeping the job referent alive for this call.
         let job = unsafe { &*job.0 };
         if catch_unwind(AssertUnwindSafe(|| job(index))).is_err() {
-            shared.panicked.store(true, Ordering::Release);
+            // Record the *first* panicker only; later ones lose the race
+            // and the message stays deterministic for a single failure.
+            let _ = shared.panicked.compare_exchange(
+                0,
+                index + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
         }
         if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last finisher: lock so the notify cannot race ahead of the
@@ -405,6 +432,27 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn panic_message_names_worker_and_stage() {
+        let pool = WorkerPool::new(3);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_labeled("shuffle-scatter", &|t| {
+                if t == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("worker 2") && msg.contains("stage shuffle-scatter"),
+            "panic message must name the worker and stage, got: {msg}"
+        );
     }
 
     #[test]

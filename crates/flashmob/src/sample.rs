@@ -93,6 +93,27 @@ impl PsBuffers {
     pub fn footprint_bytes(&self) -> usize {
         self.buf.len() * 4 + self.local_offsets.len() * 4 + self.cursor.len() * 4
     }
+
+    /// Snapshots the resumable state: buffer contents and per-vertex
+    /// cursors.  Buffers refill lazily and carry unconsumed samples
+    /// across iterations, so checkpoints must capture both (`start` and
+    /// `local_offsets` are reconstructed from the graph and plan).
+    pub fn export(&self) -> (Vec<VertexId>, Vec<u32>) {
+        (self.buf.clone(), self.cursor.clone())
+    }
+
+    /// Restores state captured by [`PsBuffers::export`].  Returns
+    /// `false` (leaving `self` untouched) when the shapes do not match
+    /// the freshly allocated buffers — the snapshot belongs to a
+    /// different graph or plan.
+    pub fn import(&mut self, buf: Vec<VertexId>, cursor: Vec<u32>) -> bool {
+        if buf.len() != self.buf.len() || cursor.len() != self.cursor.len() {
+            return false;
+        }
+        self.buf = buf;
+        self.cursor = cursor;
+        true
+    }
 }
 
 /// Algorithm context shared by every task of a run.

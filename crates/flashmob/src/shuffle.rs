@@ -337,7 +337,7 @@ impl<'p> Shuffler<'p> {
         scratch.chunk_counts.resize(chunks * bins, 0);
         {
             let rows = DisjointSlice::new(&mut scratch.chunk_counts);
-            pool.run(&|t| {
+            pool.run_labeled("shuffle-count", &|t| {
                 let lo = (t * chunk).min(w.len());
                 let hi = ((t + 1) * chunk).min(w.len());
                 // SAFETY: row `t` of the matrix belongs to worker `t`
@@ -412,7 +412,7 @@ impl<'p> Shuffler<'p> {
             DisjointSlice::new(s)
         });
         let cursors = DisjointSlice::new(&mut scratch.chunk_cursors);
-        pool.run(&|t| {
+        pool.run_labeled("shuffle-scatter", &|t| {
             let lo = (t * chunk).min(w.len());
             let hi = ((t + 1) * chunk).min(w.len());
             // SAFETY: cursor row `t` belongs to worker `t` alone.
@@ -460,7 +460,7 @@ impl<'p> Shuffler<'p> {
             DisjointSlice::new(a)
         });
         let cursors = DisjointSlice::new(&mut scratch.chunk_cursors);
-        pool.run(&|t| {
+        pool.run_labeled("shuffle-gather", &|t| {
             let lo = (t * chunk).min(w_old.len());
             let hi = ((t + 1) * chunk).min(w_old.len());
             // SAFETY: cursor row `t` belongs to worker `t` alone.
@@ -569,6 +569,39 @@ mod tests {
             &mut p,
         );
         (sw, scratch)
+    }
+
+    #[test]
+    fn panicked_epoch_leaves_no_partial_walker_state() {
+        // A crash inside one pool epoch (a shuffle-stage panic) must not
+        // leak partially-applied walker state into a subsequent run: the
+        // next dispatch rewrites scratch and output arrays wholesale, so
+        // it must reproduce the sequential shuffle exactly.
+        let n = 4_000usize;
+        let m = map(&[(0, 100), (100, 1000), (1000, 4000)], n);
+        let w: Vec<VertexId> = (0..n)
+            .map(|i| (i.wrapping_mul(2654435761) % n) as VertexId)
+            .collect();
+        let (seq_sw, seq_scratch) = run_single(&w, &m);
+
+        let pool = WorkerPool::new(4);
+        let s = Shuffler::single_level(&m);
+        let mut scratch = ShuffleScratch::default();
+        // Garbage that a correct dispatch must fully overwrite.
+        let mut sw = vec![VertexId::MAX; n];
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_labeled("shuffle-scatter", &|t| {
+                if t == 1 {
+                    panic!("injected shuffle crash");
+                }
+            });
+        }));
+        assert!(crashed.is_err(), "the injected panic must propagate");
+
+        s.par_count(&w, &pool, &mut scratch);
+        s.par_scatter(&w, None, &mut sw, None, &pool, &mut scratch);
+        assert_eq!(sw, seq_sw, "post-crash shuffle must match sequential");
+        assert_eq!(scratch.offsets, seq_scratch.offsets);
     }
 
     #[test]

@@ -68,7 +68,9 @@ fn parse_vid(tok: Option<&str>, line: usize) -> Result<VertexId, GraphError> {
 
 /// Reads a text edge list from a file.
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P, opts: ParseOptions) -> Result<Csr, GraphError> {
-    let file = std::fs::File::open(path)?;
+    let path = path.as_ref();
+    let file =
+        std::fs::File::open(path).map_err(|e| GraphError::io_at(path, None, e))?;
     parse_edge_list(std::io::BufReader::new(file), opts)
 }
 
@@ -114,9 +116,8 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take<const N: usize>(&mut self) -> [u8; N] {
-        let bytes: [u8; N] = self.data[self.pos..self.pos + N]
-            .try_into()
-            .expect("length checked by caller");
+        let mut bytes = [0u8; N];
+        bytes.copy_from_slice(&self.data[self.pos..self.pos + N]);
         self.pos += N;
         bytes
     }
@@ -140,15 +141,32 @@ pub fn decode_binary(data: &[u8]) -> Result<Csr, GraphError> {
         1 => true,
         b => return Err(GraphError::Format(format!("bad weight flag {b}"))),
     };
-    let vcount = u64::from_le_bytes(r.take()) as usize;
-    let ecount = u64::from_le_bytes(r.take()) as usize;
-    let need = (vcount + 1) * 8 + ecount * 4 + if weighted { ecount * 4 } else { 0 };
-    if r.remaining() < need {
+    let vcount64 = u64::from_le_bytes(r.take());
+    let ecount64 = u64::from_le_bytes(r.take());
+    // Checked arithmetic: a hostile header can carry counts whose byte
+    // size overflows usize, which with wrapping math would pass the
+    // length check and then panic (or over-allocate) below.
+    let need = vcount64
+        .checked_add(1)
+        .and_then(|v| v.checked_mul(8))
+        .and_then(|v| {
+            let per_edge = if weighted { 8u64 } else { 4u64 };
+            ecount64.checked_mul(per_edge).and_then(|e| v.checked_add(e))
+        })
+        .filter(|&n| n <= usize::MAX as u64)
+        .ok_or_else(|| {
+            GraphError::Format(format!(
+                "header counts overflow: {vcount64} vertices, {ecount64} edges"
+            ))
+        })?;
+    if (r.remaining() as u64) < need {
         return Err(GraphError::Format(format!(
             "need {need} payload bytes, have {}",
             r.remaining()
         )));
     }
+    let vcount = vcount64 as usize;
+    let ecount = ecount64 as usize;
     let mut offsets = Vec::with_capacity(vcount + 1);
     for _ in 0..=vcount {
         offsets.push(u64::from_le_bytes(r.take()) as usize);
@@ -167,17 +185,23 @@ pub fn decode_binary(data: &[u8]) -> Result<Csr, GraphError> {
 
 /// Saves a graph to a binary file.
 pub fn save_binary<P: AsRef<Path>>(graph: &Csr, path: P) -> Result<(), GraphError> {
+    let path = path.as_ref();
     let bytes = encode_binary(graph);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&bytes)?;
+    let mut f =
+        std::fs::File::create(path).map_err(|e| GraphError::io_at(path, None, e))?;
+    f.write_all(&bytes)
+        .map_err(|e| GraphError::io_at(path, None, e))?;
     Ok(())
 }
 
 /// Loads a graph from a binary file.
 pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Csr, GraphError> {
-    let mut f = std::fs::File::open(path)?;
+    let path = path.as_ref();
+    let mut f =
+        std::fs::File::open(path).map_err(|e| GraphError::io_at(path, None, e))?;
     let mut data = Vec::new();
-    f.read_to_end(&mut data)?;
+    f.read_to_end(&mut data)
+        .map_err(|e| GraphError::io_at(path, None, e))?;
     decode_binary(&data)
 }
 
@@ -268,6 +292,87 @@ mod tests {
         bad = bytes.to_vec();
         bad[4] = 7; // bad weight flag
         assert!(decode_binary(&bad).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_oversized_counts_without_allocating() {
+        // A header claiming u64::MAX vertices must fail cleanly: with
+        // wrapping arithmetic the byte-size computation overflows, the
+        // length check passes, and decoding panics or over-allocates.
+        let g = synth::cycle(4);
+        let mut bytes = encode_binary(&g);
+        bytes[5..13].copy_from_slice(&u64::MAX.to_le_bytes()); // vcount
+        assert!(matches!(decode_binary(&bytes), Err(GraphError::Format(_))));
+        let mut bytes = encode_binary(&g);
+        bytes[13..21].copy_from_slice(&(u64::MAX / 2).to_le_bytes()); // ecount
+        assert!(matches!(decode_binary(&bytes), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn binary_rejects_every_truncation() {
+        let g = synth::power_law(40, 2.0, 1, 8, 3);
+        let bytes = encode_binary(&g);
+        for len in 0..bytes.len() {
+            assert!(
+                decode_binary(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzz_corrupt_headers_never_panic() {
+        // ~50 seeded header mutations: every outcome must be a clean
+        // Err or a structurally valid Csr — never a panic or a wild
+        // allocation.  A tiny inline LCG keeps the crate dependency-free.
+        let g = synth::power_law(60, 2.0, 1, 12, 11);
+        let bytes = encode_binary(&g);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for case in 0..50 {
+            let mut m = bytes.clone();
+            let header_len = 21.min(m.len());
+            match next() % 3 {
+                0 => {
+                    // Flip one random header byte.
+                    let i = (next() as usize) % header_len;
+                    m[i] ^= 1 << (next() % 8);
+                }
+                1 => {
+                    // Overwrite a count field with a random u64.
+                    let field = if next() % 2 == 0 { 5 } else { 13 };
+                    let v = next() | (next() << 31);
+                    m[field..field + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                _ => {
+                    // Truncate somewhere inside the header or payload.
+                    let len = (next() as usize) % m.len();
+                    m.truncate(len);
+                }
+            }
+            // Must not panic; Ok is acceptable only if the mutation was
+            // semantically neutral and the graph still validates.
+            if let Ok(decoded) = decode_binary(&m) {
+                assert!(decoded.vertex_count() <= g.vertex_count() + 1, "case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn io_errors_carry_paths() {
+        let missing = std::path::Path::new("/nonexistent/fm-graph-io-test/g.bin");
+        let err = load_binary(missing).unwrap_err();
+        match &err {
+            GraphError::IoAt { path, .. } => assert_eq!(path, missing),
+            other => panic!("expected IoAt, got {other}"),
+        }
+        assert!(err.to_string().contains("/nonexistent/fm-graph-io-test/g.bin"));
+        assert!(err.io_source().is_some());
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub enum GraphError {
     Format(String),
     /// An underlying IO failure.
     Io(std::io::Error),
+    /// An IO failure with the file (and, when known, offset) attached.
+    IoAt {
+        /// The file being read or written.
+        path: std::path::PathBuf,
+        /// Byte offset of the failed access, when known.
+        offset: Option<u64>,
+        /// The underlying IO error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -82,6 +91,18 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::Format(m) => write!(f, "bad binary graph: {m}"),
             GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::IoAt {
+                path,
+                offset,
+                source,
+            } => match offset {
+                Some(off) => write!(
+                    f,
+                    "io error at {} (offset {off}): {source}",
+                    path.display()
+                ),
+                None => write!(f, "io error at {}: {source}", path.display()),
+            },
         }
     }
 }
@@ -90,6 +111,7 @@ impl std::error::Error for GraphError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             GraphError::Io(e) => Some(e),
+            GraphError::IoAt { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -98,5 +120,29 @@ impl std::error::Error for GraphError {
 impl From<std::io::Error> for GraphError {
     fn from(e: std::io::Error) -> Self {
         GraphError::Io(e)
+    }
+}
+
+impl GraphError {
+    /// Attaches a file path (and optional byte offset) to an IO error.
+    pub fn io_at(
+        path: impl Into<std::path::PathBuf>,
+        offset: Option<u64>,
+        source: std::io::Error,
+    ) -> Self {
+        GraphError::IoAt {
+            path: path.into(),
+            offset,
+            source,
+        }
+    }
+
+    /// The underlying `io::Error`, if this is an IO failure.
+    pub fn io_source(&self) -> Option<&std::io::Error> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            GraphError::IoAt { source, .. } => Some(source),
+            _ => None,
+        }
     }
 }

@@ -1,0 +1,103 @@
+//! CRC32 (IEEE 802.3 polynomial, reflected) — the frame guard of the
+//! snapshot format.  Slicing-by-8 with tables generated at compile
+//! time; no dependencies.  Checkpoints CRC every snapshot byte on the
+//! walk's critical path, so the per-byte cost here bounds checkpoint
+//! overhead directly.
+
+const fn make_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+static TABLES: [[u32; 256]; 8] = make_tables();
+
+/// CRC32 of `data` (IEEE, as used by zlib/PNG/Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for ch in chunks.by_ref() {
+        let x = u64::from_le_bytes(ch.try_into().expect("chunk is 8 bytes")) ^ c as u64;
+        let lo = x as u32;
+        let hi = (x >> 32) as u32;
+        c = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit hash of `data`.
+///
+/// The manifest fingerprints whole snapshot files with FNV, not CRC32:
+/// CRC has the residue property (a message followed by its own CRC
+/// contributes a *constant* to any enclosing CRC), so a whole-file CRC32
+/// over our framed format — where every frame already embeds its CRC —
+/// collapses to the same value for any two valid snapshots of equal
+/// section lengths and cannot tell generations apart.  FNV has no such
+/// linear structure.
+pub fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[i] ^= 1 << bit;
+                assert_ne!(crc32(&m), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

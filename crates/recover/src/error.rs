@@ -1,0 +1,94 @@
+//! The typed error surface of the recovery subsystem.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong while checkpointing or resuming.
+///
+/// The variants partition failures by what the caller should do next:
+/// retry/repair the storage ([`RecoverError::Io`]), discard the snapshot
+/// ([`RecoverError::Corrupt`]), fix the resume invocation
+/// ([`RecoverError::Mismatch`]), or start fresh
+/// ([`RecoverError::NoSnapshot`]).
+#[derive(Debug)]
+pub enum RecoverError {
+    /// Underlying IO failed, after transient classes were already
+    /// retried with backoff.
+    Io {
+        /// File or directory the operation targeted.
+        path: PathBuf,
+        /// What the operation was doing (e.g. `"write snapshot"`).
+        context: &'static str,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// A snapshot or manifest failed structural validation: bad magic,
+    /// CRC mismatch, truncated or oversized length field, trailing
+    /// bytes, or a manifest/snapshot generation mismatch.
+    Corrupt {
+        /// The file that failed validation.
+        path: PathBuf,
+        /// Which framed section (or `"header"`/`"manifest"`) failed.
+        section: String,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// A structurally valid snapshot does not belong to the engine or
+    /// graph attempting to resume from it.
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// The checkpoint directory holds no snapshot at all.
+    NoSnapshot {
+        /// The directory that was searched.
+        dir: PathBuf,
+    },
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::Io {
+                path,
+                context,
+                source,
+            } => {
+                write!(f, "io error ({context}) at {}: {source}", path.display())
+            }
+            RecoverError::Corrupt {
+                path,
+                section,
+                detail,
+            } => write!(
+                f,
+                "corrupt snapshot {} (section {section}): {detail}",
+                path.display()
+            ),
+            RecoverError::Mismatch { detail } => {
+                write!(f, "snapshot does not match this run: {detail}")
+            }
+            RecoverError::NoSnapshot { dir } => {
+                write!(f, "no snapshot found in {}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoverError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl RecoverError {
+    /// True for [`RecoverError::Corrupt`] — the CLI maps this to its own
+    /// exit code so operators can distinguish "disk broken" from
+    /// "snapshot broken".
+    pub fn is_corrupt(&self) -> bool {
+        matches!(self, RecoverError::Corrupt { .. })
+    }
+}

@@ -1,0 +1,44 @@
+//! Crash-safe checkpoint/resume for long random walks, plus a
+//! deterministic fault-injection IO layer.
+//!
+//! The paper's target workloads walk huge graphs for billions of steps —
+//! exactly the runs where a crash at hour N throws everything away.  The
+//! step-centric layout makes durability cheap: all walker state lives in
+//! compact arrays (ThunderRW makes the same observation), so an epoch
+//! boundary snapshot is a handful of `memcpy`s plus one sequential write.
+//!
+//! The subsystem has three parts:
+//!
+//! * [`snapshot::WalkSnapshot`] — an engine-agnostic snapshot of the
+//!   walker arrays, pre-sample buffers, and output cursor, serialized in
+//!   a CRC32-guarded framed binary format.  Any single flipped byte is
+//!   detected and reported as [`RecoverError::Corrupt`].
+//! * [`manifest::CheckpointSink`] / [`manifest::load_latest`] — atomic
+//!   write-to-temp → fsync → rename publication with a generation-stamped
+//!   manifest that detects torn, partial, or mixed-generation snapshots.
+//! * [`fault::FaultyFile`] and [`retry::with_retries`] — a seeded,
+//!   reproducible fault-injection shim (transient errors, short reads,
+//!   torn writes) and the bounded-retry/exponential-backoff loop that
+//!   engines thread around disk reads and checkpoint writes.
+//!
+//! RNG streams never need snapshotting: every engine derives per-
+//! `(iteration, partition)` streams from a pure function of the seed, so
+//! a resume at iteration `k` replays the exact chain of an uninterrupted
+//! run — the conformance crash matrix proves bit-identity against the
+//! golden digests.
+
+pub mod crc;
+pub mod error;
+pub mod fault;
+pub mod manifest;
+pub mod retry;
+pub mod snapshot;
+mod wire;
+
+pub use crc::crc32;
+pub use error::RecoverError;
+pub use fault::{FaultCounts, FaultPolicy, FaultState, FaultyFile};
+pub use manifest::{load_latest, CheckpointSink, Manifest, MANIFEST_NAME};
+pub use retry::{transient_io, with_retries, RetryPolicy};
+pub use crc::fnv64;
+pub use snapshot::{CheckpointSpec, Fingerprint, PsPartState, WalkSnapshot};

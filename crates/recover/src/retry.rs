@@ -1,0 +1,151 @@
+//! Bounded retry with exponential backoff for transient IO failures.
+
+use std::io;
+use std::time::Duration;
+
+/// How transient failures are retried.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts (first try included).  1 disables retrying.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_delay * 2^n`, capped at
+    /// `max_delay`.  `Duration::ZERO` disables sleeping (tests).
+    pub base_delay: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never sleeps — for tests and fault harnesses.
+    pub fn immediate(max_attempts: u32) -> Self {
+        Self {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+        exp.min(self.max_delay)
+    }
+}
+
+/// The transient IO error classes: failures that a retry can plausibly
+/// clear.  Everything else (including `UnexpectedEof`, which on a real
+/// file means truncation, not a hiccup) escalates immediately.
+pub fn transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Runs `op` until it succeeds, a permanent error occurs, or
+/// `policy.max_attempts` is exhausted.  Each transient retry increments
+/// `retries` (the engines surface this through telemetry) and sleeps the
+/// exponential backoff.
+pub fn with_retries<T, E>(
+    policy: &RetryPolicy,
+    retries: &mut u64,
+    is_transient: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt + 1 < policy.max_attempts.max(1) => {
+                *retries += 1;
+                let delay = policy.backoff(attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let mut remaining_failures = 3;
+        let mut retries = 0u64;
+        let out = with_retries(
+            &RetryPolicy::immediate(8),
+            &mut retries,
+            transient_io,
+            || {
+                if remaining_failures > 0 {
+                    remaining_failures -= 1;
+                    Err(io::Error::new(io::ErrorKind::WouldBlock, "transient"))
+                } else {
+                    Ok(42)
+                }
+            },
+        );
+        assert_eq!(out.expect("eventually succeeds"), 42);
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn permanent_errors_escalate_immediately() {
+        let mut calls = 0;
+        let mut retries = 0u64;
+        let out: Result<(), io::Error> = with_retries(
+            &RetryPolicy::immediate(8),
+            &mut retries,
+            transient_io,
+            || {
+                calls += 1;
+                Err(io::Error::other("permanent"))
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let mut calls = 0u32;
+        let mut retries = 0u64;
+        let out: Result<(), io::Error> = with_retries(
+            &RetryPolicy::immediate(4),
+            &mut retries,
+            transient_io,
+            || {
+                calls += 1;
+                Err(io::Error::new(io::ErrorKind::TimedOut, "still transient"))
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 4);
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn unexpected_eof_is_permanent() {
+        assert!(!transient_io(&io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "truncated"
+        )));
+    }
+}

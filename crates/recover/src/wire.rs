@@ -1,0 +1,171 @@
+//! Bounded little-endian encode/decode helpers.
+//!
+//! Every read is bounds-checked and surfaces [`RecoverError::Corrupt`]
+//! instead of panicking; vector lengths are validated against the bytes
+//! actually remaining *before* any allocation, so a corrupt length field
+//! can never trigger an over-allocation.
+
+use std::path::{Path, PathBuf};
+
+use crate::error::RecoverError;
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        let start = self.buf.len();
+        self.buf.resize(start + vs.len() * 4, 0);
+        for (dst, &v) in self.buf[start..].chunks_exact_mut(4).zip(vs) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        let start = self.buf.len();
+        self.buf.resize(start + vs.len() * 8, 0);
+        for (dst, &v) in self.buf[start..].chunks_exact_mut(8).zip(vs) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    pub fn put_bytes(&mut self, bs: &[u8]) {
+        self.put_u64(bs.len() as u64);
+        self.buf.extend_from_slice(bs);
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader over one decoded section.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    /// Section name used in `Corrupt` errors.
+    section: &'static str,
+    /// File the bytes came from, for error context.
+    path: PathBuf,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(data: &'a [u8], section: &'static str, path: &Path) -> Self {
+        Self {
+            data,
+            pos: 0,
+            section,
+            path: path.to_path_buf(),
+        }
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> RecoverError {
+        RecoverError::Corrupt {
+            path: self.path.clone(),
+            section: self.section.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RecoverError> {
+        if n > self.remaining() {
+            return Err(self.corrupt(format!(
+                "need {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, RecoverError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, RecoverError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, RecoverError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `u64` length prefix and validates that `len * elem_size`
+    /// bytes remain before returning the element count.
+    fn checked_len(&mut self, elem_size: usize) -> Result<usize, RecoverError> {
+        let len = self.u64()?;
+        let need = usize::try_from(len)
+            .ok()
+            .and_then(|l| l.checked_mul(elem_size))
+            .ok_or_else(|| self.corrupt(format!("impossible length field {len}")))?;
+        if need > self.remaining() {
+            return Err(self.corrupt(format!(
+                "length field {len} needs {need} bytes, only {} remain",
+                self.remaining()
+            )));
+        }
+        Ok(len as usize)
+    }
+
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, RecoverError> {
+        let len = self.checked_len(4)?;
+        let bytes = self.take(len * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+            .collect())
+    }
+
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, RecoverError> {
+        let len = self.checked_len(8)?;
+        let bytes = self.take(len * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect())
+    }
+
+    pub fn bytes(&mut self) -> Result<&'a [u8], RecoverError> {
+        let len = self.checked_len(1)?;
+        self.take(len)
+    }
+
+    /// Fails unless every byte of the section was consumed.
+    pub fn finish(self) -> Result<(), RecoverError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}

@@ -67,13 +67,14 @@ pub fn write_chrome_trace(w: &mut impl Write, tel: &Telemetry) -> io::Result<()>
 pub fn write_metrics_jsonl(w: &mut impl Write, tel: &Telemetry) -> io::Result<()> {
     writeln!(
         w,
-        "{{\"kind\": \"run\", \"pid\": {}, \"events\": {}, \"dropped\": {}, \"partition_steps_total\": {}, \"occupancy_mean\": {}, \"occupancy_max\": {}}}",
+        "{{\"kind\": \"run\", \"pid\": {}, \"events\": {}, \"dropped\": {}, \"partition_steps_total\": {}, \"occupancy_mean\": {}, \"occupancy_max\": {}, \"io_retries\": {}}}",
         tel.pid(),
         tel.events().len(),
         tel.dropped(),
         tel.partition_steps_total(),
         num(tel.occupancy_hist().mean()),
         tel.occupancy_hist().max(),
+        tel.io_retries(),
     )?;
     for stage in Stage::ALL {
         let t = tel.stage(stage);
@@ -139,6 +140,12 @@ pub fn human_summary(tel: &Telemetry) -> String {
             share,
             num(t.latency.mean()),
             t.latency.max(),
+        ));
+    }
+    if tel.io_retries() > 0 {
+        out.push_str(&format!(
+            "  io: {} transient retries absorbed by the recovery layer\n",
+            tel.io_retries(),
         ));
     }
     let occ = tel.occupancy_hist();

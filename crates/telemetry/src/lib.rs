@@ -53,19 +53,25 @@ pub enum Stage {
     Output,
     /// One conformance-lattice cell.
     Cell,
+    /// Snapshot encode + atomic checkpoint publication.
+    Checkpoint,
+    /// Snapshot load + state reconstruction at resume.
+    Recovery,
     /// Anything else.
     Other,
 }
 
 impl Stage {
     /// Every stage, in export order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Plan,
         Stage::Shuffle,
         Stage::Sample,
         Stage::Io,
         Stage::Output,
         Stage::Cell,
+        Stage::Checkpoint,
+        Stage::Recovery,
         Stage::Other,
     ];
 
@@ -78,6 +84,8 @@ impl Stage {
             Stage::Io => "io",
             Stage::Output => "output",
             Stage::Cell => "cell",
+            Stage::Checkpoint => "checkpoint",
+            Stage::Recovery => "recovery",
             Stage::Other => "other",
         }
     }
@@ -91,7 +99,9 @@ impl Stage {
             Stage::Io => 3,
             Stage::Output => 4,
             Stage::Cell => 5,
-            Stage::Other => 6,
+            Stage::Checkpoint => 6,
+            Stage::Recovery => 7,
+            Stage::Other => 8,
         }
     }
 }
@@ -255,6 +265,9 @@ pub struct Telemetry {
     stages: Vec<StageTotals>,
     occupancy: Hist64,
     dropped: u64,
+    /// Transient IO retries performed by the recovery layer (DiskGraph
+    /// reads and checkpoint writes).
+    io_retries: u64,
     heartbeat: Option<Heartbeat>,
 }
 
@@ -285,6 +298,7 @@ impl Telemetry {
             stages: Stage::ALL.iter().map(|_| StageTotals::default()).collect(),
             occupancy: Hist64::default(),
             dropped: 0,
+            io_retries: 0,
             heartbeat: None,
         }
     }
@@ -513,6 +527,21 @@ impl Telemetry {
         self.dropped
     }
 
+    /// Adds `n` transient IO retries (recovery layer: faulted DiskGraph
+    /// reads, checkpoint writes).
+    #[inline]
+    pub fn record_io_retries(&mut self, n: u64) {
+        if !self.is_on() {
+            return;
+        }
+        self.io_retries += n;
+    }
+
+    /// Transient IO retries recorded so far.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
     /// Sum of per-partition step counters (must equal the engine's
     /// `steps_taken` for a traced run).
     pub fn partition_steps_total(&self) -> u64 {
@@ -550,6 +579,7 @@ impl Telemetry {
         }
         self.occupancy.absorb(&other.occupancy);
         self.dropped += other.dropped;
+        self.io_retries += other.io_retries;
     }
 }
 

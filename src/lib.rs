@@ -17,6 +17,8 @@
 //! * [`profiler`] — offline machine profiling feeding the planner.
 //! * [`telemetry`] — dependency-free spans, per-partition counters,
 //!   and exporters (Chrome Trace Event Format, JSONL, human summary).
+//! * [`recover`] — crash-safe checkpoint snapshots, atomic manifest
+//!   publication, deterministic fault injection, and bounded retries.
 //! * [`baseline`] — KnightKing- and GraphVite-style comparison engines.
 //! * [`conformance`] — exact Markov-chain oracles and the cross-engine
 //!   differential conformance lattice (`fmwalk conform`).
@@ -41,5 +43,6 @@ pub use fm_graph as graph;
 pub use fm_mckp as mckp;
 pub use fm_memsim as memsim;
 pub use fm_profiler as profiler;
+pub use fm_recover as recover;
 pub use fm_rng as rng;
 pub use fm_telemetry as telemetry;
