@@ -8,7 +8,12 @@
 #      end-to-end `walk --trace` -> `trace-check` round trip
 #   5. recover tier: an end-to-end checkpoint -> kill -> resume round
 #      trip through the CLI (bit-identical output, correct exit codes)
-#   6. clippy with warnings promoted to errors
+#   6. audit tier: the fm-audit source scanner at -D warnings severity
+#      (any finding fails), a seeded-violation check, the dynamic
+#      disjointness checker's tests, and the conformance quick lattice
+#      under --features audit-disjoint; an env-gated nightly Miri pass
+#      (AUDIT_MIRI=1) covers the recover codecs and fm-rng
+#   7. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -67,6 +72,41 @@ if cargo run --release -q -p fm-cli -- resume "$RECOVER_TMP/g.bin" "$RECOVER_TMP
 else
     code=$?
     [[ "$code" == 4 ]] || { echo "wrong-seed resume exited $code, want 4" >&2; exit 1; }
+fi
+
+echo "== audit tier =="
+# Static scan: the project lint catalogue (SAFETY comments, thread/IO
+# discipline, wall-clock bans, cast-free codecs, unwrap ratchet).  Any
+# finding is an error — the scanner's own -D warnings.
+cargo run --release -q -p fm-cli -- audit
+# The seeded bad workspace must be caught with the findings exit code.
+if cargo run --release -q -p fm-cli -- audit \
+    --root crates/audit/tests/fixtures/bad_ws >/dev/null 2>&1; then
+    echo "audit unexpectedly passed on the seeded bad workspace" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 1 ]] || { echo "bad_ws audit exited $code, want 1" >&2; exit 1; }
+fi
+# Dynamic disjointness: the injected-overlap tests, then the full
+# conformance quick lattice with every DisjointSlice claim interval-
+# checked at pool epoch boundaries.
+cargo test -q -p flashmob --features audit-disjoint --test audit_disjoint
+cargo run --release -q -p fm-cli --features audit-disjoint -- conform --quick
+# Env-gated nightly Miri pass over the snapshot codecs and the RNGs.
+# Both crates contain zero unsafe code (see the fm-audit inventory), so
+# this guards against UB creeping in, not known UB.
+if [[ "${AUDIT_MIRI:-0}" == "1" ]]; then
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        cargo +nightly miri test -p fm-recover wire:: crc:: snapshot::
+        cargo +nightly miri test -p fm-rng
+        echo "audit: miri-clean (fm-recover codecs + fm-rng)"
+    else
+        echo "audit: AUDIT_MIRI=1 but cargo-miri is not installed; install" >&2
+        echo "audit: with 'rustup +nightly component add miri' and re-run" >&2
+        exit 1
+    fi
+else
+    echo "audit: Miri tier skipped (set AUDIT_MIRI=1 on a nightly with miri)"
 fi
 
 echo "== cargo clippy (deny warnings) =="

@@ -1,0 +1,200 @@
+//! The scanner allowlist: `audit/allow.toml`.
+//!
+//! Each entry names a (lint, file) pair that is exempt, with a reason
+//! the report can show.  The parser is a tiny hand-rolled subset of
+//! TOML — `[[allow]]` array-of-tables with `key = "value"` lines —
+//! because the workspace is zero-dependency.
+//!
+//! Entries that match nothing are themselves findings (`stale-allow`):
+//! a dead exemption is a hole waiting for code to move into it.
+
+use crate::lints::{Finding, Lint};
+
+/// One exemption: this lint does not fire in this file.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub lint: Lint,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub reason: String,
+    /// Defined-on line in allow.toml, for stale-entry findings.
+    pub line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+/// An `[[allow]]` table being accumulated during parsing.
+#[derive(Default)]
+struct PartialEntry {
+    lint: Option<Lint>,
+    path: Option<String>,
+    reason: Option<String>,
+    line: usize,
+}
+
+impl Allowlist {
+    /// Parses `allow.toml` text.  Errors name the offending line.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        let mut cur: Option<PartialEntry> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish_entry(&mut cur, &mut entries)?;
+                cur = Some(PartialEntry {
+                    line: lineno,
+                    ..PartialEntry::default()
+                });
+                continue;
+            }
+            let (key, val) = parse_kv(line)
+                .ok_or_else(|| format!("allow.toml:{lineno}: expected `key = \"value\"`"))?;
+            let slot = cur
+                .as_mut()
+                .ok_or_else(|| format!("allow.toml:{lineno}: `{key}` outside [[allow]]"))?;
+            match key {
+                "lint" => {
+                    slot.lint = Some(Lint::from_name(&val).ok_or_else(|| {
+                        format!("allow.toml:{lineno}: unknown lint `{val}`")
+                    })?)
+                }
+                "path" => slot.path = Some(val),
+                "reason" => slot.reason = Some(val),
+                other => {
+                    return Err(format!("allow.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        finish_entry(&mut cur, &mut entries)?;
+        Ok(Allowlist { entries })
+    }
+
+    /// Is this (lint, path) exempt?
+    pub fn allows(&self, lint: Lint, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.lint == lint && e.path == path)
+    }
+
+    /// Drops allowed findings; returns them plus `stale-allow` findings
+    /// for entries that shielded nothing.
+    pub fn apply(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        for f in findings {
+            let mut hit = false;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.lint == f.lint && e.path == f.path {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            if !hit {
+                kept.push(f);
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if !used[i] {
+                kept.push(Finding {
+                    lint: Lint::StaleAllow,
+                    path: "audit/allow.toml".to_string(),
+                    line: e.line,
+                    msg: format!(
+                        "allow entry ({}, {}) matched no finding; remove it",
+                        e.lint.name(),
+                        e.path
+                    ),
+                });
+            }
+        }
+        kept
+    }
+}
+
+fn finish_entry(
+    cur: &mut Option<PartialEntry>,
+    entries: &mut Vec<AllowEntry>,
+) -> Result<(), String> {
+    if let Some(p) = cur.take() {
+        let line = p.line;
+        let lint = p
+            .lint
+            .ok_or_else(|| format!("allow.toml:{line}: entry missing `lint`"))?;
+        let path = p
+            .path
+            .ok_or_else(|| format!("allow.toml:{line}: entry missing `path`"))?;
+        let reason = p
+            .reason
+            .ok_or_else(|| format!("allow.toml:{line}: entry missing `reason`"))?;
+        entries.push(AllowEntry {
+            lint,
+            path,
+            reason,
+            line,
+        });
+    }
+    Ok(())
+}
+
+/// Parses `key = "value"`, tolerating trailing comments.
+fn parse_kv(line: &str) -> Option<(&str, String)> {
+    let (key, rest) = line.split_once('=')?;
+    let rest = rest.trim();
+    let rest = rest.strip_prefix('"')?;
+    let (val, _) = rest.split_once('"')?;
+    Some((key.trim(), val.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# exemptions
+[[allow]]
+lint = "raw-file-io"
+path = "crates/graph/src/io.rs"
+reason = "the graph IO layer itself"
+
+[[allow]]
+lint = "thread-discipline"
+path = "crates/flashmob/src/pool.rs"
+reason = "the worker pool"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let a = Allowlist::parse(SAMPLE).unwrap();
+        assert_eq!(a.entries.len(), 2);
+        assert!(a.allows(Lint::RawFileIo, "crates/graph/src/io.rs"));
+        assert!(!a.allows(Lint::RawFileIo, "crates/graph/src/csr.rs"));
+    }
+
+    #[test]
+    fn stale_entries_become_findings() {
+        let a = Allowlist::parse(SAMPLE).unwrap();
+        let out = a.apply(vec![Finding {
+            lint: Lint::RawFileIo,
+            path: "crates/graph/src/io.rs".to_string(),
+            line: 10,
+            msg: "x".to_string(),
+        }]);
+        // The matched finding is dropped; the unused pool entry is stale.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].lint, Lint::StaleAllow);
+        assert!(out[0].msg.contains("pool.rs"));
+    }
+
+    #[test]
+    fn unknown_lint_rejected() {
+        assert!(Allowlist::parse("[[allow]]\nlint = \"bogus\"\npath = \"x\"\nreason = \"r\"\n")
+            .is_err());
+    }
+}

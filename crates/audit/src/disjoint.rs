@@ -1,0 +1,217 @@
+//! The dynamic disjointness checker behind the `audit-disjoint` feature.
+//!
+//! `DisjointSlice` (fm-pool) hands out `&mut [T]` views of one buffer to
+//! many workers; soundness rests entirely on the *caller's* promise that
+//! the claimed ranges never overlap across workers.  The static scanner
+//! verifies a `SAFETY:` comment states that promise — this module checks
+//! the promise itself at runtime:
+//!
+//! * each pool owns a [`ClaimLog`]; worker threads bind to it via a
+//!   thread-local ([`set_worker`]) when they start;
+//! * every `slice_mut` / `write` records its byte range with [`claim`]
+//!   (a no-op on threads with no binding, e.g. the coordinator);
+//! * at each epoch boundary the coordinator calls
+//!   [`ClaimLog::drain_and_check`], which sorts the epoch's claims and
+//!   sweeps them — any two overlapping ranges claimed by *different*
+//!   workers panic, naming both claimants.  Same-worker overlaps are
+//!   allowed: a worker may sequentially reborrow its own region.
+//!
+//! The check is deterministic (claims are sorted, not raced) and runs
+//! the full conformance lattice in CI, so every SAFETY comment on the
+//! hot path is machine-proven per release, not just asserted.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+/// One recorded `(byte range, worker)` claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// First claimed byte address.
+    pub start: usize,
+    /// One past the last claimed byte address.
+    pub end: usize,
+    /// Pool worker index that made the claim.
+    pub worker: usize,
+}
+
+impl Claim {
+    fn overlaps(&self, other: &Claim) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// Per-pool, per-epoch interval log of `DisjointSlice` claims.
+#[derive(Debug, Default)]
+pub struct ClaimLog {
+    claims: Mutex<Vec<Claim>>,
+}
+
+impl ClaimLog {
+    pub fn new() -> Arc<ClaimLog> {
+        Arc::new(ClaimLog::default())
+    }
+
+    /// Records one claim.  Called from worker threads via [`claim`].
+    pub fn record(&self, start: usize, len: usize, worker: usize) {
+        let end = start.saturating_add(len);
+        self.claims.lock().unwrap().push(Claim { start, end, worker });
+    }
+
+    /// Number of claims currently buffered (for tests).
+    pub fn len(&self) -> usize {
+        self.claims.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the epoch's claims and panics if any two ranges claimed by
+    /// different workers overlap, naming both claimants.
+    pub fn drain_and_check(&self, stage: &str) {
+        let mut claims = std::mem::take(&mut *self.claims.lock().unwrap());
+        if let Some((a, b)) = find_overlap(&mut claims) {
+            panic!(
+                "audit-disjoint: overlapping DisjointSlice claims in stage `{stage}`: \
+                 worker {} claimed [{:#x}, {:#x}) and worker {} claimed [{:#x}, {:#x})",
+                a.worker, a.start, a.end, b.worker, b.start, b.end
+            );
+        }
+    }
+
+    /// Drops the epoch's claims without checking — used after a worker
+    /// panic, where partial claims would only add noise to the re-raise.
+    pub fn drain_discard(&self) {
+        self.claims.lock().unwrap().clear();
+    }
+}
+
+/// Sweep-line overlap check over the claims (sorted in place).
+///
+/// Claims are sorted by start; an *active* set holds earlier claims
+/// whose end extends past the current claim's start — each of those
+/// overlaps the current claim, so any with a different worker is a
+/// violation.  Zero-length claims never overlap anything.
+pub fn find_overlap(claims: &mut [Claim]) -> Option<(Claim, Claim)> {
+    claims.sort_by_key(|c| (c.start, c.end, c.worker));
+    let mut active: Vec<Claim> = Vec::new();
+    for &cur in claims.iter() {
+        if cur.start == cur.end {
+            continue;
+        }
+        active.retain(|a| a.end > cur.start);
+        if let Some(&hit) = active
+            .iter()
+            .find(|a| a.worker != cur.worker && a.overlaps(&cur))
+        {
+            return Some((hit, cur));
+        }
+        active.push(cur);
+    }
+    None
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<(Arc<ClaimLog>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Binds the current thread to `log` as pool worker `worker`.  Called by
+/// the pool's worker loop at thread start.
+pub fn set_worker(log: Arc<ClaimLog>, worker: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((log, worker)));
+}
+
+/// Clears the current thread's binding (worker thread exit).
+pub fn clear_worker() {
+    WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+/// Records a byte-range claim for the current thread's worker binding.
+/// No-op on unbound threads (the coordinator, tests, rayon-free main).
+pub fn claim(addr: usize, len: usize) {
+    WORKER.with(|w| {
+        if let Some((log, worker)) = w.borrow().as_ref() {
+            log.record(addr, len, *worker);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(start: usize, end: usize, worker: usize) -> Claim {
+        Claim { start, end, worker }
+    }
+
+    #[test]
+    fn disjoint_claims_pass() {
+        let mut claims = vec![c(0, 10, 0), c(10, 20, 1), c(20, 30, 0), c(40, 50, 2)];
+        assert_eq!(find_overlap(&mut claims), None);
+    }
+
+    #[test]
+    fn cross_worker_overlap_caught_with_both_claimants() {
+        let mut claims = vec![c(0, 10, 0), c(100, 200, 1), c(150, 160, 2)];
+        let (a, b) = find_overlap(&mut claims).expect("overlap");
+        assert_eq!((a.worker, b.worker), (1, 2));
+        assert_eq!((a.start, a.end), (100, 200));
+        assert_eq!((b.start, b.end), (150, 160));
+    }
+
+    #[test]
+    fn same_worker_overlap_allowed() {
+        // Sequential reborrow of a worker's own region is fine.
+        let mut claims = vec![c(0, 100, 3), c(10, 20, 3), c(0, 100, 3)];
+        assert_eq!(find_overlap(&mut claims), None);
+    }
+
+    #[test]
+    fn nested_masking_claim_does_not_hide_violation() {
+        // A same-worker big claim must not mask an earlier different-
+        // worker claim that also overlaps the current one.
+        let mut claims = vec![c(0, 300, 0), c(20, 50, 1), c(40, 45, 0)];
+        assert!(find_overlap(&mut claims).is_some());
+    }
+
+    #[test]
+    fn adjacent_ranges_do_not_overlap() {
+        let mut claims = vec![c(0, 8, 0), c(8, 16, 1)];
+        assert_eq!(find_overlap(&mut claims), None);
+    }
+
+    #[test]
+    fn zero_length_claims_ignored() {
+        let mut claims = vec![c(5, 5, 0), c(0, 10, 1)];
+        assert_eq!(find_overlap(&mut claims), None);
+    }
+
+    #[test]
+    fn log_drain_panics_and_names_claimants() {
+        let log = ClaimLog::new();
+        log.record(0x1000, 64, 0);
+        log.record(0x1020, 64, 1);
+        let log2 = Arc::clone(&log);
+        let err = std::panic::catch_unwind(move || log2.drain_and_check("sample"))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("worker 0"), "{msg}");
+        assert!(msg.contains("worker 1"), "{msg}");
+        assert!(msg.contains("stage `sample`"), "{msg}");
+        // Drained even though it panicked.
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn tls_claim_routes_to_bound_log() {
+        let log = ClaimLog::new();
+        claim(0x2000, 8); // unbound: no-op
+        assert!(log.is_empty());
+        set_worker(Arc::clone(&log), 4);
+        claim(0x2000, 8);
+        clear_worker();
+        claim(0x3000, 8); // unbound again
+        assert_eq!(log.len(), 1);
+        log.drain_and_check("tls");
+    }
+}

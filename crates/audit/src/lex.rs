@@ -1,0 +1,258 @@
+//! A hand-rolled line/token lexer for Rust source — no `syn`, no deps.
+//!
+//! The scanner does not need a parse tree; it needs to know, for every
+//! source line, which characters are *code* and which are *comment*,
+//! with string/char-literal contents removed so that token searches
+//! ("unsafe", "File::create", …) can never match inside a literal or a
+//! doc string.  [`strip_lines`] produces exactly that: one record per
+//! source line with the code text (literals blanked, comments removed)
+//! and the comment text (contents of `//`, `///`, `//!` and `/* */`
+//! runs, which is where `SAFETY:` annotations live).
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code characters with string/char contents blanked out.
+    pub code: String,
+    /// Comment text (line + block comments) present on this line.
+    pub comment: String,
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Mode {
+    Code,
+    /// Nesting depth of `/* */` (Rust block comments nest).
+    Block(u32),
+    Str,
+    /// Raw string; the payload is the number of `#` marks.
+    RawStr(u32),
+}
+
+/// Splits source text into per-line code/comment channels.
+pub fn strip_lines(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in src.lines() {
+        let mut line = Line::default();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        i += 2;
+                        if depth == 1 {
+                            mode = Mode::Code;
+                        } else {
+                            mode = Mode::Block(depth - 1);
+                        }
+                    } else if c == '/' && next == Some('*') {
+                        line.comment.push(c);
+                        i += 2;
+                        mode = Mode::Block(depth + 1);
+                    } else {
+                        line.comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped character
+                    } else if c == '"' {
+                        line.code.push('"');
+                        i += 1;
+                        mode = Mode::Code;
+                    } else {
+                        i += 1; // literal contents are blanked
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&bytes, i + 1, hashes) {
+                        line.code.push('"');
+                        i += 1 + hashes as usize;
+                        mode = Mode::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    if c == '/' && next == Some('/') {
+                        // Line comment (incl. /// and //!) to end of line.
+                        line.comment.push_str(&raw[byte_at(raw, i)..]);
+                        i = bytes.len();
+                    } else if c == '/' && next == Some('*') {
+                        i += 2;
+                        mode = Mode::Block(1);
+                    } else if c == '"' {
+                        line.code.push('"');
+                        i += 1;
+                        mode = Mode::Str;
+                    } else if (c == 'r' || c == 'b') && is_raw_str_start(&bytes, i) {
+                        let (hashes, consumed) = raw_str_open(&bytes, i);
+                        line.code.push('"');
+                        i += consumed;
+                        mode = Mode::RawStr(hashes);
+                    } else if c == '\'' {
+                        // Char literal or lifetime.  A char literal is
+                        // `'x'` or `'\..'`; everything else (`'a`,
+                        // `'static`) is a lifetime and stays in code.
+                        if next == Some('\\') {
+                            // Escaped char literal: skip to closing quote.
+                            let mut j = i + 2;
+                            while j < bytes.len() && bytes[j] != '\'' {
+                                j += 1;
+                            }
+                            line.code.push_str("' '");
+                            i = j + 1;
+                        } else if bytes.get(i + 2) == Some(&'\'') {
+                            line.code.push_str("' '");
+                            i += 3;
+                        } else {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Byte offset of the `i`-th char of `s` (lines are short; O(n) is fine).
+fn byte_at(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+/// Does a raw string (`r"`, `r#"`, `br"`, `br#"`) start at position `i`?
+/// Plain `b"…"` byte strings are *not* raw — they carry escapes and are
+/// handled by the ordinary string mode.
+fn is_raw_str_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"') && !prev_is_ident(bytes, i)
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Returns (hash count, chars consumed through the opening quote).
+fn raw_str_open(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // consume 'r'
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (hashes, j - i + 1) // through the opening quote
+}
+
+/// Is position `i` the start of `hashes` `#` marks closing a raw string?
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    for k in 0..hashes as usize {
+        if bytes.get(i + k) != Some(&'#') {
+            return false;
+        }
+    }
+    true
+}
+
+/// True if `needle` occurs in `hay` delimited by non-identifier chars.
+pub fn has_token(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_split() {
+        let ls = strip_lines("let x = 1; // SAFETY: fine\nlet y = 2;");
+        assert_eq!(ls.len(), 2);
+        assert!(ls[0].code.contains("let x = 1;"));
+        assert!(ls[0].comment.contains("SAFETY: fine"));
+        assert!(!ls[0].code.contains("SAFETY"));
+        assert!(ls[1].comment.is_empty());
+    }
+
+    #[test]
+    fn string_contents_blanked() {
+        let ls = strip_lines(r#"let s = "unsafe File::create"; unsafe {}"#);
+        assert!(!ls[0].code.contains("File::create"));
+        assert!(has_token(&ls[0].code, "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"has \"quotes\" and unsafe\"#; let t = 3;";
+        let ls = strip_lines(src);
+        assert!(!ls[0].code.contains("unsafe"));
+        assert!(ls[0].code.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nSAFETY: here\n*/ c";
+        let ls = strip_lines(src);
+        assert!(ls[0].code.contains('a') && ls[0].code.contains('b'));
+        assert!(ls[2].comment.contains("SAFETY: here"));
+        assert!(ls[3].code.contains('c'));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let ls = strip_lines("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }");
+        assert!(ls[0].code.contains("'a"));
+        // The quote char literal must not open a string.
+        assert!(ls[0].code.contains("let d ="));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("unsafely {", "unsafe"));
+        assert!(!has_token("an_unsafe_thing", "unsafe"));
+        assert!(has_token("x as u32;", "as u32"));
+        assert!(!has_token("x as u32x;", "as u32"));
+    }
+}

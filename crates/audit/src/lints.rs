@@ -1,0 +1,430 @@
+//! The project lint catalogue, applied per file on the lexer's output.
+//!
+//! Every lint is a token-level rule over [`crate::lex::Line`] records.
+//! The catalogue (see DESIGN.md §9 for rationale):
+//!
+//! * `unsafe-needs-safety` — every `unsafe` block / `unsafe impl` must
+//!   carry a `SAFETY:` comment within the four preceding lines (or on
+//!   the same line); every `unsafe fn` must carry either a `# Safety`
+//!   doc section or a `SAFETY:` comment.  Applies everywhere, including
+//!   tests and benches — unsound test code is still unsound.
+//! * `thread-discipline` — `thread::spawn` / `thread::scope` /
+//!   `thread::Builder` are forbidden outside the worker pool and the
+//!   checkpoint writer (allowlisted), so all parallelism flows through
+//!   the pool the disjointness checker instruments.
+//! * `raw-file-io` — `File::open` / `File::create` / `OpenOptions` are
+//!   forbidden outside the graph IO layer and the recover retry layer
+//!   (allowlisted), so data-path IO cannot bypass fault injection.
+//! * `wall-clock` — `SystemTime` / `UNIX_EPOCH` and ambient entropy
+//!   (`thread_rng`, `from_entropy`, `rand::random`) are forbidden in
+//!   the deterministic crates; replay and conformance digests depend on
+//!   seeded determinism.  (`Instant` is allowed: elapsed-time telemetry
+//!   never feeds walk results.)
+//! * `narrowing-cast` — narrowing `as` casts are forbidden in
+//!   `recover/src/wire.rs` and `crc.rs`: snapshot decoding must use
+//!   checked conversions so corrupt length fields cannot wrap.
+//! * `unwrap-ratchet` — library `.unwrap()` / `.expect(` counts per
+//!   crate are held by `audit/ratchet.toml` and may only decrease
+//!   (checked in [`crate::ratchet`], counted here).
+//!
+//! Lint checks other than `unsafe-needs-safety` skip test code: files
+//! under `tests/`, `benches/`, `examples/`, and in-file
+//! `#[cfg(test)] mod` regions (tracked by brace depth).
+
+use crate::lex::{has_token, strip_lines, Line};
+
+/// Stable lint identifiers (kebab-case, used in reports and allowlists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    UnsafeNeedsSafety,
+    ThreadDiscipline,
+    RawFileIo,
+    WallClock,
+    NarrowingCast,
+    UnwrapRatchet,
+    StaleAllow,
+}
+
+impl Lint {
+    pub const ALL: [Lint; 7] = [
+        Lint::UnsafeNeedsSafety,
+        Lint::ThreadDiscipline,
+        Lint::RawFileIo,
+        Lint::WallClock,
+        Lint::NarrowingCast,
+        Lint::UnwrapRatchet,
+        Lint::StaleAllow,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnsafeNeedsSafety => "unsafe-needs-safety",
+            Lint::ThreadDiscipline => "thread-discipline",
+            Lint::RawFileIo => "raw-file-io",
+            Lint::WallClock => "wall-clock",
+            Lint::NarrowingCast => "narrowing-cast",
+            Lint::UnwrapRatchet => "unwrap-ratchet",
+            Lint::StaleAllow => "stale-allow",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.name() == s)
+    }
+}
+
+/// One scanner finding, pointing at a source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub lint: Lint,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    pub msg: String,
+}
+
+/// Scanner output for a single file.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    pub findings: Vec<Finding>,
+    /// `.unwrap()` / `.expect(` sites in library (non-test) code.
+    pub unwrap_count: usize,
+    /// Total `unsafe` keyword sites seen (inventory, not findings).
+    pub unsafe_sites: usize,
+}
+
+/// Crates whose walk results must be bit-reproducible from a seed.
+const DETERMINISTIC_CRATES: [&str; 8] = [
+    "crates/graph",
+    "crates/rng",
+    "crates/mckp",
+    "crates/memsim",
+    "crates/flashmob",
+    "crates/baseline",
+    "crates/conformance",
+    "crates/recover",
+];
+
+/// Files where narrowing `as` casts are forbidden outright.
+const CAST_FREE_FILES: [&str; 2] = ["crates/recover/src/wire.rs", "crates/recover/src/crc.rs"];
+
+const THREAD_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
+const FILE_TOKENS: [&str; 3] = ["File::open", "File::create", "OpenOptions"];
+const CLOCK_TOKENS: [&str; 5] = [
+    "SystemTime",
+    "UNIX_EPOCH",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+];
+const NARROWING_TOKENS: [&str; 8] = [
+    "as u8", "as u16", "as u32", "as usize", "as i8", "as i16", "as i32", "as isize",
+];
+
+/// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 4;
+
+/// Is this path test/bench/example code by location?
+fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+}
+
+/// Marks lines inside `#[cfg(test)] mod … { … }` regions.
+fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Some(d): a cfg(test) attribute is pending; the next `{` opens the
+    // region and it closes when depth returns to d.
+    let mut pending = false;
+    let mut region_floor: Option<i64> = None;
+    for (i, line) in lines.iter().enumerate() {
+        if line.code.contains("#[cfg(test)]") && region_floor.is_none() {
+            pending = true;
+        } else if pending {
+            // The attribute only attaches through further attributes to a
+            // `mod … {`; anything else cancels it (e.g. `#[cfg(test)]`
+            // on a lone `use` item).
+            let t = line.code.trim();
+            if !t.is_empty() && !t.starts_with("#[") && !has_token(t, "mod") {
+                pending = false;
+            }
+        }
+        let mut in_region = region_floor.is_some();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending && region_floor.is_none() {
+                        region_floor = Some(depth);
+                        pending = false;
+                        in_region = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_floor == Some(depth) {
+                        region_floor = None;
+                        // Region includes this closing line.
+                        in_region = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        mask[i] = in_region || region_floor.is_some();
+    }
+    mask
+}
+
+/// Classifies an `unsafe` token's syntactic role by what follows it.
+#[derive(PartialEq)]
+enum UnsafeKind {
+    Fn,
+    Impl,
+    Block,
+}
+
+/// Finds `unsafe` sites on a code line; returns their kinds.
+fn unsafe_sites_on(code: &str, next_code: &str) -> Vec<UnsafeKind> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("unsafe") {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + "unsafe".len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            let rest = code[after..].trim_start();
+            let rest = if rest.is_empty() {
+                next_code.trim_start()
+            } else {
+                rest
+            };
+            let kind = if rest.starts_with("fn") || rest.starts_with("extern") {
+                UnsafeKind::Fn
+            } else if rest.starts_with("impl") || rest.starts_with("trait") {
+                UnsafeKind::Impl
+            } else {
+                UnsafeKind::Block
+            };
+            out.push(kind);
+        }
+        start = after;
+    }
+    out
+}
+
+/// True if any comment in the window `[i-SAFETY_WINDOW, i]` says SAFETY.
+fn safety_comment_near(lines: &[Line], i: usize) -> bool {
+    let lo = i.saturating_sub(SAFETY_WINDOW);
+    lines[lo..=i].iter().any(|l| l.comment.contains("SAFETY"))
+}
+
+/// True if the doc-comment block directly above line `i` has `# Safety`.
+fn safety_doc_above(lines: &[Line], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        let code = l.code.trim();
+        let is_attr = code.starts_with("#[") || code.starts_with("#!");
+        if !code.is_empty() && !is_attr {
+            return false; // hit real code before any Safety doc
+        }
+        if l.comment.contains("# Safety") || l.comment.contains("SAFETY") {
+            return true;
+        }
+        if code.is_empty() && l.comment.is_empty() {
+            return false; // blank line ends the doc block
+        }
+    }
+    false
+}
+
+/// Runs every lint over one file.  `path` is workspace-relative.
+pub fn scan_file(path: &str, src: &str) -> FileScan {
+    let lines = strip_lines(src);
+    let test_mask = cfg_test_mask(&lines);
+    let path_is_test = is_test_path(path);
+    let cast_free = CAST_FREE_FILES.contains(&path);
+    let deterministic = DETERMINISTIC_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("{c}/src")));
+
+    let mut scan = FileScan::default();
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let in_test = path_is_test || test_mask[i];
+        let code = &line.code;
+
+        // unsafe-needs-safety: applies everywhere, tests included.
+        let next_code = lines.get(i + 1).map(|l| l.code.as_str()).unwrap_or("");
+        for kind in unsafe_sites_on(code, next_code) {
+            scan.unsafe_sites += 1;
+            let ok = match kind {
+                UnsafeKind::Fn => safety_doc_above(&lines, i) || safety_comment_near(&lines, i),
+                UnsafeKind::Impl | UnsafeKind::Block => safety_comment_near(&lines, i),
+            };
+            if !ok {
+                let what = match kind {
+                    UnsafeKind::Fn => "unsafe fn needs a `# Safety` doc section",
+                    UnsafeKind::Impl => "unsafe impl needs a `SAFETY:` comment",
+                    UnsafeKind::Block => {
+                        "unsafe block needs a `SAFETY:` comment naming its invariant"
+                    }
+                };
+                scan.findings.push(Finding {
+                    lint: Lint::UnsafeNeedsSafety,
+                    path: path.to_string(),
+                    line: lineno,
+                    msg: what.to_string(),
+                });
+            }
+        }
+
+        if in_test {
+            continue; // remaining lints are library-code rules
+        }
+
+        for tok in THREAD_TOKENS {
+            if code.contains(tok) {
+                scan.findings.push(Finding {
+                    lint: Lint::ThreadDiscipline,
+                    path: path.to_string(),
+                    line: lineno,
+                    msg: format!(
+                        "`{tok}` outside the worker pool / checkpoint writer; \
+                         route parallelism through fm-pool so the disjointness \
+                         checker sees it"
+                    ),
+                });
+            }
+        }
+
+        for tok in FILE_TOKENS {
+            if code.contains(tok) {
+                scan.findings.push(Finding {
+                    lint: Lint::RawFileIo,
+                    path: path.to_string(),
+                    line: lineno,
+                    msg: format!(
+                        "raw `{tok}` outside graph/io.rs and the recover retry \
+                         layer; data-path IO must stay fault-injectable"
+                    ),
+                });
+            }
+        }
+
+        if deterministic {
+            for tok in CLOCK_TOKENS {
+                if code.contains(tok) {
+                    scan.findings.push(Finding {
+                        lint: Lint::WallClock,
+                        path: path.to_string(),
+                        line: lineno,
+                        msg: format!(
+                            "`{tok}` in a deterministic crate; walks must be \
+                             reproducible from the seed alone"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if cast_free {
+            for tok in NARROWING_TOKENS {
+                if has_token(code, tok) {
+                    scan.findings.push(Finding {
+                        lint: Lint::NarrowingCast,
+                        path: path.to_string(),
+                        line: lineno,
+                        msg: format!(
+                            "narrowing `{tok}` in a snapshot codec; use \
+                             checked conversions (try_from / to_le_bytes)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        scan.unwrap_count += code.matches(".unwrap()").count() + code.matches(".expect(").count();
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints_of(path: &str, src: &str) -> Vec<Lint> {
+        scan_file(path, src).findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn unsafe_block_without_safety_flagged() {
+        let src = "fn f(p: *mut u8) {\n    let x = unsafe { *p };\n}\n";
+        assert_eq!(lints_of("crates/x/src/a.rs", src), vec![Lint::UnsafeNeedsSafety]);
+    }
+
+    #[test]
+    fn unsafe_block_with_safety_passes() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: p is valid for reads.\n    let x = unsafe { *p };\n}\n";
+        assert!(lints_of("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_skips_library_lints() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let f = std::fs::File::open(\"x\"); let _ = f.unwrap(); }\n}\n";
+        let scan = scan_file("crates/x/src/a.rs", src);
+        assert!(scan.findings.is_empty());
+        assert_eq!(scan.unwrap_count, 0);
+    }
+
+    #[test]
+    fn unwrap_counted_outside_tests_only() {
+        let src = "fn lib() { x.unwrap(); y.expect(\"msg\"); }\n";
+        assert_eq!(scan_file("crates/x/src/a.rs", src).unwrap_count, 2);
+        // unwrap_or and friends do not count.
+        let src2 = "fn lib() { x.unwrap_or(0); y.unwrap_or_else(f); }\n";
+        assert_eq!(scan_file("crates/x/src/a.rs", src2).unwrap_count, 0);
+    }
+
+    #[test]
+    fn narrowing_cast_only_in_named_files() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert_eq!(
+            lints_of("crates/recover/src/wire.rs", src),
+            vec![Lint::NarrowingCast]
+        );
+        assert!(lints_of("crates/recover/src/manifest.rs", src).is_empty());
+        // Widening casts are fine even in the codec files.
+        let widen = "fn f(x: u8) -> u64 { x as u64 }\n";
+        assert!(lints_of("crates/recover/src/crc.rs", widen).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_only_in_deterministic_crates() {
+        let src = "fn f() { let t = std::time::SystemTime::now(); let _ = t; }\n";
+        assert_eq!(lints_of("crates/rng/src/lib.rs", src), vec![Lint::WallClock]);
+        assert!(lints_of("crates/telemetry/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_trip_lints() {
+        let src = "fn f() { let s = \"unsafe File::create thread::spawn\"; let _ = s; }\n";
+        assert!(lints_of("crates/x/src/a.rs", src).is_empty());
+    }
+}

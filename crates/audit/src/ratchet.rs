@@ -1,0 +1,147 @@
+//! The unwrap/expect ratchet: `audit/ratchet.toml`.
+//!
+//! The baseline records, per crate, how many `.unwrap()` / `.expect(`
+//! sites live in *library* code (tests, benches and `#[cfg(test)]`
+//! regions excluded).  The check is two-sided:
+//!
+//! * count **above** baseline → error: new panicking call sites were
+//!   added; handle the error or justify lowering elsewhere first.
+//! * count **below** baseline → error: the baseline is stale; run
+//!   `fmwalk audit --update-ratchet` so the win is locked in and can't
+//!   silently regress.
+//!
+//! Custom methods that happen to be named `expect` count too — the
+//! metric is deliberately blunt but monotone.
+
+use std::collections::BTreeMap;
+
+use crate::lints::{Finding, Lint};
+
+/// Per-crate baseline counts, keyed by workspace-relative crate dir.
+#[derive(Debug, Default, Clone)]
+pub struct Ratchet {
+    pub counts: BTreeMap<String, usize>,
+}
+
+impl Ratchet {
+    /// Parses `ratchet.toml` text (a single `[unwrap_ratchet]` table).
+    pub fn parse(text: &str) -> Result<Ratchet, String> {
+        let mut counts = BTreeMap::new();
+        let mut in_table = false;
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[unwrap_ratchet]" {
+                in_table = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!("ratchet.toml:{lineno}: unknown table `{line}`"));
+            }
+            if !in_table {
+                return Err(format!(
+                    "ratchet.toml:{lineno}: entry outside [unwrap_ratchet]"
+                ));
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("ratchet.toml:{lineno}: expected `\"crate\" = N`"))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let val: usize = val
+                .trim()
+                .parse()
+                .map_err(|_| format!("ratchet.toml:{lineno}: bad count `{}`", val.trim()))?;
+            counts.insert(key, val);
+        }
+        Ok(Ratchet { counts })
+    }
+
+    /// Serializes back to `ratchet.toml` text.
+    pub fn to_toml(&self) -> String {
+        let mut s = String::from(
+            "# fm-audit unwrap/expect ratchet — library panicking call sites per\n\
+             # crate.  Counts may only go DOWN; refresh with\n\
+             # `fmwalk audit --update-ratchet` after removing sites.\n\
+             [unwrap_ratchet]\n",
+        );
+        for (k, v) in &self.counts {
+            s.push_str(&format!("\"{k}\" = {v}\n"));
+        }
+        s
+    }
+
+    /// Compares measured counts against the baseline.
+    pub fn check(&self, actual: &BTreeMap<String, usize>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let mut keys: Vec<&String> = self.counts.keys().chain(actual.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for k in keys {
+            let base = self.counts.get(k).copied();
+            let now = actual.get(k).copied().unwrap_or(0);
+            let msg = match base {
+                None if now > 0 => format!(
+                    "crate `{k}` has {now} unwrap/expect sites but no ratchet \
+                     entry; add one via --update-ratchet"
+                ),
+                Some(b) if now > b => format!(
+                    "crate `{k}` has {now} unwrap/expect sites, ratchet allows \
+                     {b}; remove the new panicking call sites"
+                ),
+                Some(b) if now < b => format!(
+                    "crate `{k}` is down to {now} unwrap/expect sites but the \
+                     ratchet still says {b}; run --update-ratchet to lock it in"
+                ),
+                _ => continue,
+            };
+            findings.push(Finding {
+                lint: Lint::UnwrapRatchet,
+                path: "audit/ratchet.toml".to_string(),
+                line: 0,
+                msg,
+            });
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn actual(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn round_trips() {
+        let mut r = Ratchet::default();
+        r.counts.insert("crates/cli".to_string(), 7);
+        r.counts.insert("crates/graph".to_string(), 0);
+        let r2 = Ratchet::parse(&r.to_toml()).unwrap();
+        assert_eq!(r2.counts, r.counts);
+    }
+
+    #[test]
+    fn increase_and_decrease_both_flagged() {
+        let r = Ratchet::parse("[unwrap_ratchet]\n\"crates/cli\" = 5\n").unwrap();
+        assert!(r.check(&actual(&[("crates/cli", 5)])).is_empty());
+        let up = r.check(&actual(&[("crates/cli", 6)]));
+        assert_eq!(up.len(), 1);
+        assert!(up[0].msg.contains("ratchet allows 5"));
+        let down = r.check(&actual(&[("crates/cli", 4)]));
+        assert_eq!(down.len(), 1);
+        assert!(down[0].msg.contains("--update-ratchet"));
+    }
+
+    #[test]
+    fn unknown_crate_with_sites_flagged() {
+        let r = Ratchet::default();
+        let f = r.check(&actual(&[("crates/new", 2)]));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].msg.contains("no ratchet entry"));
+    }
+}

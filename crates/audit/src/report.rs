@@ -1,0 +1,99 @@
+//! Report rendering: human-readable lines and a `--json` encoding.
+
+use crate::scan::AuditReport;
+
+/// `path:line: [lint] message` lines plus a summary, rustc-style.
+pub fn human(report: &AuditReport) -> String {
+    let mut s = String::new();
+    for f in &report.findings {
+        if f.line > 0 {
+            s.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.lint.name(), f.msg));
+        } else {
+            s.push_str(&format!("{}: [{}] {}\n", f.path, f.lint.name(), f.msg));
+        }
+    }
+    if report.ratchet_updated {
+        s.push_str("audit: ratchet baseline rewritten from measured counts\n");
+    }
+    s.push_str(&format!(
+        "audit: {} file(s), {} unsafe site(s), {} finding(s)\n",
+        report.files_scanned,
+        report.unsafe_sites,
+        report.findings.len()
+    ));
+    s
+}
+
+/// Machine-readable report for `fmwalk audit --json`.
+pub fn json(report: &AuditReport) -> String {
+    let mut s = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+            f.lint.name(),
+            escape(&f.path),
+            f.line,
+            escape(&f.msg)
+        ));
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"unwrap_counts\": {");
+    for (i, (k, v)) in report.unwrap_counts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    \"{}\": {}", escape(k), v));
+    }
+    if !report.unwrap_counts.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str(&format!(
+        "}},\n  \"files_scanned\": {},\n  \"unsafe_sites\": {},\n  \"clean\": {}\n}}\n",
+        report.files_scanned,
+        report.unsafe_sites,
+        report.clean()
+    ));
+    s
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::{Finding, Lint};
+
+    #[test]
+    fn json_escapes_and_reports_clean_flag() {
+        let mut r = AuditReport::default();
+        assert!(json(&r).contains("\"clean\": true"));
+        r.findings.push(Finding {
+            lint: Lint::RawFileIo,
+            path: "a \"b\".rs".to_string(),
+            line: 3,
+            msg: "x\ny".to_string(),
+        });
+        let j = json(&r);
+        assert!(j.contains("a \\\"b\\\".rs"));
+        assert!(j.contains("x\\ny"));
+        assert!(j.contains("\"clean\": false"));
+    }
+}

@@ -1,0 +1,4 @@
+// Violates narrowing-cast in the one file where casts are banned.
+pub fn decode(len: u64) -> usize {
+    len as usize
+}

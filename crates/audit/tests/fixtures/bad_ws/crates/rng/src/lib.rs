@@ -1,0 +1,7 @@
+// Violates wall-clock: ambient time in a deterministic crate.
+pub fn seed_from_time() -> u64 {
+    std::time::SystemTime::now()
+        .elapsed()
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(7)
+}

@@ -1,0 +1,3 @@
+pub fn decode(len: u64) -> usize {
+    len as usize
+}

@@ -1,0 +1,7 @@
+// Checked conversions only; widening casts are fine.
+pub fn decode(len: u64) -> Option<usize> {
+    usize::try_from(len).ok()
+}
+pub fn widen(b: u8) -> u64 {
+    b as u64
+}

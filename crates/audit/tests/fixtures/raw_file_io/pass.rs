@@ -1,0 +1,5 @@
+// Reads go through fs::read (whole-file, not handle-based) or through
+// the sanctioned graph/recover IO layers.
+pub fn load(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}

@@ -1,0 +1,4 @@
+pub fn sneaky_parallelism() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,4 @@
+// Parallelism routed through the pool; no direct spawns.
+pub fn run_parallel(pool: &flashmob::pool::WorkerPool) {
+    pool.run(&|_t| {});
+}

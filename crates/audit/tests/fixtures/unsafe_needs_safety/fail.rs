@@ -1,0 +1,8 @@
+// Three bare unsafe sites, none annotated.
+pub struct Wrapper(*mut u8);
+
+unsafe impl Send for Wrapper {}
+
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    unsafe { *p }
+}

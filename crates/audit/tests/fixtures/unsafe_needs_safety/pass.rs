@@ -1,0 +1,20 @@
+// Every unsafe site annotated: block, impl, and fn forms.
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is never shared across threads without a lock.
+unsafe impl Send for Wrapper {}
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read_byte(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees validity.
+    unsafe { *p }
+}
+
+pub fn deref(w: &Wrapper) -> u8 {
+    // SAFETY: Wrapper owns the allocation; exclusive by &mut elsewhere.
+    unsafe { *w.0 }
+}

@@ -1,0 +1,4 @@
+// Three sites against a baseline of two: the ratchet must flag it.
+pub fn three(a: Option<u32>, b: Option<u32>, c: Option<u32>) -> u32 {
+    a.unwrap() + b.unwrap() + c.expect("c present")
+}

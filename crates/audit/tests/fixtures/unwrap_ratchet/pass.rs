@@ -1,0 +1,4 @@
+// Two library unwrap/expect sites — exactly the committed baseline.
+pub fn two(a: Option<u32>, b: Option<u32>) -> u32 {
+    a.unwrap() + b.expect("b present")
+}

@@ -1,0 +1,4 @@
+pub fn entropy_leak() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+// Determinism: all randomness flows from the caller's seed.
+pub fn seeded(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

@@ -1,0 +1,132 @@
+//! Fixture-driven scanner tests: one positive + one negative fixture
+//! per lint, a seeded bad workspace where every lint must fire, and a
+//! whole-repo scan that must stay clean (the same gate ci.sh runs).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use fm_audit::allow::Allowlist;
+use fm_audit::lints::{scan_file, Finding, Lint};
+use fm_audit::ratchet::Ratchet;
+
+fn fixture(rel: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn lints_of(path: &str, src: &str) -> Vec<Lint> {
+    scan_file(path, src).findings.iter().map(|f| f.lint).collect()
+}
+
+/// (fixture dir, lint, synthetic path the lint applies at).
+const RS_CASES: [(&str, Lint, &str); 5] = [
+    (
+        "unsafe_needs_safety",
+        Lint::UnsafeNeedsSafety,
+        "crates/x/src/a.rs",
+    ),
+    (
+        "thread_discipline",
+        Lint::ThreadDiscipline,
+        "crates/x/src/a.rs",
+    ),
+    ("raw_file_io", Lint::RawFileIo, "crates/x/src/a.rs"),
+    ("wall_clock", Lint::WallClock, "crates/flashmob/src/a.rs"),
+    (
+        "narrowing_cast",
+        Lint::NarrowingCast,
+        "crates/recover/src/wire.rs",
+    ),
+];
+
+#[test]
+fn every_fail_fixture_is_caught() {
+    for (dir, lint, path) in RS_CASES {
+        let found = lints_of(path, &fixture(&format!("{dir}/fail.rs")));
+        assert!(
+            found.contains(&lint),
+            "{dir}/fail.rs must trip {}; got {found:?}",
+            lint.name()
+        );
+    }
+}
+
+#[test]
+fn every_pass_fixture_is_clean() {
+    for (dir, _lint, path) in RS_CASES {
+        let found = lints_of(path, &fixture(&format!("{dir}/pass.rs")));
+        assert!(found.is_empty(), "{dir}/pass.rs must be clean; got {found:?}");
+    }
+}
+
+#[test]
+fn unwrap_ratchet_fixtures() {
+    let baseline = Ratchet::parse("[unwrap_ratchet]\n\"crates/x\" = 2\n").unwrap();
+    let count = |src: &str| scan_file("crates/x/src/a.rs", src).unwrap_count;
+
+    let mut pass = BTreeMap::new();
+    pass.insert("crates/x".to_string(), count(&fixture("unwrap_ratchet/pass.rs")));
+    assert!(baseline.check(&pass).is_empty(), "pass.rs matches baseline");
+
+    let mut fail = BTreeMap::new();
+    fail.insert("crates/x".to_string(), count(&fixture("unwrap_ratchet/fail.rs")));
+    let findings = baseline.check(&fail);
+    assert_eq!(findings.len(), 1, "fail.rs exceeds the baseline");
+    assert_eq!(findings[0].lint, Lint::UnwrapRatchet);
+}
+
+#[test]
+fn stale_allow_fixtures() {
+    let real = Finding {
+        lint: Lint::RawFileIo,
+        path: "crates/x/src/io.rs".to_string(),
+        line: 1,
+        msg: "raw io".to_string(),
+    };
+    // pass.toml shields the finding: nothing left, nothing stale.
+    let pass = Allowlist::parse(&fixture("stale_allow/pass.toml")).unwrap();
+    assert!(pass.apply(vec![real.clone()]).is_empty());
+    // fail.toml shields nothing: the finding survives AND the entry is
+    // reported stale.
+    let fail = Allowlist::parse(&fixture("stale_allow/fail.toml")).unwrap();
+    let out = fail.apply(vec![real]);
+    assert_eq!(out.len(), 2);
+    assert!(out.iter().any(|f| f.lint == Lint::StaleAllow));
+    assert!(out.iter().any(|f| f.lint == Lint::RawFileIo));
+}
+
+#[test]
+fn bad_workspace_trips_every_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_ws");
+    let report = fm_audit::scan::run(&root, false).expect("scan bad_ws");
+    let fired: Vec<&str> = report.findings.iter().map(|f| f.lint.name()).collect();
+    for lint in [
+        Lint::UnsafeNeedsSafety,
+        Lint::ThreadDiscipline,
+        Lint::RawFileIo,
+        Lint::WallClock,
+        Lint::NarrowingCast,
+        Lint::UnwrapRatchet,
+    ] {
+        assert!(
+            fired.contains(&lint.name()),
+            "bad_ws must trip {}; fired: {fired:?}",
+            lint.name()
+        );
+    }
+    assert!(!report.clean());
+}
+
+#[test]
+fn the_repo_itself_audits_clean() {
+    // Two levels up from crates/audit is the workspace root.  This is
+    // the acceptance gate: every exemption must be allowlisted with a
+    // reason and the ratchet baseline must match reality.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = fm_audit::scan::run(&root, false).expect("scan workspace");
+    let rendered = fm_audit::report::human(&report);
+    assert!(report.clean(), "workspace audit must be clean:\n{rendered}");
+    assert!(report.unsafe_sites > 0, "inventory must see the unsafe sites");
+}

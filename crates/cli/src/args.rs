@@ -138,6 +138,15 @@ pub enum Command {
         /// Chrome-trace JSON file to validate.
         file: PathBuf,
     },
+    /// `fmwalk audit`.
+    Audit {
+        /// Workspace root to scan (current directory when absent).
+        root: Option<PathBuf>,
+        /// Emit the machine-readable report instead of human lines.
+        json: bool,
+        /// Rewrite audit/ratchet.toml from measured unwrap counts.
+        update_ratchet: bool,
+    },
     /// `fmwalk help`.
     Help,
 }
@@ -554,6 +563,24 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             }
             Ok(Command::TraceCheck { file })
         }
+        "audit" => {
+            let mut root = None;
+            let mut json = false;
+            let mut update_ratchet = false;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--root" => root = Some(PathBuf::from(c.expect("workspace root")?)),
+                    "--json" => json = true,
+                    "--update-ratchet" => update_ratchet = true,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Audit {
+                root,
+                json,
+                update_ratchet,
+            })
+        }
         other => Err(err(format!("unknown command {other}; try `fmwalk help`"))),
     }
 }
@@ -760,6 +787,28 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(p("walk g.bin --trace").unwrap_err().0.contains("trace path"));
+    }
+
+    #[test]
+    fn audit_command() {
+        assert_eq!(
+            p("audit").unwrap(),
+            Command::Audit {
+                root: None,
+                json: false,
+                update_ratchet: false
+            }
+        );
+        assert_eq!(
+            p("audit --root /tmp/ws --json --update-ratchet").unwrap(),
+            Command::Audit {
+                root: Some(PathBuf::from("/tmp/ws")),
+                json: true,
+                update_ratchet: true
+            }
+        );
+        assert!(p("audit --bogus").unwrap_err().0.contains("unknown flag"));
+        assert!(p("audit --root").unwrap_err().0.contains("workspace root"));
     }
 
     #[test]

@@ -428,8 +428,10 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 fm_profiler::ProfileTable::from_points(&points, shuffle_ns).map_err(fail)?;
             match file {
                 Some(path) => {
-                    let f = std::fs::File::create(&path).map_err(fail)?;
-                    table.save(std::io::BufWriter::new(f)).map_err(fail)?;
+                    // An unwritable output path is an IO failure (exit 2),
+                    // not a generic error — surfaced by the fm-audit scan.
+                    let f = std::fs::File::create(&path).map_err(fail_io)?;
+                    table.save(std::io::BufWriter::new(f)).map_err(fail_io)?;
                     writeln!(out, "profile written to {}", path.display()).map_err(fail)?;
                 }
                 None => table.save(&mut *out).map_err(fail)?,
@@ -540,6 +542,30 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 report.lanes
             )
             .map_err(fail)?;
+            Ok(())
+        }
+        Command::Audit {
+            root,
+            json,
+            update_ratchet,
+        } => {
+            let root = root.unwrap_or_else(|| std::path::PathBuf::from("."));
+            // IO/config problems (unreadable tree, bad allow.toml) exit
+            // 2; lint findings exit 1.  Scripted callers rely on the
+            // distinction, as with the other subcommands.
+            let report = fm_audit::scan::run(&root, update_ratchet)
+                .map_err(|e| fail_io(format!("audit: {e}")))?;
+            if json {
+                write!(out, "{}", fm_audit::report::json(&report)).map_err(fail)?;
+            } else {
+                write!(out, "{}", fm_audit::report::human(&report)).map_err(fail)?;
+            }
+            if !report.clean() {
+                return Err(CmdError(
+                    format!("audit: {} finding(s)", report.findings.len()),
+                    ExitKind::Other,
+                ));
+            }
             Ok(())
         }
     }

@@ -32,6 +32,7 @@ USAGE:
   fmwalk profile [--out <profile.txt>] [--quick]
   fmwalk conform [--quick | --full] [--emit-golden]
   fmwalk trace-check <trace.json>
+  fmwalk audit [--root <dir>] [--json] [--update-ratchet]
   fmwalk help
 
 Graphs are loaded as the binary format when the file starts with the
@@ -47,6 +48,14 @@ file against the in-tree TEF checker.
 interrupted run from the latest checkpoint, bit-identically to the
 uninterrupted run.  The `resume` configuration flags must match the
 interrupted invocation (thread count may differ).
+
+`audit` runs the fm-audit source scanner over the workspace (SAFETY
+comments on every unsafe site, thread/file-IO discipline, wall-clock
+and entropy bans, cast-free snapshot codecs, the unwrap ratchet).
+Exemptions live in audit/allow.toml; the ratchet baseline in
+audit/ratchet.toml only moves down (`--update-ratchet` refreshes it
+after removing call sites).  Clean exits 0, findings exit 1, IO or
+config errors exit 2.
 
 Exit codes: 0 success, 1 generic failure, 2 IO error, 3 corrupt
 checkpoint, 4 invalid plan or configuration, 64 usage error.

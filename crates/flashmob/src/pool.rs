@@ -76,6 +76,15 @@ pub struct PoolStats {
 /// Lifetime-erased pointer to the current epoch's job.  Raw (not a
 /// reference) so that a stale value left from a finished epoch is merely
 /// dangling, never an invalid reference.
+///
+/// # Safety
+///
+/// The pointer is produced in [`WorkerPool::run_labeled`] from a job
+/// reference that outlives the dispatch, and must only be dereferenced
+/// by workers between the epoch publish and their `remaining`
+/// decrement — the window during which the coordinator keeps the
+/// referent alive by blocking.  Outside that window the value is
+/// treated as opaque bits.
 #[derive(Clone, Copy)]
 struct JobPtr(*const (dyn Fn(usize) + Sync));
 
@@ -108,6 +117,10 @@ struct Shared {
     idle_ns: AtomicU64,
     /// Spin iterations before parking (0 when cores are oversubscribed).
     spin: u32,
+    /// Per-epoch interval log of `DisjointSlice` claims, drained and
+    /// checked at each epoch boundary (see fm-audit's `disjoint`).
+    #[cfg(feature = "audit-disjoint")]
+    claims: Arc<fm_audit::ClaimLog>,
 }
 
 /// A pool of persistent worker threads dispatching jobs by epoch.
@@ -142,6 +155,8 @@ impl WorkerPool {
             panicked: AtomicUsize::new(0),
             idle_ns: AtomicU64::new(0),
             spin: spin_budget(threads),
+            #[cfg(feature = "audit-disjoint")]
+            claims: fm_audit::ClaimLog::new(),
         });
         let handles = (0..threads)
             .map(|index| {
@@ -210,6 +225,18 @@ impl WorkerPool {
             }
         }
         let panicked = self.shared.panicked.swap(0, Ordering::AcqRel);
+        #[cfg(feature = "audit-disjoint")]
+        {
+            if panicked == 0 {
+                // Panics with both claimants on any cross-worker overlap
+                // among this epoch's DisjointSlice claims.
+                self.shared.claims.drain_and_check(stage);
+            } else {
+                // A panicked epoch left partial claims; checking them
+                // would only add noise to the re-raise below.
+                self.shared.claims.drain_discard();
+            }
+        }
         if panicked != 0 {
             panic!(
                 "worker pool job panicked (worker {}, stage {stage})",
@@ -244,6 +271,10 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared, index: usize) {
+    // Bind this thread to the pool's claim log so DisjointSlice can
+    // attribute its claims to worker `index`.
+    #[cfg(feature = "audit-disjoint")]
+    fm_audit::disjoint::set_worker(Arc::clone(&shared.claims), index);
     let mut seen_epoch = 0u64;
     loop {
         let wait_start = Instant::now();
@@ -338,6 +369,11 @@ impl<T> DisjointSlice<T> {
     #[inline]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         debug_assert!(start.checked_add(len).is_some_and(|end| end <= self.len));
+        #[cfg(feature = "audit-disjoint")]
+        fm_audit::disjoint::claim(
+            self.ptr as usize + start * std::mem::size_of::<T>(),
+            len * std::mem::size_of::<T>(),
+        );
         // SAFETY: in-bounds and exclusive per the caller contract.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
     }
@@ -353,6 +389,11 @@ impl<T: Copy> DisjointSlice<T> {
     #[inline]
     pub unsafe fn write(&self, index: usize, value: T) {
         debug_assert!(index < self.len);
+        #[cfg(feature = "audit-disjoint")]
+        fm_audit::disjoint::claim(
+            self.ptr as usize + index * std::mem::size_of::<T>(),
+            std::mem::size_of::<T>(),
+        );
         // SAFETY: in-bounds and exclusive per the caller contract.
         unsafe { *self.ptr.add(index) = value };
     }

@@ -16,18 +16,27 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the System allocator; the only addition
+// is a relaxed atomic counter bump, which cannot violate GlobalAlloc's
+// contract (no reentrant allocation, layout forwarded unchanged).
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout, same contract as our caller's.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: ptr was produced by our alloc, i.e. by System.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: ptr was produced by our alloc, i.e. by System.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -1,0 +1,118 @@
+//! End-to-end tests for the `audit-disjoint` dynamic checker: the pool
+//! binds workers to its claim log, `DisjointSlice` records every claim,
+//! and `run_labeled` drains + checks at each epoch boundary.
+//!
+//! The overlap-injection test is constructed to be free of real
+//! aliasing: worker 0 makes a genuine `slice_mut` claim (and writes
+//! through it), while worker 1 registers a deliberately overlapping
+//! claim through `fm_audit::disjoint::claim` *without* materializing a
+//! second `&mut` — so the checker fires on the overlap but the program
+//! under test never actually races.
+#![cfg(feature = "audit-disjoint")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use flashmob::pool::{DisjointSlice, WorkerPool};
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn overlapping_claims_trip_the_checker_naming_both_claimants() {
+    let pool = WorkerPool::new(2);
+    let mut data = vec![0u8; 64];
+    let base = data.as_ptr() as usize;
+    let ds = DisjointSlice::new(&mut data);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_labeled("overlap-injection", &|t| {
+            if t == 0 {
+                // SAFETY: worker 0 is the only thread touching [0, 8).
+                let chunk = unsafe { ds.slice_mut(0, 8) };
+                chunk[0] = 1;
+            } else {
+                // Overlaps worker 0's slice_mut claim at bytes [4, 12)
+                // without creating an aliasing &mut.
+                fm_audit::disjoint::claim(base + 4, 8);
+            }
+        });
+    }));
+    let msg = panic_message(result.expect_err("checker must fire"));
+    assert!(msg.contains("audit-disjoint"), "got: {msg}");
+    assert!(msg.contains("stage `overlap-injection`"), "got: {msg}");
+    assert!(msg.contains("worker 0"), "both claimants named; got: {msg}");
+    assert!(msg.contains("worker 1"), "both claimants named; got: {msg}");
+}
+
+#[test]
+fn disjoint_slice_claims_pass_across_epochs() {
+    let pool = WorkerPool::new(4);
+    let mut data = vec![0u64; 4096];
+    let ds = DisjointSlice::new(&mut data);
+    for epoch in 0..16u64 {
+        pool.run_labeled("clean-epochs", &|t| {
+            // SAFETY: worker t owns the disjoint range [t*1024, t*1024+1024).
+            let chunk = unsafe { ds.slice_mut(t * 1024, 1024) };
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = epoch * 4096 + (t * 1024 + i) as u64;
+            }
+        });
+    }
+    assert!(data
+        .iter()
+        .enumerate()
+        .all(|(i, &x)| x == 15 * 4096 + i as u64));
+}
+
+#[test]
+fn point_writes_at_distinct_indices_pass() {
+    let pool = WorkerPool::new(4);
+    let mut data = vec![0u32; 128];
+    let ds = DisjointSlice::new(&mut data);
+    pool.run_labeled("scatter-writes", &|t| {
+        // Strided scatter: worker t writes indices t, t+4, t+8, …
+        let mut i = t;
+        while i < 128 {
+            // SAFETY: the stride-4 index sets of distinct workers are
+            // disjoint.
+            unsafe { ds.write(i, i as u32) };
+            i += 4;
+        }
+    });
+    assert!(data.iter().enumerate().all(|(i, &x)| x == i as u32));
+}
+
+#[test]
+fn coordinator_claims_are_ignored_and_pool_survives_a_trip() {
+    let pool = WorkerPool::new(2);
+    let mut data = vec![0u8; 16];
+    let base = data.as_ptr() as usize;
+    let ds = DisjointSlice::new(&mut data);
+    // Claims from an unbound thread (this test thread) are no-ops:
+    // calling slice_mut outside a pool job must not poison epoch 1.
+    // SAFETY: no pool job is running; this thread has sole access.
+    let chunk = unsafe { ds.slice_mut(0, 16) };
+    chunk[3] = 3;
+    let hits = AtomicUsize::new(0);
+    pool.run_labeled("after-coordinator-claim", &|_t| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 2);
+    // After a checker trip, the log is drained and the pool is reusable.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.run_labeled("trip", &|t| {
+            fm_audit::disjoint::claim(base, 4 + t); // [base, base+4) vs [base, base+5)
+        });
+    }));
+    assert!(result.is_err(), "overlap must trip");
+    let ok = AtomicUsize::new(0);
+    pool.run_labeled("recovered", &|_t| {
+        ok.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 2);
+}

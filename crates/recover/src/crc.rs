@@ -4,31 +4,41 @@
 //! walk's critical path, so the per-byte cost here bounds checkpoint
 //! overhead directly.
 
+/// Applies eight LFSR steps (one input byte's worth of shifting) to the
+/// full CRC register.  For a byte value `b < 256` this *is* the classic
+/// table entry `t0[b]`; for a full register it equals
+/// `(x >> 8) ^ t0[x & 0xFF]`, which is how the higher slicing tables are
+/// usually composed — computing them directly keeps this file free of
+/// `as` casts (the fm-audit `narrowing-cast` lint), with no change to
+/// any table value.
+const fn bits8(mut c: u32) -> u32 {
+    let mut k = 0;
+    while k < 8 {
+        c = if c & 1 != 0 {
+            0xEDB8_8320 ^ (c >> 1)
+        } else {
+            c >> 1
+        };
+        k += 1;
+    }
+    c
+}
+
 const fn make_tables() -> [[u32; 256]; 8] {
     let mut t = [[0u32; 256]; 8];
     let mut i = 0;
+    // Byte value mirrored into u32 in lockstep with the index, so the
+    // loop needs no usize -> u32 cast.
+    let mut b: u32 = 0;
     while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
+        t[0][i] = bits8(b);
+        let mut j = 1;
+        while j < 8 {
+            t[j][i] = bits8(t[j - 1][i]);
+            j += 1;
         }
-        t[0][i] = c;
         i += 1;
-    }
-    let mut j = 1;
-    while j < 8 {
-        let mut i = 0;
-        while i < 256 {
-            t[j][i] = (t[j - 1][i] >> 8) ^ t[0][(t[j - 1][i] & 0xFF) as usize];
-            i += 1;
-        }
-        j += 1;
+        b += 1;
     }
     t
 }
@@ -40,20 +50,22 @@ pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     let mut chunks = data.chunks_exact(8);
     for ch in chunks.by_ref() {
-        let x = u64::from_le_bytes(ch.try_into().expect("chunk is 8 bytes")) ^ c as u64;
-        let lo = x as u32;
-        let hi = (x >> 32) as u32;
-        c = TABLES[7][(lo & 0xFF) as usize]
-            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
-            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
-            ^ TABLES[4][(lo >> 24) as usize]
-            ^ TABLES[3][(hi & 0xFF) as usize]
-            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
-            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
-            ^ TABLES[0][(hi >> 24) as usize];
+        // Slicing-by-8: XOR the register into the first four message
+        // bytes, then index each table by one byte.  Byte extraction
+        // goes through `to_le_bytes` + `usize::from` — cast-free and
+        // bit-identical to the usual shift-and-mask formulation.
+        let r = c.to_le_bytes();
+        c = TABLES[7][usize::from(ch[0] ^ r[0])]
+            ^ TABLES[6][usize::from(ch[1] ^ r[1])]
+            ^ TABLES[5][usize::from(ch[2] ^ r[2])]
+            ^ TABLES[4][usize::from(ch[3] ^ r[3])]
+            ^ TABLES[3][usize::from(ch[4])]
+            ^ TABLES[2][usize::from(ch[5])]
+            ^ TABLES[1][usize::from(ch[6])]
+            ^ TABLES[0][usize::from(ch[7])];
     }
     for &b in chunks.remainder() {
-        c = TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = TABLES[0][usize::from(c.to_le_bytes()[0] ^ b)] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -70,7 +82,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub fn fnv64(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in data {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h

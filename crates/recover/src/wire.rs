@@ -125,9 +125,10 @@ impl<'a> Reader<'a> {
     /// bytes remain before returning the element count.
     fn checked_len(&mut self, elem_size: usize) -> Result<usize, RecoverError> {
         let len = self.u64()?;
-        let need = usize::try_from(len)
-            .ok()
-            .and_then(|l| l.checked_mul(elem_size))
+        let count = usize::try_from(len)
+            .map_err(|_| self.corrupt(format!("impossible length field {len}")))?;
+        let need = count
+            .checked_mul(elem_size)
             .ok_or_else(|| self.corrupt(format!("impossible length field {len}")))?;
         if need > self.remaining() {
             return Err(self.corrupt(format!(
@@ -135,7 +136,7 @@ impl<'a> Reader<'a> {
                 self.remaining()
             )));
         }
-        Ok(len as usize)
+        Ok(count)
     }
 
     pub fn u32_vec(&mut self) -> Result<Vec<u32>, RecoverError> {
