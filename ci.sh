@@ -4,16 +4,18 @@
 #   2. full test suite
 #   3. cross-engine conformance, quick tier (sub-second; pass
 #      CONFORM_FULL=1 to sweep the full thread lattice instead)
-#   4. telemetry tier: compile-out build, overhead guard, and an
+#   4. ring tier: the same quick lattice with FMWALK_RING=16, proving
+#      the latency-hiding walker ring is bit-invisible at max depth
+#   5. telemetry tier: compile-out build, overhead guard, and an
 #      end-to-end `walk --trace` -> `trace-check` round trip
-#   5. recover tier: an end-to-end checkpoint -> kill -> resume round
+#   6. recover tier: an end-to-end checkpoint -> kill -> resume round
 #      trip through the CLI (bit-identical output, correct exit codes)
-#   6. audit tier: the fm-audit source scanner at -D warnings severity
+#   7. audit tier: the fm-audit source scanner at -D warnings severity
 #      (any finding fails), a seeded-violation check, the dynamic
 #      disjointness checker's tests, and the conformance quick lattice
 #      under --features audit-disjoint; an env-gated nightly Miri pass
 #      (AUDIT_MIRI=1) covers the recover codecs and fm-rng
-#   7. clippy with warnings promoted to errors
+#   8. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -30,6 +32,12 @@ if [[ "${CONFORM_FULL:-0}" == "1" ]]; then
 else
     cargo run --release -q -p fm-cli -- conform --quick
 fi
+
+echo "== ring tier (latency-hiding sample stage) =="
+# The quick conformance lattice again, with the walker ring forced to
+# its maximum depth.  The ring must be invisible in the output: same
+# golden digests, same cross-engine agreement, at any depth.
+FMWALK_RING=16 cargo run --release -q -p fm-cli -- conform --quick
 
 echo "== telemetry tier =="
 # The compile-out feature must keep the whole stack building and its

@@ -26,6 +26,12 @@
 //! * `unwrap-ratchet` — library `.unwrap()` / `.expect(` counts per
 //!   crate are held by `audit/ratchet.toml` and may only decrease
 //!   (checked in [`crate::ratchet`], counted here).
+//! * `prefetch-intrinsic` — architectural prefetch intrinsics
+//!   (`core::arch` / `std::arch` / `_mm_prefetch`) are confined to the
+//!   sample ring module (`flashmob/src/sample/ring.rs`), and even there
+//!   each site needs a `SAFETY:` comment; everything else must call the
+//!   ring's `prefetch_read` wrapper so hint behavior stays auditable in
+//!   one place.
 //!
 //! Lint checks other than `unsafe-needs-safety` skip test code: files
 //! under `tests/`, `benches/`, `examples/`, and in-file
@@ -43,10 +49,11 @@ pub enum Lint {
     NarrowingCast,
     UnwrapRatchet,
     StaleAllow,
+    PrefetchIntrinsic,
 }
 
 impl Lint {
-    pub const ALL: [Lint; 7] = [
+    pub const ALL: [Lint; 8] = [
         Lint::UnsafeNeedsSafety,
         Lint::ThreadDiscipline,
         Lint::RawFileIo,
@@ -54,6 +61,7 @@ impl Lint {
         Lint::NarrowingCast,
         Lint::UnwrapRatchet,
         Lint::StaleAllow,
+        Lint::PrefetchIntrinsic,
     ];
 
     pub fn name(self) -> &'static str {
@@ -65,6 +73,7 @@ impl Lint {
             Lint::NarrowingCast => "narrowing-cast",
             Lint::UnwrapRatchet => "unwrap-ratchet",
             Lint::StaleAllow => "stale-allow",
+            Lint::PrefetchIntrinsic => "prefetch-intrinsic",
         }
     }
 
@@ -109,6 +118,9 @@ const DETERMINISTIC_CRATES: [&str; 8] = [
 /// Files where narrowing `as` casts are forbidden outright.
 const CAST_FREE_FILES: [&str; 2] = ["crates/recover/src/wire.rs", "crates/recover/src/crc.rs"];
 
+/// The only file allowed to touch architectural prefetch intrinsics.
+const PREFETCH_HOME: &str = "crates/flashmob/src/sample/ring.rs";
+
 const THREAD_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
 const FILE_TOKENS: [&str; 3] = ["File::open", "File::create", "OpenOptions"];
 const CLOCK_TOKENS: [&str; 5] = [
@@ -121,6 +133,7 @@ const CLOCK_TOKENS: [&str; 5] = [
 const NARROWING_TOKENS: [&str; 8] = [
     "as u8", "as u16", "as u32", "as usize", "as i8", "as i16", "as i32", "as isize",
 ];
+const PREFETCH_TOKENS: [&str; 3] = ["core::arch", "std::arch", "_mm_prefetch"];
 
 /// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
 const SAFETY_WINDOW: usize = 4;
@@ -342,6 +355,35 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
                     });
                 }
             }
+        }
+
+        for tok in PREFETCH_TOKENS {
+            if !code.contains(tok) {
+                continue;
+            }
+            if path != PREFETCH_HOME {
+                scan.findings.push(Finding {
+                    lint: Lint::PrefetchIntrinsic,
+                    path: path.to_string(),
+                    line: lineno,
+                    msg: format!(
+                        "`{tok}` outside the sample ring module; call \
+                         sample::ring::prefetch_read instead of raw \
+                         architectural intrinsics"
+                    ),
+                });
+            } else if !safety_comment_near(&lines, i) {
+                scan.findings.push(Finding {
+                    lint: Lint::PrefetchIntrinsic,
+                    path: path.to_string(),
+                    line: lineno,
+                    msg: format!(
+                        "`{tok}` in the ring module without a `SAFETY:` \
+                         comment; document why the hint cannot fault"
+                    ),
+                });
+            }
+            break; // one finding per line is enough
         }
 
         if cast_free {

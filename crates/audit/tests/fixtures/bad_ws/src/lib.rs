@@ -16,3 +16,8 @@ pub fn rogue_io() {
 pub fn panicky(v: Option<u32>) -> u32 {
     v.unwrap()
 }
+
+pub fn rogue_prefetch(p: *const u8) {
+    // SAFETY: the hint never faults; this file is outside the ring module.
+    unsafe { core::arch::x86_64::_mm_prefetch(p as *const i8, 0) };
+}

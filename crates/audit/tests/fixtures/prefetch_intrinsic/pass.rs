@@ -1,0 +1,3 @@
+// Locality hints must flow through sample::ring::prefetch_read, which
+// keeps the arch intrinsics (and their SAFETY story) in one place.
+pub fn warm(_p: *const u8) {}

@@ -21,7 +21,7 @@ fn lints_of(path: &str, src: &str) -> Vec<Lint> {
 }
 
 /// (fixture dir, lint, synthetic path the lint applies at).
-const RS_CASES: [(&str, Lint, &str); 5] = [
+const RS_CASES: [(&str, Lint, &str); 6] = [
     (
         "unsafe_needs_safety",
         Lint::UnsafeNeedsSafety,
@@ -38,6 +38,11 @@ const RS_CASES: [(&str, Lint, &str); 5] = [
         "narrowing_cast",
         Lint::NarrowingCast,
         "crates/recover/src/wire.rs",
+    ),
+    (
+        "prefetch_intrinsic",
+        Lint::PrefetchIntrinsic,
+        "crates/x/src/a.rs",
     ),
 ];
 
@@ -109,6 +114,7 @@ fn bad_workspace_trips_every_lint() {
         Lint::WallClock,
         Lint::NarrowingCast,
         Lint::UnwrapRatchet,
+        Lint::PrefetchIntrinsic,
     ] {
         assert!(
             fired.contains(&lint.name()),

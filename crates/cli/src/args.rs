@@ -54,6 +54,8 @@ pub enum Command {
         seed: u64,
         /// Worker threads.
         threads: usize,
+        /// Forced sample-ring depth (FlashMob only; 0 = planner auto).
+        ring_depth: usize,
         /// Partitioning strategy (FlashMob only).
         strategy: PlanStrategy,
         /// Optional path-output file.
@@ -94,6 +96,9 @@ pub enum Command {
         seed: u64,
         /// Worker threads.
         threads: usize,
+        /// Forced sample-ring depth (0 = planner auto); may differ from
+        /// the interrupted run, since ring depth never changes the walk.
+        ring_depth: usize,
         /// Partitioning strategy.
         strategy: PlanStrategy,
         /// Optional path-output file.
@@ -370,6 +375,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut steps = 80usize;
             let mut seed = 1u64;
             let mut threads = 1usize;
+            let mut ring_depth = 0usize;
             let mut strategy = PlanStrategy::DynamicProgramming;
             let mut output = None;
             let mut visits = None;
@@ -403,6 +409,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--steps" => steps = c.value("--steps")?,
                     "--seed" => seed = c.value("--seed")?,
                     "--threads" => threads = c.value("--threads")?,
+                    "--ring-depth" => ring_depth = c.value("--ring-depth")?,
                     "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
                     "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
                     "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
@@ -427,6 +434,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 steps,
                 seed,
                 threads,
+                ring_depth,
                 strategy,
                 output,
                 visits,
@@ -447,6 +455,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut steps = 80usize;
             let mut seed = 1u64;
             let mut threads = 1usize;
+            let mut ring_depth = 0usize;
             let mut strategy = PlanStrategy::DynamicProgramming;
             let mut output = None;
             let mut visits = None;
@@ -466,6 +475,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--steps" => steps = c.value("--steps")?,
                     "--seed" => seed = c.value("--seed")?,
                     "--threads" => threads = c.value("--threads")?,
+                    "--ring-depth" => ring_depth = c.value("--ring-depth")?,
                     "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
                     "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
                     "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
@@ -490,6 +500,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 steps,
                 seed,
                 threads,
+                ring_depth,
                 strategy,
                 output,
                 visits,
@@ -664,6 +675,24 @@ mod tests {
             Command::Walk { stats, .. } => assert!(!stats),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn walk_ring_depth_flag() {
+        match p("walk g.bin --ring-depth 8").unwrap() {
+            Command::Walk { ring_depth, .. } => assert_eq!(ring_depth, 8),
+            other => panic!("{other:?}"),
+        }
+        // Default: 0 = planner auto.
+        match p("walk g.bin").unwrap() {
+            Command::Walk { ring_depth, .. } => assert_eq!(ring_depth, 0),
+            other => panic!("{other:?}"),
+        }
+        match p("resume g.bin ck --ring-depth 4").unwrap() {
+            Command::Resume { ring_depth, .. } => assert_eq!(ring_depth, 4),
+            other => panic!("{other:?}"),
+        }
+        assert!(p("walk g.bin --ring-depth nope").is_err());
     }
 
     #[test]

@@ -244,6 +244,7 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             steps,
             seed,
             threads,
+            ring_depth,
             strategy,
             output,
             visits,
@@ -295,6 +296,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                         .strategy(strategy)
                         .record_paths(record_paths)
                         .record_visits(record_visits);
+                    if ring_depth > 0 {
+                        cfg = cfg.ring_depth(ring_depth);
+                    }
                     cfg.algorithm = algorithm;
                     let e = FlashMob::new(&g, cfg).map_err(fail_walk)?;
                     let (o, s) = match &checkpoint {
@@ -354,6 +358,7 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             steps,
             seed,
             threads,
+            ring_depth,
             strategy,
             output,
             visits,
@@ -375,6 +380,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                 .strategy(strategy)
                 .record_paths(record_paths)
                 .record_visits(record_visits);
+            if ring_depth > 0 {
+                cfg = cfg.ring_depth(ring_depth);
+            }
             cfg.algorithm = walk_algorithm(algo);
             let e = FlashMob::new(&g, cfg).map_err(fail_walk)?;
             let (o, s) = e.resume_with(&dir, None, &mut tel).map_err(fail_walk)?;

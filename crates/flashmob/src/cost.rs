@@ -77,6 +77,23 @@ impl AnalyticCostModel {
         }
     }
 
+    /// Latency-hiding ring depth for a partition whose sample working
+    /// set is `ws_bytes`.
+    ///
+    /// Partitions that exceed the LLC budget stall on DRAM for every
+    /// random edge/offset fetch, so they get
+    /// [`DEFAULT_RING_DEPTH`](crate::sample::ring::DEFAULT_RING_DEPTH)
+    /// in-flight walkers with software prefetch.  Cache-resident
+    /// partitions get depth 1 (ring off): hints into an already-resident
+    /// working set are pure instruction overhead.
+    pub fn ring_depth(&self, ws_bytes: usize) -> usize {
+        if self.fit(ws_bytes) == Level::LocalMem {
+            crate::sample::ring::DEFAULT_RING_DEPTH
+        } else {
+            1
+        }
+    }
+
     #[inline]
     fn rand(&self, level: Level) -> f64 {
         self.config.latency.ns(AccessKind::Random, level)

@@ -49,6 +49,11 @@ pub struct RunStats {
     pub stages: StageTimes,
     /// Walker-steps executed per partition.
     pub per_partition_steps: Vec<u64>,
+    /// Software-prefetch hints issued per partition by the sample-stage
+    /// walker ring (all zeros when the ring is off; see
+    /// [`crate::sample::ring`]).  Not checkpointed: a resumed run
+    /// counts only its own hints.
+    pub per_partition_prefetches: Vec<u64>,
     /// Per-vertex visit counts in the *sorted* ID space, when
     /// `record_visits` was set.
     pub visits_sorted: Option<Vec<u64>>,
@@ -124,6 +129,13 @@ impl RunStats {
         out.push_str(&format!(
             "stage share: sample {p_sample:.1}%, shuffle {p_shuffle:.1}%, other {p_other:.1}%\n"
         ));
+        let prefetches = self.per_partition_prefetches.iter().sum::<u64>();
+        if prefetches > 0 {
+            out.push_str(&format!(
+                "ring: {prefetches} software prefetches issued ({:.2} per step)\n",
+                prefetches as f64 / self.steps_taken.max(1) as f64
+            ));
+        }
         if self.pool.spawned > 0 {
             out.push_str(&format!(
                 "pool: {} threads spawned, {} epochs dispatched, {:.1?} cumulative worker idle (idle ratio {:.1}%)\n",
@@ -163,7 +175,15 @@ impl RunStats {
             }
             out.push_str(&s.to_string());
         }
-        out.push_str("]}");
+        out.push_str("], \"ring_prefetches\": ");
+        out.push_str(
+            &self
+                .per_partition_prefetches
+                .iter()
+                .sum::<u64>()
+                .to_string(),
+        );
+        out.push('}');
         out
     }
 
@@ -199,6 +219,14 @@ pub struct FlashMob {
     edge_bloom: Option<fm_graph::bloom::EdgeBloom>,
     /// Simulated base addresses for probe attribution.
     addr: EngineAddrs,
+    /// Per-partition latency-hiding ring depth for the sample stage
+    /// (see [`crate::sample::ring`]).  Resolved once at build time:
+    /// `FMWALK_RING` env override > [`WalkConfig::ring_depth`] > the
+    /// planner's per-partition auto choice (ring on only for
+    /// LLC-exceeding working sets).  Purely a performance knob: the
+    /// walk output is bit-identical at every depth, so it is *not*
+    /// part of `config_tag` and checkpoints resume across depths.
+    ring_depths: Vec<usize>,
     /// Wall-clock time spent in pre-processing (relabel + planning),
     /// attributed to the Plan stage of traced runs.
     plan_wall: Duration,
@@ -341,6 +369,15 @@ impl FlashMob {
             sprev_region: space.alloc((walkers * 4) as u64),
         };
 
+        // Resolve sample-stage ring depths.  The auto path always uses
+        // the *analytic* model — a measured `CostModel` knows costs,
+        // not working-set fits — so depths are deterministic for a
+        // given hierarchy regardless of how the plan was costed.
+        let ring_depths = match Self::ring_override(&config) {
+            Some(d) => vec![d; plan.partitions.len()],
+            None => plan.ring_depths(&Planner::analytic_model(&config.planner)),
+        };
+
         Ok(Self {
             graph: sorted,
             relabel,
@@ -350,8 +387,21 @@ impl FlashMob {
             slabs,
             edge_bloom,
             addr,
+            ring_depths,
             plan_wall,
         })
+    }
+
+    /// A forced uniform ring depth, if any: the `FMWALK_RING`
+    /// environment variable (clamped, malformed values ignored) wins
+    /// over [`WalkConfig::ring_depth`]; `None` means per-partition
+    /// auto.
+    fn ring_override(config: &WalkConfig) -> Option<usize> {
+        std::env::var("FMWALK_RING")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|d| d.clamp(1, crate::sample::ring::MAX_RING_DEPTH))
+            .or(config.ring_depth)
     }
 
     /// The partitioning plan in force.
@@ -656,6 +706,7 @@ impl FlashMob {
         let episodes = total_walkers.div_ceil(per_episode);
         let mut agg = RunStats {
             per_partition_steps: vec![0; self.plan.partitions.len()],
+            per_partition_prefetches: vec![0; self.plan.partitions.len()],
             visits_sorted: self
                 .config
                 .record_visits
@@ -683,6 +734,13 @@ impl FlashMob {
                 .per_partition_steps
                 .iter_mut()
                 .zip(&stats.per_partition_steps)
+            {
+                *a += b;
+            }
+            for (a, b) in agg
+                .per_partition_prefetches
+                .iter_mut()
+                .zip(&stats.per_partition_prefetches)
             {
                 *a += b;
             }
@@ -770,6 +828,7 @@ impl FlashMob {
             .record_visits
             .then(|| vec![0u64; self.graph.vertex_count()]);
         let mut per_partition_steps = vec![0u64; self.plan.partitions.len()];
+        let mut ring_prefetches = vec![0u64; self.plan.partitions.len()];
         let mut rows: Vec<Vec<VertexId>> = Vec::new();
         if self.config.record_paths {
             rows.push(w.clone());
@@ -922,6 +981,7 @@ impl FlashMob {
             .with_edge_filter(self.edge_bloom.as_ref());
             let dead_start = scratch.offsets[self.plan.partitions.len()] as usize;
             snext[dead_start..].fill(DEAD);
+            let pf_before = traced.then(|| ring_prefetches.clone());
 
             if let Some(pool) = pool.as_ref() {
                 steps_taken += self.sample_stage_parallel(
@@ -933,6 +993,7 @@ impl FlashMob {
                     &mut snext,
                     &mut ps_buffers,
                     &mut per_partition_steps,
+                    &mut ring_prefetches,
                     visits.as_deref_mut(),
                     &mut sample_ranges,
                     iter,
@@ -952,6 +1013,7 @@ impl FlashMob {
                     &mut snext,
                     &mut ps_buffers,
                     &mut per_partition_steps,
+                    &mut ring_prefetches,
                     visits.as_deref_mut(),
                     iter,
                     seed,
@@ -966,6 +1028,7 @@ impl FlashMob {
                     &mut snext,
                     &mut ps_buffers,
                     &mut per_partition_steps,
+                    &mut ring_prefetches,
                     visits.as_deref_mut(),
                     iter,
                     seed,
@@ -985,6 +1048,17 @@ impl FlashMob {
                 for (pi, part) in self.plan.partitions.iter().enumerate() {
                     let occ = (scratch.offsets[pi + 1] - scratch.offsets[pi]) as u64;
                     tel.record_partition_step(pi, occ, part.policy == SamplePolicy::PreSample);
+                    // Ring attribution: the depth actually achieved this
+                    // iteration (capped by the partition's live walkers)
+                    // and the hints issued on its behalf.
+                    let issued =
+                        ring_prefetches[pi] - pf_before.as_ref().map_or(0, |b| b[pi]);
+                    let ring_occ = if occ == 0 {
+                        0
+                    } else {
+                        self.ring_depths[pi].min(occ as usize) as u64
+                    };
+                    tel.record_partition_ring(pi, ring_occ, issued);
                 }
             }
 
@@ -1131,6 +1205,7 @@ impl FlashMob {
             wall,
             stages: stage,
             per_partition_steps,
+            per_partition_prefetches: ring_prefetches,
             visits_sorted: visits,
             pool: pool.as_ref().map(WorkerPool::stats).unwrap_or_default(),
         };
@@ -1182,6 +1257,7 @@ impl FlashMob {
         snext: &mut [VertexId],
         ps_buffers: &mut [Option<PsBuffers>],
         per_partition_steps: &mut [u64],
+        ring_prefetches: &mut [u64],
         mut visits: Option<&mut [u64]>,
         iter: usize,
         seed: u64,
@@ -1208,7 +1284,7 @@ impl FlashMob {
                     .map(|v| &mut v[part.start as usize..part.end as usize]),
             };
             let mut rng = Xorshift64Star::new(partition_stream_id(seed, iter, pi));
-            let steps = sample_partition(
+            let stats = sample_partition(
                 &self.graph,
                 part,
                 self.slabs[pi].as_ref(),
@@ -1218,9 +1294,11 @@ impl FlashMob {
                 &mut rng,
                 probe,
                 &addr,
+                self.ring_depths[pi],
             );
-            per_partition_steps[pi] += steps;
-            taken += steps;
+            per_partition_steps[pi] += stats.steps;
+            ring_prefetches[pi] += stats.prefetches;
+            taken += stats.steps;
         }
         taken
     }
@@ -1247,6 +1325,7 @@ impl FlashMob {
         snext: &mut [VertexId],
         ps_buffers: &mut [Option<PsBuffers>],
         per_partition_steps: &mut [u64],
+        ring_prefetches: &mut [u64],
         mut visits: Option<&mut [u64]>,
         iter: usize,
         seed: u64,
@@ -1401,16 +1480,70 @@ impl FlashMob {
             pending.sort_unstable_by_key(|&(slot, _, _)| sprev[slot as usize]);
             redraw.clear();
             let addr = addr_for(0);
-            for &(slot, cand, x) in &pending {
-                let t = sprev[slot as usize];
-                let w = node2vec_weight(&self.graph, ctx.edge_filter, t, cand, p, q, probe, &addr);
-                if x < w {
-                    let pi = self.plan.map.partition_of(sw[slot as usize]);
-                    snext[slot as usize] = apply_exit(cand, ctx, &mut rngs[pi]);
-                } else {
-                    redraw.push(slot);
-                }
-            }
+            // Resolve the backlog through the walker ring: while query
+            // `j` runs its exact check, the bloom lines and offset pair
+            // of query `j+depth` and the adjacency endpoints of query
+            // `j+lead` are already in flight.  Execution order — and
+            // therefore RNG order — is untouched; hints are computed
+            // from the immutable (slot, cand) backlog only.
+            let depth = self.ring_depths.iter().copied().max().unwrap_or(1);
+            let mut pf = crate::sample::ring::Pf::new(depth > 1);
+            let offsets_arr = self.graph.offsets();
+            let targets_arr = self.graph.targets();
+            let mut st = (&mut *probe, &mut *ring_prefetches);
+            crate::sample::ring::drive(
+                depth,
+                pending.len(),
+                &mut pf,
+                &mut st,
+                |pf, st, j| {
+                    let (slot, cand, _) = pending[j];
+                    let t = sprev[slot as usize];
+                    let before = pf.issued();
+                    pf.element(st.0, offsets_arr, t as usize, addr.offsets);
+                    if let Some(bloom) = ctx.edge_filter {
+                        crate::sample::prefetch_bloom(pf, st.0, bloom, t, cand, &addr);
+                    }
+                    st.1[self.plan.map.partition_of(t)] += pf.issued() - before;
+                },
+                |pf, st, j| {
+                    let (slot, _, _) = pending[j];
+                    let t = sprev[slot as usize];
+                    if pf.active() {
+                        let before = pf.issued();
+                        let off = self.graph.adjacency_start(t);
+                        let d = self.graph.degree(t);
+                        if d > 0 {
+                            // Binary-search touch pattern: endpoints
+                            // and midpoint of t's adjacency list.
+                            for k in [0, d / 2, d - 1] {
+                                pf.element(st.0, targets_arr, off + k, addr.targets);
+                            }
+                        }
+                        st.1[self.plan.map.partition_of(t)] += pf.issued() - before;
+                    }
+                },
+                |st, j, ()| {
+                    let (slot, cand, x) = pending[j];
+                    let t = sprev[slot as usize];
+                    let w = node2vec_weight(
+                        &self.graph,
+                        ctx.edge_filter,
+                        t,
+                        cand,
+                        p,
+                        q,
+                        &mut *st.0,
+                        &addr,
+                    );
+                    if x < w {
+                        let pi = self.plan.map.partition_of(sw[slot as usize]);
+                        snext[slot as usize] = apply_exit(cand, ctx, &mut rngs[pi]);
+                    } else {
+                        redraw.push(slot);
+                    }
+                },
+            );
             pending.clear();
             // Redraw in slot order == source-partition order (the
             // shuffled array is grouped by VP).
@@ -1472,6 +1605,7 @@ impl FlashMob {
         snext: &mut [VertexId],
         ps_buffers: &mut [Option<PsBuffers>],
         per_partition_steps: &mut [u64],
+        ring_prefetches: &mut [u64],
         visits: Option<&mut [u64]>,
         ranges: &mut Vec<(usize, usize)>,
         iter: usize,
@@ -1500,6 +1634,7 @@ impl FlashMob {
         let snext_ptr = DisjointSlice::new(snext);
         let ps_ptr = DisjointSlice::new(ps_buffers);
         let steps_ptr = DisjointSlice::new(per_partition_steps);
+        let pf_ptr = DisjointSlice::new(ring_prefetches);
         let visits_ptr = visits.map(DisjointSlice::new);
         // Per-worker span lanes: worker `t` writes lane `t` exclusively
         // during the dispatch; the coordinator drains them once the pool
@@ -1545,7 +1680,7 @@ impl FlashMob {
                 // SAFETY: PS buffer and step counter `pi` belong to this
                 // range alone (ranges partition the partition indices).
                 let ps = unsafe { ps_ptr.slice_mut(pi, 1) };
-                let steps = sample_partition(
+                let stats = sample_partition(
                     &self.graph,
                     part,
                     self.slabs[pi].as_ref(),
@@ -1555,12 +1690,17 @@ impl FlashMob {
                     &mut rng,
                     &mut NullProbe,
                     &addr,
+                    self.ring_depths[pi],
                 );
                 // SAFETY: as above — index `pi` is exclusive to this
                 // worker.
                 let step_slot = unsafe { steps_ptr.slice_mut(pi, 1) };
-                step_slot[0] += steps;
-                local += steps;
+                step_slot[0] += stats.steps;
+                // SAFETY: as above — index `pi` is exclusive to this
+                // worker.
+                let pf_slot = unsafe { pf_ptr.slice_mut(pi, 1) };
+                pf_slot[0] += stats.prefetches;
+                local += stats.steps;
                 if let Some(start_ns) = span_start {
                     let now = origin.elapsed().as_nanos() as u64;
                     // SAFETY: lane `t` belongs to this worker alone for
@@ -1727,6 +1867,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn ring_depth_is_bit_exact_across_stages() {
+        // The latency-hiding ring must not move a single RNG draw: every
+        // depth yields the same walk as the legacy depth-1 loop, for
+        // every sample-stage variant — sequential DS/PS, the parallel
+        // pool, and the batched node2vec resolver.
+        let g = synth::power_law(400, 2.0, 2, 40, 9);
+        let wg = weighted_copy(&g);
+        for algo in ["deepwalk", "node2vec", "weighted"] {
+            for threads in [1usize, 2] {
+                let run = |depth: usize| {
+                    let mut cfg = match algo {
+                        "node2vec" => WalkConfig::node2vec(0.5, 2.0)
+                            .walkers(300)
+                            .steps(5)
+                            .seed(7)
+                            .planner(small_params()),
+                        _ => config(300, 5),
+                    };
+                    if algo == "weighted" {
+                        cfg.algorithm = WalkAlgorithm::Weighted;
+                    }
+                    let graph = if algo == "weighted" { &wg } else { &g };
+                    FlashMob::new(graph, cfg.threads(threads).ring_depth(depth))
+                        .unwrap()
+                        .run()
+                        .unwrap()
+                };
+                let baseline = run(1);
+                for depth in [2usize, 4, 8, 16] {
+                    assert_eq!(
+                        baseline.paths(),
+                        run(depth).paths(),
+                        "{algo} threads={threads}: depth 1 vs {depth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_override_resolution_order() {
+        // Config forcing beats the planner auto choice; small test
+        // partitions fit the LLC, so auto is all ones.
+        let g = synth::power_law(300, 2.0, 1, 30, 5);
+        let auto = FlashMob::new(&g, config(200, 6)).unwrap();
+        assert!(auto.ring_depths.iter().all(|&d| d == 1), "{:?}", auto.ring_depths);
+        let forced = FlashMob::new(&g, config(200, 6).ring_depth(4)).unwrap();
+        assert!(forced.ring_depths.iter().all(|&d| d == 4));
+        // Out-of-range requests clamp instead of panicking.
+        let clamped = FlashMob::new(&g, config(200, 6).ring_depth(999)).unwrap();
+        assert!(clamped
+            .ring_depths
+            .iter()
+            .all(|&d| d == crate::sample::ring::MAX_RING_DEPTH));
+    }
+
+    #[test]
+    fn forced_ring_reports_prefetches() {
+        let g = synth::power_law(300, 2.0, 1, 30, 5);
+        let run = |depth: usize| {
+            let engine = FlashMob::new(&g, config(200, 6).ring_depth(depth)).unwrap();
+            let (_, stats) = engine.run_with_stats().unwrap();
+            stats
+        };
+        let off = run(1);
+        assert_eq!(off.per_partition_prefetches.iter().sum::<u64>(), 0);
+        let on = run(8);
+        assert!(
+            on.per_partition_prefetches.iter().sum::<u64>() > 0,
+            "ring depth 8 must issue prefetch hints"
+        );
+        assert_eq!(off.per_partition_steps, on.per_partition_steps);
     }
 
     #[test]

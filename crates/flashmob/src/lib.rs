@@ -99,6 +99,15 @@ pub struct WalkConfig {
     /// Partitioning strategy (DP-optimized by default; the uniform and
     /// manual-heuristic alternatives exist for the Figure 9b ablation).
     pub strategy: PlanStrategy,
+    /// Latency-hiding ring depth for the sample stage (see
+    /// [`sample::ring`]).  `None` (the default) lets the planner pick a
+    /// per-partition depth: ring on for LLC-exceeding working sets, off
+    /// for cache-resident ones.  `Some(d)` forces depth `d` everywhere
+    /// (1 disables the ring).  The walk output is bit-identical at
+    /// every depth; this knob only trades prefetch instructions against
+    /// stall time.  The `FMWALK_RING` environment variable overrides
+    /// both.
+    pub ring_depth: Option<usize>,
 }
 
 impl WalkConfig {
@@ -115,6 +124,7 @@ impl WalkConfig {
             threads: 1,
             planner: PlannerParams::default(),
             strategy: PlanStrategy::DynamicProgramming,
+            ring_depth: None,
         }
     }
 
@@ -185,6 +195,14 @@ impl WalkConfig {
     /// Overrides the partitioning strategy.
     pub fn strategy(mut self, strategy: PlanStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Forces the sample-stage ring depth everywhere (clamped to
+    /// `1..=`[`sample::ring::MAX_RING_DEPTH`]; 1 disables latency
+    /// hiding).  Output is bit-identical at every depth.
+    pub fn ring_depth(mut self, depth: usize) -> Self {
+        self.ring_depth = Some(depth.clamp(1, sample::ring::MAX_RING_DEPTH));
         self
     }
 

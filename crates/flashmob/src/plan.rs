@@ -107,6 +107,34 @@ impl Plan {
         }
     }
 
+    /// Per-partition latency-hiding ring depths (see
+    /// [`crate::sample::ring`]): the model's
+    /// [`ring_depth`](AnalyticCostModel::ring_depth) knob applied to
+    /// each partition's sample working set, so only LLC-exceeding
+    /// partitions pay for prefetch instructions.
+    ///
+    /// The working-set formulas mirror the cost model's
+    /// `sample_cost_ns`: DS touches the partition's edges plus (for
+    /// irregular layouts) its offset pairs; PS consumption touches one
+    /// active buffer line and a cursor per vertex.
+    pub fn ring_depths(&self, model: &AnalyticCostModel) -> Vec<usize> {
+        let line = model.config().line_bytes;
+        self.partitions
+            .iter()
+            .map(|p| {
+                let s = p.vertex_count();
+                let ws = match p.policy {
+                    SamplePolicy::Direct => {
+                        let offsets = if p.uniform_degree.is_some() { 0 } else { s * 8 };
+                        p.edges * 4 + offsets
+                    }
+                    SamplePolicy::PreSample => s * (line + 4),
+                };
+                model.ring_depth(ws)
+            })
+            .collect()
+    }
+
     /// Fraction of all edges owned by PS partitions.
     pub fn ps_edge_share(&self) -> f64 {
         let total: usize = self.partitions.iter().map(|p| p.edges).sum();
@@ -525,6 +553,27 @@ mod tests {
 
     fn model(p: &PlannerParams) -> AnalyticCostModel {
         Planner::analytic_model(p)
+    }
+
+    #[test]
+    fn ring_depths_follow_working_set_fit() {
+        let g = sorted_power_law(20_000, 2.0, 500);
+        let p = params();
+        let m = model(&p);
+        let plan = Planner::plan(&g, 20_000, &p, PlanStrategy::DynamicProgramming, &m).unwrap();
+        let depths = plan.ring_depths(&m);
+        assert_eq!(depths.len(), plan.partitions.len());
+        for (part, &d) in plan.partitions.iter().zip(&depths) {
+            let s = part.vertex_count();
+            let ws = match part.policy {
+                SamplePolicy::Direct => {
+                    part.edges * 4 + if part.uniform_degree.is_some() { 0 } else { s * 8 }
+                }
+                SamplePolicy::PreSample => s * (m.config().line_bytes + 4),
+            };
+            assert_eq!(d, m.ring_depth(ws), "partition {part:?}");
+            assert!(d == 1 || d == crate::sample::ring::DEFAULT_RING_DEPTH);
+        }
     }
 
     #[test]

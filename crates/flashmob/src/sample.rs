@@ -18,6 +18,16 @@
 //! Both paths drive the optional [`Probe`] with the access patterns of
 //! the paper's Table 3, so instrumented runs reproduce the cache-miss
 //! accounting of Figure 1b / Table 5.
+//!
+//! Both paths also run through the [`ring`] pipeline: a ring of `G`
+//! in-flight walkers whose upcoming loads (CSR offset pair, edge range,
+//! cum-weight slice, bloom probe words) are software-prefetched while
+//! earlier walkers execute.  The pipeline's `execute` stage is the only
+//! RNG consumer and runs in strict walker order, so every depth —
+//! including depth 1, the legacy one-walker-at-a-time loop — produces
+//! bit-identical walks (see the module docs of [`ring`]).
+
+pub mod ring;
 
 use fm_graph::bloom::EdgeBloom;
 use fm_graph::{Csr, FixedDegreeSlab, VertexId};
@@ -123,15 +133,22 @@ pub struct AlgoCtx<'g> {
     pub algo: WalkAlgorithm,
     /// Rejection bound for node2vec (unused otherwise).
     pub bound: f64,
-    /// Minimum possible node2vec weight: draws below it accept without
-    /// the (expensive, cross-VP) connectivity check.
+    /// Minimum possible node2vec weight, `min(1/p, 1, 1/q)`.  A draw
+    /// below it accepts *any* candidate, so the rejection loops skip the
+    /// (expensive, cross-VP) connectivity check entirely — zero bloom or
+    /// adjacency probes for that attempt, not a cheapened check.  Draws
+    /// at or above it pay the full check, unless the 64-attempt cap
+    /// fires first (the cap also accepts unchecked, as a termination
+    /// backstop).  Every rejection path — `sample_ds`, `sample_ps`, and
+    /// the engine's batched resolver — shares this exact contract.
     pub bound_min: f64,
     /// Per-edge cumulative weights parallel to the CSR targets array
     /// (weighted walks only).
     pub cum_weights: Option<&'g [f32]>,
-    /// Bloom negative filter over edges: proves most non-adjacencies in
-    /// one or two probes before the exact connectivity search runs
-    /// (second-order walks only).
+    /// Bloom negative filter over edges, consulted only by attempts that
+    /// did *not* fast-accept below `bound_min`: it proves most
+    /// non-adjacencies in `hash_count` probes before the exact
+    /// connectivity search runs (second-order walks only).
     pub edge_filter: Option<&'g EdgeBloom>,
     /// Per-step exit probability (0 for fixed-step walks).
     pub exit_prob: f64,
@@ -182,9 +199,20 @@ pub struct TaskIo<'a> {
     pub visits: Option<&'a mut [u64]>,
 }
 
-/// Runs one sample task: advances every walker of `part` by one step.
+/// Outcome counters of one sample task.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskStats {
+    /// Live walker-steps taken.
+    pub steps: u64,
+    /// Software-prefetch hints issued by the walker ring (0 at depth 1).
+    pub prefetches: u64,
+}
+
+/// Runs one sample task: advances every walker of `part` by one step,
+/// pipelined through a ring of `ring_depth` in-flight walkers
+/// (`ring_depth <= 1` disables lookahead and prefetch).
 ///
-/// Returns the number of live walker-steps taken.
+/// The walk produced is bit-identical at every depth; see [`ring`].
 #[allow(clippy::too_many_arguments)]
 pub fn sample_partition<R: Rng64, P: Probe>(
     graph: &Csr,
@@ -196,19 +224,30 @@ pub fn sample_partition<R: Rng64, P: Probe>(
     rng: &mut R,
     probe: &mut P,
     addr: &AddrMap,
-) -> u64 {
+    ring_depth: usize,
+) -> TaskStats {
     debug_assert_eq!(io.scur.len(), io.snext.len());
     match (part.policy, ps) {
         (SamplePolicy::PreSample, Some(buffers)) => {
-            sample_ps(graph, part, buffers, ctx, io, rng, probe, addr)
+            sample_ps(graph, part, buffers, ctx, io, rng, probe, addr, ring_depth)
         }
         (SamplePolicy::Direct, _) | (SamplePolicy::PreSample, None) => {
-            sample_ds(graph, part, slab, ctx, io, rng, probe, addr)
+            sample_ds(graph, part, slab, ctx, io, rng, probe, addr, ring_depth)
         }
     }
 }
 
-/// Direct sampling over CSR or a fixed-degree slab.
+/// Slot payload carried from the ring's fetch stage to its execute
+/// stage on the DS path: the CSR offset pair, read once while the line
+/// is fresh (immutable data, so caching it cannot change the walk).
+#[derive(Debug, Clone, Copy, Default)]
+struct DsSlot {
+    off: usize,
+    d: usize,
+}
+
+/// Direct sampling over CSR or a fixed-degree slab, pipelined through
+/// the walker ring.
 #[allow(clippy::too_many_arguments)]
 fn sample_ds<R: Rng64, P: Probe>(
     graph: &Csr,
@@ -219,7 +258,8 @@ fn sample_ds<R: Rng64, P: Probe>(
     rng: &mut R,
     probe: &mut P,
     addr: &AddrMap,
-) -> u64 {
+    ring_depth: usize,
+) -> TaskStats {
     let TaskIo {
         scur,
         sprev,
@@ -228,66 +268,157 @@ fn sample_ds<R: Rng64, P: Probe>(
         mut visits,
     } = io;
     let mut steps = 0u64;
-    for (j, &v) in scur.iter().enumerate() {
-        let g = (slice_base + j) as u64;
-        probe.touch(addr.scur + 4 * g, 4, AccessKind::Sequential);
-        if v == DEAD {
-            snext[j] = DEAD;
-            probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
-            continue;
-        }
-        let prev = sprev.map(|sp| {
-            probe.touch(addr.sprev + 4 * g, 4, AccessKind::Sequential);
-            sp[j]
-        });
-        let next = match slab {
-            Some(slab) => {
-                // Regular layout: degree is known, one random read.
-                let d = slab.degree();
-                draw(graph, v, d, None, ctx, prev, rng, probe, addr, |k, p| {
-                    p.touch(
-                        addr.slab_targets + 4 * (part_slab_index(slab, v, k)) as u64,
-                        4,
-                        AccessKind::Random,
+    let mut pf = ring::Pf::new(ring_depth > 1);
+    let offsets = graph.offsets();
+    let targets = graph.targets();
+    ring::drive(
+        ring_depth,
+        scur.len(),
+        &mut pf,
+        probe,
+        // Inspect: hint the walker's offset pair (CSR) or slab row, and
+        // for second-order walks the previous vertex's offset pair —
+        // the connectivity probe will need it.
+        |pf: &mut ring::Pf, probe: &mut P, j| {
+            let v = scur[j];
+            if v == DEAD {
+                return;
+            }
+            match slab {
+                Some(s) => {
+                    let row = s.neighbors(v);
+                    pf.span(
+                        probe,
+                        row,
+                        0,
+                        row.len(),
+                        addr.slab_targets + 4 * part_slab_index(s, v, 0) as u64,
                     );
-                    slab.neighbor(v, k)
-                })
+                }
+                None => pf.element(probe, offsets, v as usize, addr.offsets),
             }
-            None => {
-                // CSR: one random offset read, then the edge read.
-                probe.touch(addr.offsets + 8 * v as u64, 8, AccessKind::Random);
-                let off = graph.adjacency_start(v);
-                let d = graph.degree(v);
-                draw(
-                    graph,
-                    v,
-                    d,
-                    Some(off),
-                    ctx,
-                    prev,
-                    rng,
-                    probe,
-                    addr,
-                    |k, p| {
-                        p.touch(addr.targets + 4 * (off + k) as u64, 4, AccessKind::Random);
-                        graph.targets()[off + k]
-                    },
-                )
+            if let Some(sp) = sprev {
+                pf.element(probe, offsets, sp[j] as usize, addr.offsets);
             }
-        };
-        let next = apply_exit(next, ctx, rng);
-        snext[j] = next;
-        probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
-        if let Some(vis) = visits.as_deref_mut() {
-            vis[(v - part.start) as usize] += 1;
-        }
-        steps += 1;
-        probe.step();
+        },
+        // Fetch: read the (now-resident) offset pair and hint the loads
+        // that depend on it — the edge range, the cum-weight slice the
+        // binary search will walk, and for node2vec the endpoints of the
+        // previous vertex's adjacency (the exact-search probes).
+        |pf: &mut ring::Pf, probe: &mut P, j| {
+            let v = scur[j];
+            if v == DEAD {
+                return DsSlot::default();
+            }
+            if pf.active() {
+                if let (WalkAlgorithm::Node2Vec { .. }, Some(sp)) = (ctx.algo, sprev) {
+                    // The exact search binary-searches t's adjacency;
+                    // its offset pair was hinted at inspect, so reading
+                    // it now is cheap.  Hint the search endpoints.
+                    let t = sp[j];
+                    let toff = graph.adjacency_start(t);
+                    let td = graph.degree(t);
+                    if td > 0 {
+                        pf.element(probe, targets, toff, addr.targets);
+                        pf.element(probe, targets, toff + td / 2, addr.targets);
+                        pf.element(probe, targets, toff + td - 1, addr.targets);
+                    }
+                }
+            }
+            if slab.is_some() {
+                // Degree is implicit and the row was hinted at inspect.
+                return DsSlot::default();
+            }
+            let off = graph.adjacency_start(v);
+            let d = graph.degree(v);
+            pf.span(probe, targets, off, d, addr.targets);
+            if let Some(cw) = ctx.cum_weights {
+                if matches!(ctx.algo, WalkAlgorithm::Weighted) {
+                    // weighted_pick reads cum[off - 1] and
+                    // cum[off + d - 1] before the binary search.
+                    if off > 0 {
+                        pf.element(probe, cw, off - 1, addr.cum_weights);
+                    }
+                    pf.element(probe, cw, off + d - 1, addr.cum_weights);
+                    pf.span(probe, cw, off, d, addr.cum_weights);
+                }
+            }
+            DsSlot { off, d }
+        },
+        // Execute: the legacy per-walker body — sole RNG consumer, sole
+        // state mutator, strict walker order.
+        |probe: &mut P, j, slot| {
+            let v = scur[j];
+            let g = (slice_base + j) as u64;
+            probe.touch(addr.scur + 4 * g, 4, AccessKind::Sequential);
+            if v == DEAD {
+                snext[j] = DEAD;
+                probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+                return;
+            }
+            let prev = sprev.map(|sp| {
+                probe.touch(addr.sprev + 4 * g, 4, AccessKind::Sequential);
+                sp[j]
+            });
+            let next = match slab {
+                Some(slab) => {
+                    // Regular layout: degree is known, one random read.
+                    let d = slab.degree();
+                    draw(graph, v, d, None, ctx, prev, rng, probe, addr, |k, p| {
+                        p.touch(
+                            addr.slab_targets + 4 * (part_slab_index(slab, v, k)) as u64,
+                            4,
+                            AccessKind::Random,
+                        );
+                        slab.neighbor(v, k)
+                    })
+                }
+                None => {
+                    // CSR: one random offset read, then the edge read.
+                    probe.touch(addr.offsets + 8 * v as u64, 8, AccessKind::Random);
+                    let DsSlot { off, d } = slot;
+                    draw(
+                        graph,
+                        v,
+                        d,
+                        Some(off),
+                        ctx,
+                        prev,
+                        rng,
+                        probe,
+                        addr,
+                        |k, p| {
+                            p.touch(addr.targets + 4 * (off + k) as u64, 4, AccessKind::Random);
+                            targets[off + k]
+                        },
+                    )
+                }
+            };
+            let next = apply_exit(next, ctx, rng);
+            snext[j] = next;
+            probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+            if let Some(vis) = visits.as_deref_mut() {
+                vis[(v - part.start) as usize] += 1;
+            }
+            steps += 1;
+            probe.step();
+        },
+    );
+    TaskStats {
+        steps,
+        prefetches: pf.issued(),
     }
-    steps
 }
 
-/// Pre-sampling: consume per-vertex buffers, refilling in batch.
+/// Pre-sampling: consume per-vertex buffers, refilling in batch,
+/// pipelined through the walker ring.
+///
+/// PS state (cursors, buffer contents) mutates as walkers execute, so
+/// the fetch stage carries no payload: it only *hints* the likely next
+/// read position — the cursor line, the buffer slot a consume will
+/// read, or (on an imminent refill) the offset pair plus adjacency
+/// head.  A hint gone stale because an intervening walker consumed from
+/// the same vertex wastes one prefetch and nothing else.
 #[allow(clippy::too_many_arguments)]
 fn sample_ps<R: Rng64, P: Probe>(
     graph: &Csr,
@@ -298,7 +429,8 @@ fn sample_ps<R: Rng64, P: Probe>(
     rng: &mut R,
     probe: &mut P,
     addr: &AddrMap,
-) -> u64 {
+    ring_depth: usize,
+) -> TaskStats {
     let TaskIo {
         scur,
         sprev,
@@ -307,50 +439,154 @@ fn sample_ps<R: Rng64, P: Probe>(
         mut visits,
     } = io;
     let mut steps = 0u64;
-    for (j, &v) in scur.iter().enumerate() {
-        let g = (slice_base + j) as u64;
-        probe.touch(addr.scur + 4 * g, 4, AccessKind::Sequential);
-        if v == DEAD {
-            snext[j] = DEAD;
-            probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
-            continue;
-        }
-        let prev = sprev.map(|sp| {
-            probe.touch(addr.sprev + 4 * g, 4, AccessKind::Sequential);
-            sp[j]
-        });
-        let next = match ctx.algo {
-            WalkAlgorithm::Node2Vec { p, q } => {
-                // Pre-sampled uniform proposals feed the rejection loop.
-                let mut attempts = 0;
-                loop {
-                    let cand = consume(graph, buffers, v, ctx, rng, probe, addr);
-                    attempts += 1;
-                    let x = rng.next_f64() * ctx.bound;
-                    // Stratified rejection: a draw below the minimum
-                    // weight accepts for every candidate, skipping the
-                    // connectivity check entirely.
-                    if x < ctx.bound_min || attempts >= 64 {
-                        break cand;
-                    }
-                    let t = prev.expect("second-order walk carries prev");
-                    if x < node2vec_weight(graph, ctx.edge_filter, t, cand, p, q, probe, addr) {
-                        break cand;
-                    }
+    let mut pf = ring::Pf::new(ring_depth > 1);
+    let offsets = graph.offsets();
+    let targets = graph.targets();
+    let mut st = (probe, buffers);
+    ring::drive(
+        ring_depth,
+        scur.len(),
+        &mut pf,
+        &mut st,
+        // Inspect: hint the walker's PS cursor (and for second-order
+        // walks the previous vertex's offset pair).
+        |pf: &mut ring::Pf, st: &mut (&mut P, &mut PsBuffers), j| {
+            let v = scur[j];
+            if v == DEAD {
+                return;
+            }
+            let (probe, buffers) = st;
+            let i = (v - buffers.start) as usize;
+            pf.element(probe, &buffers.cursor, i, addr.ps_cursor);
+            if let Some(sp) = sprev {
+                pf.element(probe, offsets, sp[j] as usize, addr.offsets);
+            }
+        },
+        // Fetch: read the (now-resident) cursor and hint what the
+        // consume will touch.  For node2vec, peek the likely candidate
+        // and hint its whole probe chain: bloom words first, then the
+        // exact search's adjacency endpoints.
+        |pf: &mut ring::Pf, st: &mut (&mut P, &mut PsBuffers), j| {
+            if !pf.active() {
+                return;
+            }
+            let v = scur[j];
+            if v == DEAD {
+                return;
+            }
+            let (probe, buffers) = st;
+            let i = (v - buffers.start) as usize;
+            let bstart = buffers.local_offsets[i] as usize;
+            let d = buffers.local_offsets[i + 1] as usize - bstart;
+            let remaining = buffers.cursor[i] as usize;
+            if remaining == 0 {
+                // Refill imminent: the batch reads v's offset pair,
+                // random targets within one adjacency, and streams
+                // writes into the buffer.
+                pf.element(probe, offsets, v as usize, addr.offsets);
+                let off = graph.adjacency_start(v);
+                pf.span(probe, targets, off, d, addr.targets);
+                if let Some(cw) = ctx.cum_weights {
+                    pf.span(probe, cw, off, d, addr.cum_weights);
+                }
+                pf.element(probe, &buffers.buf, bstart, addr.ps_buf);
+                return;
+            }
+            let pos = bstart + (d - remaining);
+            pf.element(probe, &buffers.buf, pos, addr.ps_buf);
+            if let (WalkAlgorithm::Node2Vec { .. }, Some(sp)) = (ctx.algo, sprev) {
+                let t = sp[j];
+                let cand = buffers.buf[pos];
+                if let Some(bloom) = ctx.edge_filter {
+                    prefetch_bloom(pf, probe, bloom, t, cand, addr);
+                }
+                let toff = graph.adjacency_start(t);
+                let td = graph.degree(t);
+                if td > 0 {
+                    pf.element(probe, targets, toff, addr.targets);
+                    pf.element(probe, targets, toff + td / 2, addr.targets);
+                    pf.element(probe, targets, toff + td - 1, addr.targets);
                 }
             }
-            _ => consume(graph, buffers, v, ctx, rng, probe, addr),
-        };
-        let next = apply_exit(next, ctx, rng);
-        snext[j] = next;
-        probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
-        if let Some(vis) = visits.as_deref_mut() {
-            vis[(v - part.start) as usize] += 1;
-        }
-        steps += 1;
-        probe.step();
+        },
+        // Execute: the legacy per-walker body — sole RNG consumer, sole
+        // state mutator, strict walker order.
+        |st: &mut (&mut P, &mut PsBuffers), j, ()| {
+            let (probe, buffers) = st;
+            let probe: &mut P = probe;
+            let buffers: &mut PsBuffers = buffers;
+            let v = scur[j];
+            let g = (slice_base + j) as u64;
+            probe.touch(addr.scur + 4 * g, 4, AccessKind::Sequential);
+            if v == DEAD {
+                snext[j] = DEAD;
+                probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+                return;
+            }
+            let prev = sprev.map(|sp| {
+                probe.touch(addr.sprev + 4 * g, 4, AccessKind::Sequential);
+                sp[j]
+            });
+            let next = match ctx.algo {
+                WalkAlgorithm::Node2Vec { p, q } => {
+                    // Pre-sampled uniform proposals feed the rejection loop.
+                    let mut attempts = 0;
+                    loop {
+                        let cand = consume(graph, buffers, v, ctx, rng, probe, addr);
+                        attempts += 1;
+                        let x = rng.next_f64() * ctx.bound;
+                        // Stratified rejection: a draw below the minimum
+                        // weight accepts for every candidate with zero
+                        // connectivity probes; the attempt cap also
+                        // accepts unchecked (termination backstop).
+                        if x < ctx.bound_min || attempts >= 64 {
+                            break cand;
+                        }
+                        let t = prev.expect("second-order walk carries prev");
+                        if x < node2vec_weight(graph, ctx.edge_filter, t, cand, p, q, probe, addr)
+                        {
+                            break cand;
+                        }
+                    }
+                }
+                _ => consume(graph, buffers, v, ctx, rng, probe, addr),
+            };
+            let next = apply_exit(next, ctx, rng);
+            snext[j] = next;
+            probe.touch_write(addr.snext + 4 * g, 4, AccessKind::Sequential);
+            if let Some(vis) = visits.as_deref_mut() {
+                vis[(v - part.start) as usize] += 1;
+            }
+            steps += 1;
+            probe.step();
+        },
+    );
+    TaskStats {
+        steps,
+        prefetches: pf.issued(),
     }
-    steps
+}
+
+/// Hints the lines a [`node2vec_weight`] bloom query for `(t, cand)`
+/// will read: the real filter words for the hardware, the same mixed
+/// simulated addresses the query's touches will use for the model.
+pub(crate) fn prefetch_bloom<P: Probe>(
+    pf: &mut ring::Pf,
+    probe: &mut P,
+    bloom: &EdgeBloom,
+    t: VertexId,
+    cand: VertexId,
+    addr: &AddrMap,
+) {
+    if !pf.active() {
+        return;
+    }
+    bloom.probe_words(t, cand, |w| pf.hw(w as *const u64));
+    let span = bloom.footprint_bytes() as u64;
+    for i in 0..bloom.hash_count() as u64 {
+        let mix = (bloom_probe_mix(t, cand) ^ i.wrapping_mul(0x9E37_79B9)) % span.max(64);
+        pf.model(probe, addr.edge_bloom + (mix & !7), 8);
+    }
 }
 
 /// Takes one pre-sampled edge from `v`'s buffer, refilling it when empty.
@@ -617,6 +853,7 @@ mod tests {
             &mut rng,
             &mut NullProbe,
             &AddrMap::default(),
+            1,
         );
         snext
     }
@@ -690,6 +927,7 @@ mod tests {
                 &mut rng,
                 &mut NullProbe,
                 &AddrMap::default(),
+                1,
             );
             for &t in &snext {
                 counts[t as usize] += 1;
@@ -781,6 +1019,7 @@ mod tests {
             &mut rng,
             &mut NullProbe,
             &AddrMap::default(),
+            1,
         );
         // Unnormalized: back to 0 = 1/p = .25; to 2 (adjacent to 0) = 1;
         // to 3 (not adjacent) = 1/q = .25. Total 1.5.
@@ -836,7 +1075,9 @@ mod tests {
             &mut rng,
             &mut NullProbe,
             &AddrMap::default(),
-        );
+            1,
+        )
+        .steps;
         assert_eq!(steps, 1);
         assert_eq!(snext[0], DEAD);
         assert_eq!(snext[2], DEAD);
@@ -868,6 +1109,7 @@ mod tests {
             &mut rng,
             &mut NullProbe,
             &AddrMap::default(),
+            1,
         );
         assert_eq!(visits[3], 2);
         assert_eq!(visits[5], 1);
@@ -909,10 +1151,155 @@ mod tests {
                 &mut rng,
                 &mut probe,
                 &addrs,
+                1,
             );
             probe.stats().accesses
         };
         // CSR pays one extra offsets touch per walker.
         assert_eq!(count_accesses(false) - count_accesses(true), 256);
+    }
+
+    /// The tentpole invariant at task level: every ring depth produces
+    /// the same walk as the legacy depth-1 loop, bit for bit, across
+    /// DS/PS and first-/second-order algorithms.
+    #[test]
+    fn ring_depths_produce_identical_walks() {
+        let mut g = synth::power_law(400, 2.0, 2, 64, 17);
+        g.sort_adjacency_lists();
+        let bloom = EdgeBloom::from_graph(&g, 8);
+        let n = 1024usize;
+        let scur: Vec<VertexId> = (0..n).map(|i| (i * 7 % 400) as VertexId).collect();
+        let sprev: Vec<VertexId> = scur.iter().map(|&v| g.neighbors(v)[0]).collect();
+        for policy in [SamplePolicy::Direct, SamplePolicy::PreSample] {
+            for second_order in [false, true] {
+                let ctx = if second_order {
+                    AlgoCtx::new(
+                        WalkAlgorithm::Node2Vec { p: 4.0, q: 0.5 },
+                        StopRule::FixedSteps(1),
+                        None,
+                    )
+                    .with_edge_filter(Some(&bloom))
+                } else {
+                    AlgoCtx::new(
+                        WalkAlgorithm::DeepWalk,
+                        StopRule::Geometric {
+                            exit_prob: 0.1,
+                            max_steps: 8,
+                        },
+                        None,
+                    )
+                };
+                let part = make_part(&g, policy);
+                let run = |depth: usize| {
+                    let mut ps = (policy == SamplePolicy::PreSample)
+                        .then(|| PsBuffers::new(&g, &part));
+                    let mut snext = vec![0; n];
+                    let mut rng = Xorshift64Star::new(42);
+                    let io = TaskIo {
+                        scur: &scur,
+                        sprev: second_order.then_some(&sprev[..]),
+                        snext: &mut snext,
+                        slice_base: 0,
+                        visits: None,
+                    };
+                    let stats = sample_partition(
+                        &g,
+                        &part,
+                        None,
+                        ps.as_mut(),
+                        &ctx,
+                        io,
+                        &mut rng,
+                        &mut NullProbe,
+                        &AddrMap::default(),
+                        depth,
+                    );
+                    (snext, stats)
+                };
+                let (base, base_stats) = run(1);
+                assert_eq!(base_stats.prefetches, 0, "depth 1 must not prefetch");
+                for depth in [2usize, 4, 8, 16] {
+                    let (out, stats) = run(depth);
+                    assert_eq!(
+                        out, base,
+                        "policy {policy:?} second_order {second_order} depth {depth}"
+                    );
+                    assert!(
+                        stats.prefetches > 0,
+                        "ring depth {depth} should issue prefetch hints"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Regression for the `bound_min` contract: with p = q = 1 every
+    /// node2vec weight equals the bound, so every draw fast-accepts —
+    /// and the documented behaviour is that such draws skip the
+    /// connectivity check *entirely*, touching neither the bloom filter
+    /// nor `t`'s adjacency.
+    #[test]
+    fn bound_min_fast_accept_skips_connectivity_probes_entirely() {
+        struct RegionCounter {
+            base: u64,
+            end: u64,
+            hits: u64,
+        }
+        impl Probe for RegionCounter {
+            fn touch(&mut self, addr: u64, _bytes: u32, _kind: AccessKind) {
+                if addr >= self.base && addr < self.end {
+                    self.hits += 1;
+                }
+            }
+        }
+        let mut g = synth::power_law(300, 2.0, 2, 40, 23);
+        g.sort_adjacency_lists();
+        let bloom = EdgeBloom::from_graph(&g, 8);
+        let part = make_part(&g, SamplePolicy::Direct);
+        let n = 2000usize;
+        let scur: Vec<VertexId> = (0..n).map(|i| (i % 300) as VertexId).collect();
+        let sprev: Vec<VertexId> = scur.iter().map(|&v| g.neighbors(v)[0]).collect();
+        let bloom_base = 0x900_0000u64;
+        let addr = AddrMap {
+            edge_bloom: bloom_base,
+            ..AddrMap::default()
+        };
+        let run = |p: f64, q: f64| {
+            let ctx = AlgoCtx::new(
+                WalkAlgorithm::Node2Vec { p, q },
+                StopRule::FixedSteps(1),
+                None,
+            )
+            .with_edge_filter(Some(&bloom));
+            let mut counter = RegionCounter {
+                base: bloom_base,
+                end: bloom_base + bloom.footprint_bytes() as u64,
+                hits: 0,
+            };
+            let mut snext = vec![0; n];
+            let mut rng = Xorshift64Star::new(3);
+            let io = TaskIo {
+                scur: &scur,
+                sprev: Some(&sprev),
+                snext: &mut snext,
+                slice_base: 0,
+                visits: None,
+            };
+            sample_partition(
+                &g,
+                &part,
+                None,
+                None,
+                &ctx,
+                io,
+                &mut rng,
+                &mut counter,
+                &addr,
+                1,
+            );
+            counter.hits
+        };
+        assert_eq!(run(1.0, 1.0), 0, "p=q=1: every draw is below bound_min");
+        assert!(run(4.0, 4.0) > 0, "p=q=4: draws must reach the bloom filter");
     }
 }

@@ -1,0 +1,368 @@
+//! The latency-hiding walker ring (software pipelining for sample tasks).
+//!
+//! Within a partition whose working set exceeds the LLC, direct
+//! sampling and the node2vec connectivity probe still stall on DRAM:
+//! each walker performs one or two *independent* random loads, and the
+//! core sits idle for the full memory latency because the next walker's
+//! addresses are not computed yet.  ThunderRW's step-interleaving
+//! observation applies directly — the addresses of walker `j + k` are
+//! known *now* (they depend only on the shuffled walker arrays, never on
+//! RNG draws), so we can issue software prefetches for them while walker
+//! `j` executes, overlapping `G` memory accesses instead of serializing
+//! them.
+//!
+//! [`drive`] runs a three-stage pipeline over one task's walkers:
+//!
+//! ```text
+//!   walker index:   j ......... j+G/2 ........ j+G
+//!                   │            │              │
+//!                   ▼            ▼              ▼
+//!                execute       fetch         inspect
+//!              (RNG draws)  (read offsets,  (prefetch CSR
+//!               demand      prefetch edge    offset pair /
+//!               loads)      range, bloom     PS cursor)
+//!                           lines, cum-
+//!                           weight slice)
+//! ```
+//!
+//! `inspect` touches nothing the program needs yet — it only *hints* the
+//! lines holding walker `j+G`'s offset pair (or PS cursor).  By the time
+//! `fetch` runs for that walker, `G/2` iterations later, the offsets are
+//! cached; `fetch` reads them and hints the dependent lines (edge range,
+//! cumulative-weight slice, bloom probe words).  Another `G/2`
+//! iterations later `execute` finds everything resident.
+//!
+//! # The RNG-order invariant
+//!
+//! Bit-exactness with the one-walker-at-a-time loop is mandatory (the
+//! conformance lattice pins golden digests).  The pipeline guarantees it
+//! structurally: **only the `execute` stage may consume RNG draws or
+//! mutate walker state, and `execute(j)` runs in strict walker order
+//! `j = 0, 1, 2, …`** — identical to the legacy loop.  `inspect` and
+//! `fetch` compute addresses exclusively from immutable task inputs
+//! (`scur`, `sprev`, CSR offsets), so reordering them ahead of `execute`
+//! cannot change a single draw.  Any depth therefore produces the same
+//! walk; depth only changes how far ahead the hints run.
+//!
+//! The planner disables the ring (depth 1) for partitions whose working
+//! set already fits in cache — prefetch hints into a cache-resident set
+//! are pure instruction overhead (see `cost::AnalyticCostModel::ring_depth`).
+
+use fm_memsim::Probe;
+
+/// Hard ceiling on the ring depth (slots are stack-allocated).
+pub const MAX_RING_DEPTH: usize = 16;
+
+/// Depth the planner assigns to partitions that exceed the LLC.
+///
+/// Eight in-flight walkers cover the common case of ~80-100 ns DRAM
+/// latency over ~10-15 ns of per-walker execute work; the `fig_prefetch`
+/// sweep measures the full {1, 2, 4, 8, 16} range.
+pub const DEFAULT_RING_DEPTH: usize = 8;
+
+/// Cache-line granularity assumed when spanning a range of elements.
+const LINE_BYTES: usize = 64;
+
+/// At most this many lines are hinted for one edge range; beyond that
+/// the prefetches would evict each other before `execute` arrives.
+const MAX_SPAN_LINES: usize = 4;
+
+/// Issues one software-prefetch hint for the cache line holding `*ptr`.
+///
+/// Portable wrapper over the architectural prefetch instruction: a pure
+/// performance hint with no architectural effect, valid for *any*
+/// address (including dangling ones — the hardware drops hints that
+/// miss the TLB).  Falls back to a no-op on other targets.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: PREFETCHT0 is a hint instruction; it never faults and has
+    // no effect on architectural state, so any pointer value is sound.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(ptr as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(target_arch = "aarch64")]
+    // SAFETY: PRFM PLDL1KEEP is a hint instruction; it never faults and
+    // has no effect on architectural state, so any pointer value is
+    // sound.  The asm touches no registers beyond the input operand.
+    unsafe {
+        core::arch::asm!(
+            "prfm pldl1keep, [{0}]",
+            in(reg) ptr as *const u8,
+            options(nostack, preserves_flags, readonly)
+        );
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    let _ = ptr;
+}
+
+/// Prefetch issuer for one sample task.
+///
+/// Bundles the hardware hint ([`prefetch_read`]), the memory-model hint
+/// ([`Probe::prefetch`] at the same simulated address the later demand
+/// touch will use), and the issue counter surfaced through telemetry.
+/// Inactive (`depth <= 1`) issuers compile every helper to a branch on
+/// one bool, so the depth-1 path stays the legacy machine code.
+#[derive(Debug)]
+pub struct Pf {
+    active: bool,
+    issued: u64,
+}
+
+impl Pf {
+    /// Creates an issuer; `active = false` turns every hint into a no-op.
+    pub fn new(active: bool) -> Self {
+        Self { active, issued: 0 }
+    }
+
+    /// Whether hints are being issued (ring depth > 1).
+    #[inline(always)]
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Hints issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Hints an arbitrary datum: hardware prefetch of `*ptr`, simulated
+    /// prefetch of `bytes` bytes at `addr`.
+    #[inline(always)]
+    pub fn raw<T, P: Probe>(&mut self, probe: &mut P, ptr: *const T, addr: u64, bytes: u32) {
+        if !self.active {
+            return;
+        }
+        prefetch_read(ptr);
+        probe.prefetch(addr, bytes);
+        self.issued += 1;
+    }
+
+    /// Hardware-side hint only, for data whose simulated address is
+    /// attributed separately (e.g. bloom probe words).  Not counted.
+    #[inline(always)]
+    pub fn hw<T>(&self, ptr: *const T) {
+        if self.active {
+            prefetch_read(ptr);
+        }
+    }
+
+    /// Model-side hint only, paired with [`Pf::hw`]; counted as one
+    /// issued hint.
+    #[inline(always)]
+    pub fn model<P: Probe>(&mut self, probe: &mut P, addr: u64, bytes: u32) {
+        if !self.active {
+            return;
+        }
+        probe.prefetch(addr, bytes);
+        self.issued += 1;
+    }
+
+    /// Hints the single element `data[i]` (ignored when out of bounds —
+    /// ring lookahead runs past slice ends by design).
+    #[inline(always)]
+    pub fn element<T, P: Probe>(&mut self, probe: &mut P, data: &[T], i: usize, base: u64) {
+        if !self.active {
+            return;
+        }
+        if let Some(r) = data.get(i) {
+            let sz = core::mem::size_of::<T>();
+            prefetch_read(r as *const T);
+            probe.prefetch(base + (sz * i) as u64, sz as u32);
+            self.issued += 1;
+        }
+    }
+
+    /// Hints the lines covering `data[i .. i + len]`, capped at
+    /// [`MAX_SPAN_LINES`]; used for edge ranges and cum-weight slices.
+    #[inline]
+    pub fn span<T, P: Probe>(
+        &mut self,
+        probe: &mut P,
+        data: &[T],
+        i: usize,
+        len: usize,
+        base: u64,
+    ) {
+        if !self.active || len == 0 || i >= data.len() {
+            return;
+        }
+        let sz = core::mem::size_of::<T>().max(1);
+        let end = (i + len).min(data.len());
+        let bytes = ((end - i) * sz).min(LINE_BYTES * MAX_SPAN_LINES);
+        let last = i + (bytes - 1) / sz;
+        let step = (LINE_BYTES / sz).max(1);
+        // One hint per line-stride; `hints = ceil(bytes / LINE_BYTES)`,
+        // so the cap above bounds the count by MAX_SPAN_LINES.
+        let mut k = i;
+        while k <= last {
+            prefetch_read(&data[k] as *const T);
+            self.issued += 1;
+            k += step;
+        }
+        probe.prefetch(base + (sz * i) as u64, bytes as u32);
+    }
+}
+
+/// Runs one sample task's walkers through the inspect → fetch → execute
+/// pipeline.
+///
+/// * `inspect(pf, ctx, j)` — hint-only stage, runs `depth` walkers ahead.
+/// * `fetch(pf, ctx, j) -> T` — reads now-resident metadata (e.g. the
+///   CSR offset pair), hints dependent lines, and returns the slot
+///   payload `execute` will use.  Runs `depth / 2` walkers ahead.
+/// * `execute(ctx, j, slot)` — the only stage allowed to consume RNG
+///   draws or mutate walker state; runs in strict walker order.
+///
+/// `ctx` carries the state shared across stages (the probe, PS buffers);
+/// state touched by a single stage is captured by that closure directly.
+/// With `depth <= 1` the pipeline degenerates to the legacy
+/// one-walker-at-a-time loop (`fetch` immediately followed by `execute`,
+/// hints disabled via the inactive [`Pf`]).
+pub fn drive<T: Copy + Default, C: ?Sized>(
+    depth: usize,
+    n: usize,
+    pf: &mut Pf,
+    ctx: &mut C,
+    mut inspect: impl FnMut(&mut Pf, &mut C, usize),
+    mut fetch: impl FnMut(&mut Pf, &mut C, usize) -> T,
+    mut execute: impl FnMut(&mut C, usize, T),
+) {
+    if depth <= 1 || n == 0 {
+        for j in 0..n {
+            let slot = fetch(pf, ctx, j);
+            execute(ctx, j, slot);
+        }
+        return;
+    }
+    let depth = depth.min(MAX_RING_DEPTH);
+    let lead = (depth / 2).max(1);
+    // Slot `j % depth` is written by fetch(j) and read by execute(j);
+    // the `lead < depth` spacing guarantees no overwrite in between.
+    let mut slots = [T::default(); MAX_RING_DEPTH];
+    for k in 0..depth.min(n) {
+        inspect(pf, ctx, k);
+    }
+    for k in 0..lead.min(n) {
+        slots[k % depth] = fetch(pf, ctx, k);
+    }
+    for j in 0..n {
+        if j + depth < n {
+            inspect(pf, ctx, j + depth);
+        }
+        if j + lead < n {
+            slots[(j + lead) % depth] = fetch(pf, ctx, j + lead);
+        }
+        execute(ctx, j, slots[j % depth]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fm_memsim::{AccessKind, HierarchyConfig, MemorySystem, NullProbe};
+
+    #[test]
+    fn prefetch_read_is_callable_on_any_pointer() {
+        let x = 42u64;
+        prefetch_read(&x as *const u64);
+        prefetch_read(core::ptr::null::<u64>());
+        prefetch_read(usize::MAX as *const u8);
+    }
+
+    #[test]
+    fn inactive_pf_issues_nothing() {
+        let mut pf = Pf::new(false);
+        let data = [1u32; 64];
+        pf.element(&mut NullProbe, &data, 3, 0x1000);
+        pf.span(&mut NullProbe, &data, 0, 64, 0x1000);
+        pf.raw(&mut NullProbe, data.as_ptr(), 0x1000, 4);
+        assert_eq!(pf.issued(), 0);
+    }
+
+    #[test]
+    fn element_hint_counts_and_warms_probe() {
+        let mut pf = Pf::new(true);
+        let mut mem = MemorySystem::new(HierarchyConfig::skylake_server());
+        let data = [7u32; 16];
+        pf.element(&mut mem, &data, 4, 0x1000);
+        assert_eq!(pf.issued(), 1);
+        assert_eq!(mem.stats().prefetch_lines, 1);
+        // The demand load then hits L1.
+        mem.touch(0x1000 + 16, 4, AccessKind::Random);
+        assert_eq!(mem.stats().l1.hits, 1);
+    }
+
+    #[test]
+    fn element_out_of_bounds_is_ignored() {
+        let mut pf = Pf::new(true);
+        let data = [1u32; 4];
+        pf.element(&mut NullProbe, &data, 99, 0x1000);
+        assert_eq!(pf.issued(), 0);
+    }
+
+    #[test]
+    fn span_caps_line_count() {
+        let mut pf = Pf::new(true);
+        let mut mem = MemorySystem::new(HierarchyConfig::skylake_server());
+        // 1024 u32 = 4 KiB = 64 lines; only MAX_SPAN_LINES are hinted.
+        let data = vec![1u32; 1024];
+        pf.span(&mut mem, &data, 0, 1024, 0x1000);
+        assert_eq!(pf.issued() as usize, MAX_SPAN_LINES);
+        assert_eq!(mem.stats().prefetch_lines as usize, MAX_SPAN_LINES);
+    }
+
+    #[test]
+    fn span_clamps_to_slice_end() {
+        let mut pf = Pf::new(true);
+        let data = [1u32; 8];
+        pf.span(&mut NullProbe, &data, 6, 100, 0x1000);
+        assert_eq!(pf.issued(), 1); // 2 elements, one line
+    }
+
+    /// The invariant the conformance lattice enforces end-to-end:
+    /// execute order (and thus RNG-draw order) is walker order at every
+    /// depth, while inspect/fetch run ahead by depth and depth/2.
+    #[test]
+    fn drive_executes_in_walker_order_at_every_depth() {
+        for depth in [1usize, 2, 3, 4, 8, 16] {
+            for n in [0usize, 1, 2, 5, 16, 57] {
+                let mut pf = Pf::new(depth > 1);
+                let mut log: Vec<(char, usize)> = Vec::new();
+                let mut executed = Vec::new();
+                drive(
+                    depth,
+                    n,
+                    &mut pf,
+                    &mut log,
+                    |_, log, j| log.push(('i', j)),
+                    |_, log, j| {
+                        log.push(('f', j));
+                        j
+                    },
+                    |log, j, slot| {
+                        assert_eq!(slot, j, "slot payload must come from fetch({j})");
+                        log.push(('e', j));
+                        executed.push(j);
+                    },
+                );
+                assert_eq!(executed, (0..n).collect::<Vec<_>>(), "depth {depth} n {n}");
+                // Each stage visits every walker exactly once.
+                for stage in ['f', 'e'] {
+                    let mut seen: Vec<usize> =
+                        log.iter().filter(|e| e.0 == stage).map(|e| e.1).collect();
+                    seen.sort_unstable();
+                    assert_eq!(seen, (0..n).collect::<Vec<_>>(), "stage {stage}");
+                }
+                // fetch(j) precedes execute(j); inspect(j) precedes fetch(j).
+                for j in 0..n {
+                    let pos = |s: char| log.iter().position(|&e| e == (s, j)).unwrap();
+                    assert!(pos('f') < pos('e'), "fetch({j}) after execute({j})");
+                    if depth > 1 {
+                        assert!(pos('i') < pos('f'), "inspect({j}) after fetch({j})");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -81,6 +81,19 @@ impl EdgeBloom {
         true
     }
 
+    /// Calls `f` with each filter word [`EdgeBloom::may_contain`]`(u, v)`
+    /// will read, in probe order.  Lets callers prefetch the exact cache
+    /// lines of an upcoming query without exposing the bit layout.
+    #[inline]
+    pub fn probe_words(&self, u: VertexId, v: VertexId, mut f: impl FnMut(&u64)) {
+        let h1 = splitmix(Self::key(u, v));
+        let h2 = splitmix(h1) | 1;
+        for i in 0..self.hashes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) & self.mask;
+            f(&self.bits[(bit / 64) as usize]);
+        }
+    }
+
     /// Filter size in bytes.
     pub fn footprint_bytes(&self) -> usize {
         self.bits.len() * 8

@@ -124,6 +124,15 @@ pub trait Probe {
     /// Marks the completion of one walker-step (normalizes counters).
     #[inline(always)]
     fn step(&mut self) {}
+
+    /// Hints that `bytes` bytes at `addr` will be loaded soon (a
+    /// software prefetch).  Unlike [`Probe::touch`] this is *not* a
+    /// demand access: implementations may warm their model with the
+    /// line, but must not charge hit/miss/latency counters for it.
+    #[inline(always)]
+    fn prefetch(&mut self, addr: u64, bytes: u32) {
+        let _ = (addr, bytes);
+    }
 }
 
 /// The zero-cost probe used by production runs.
@@ -147,6 +156,11 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     #[inline(always)]
     fn step(&mut self) {
         (**self).step();
+    }
+
+    #[inline(always)]
+    fn prefetch(&mut self, addr: u64, bytes: u32) {
+        (**self).prefetch(addr, bytes);
     }
 }
 

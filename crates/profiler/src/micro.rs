@@ -139,6 +139,7 @@ pub fn measure_point(
         &mut task_rng,
         &mut NullProbe,
         &addr,
+        1,
     );
 
     let rounds = min_steps.div_ceil(walkers).max(1);
@@ -162,7 +163,9 @@ pub fn measure_point(
             &mut task_rng,
             &mut NullProbe,
             &addr,
-        );
+            1,
+        )
+        .steps;
     }
     let elapsed = start.elapsed();
     std::hint::black_box(&snext);

@@ -105,8 +105,9 @@ pub fn write_metrics_jsonl(w: &mut impl Write, tel: &Telemetry) -> io::Result<()
         }
         writeln!(
             w,
-            "{{\"kind\": \"partition\", \"partition\": {}, \"steps\": {}, \"walkers_in\": {}, \"ps_steps\": {}, \"ds_steps\": {}, \"edge_bytes\": {}, \"max_occupancy\": {}}}",
+            "{{\"kind\": \"partition\", \"partition\": {}, \"steps\": {}, \"walkers_in\": {}, \"ps_steps\": {}, \"ds_steps\": {}, \"edge_bytes\": {}, \"max_occupancy\": {}, \"ring_occupancy\": {}, \"prefetch_issued\": {}}}",
             pi, c.steps, c.walkers_in, c.ps_steps, c.ds_steps, c.edge_bytes, c.max_occupancy,
+            c.ring_occupancy, c.prefetch_issued,
         )?;
     }
     Ok(())

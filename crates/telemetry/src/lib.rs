@@ -146,6 +146,13 @@ pub struct PartitionCounters {
     pub edge_bytes: u64,
     /// Peak single-step occupancy (walkers resident at once).
     pub max_occupancy: u64,
+    /// Peak sample-ring occupancy (in-flight walkers in the
+    /// latency-hiding ring; 1 when the ring is off, 0 when the
+    /// partition never ran).
+    pub ring_occupancy: u64,
+    /// Software-prefetch hints issued by the sample ring on this
+    /// partition's behalf.
+    pub prefetch_issued: u64,
 }
 
 impl PartitionCounters {
@@ -156,6 +163,8 @@ impl PartitionCounters {
         self.ds_steps += other.ds_steps;
         self.edge_bytes += other.edge_bytes;
         self.max_occupancy = self.max_occupancy.max(other.max_occupancy);
+        self.ring_occupancy = self.ring_occupancy.max(other.ring_occupancy);
+        self.prefetch_issued += other.prefetch_issued;
     }
 }
 
@@ -450,6 +459,23 @@ impl Telemetry {
         }
         c.max_occupancy = c.max_occupancy.max(occupancy);
         self.occupancy.record(occupancy);
+    }
+
+    /// Records one step's latency-hiding ring statistics for partition
+    /// `pi`: the ring occupancy achieved (in-flight walkers, capped by
+    /// the partition's live walker count) and the software-prefetch
+    /// hints issued.  A no-op when the partition never ran
+    /// (`occupancy == 0 && issued == 0`), so idle partitions report
+    /// zeros rather than phantom depth-1 rings.
+    #[inline]
+    pub fn record_partition_ring(&mut self, pi: usize, occupancy: u64, issued: u64) {
+        if !self.is_on() || (occupancy == 0 && issued == 0) {
+            return;
+        }
+        self.ensure_partitions(pi + 1);
+        let c = &mut self.partitions[pi];
+        c.ring_occupancy = c.ring_occupancy.max(occupancy);
+        c.prefetch_issued += issued;
     }
 
     /// Adds `bytes` of streamed adjacency data to partition `pi`'s

@@ -151,6 +151,45 @@ fn exclusive_llc_outperforms_inclusive_for_flashmob() {
 }
 
 #[test]
+fn ring_prefetch_raises_simulated_hit_rate() {
+    // The latency-hiding claim behind DESIGN.md's ring: on partitions
+    // whose working set exceeds the (scaled) LLC, issuing the sample
+    // loop's reads a few walkers ahead turns demand misses into hits.
+    // The ring never changes the walk, so the demand-access stream is
+    // identical; only the hit/miss split may move.
+    let run = |depth: usize| {
+        let g = synth::power_law(30_000, 1.9, 1, 2_000, 13);
+        let engine = FlashMob::new(
+            &g,
+            WalkConfig::deepwalk()
+                .walkers(30_000)
+                .steps(8)
+                .seed(1)
+                .record_paths(false)
+                .ring_depth(depth)
+                .planner(planner()),
+        )
+        .expect("engine");
+        let mut probe = MemorySystem::new(hierarchy());
+        engine.run_probed(&mut probe).expect("run");
+        probe.stats().clone()
+    };
+    let base = run(1);
+    let ring = run(8);
+    assert_eq!(base.steps, ring.steps, "ring must not change the walk");
+    assert_eq!(base.accesses, ring.accesses, "demand stream must match");
+    assert_eq!(base.prefetch_lines, 0, "depth 1 issues no hints");
+    assert!(ring.prefetch_lines > 0, "depth 8 must issue hints");
+    let hit_rate = |s: &MemoryStats| 1.0 - s.l3.misses as f64 / s.accesses.max(1) as f64;
+    assert!(
+        hit_rate(&ring) > hit_rate(&base),
+        "prefetch must raise the simulated hit rate: ring {:.4} vs base {:.4}",
+        hit_rate(&ring),
+        hit_rate(&base)
+    );
+}
+
+#[test]
 fn probe_steps_match_engine_steps() {
     let fm = probe_flashmob(5_000, 4);
     assert_eq!(fm.steps, 5_000 * 4);
