@@ -6,16 +6,21 @@
 #      CONFORM_FULL=1 to sweep the full thread lattice instead)
 #   4. ring tier: the same quick lattice with FMWALK_RING=16, proving
 #      the latency-hiding walker ring is bit-invisible at max depth
-#   5. telemetry tier: compile-out build, overhead guard, and an
+#   5. program tier: the walk-program lattice (PPR, early-exit,
+#      metapath vs their analytic oracles at {1,8} threads, golden
+#      digests checked) plus the registry/oracle audit — any program
+#      registered without an oracle fails the build — and the same
+#      lattice again under FMWALK_RING=16
+#   6. telemetry tier: compile-out build, overhead guard, and an
 #      end-to-end `walk --trace` -> `trace-check` round trip
-#   6. recover tier: an end-to-end checkpoint -> kill -> resume round
+#   7. recover tier: an end-to-end checkpoint -> kill -> resume round
 #      trip through the CLI (bit-identical output, correct exit codes)
-#   7. audit tier: the fm-audit source scanner at -D warnings severity
+#   8. audit tier: the fm-audit source scanner at -D warnings severity
 #      (any finding fails), a seeded-violation check, the dynamic
 #      disjointness checker's tests, and the conformance quick lattice
 #      under --features audit-disjoint; an env-gated nightly Miri pass
 #      (AUDIT_MIRI=1) covers the recover codecs and fm-rng
-#   8. clippy with warnings promoted to errors
+#   9. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -23,7 +28,9 @@ cd "$(dirname "$0")"
 echo "== cargo build --release =="
 cargo build --release --workspace
 
-echo "== cargo test =="
+echo "== cargo test (tier-1 gate) =="
+# The enforced tier-1 gate: the whole workspace test suite must be
+# green at HEAD.  Nothing is quarantined; a failing test fails CI.
 cargo test -q --workspace
 
 echo "== fmwalk conform (oracle + golden traces) =="
@@ -38,6 +45,18 @@ echo "== ring tier (latency-hiding sample stage) =="
 # its maximum depth.  The ring must be invisible in the output: same
 # golden digests, same cross-engine agreement, at any depth.
 FMWALK_RING=16 cargo run --release -q -p fm-cli -- conform --quick
+
+echo "== program tier (WalkProgram lattice + registry audit) =="
+# Every walk program registered in the engine crate must have an
+# analytic oracle and lattice cells; the audit runs twice on purpose —
+# once as a unit test, once inside `conform --programs` — so neither a
+# test edit nor a CLI edit can silently drop it.
+cargo test -q -p fm-conformance every_registered_program_has_an_oracle
+# PPR, early-exit, and metapath vs their oracles on auto/PS/DS at
+# {1, 8} threads, with committed golden digests.
+cargo run --release -q -p fm-cli -- conform --programs
+# The walker ring must stay bit-invisible for programs too.
+FMWALK_RING=16 cargo run --release -q -p fm-cli -- conform --programs
 
 echo "== telemetry tier =="
 # The compile-out feature must keep the whole stack building and its

@@ -136,6 +136,12 @@ impl Baseline {
         if matches!(config.algorithm, WalkAlgorithm::Weighted) && !graph.is_weighted() {
             return Err(WalkError::MissingWeights);
         }
+        if config.algorithm.is_stateful() || config.algorithm.uses_edge_labels() {
+            return Err(WalkError::Planning(format!(
+                "the walker-at-a-time baselines do not implement the {} program",
+                config.algorithm.name()
+            )));
+        }
         let mut graph = graph.clone();
         if config.algorithm.is_second_order() {
             if graph.is_weighted() {
@@ -499,6 +505,9 @@ impl Baseline {
                     }
                 }
             }
+            // Programs beyond the paper's three algorithms are rejected
+            // at construction (`Baseline::new`).
+            _ => unreachable!("baseline engines run the paper's algorithms only"),
         }
     }
 }

@@ -1,16 +1,19 @@
 //! Prefetch figure: latency hiding from the interleaved walker ring.
 //!
-//! Sweeps ring depth G in {1, 2, 4, 8, 16} over the three algorithms at
-//! 1 and 8 threads on the largest in-repo analog (Yahoo), reporting
+//! Sweeps ring depth G in {1, 2, 4, 8, 16} over the three classical
+//! algorithms and the three walk programs (PPR, early-exit, metapath)
+//! at 1 and 8 threads on the largest in-repo analog (Yahoo), reporting
 //! wall-clock per-step time and the speedup over the unpipelined
 //! (depth-1) sample loop.  The walk output is bit-identical at every
 //! depth — the ring only reorders memory traffic — so any delta is pure
-//! latency hiding.
+//! latency hiding.  The 8-thread node2vec rows exercise the parallel
+//! per-partition path, whose exact connectivity search is hinted by the
+//! binary-search ladder (see `sample::hint_connectivity_search`).
 //!
 //! The paper does not plot this figure; the sweep quantifies the repo's
 //! own §10 (DESIGN.md) ring and backs the BENCH_PREFETCH.md note.
 
-use flashmob::{FlashMob, WalkAlgorithm, WalkConfig};
+use flashmob::{FlashMob, MetapathPattern, WalkAlgorithm, WalkConfig};
 use fm_bench::{analog, scaled_planner, timed, HarnessOpts};
 use fm_graph::presets::PaperGraph;
 use fm_graph::Csr;
@@ -26,6 +29,21 @@ fn weighted_copy(g: &Csr) -> Csr {
         .map(|_| 0.25 + (rng.next_u64() % 8) as f32 * 0.25)
         .collect();
     Csr::from_parts(g.offsets().to_vec(), g.targets().to_vec(), Some(weights)).unwrap()
+}
+
+/// Copies a graph, attaching `slot % 2` edge-type labels (the analogs
+/// carry no type information; Metapath needs a labeled graph).
+fn labeled_copy(g: &Csr) -> Csr {
+    let mut labels = Vec::with_capacity(g.edge_count());
+    for u in 0..g.vertex_count() {
+        let d = g.degree(u as fm_graph::VertexId);
+        for slot in 0..d {
+            labels.push((slot % 2) as u8);
+        }
+    }
+    Csr::from_parts(g.offsets().to_vec(), g.targets().to_vec(), None)
+        .and_then(|c| c.with_edge_labels(labels))
+        .unwrap_or_else(|e| unreachable!("labeled copy of a valid CSR: {e}"))
 }
 
 fn run_once(
@@ -64,11 +82,21 @@ fn main() {
     let which = PaperGraph::YahooWeb;
     let g = analog(which, opts.scale);
     let wg = weighted_copy(&g);
+    let lg = labeled_copy(&g);
 
-    let algos: [(&str, WalkAlgorithm); 3] = [
+    let algos: [(&str, WalkAlgorithm); 6] = [
         ("deepwalk", WalkAlgorithm::DeepWalk),
         ("weighted", WalkAlgorithm::Weighted),
         ("node2vec", WalkAlgorithm::Node2Vec { p: 2.0, q: 0.5 }),
+        ("ppr", WalkAlgorithm::Ppr { alpha: 0.15 }),
+        ("early-exit", WalkAlgorithm::EarlyExit),
+        (
+            "metapath",
+            WalkAlgorithm::Metapath {
+                pattern: MetapathPattern::new(&[0, 1])
+                    .unwrap_or_else(|| unreachable!("two labels form a valid pattern")),
+            },
+        ),
     ];
 
     println!(
@@ -86,10 +114,10 @@ fn main() {
         fm_bench::rule(&header);
         for (name, algo) in algos {
             let mut base_ns = 0.0f64;
-            let graph = if matches!(algo, WalkAlgorithm::Weighted) {
-                &wg
-            } else {
-                &g
+            let graph = match algo {
+                WalkAlgorithm::Weighted => &wg,
+                WalkAlgorithm::Metapath { .. } => &lg,
+                _ => &g,
             };
             for depth in DEPTHS {
                 let (stats, secs) = run_once(graph, algo, depth, threads, &opts);

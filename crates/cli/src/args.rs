@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use flashmob::PlanStrategy;
+use flashmob::{MetapathPattern, PlanStrategy, MAX_METAPATH_LEN};
 
 /// A fully parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +76,10 @@ pub enum Command {
         /// Checkpoint cadence in iterations (0 = default of 8 when a
         /// directory is given).
         checkpoint_every: usize,
+        /// Derive `slot % K` edge-type labels at load (`--labels K`;
+        /// 0 = leave the graph unlabeled).  Metapath programs need a
+        /// labeled graph.
+        labels: usize,
     },
     /// `fmwalk resume`: continue an interrupted `walk` from the latest
     /// checkpoint in a directory.  The configuration flags must match
@@ -113,6 +117,9 @@ pub enum Command {
         metrics: Option<PathBuf>,
         /// Print a periodic progress heartbeat to stderr.
         progress: bool,
+        /// Derive `slot % K` edge-type labels at load (must match the
+        /// interrupted run; 0 = unlabeled).
+        labels: usize,
     },
     /// `fmwalk synth`.
     Synth {
@@ -137,6 +144,10 @@ pub enum Command {
         full: bool,
         /// Print golden-table rows for every cell instead of checking.
         emit_golden: bool,
+        /// Run the program lattice (PPR, early-exit, metapath vs their
+        /// analytic oracles) plus the registry/oracle audit instead of
+        /// the classical-algorithm lattice.
+        programs: bool,
     },
     /// `fmwalk trace-check`.
     TraceCheck {
@@ -186,7 +197,11 @@ pub enum EngineChoice {
     GraphVite,
 }
 
-/// Which algorithm to walk.
+/// Which algorithm (or walk program) to run.
+///
+/// The first three are the paper's classical algorithms; the rest are
+/// the programmable-walk kernels, selectable through either `--algo`
+/// or its alias `--program`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AlgoChoice {
     /// First-order uniform.
@@ -200,6 +215,18 @@ pub enum AlgoChoice {
     },
     /// Static edge weights.
     Weighted,
+    /// Personalized PageRank with restart probability `--alpha`.
+    Ppr {
+        /// Restart probability in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Early-exit walk: dies one iteration after returning home.
+    EarlyExit,
+    /// Metapath walk over typed edges following `--pattern`.
+    Metapath {
+        /// The cyclic phase pattern.
+        pattern: MetapathPattern,
+    },
 }
 
 /// Synthetic generator families.
@@ -371,6 +398,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut engine = EngineChoice::FlashMob;
             let mut algo_name = "deepwalk".to_string();
             let (mut p, mut q) = (1.0f64, 1.0f64);
+            let mut alpha = 0.15f64;
+            let mut pattern = None;
+            let mut labels = 0usize;
             let mut walkers = WalkerCount::PerVertex(1);
             let mut steps = 80usize;
             let mut seed = 1u64;
@@ -399,9 +429,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                             other => return Err(err(format!("unknown engine {other}"))),
                         }
                     }
-                    "--algo" => algo_name = c.expect("algorithm")?,
+                    "--algo" | "--program" => algo_name = c.expect("algorithm")?,
                     "--p" => p = c.value("--p")?,
                     "--q" => q = c.value("--q")?,
+                    "--alpha" => alpha = c.value("--alpha")?,
+                    "--pattern" => pattern = Some(parse_pattern(&c.value::<String>("pattern")?)?),
+                    "--labels" => labels = c.value("--labels")?,
                     "--walkers" => walkers = WalkerCount::Absolute(c.value("--walkers")?),
                     "--walkers-mult" => {
                         walkers = WalkerCount::PerVertex(c.value("--walkers-mult")?)
@@ -420,12 +453,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
-            let algo = match algo_name.as_str() {
-                "deepwalk" => AlgoChoice::DeepWalk,
-                "node2vec" => AlgoChoice::Node2Vec { p, q },
-                "weighted" => AlgoChoice::Weighted,
-                other => return Err(err(format!("unknown algorithm {other}"))),
-            };
+            let algo = resolve_algo(&algo_name, p, q, alpha, pattern)?;
             Ok(Command::Walk {
                 graph,
                 engine,
@@ -444,6 +472,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 progress,
                 checkpoint_dir,
                 checkpoint_every,
+                labels,
             })
         }
         "resume" => {
@@ -451,6 +480,9 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let dir = PathBuf::from(c.expect("checkpoint directory")?);
             let mut algo_name = "deepwalk".to_string();
             let (mut p, mut q) = (1.0f64, 1.0f64);
+            let mut alpha = 0.15f64;
+            let mut pattern = None;
+            let mut labels = 0usize;
             let mut walkers = WalkerCount::PerVertex(1);
             let mut steps = 80usize;
             let mut seed = 1u64;
@@ -465,9 +497,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut progress = false;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
-                    "--algo" => algo_name = c.expect("algorithm")?,
+                    "--algo" | "--program" => algo_name = c.expect("algorithm")?,
                     "--p" => p = c.value("--p")?,
                     "--q" => q = c.value("--q")?,
+                    "--alpha" => alpha = c.value("--alpha")?,
+                    "--pattern" => pattern = Some(parse_pattern(&c.value::<String>("pattern")?)?),
+                    "--labels" => labels = c.value("--labels")?,
                     "--walkers" => walkers = WalkerCount::Absolute(c.value("--walkers")?),
                     "--walkers-mult" => {
                         walkers = WalkerCount::PerVertex(c.value("--walkers-mult")?)
@@ -486,12 +521,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
-            let algo = match algo_name.as_str() {
-                "deepwalk" => AlgoChoice::DeepWalk,
-                "node2vec" => AlgoChoice::Node2Vec { p, q },
-                "weighted" => AlgoChoice::Weighted,
-                other => return Err(err(format!("unknown algorithm {other}"))),
-            };
+            let algo = resolve_algo(&algo_name, p, q, alpha, pattern)?;
             Ok(Command::Resume {
                 graph,
                 dir,
@@ -508,6 +538,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 trace,
                 metrics,
                 progress,
+                labels,
             })
         }
         "synth" => {
@@ -557,15 +588,21 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
         "conform" => {
             let mut full = false;
             let mut emit_golden = false;
+            let mut programs = false;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
                     "--quick" => full = false,
                     "--full" => full = true,
                     "--emit-golden" => emit_golden = true,
+                    "--programs" => programs = true,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
-            Ok(Command::Conform { full, emit_golden })
+            Ok(Command::Conform {
+                full,
+                emit_golden,
+                programs,
+            })
         }
         "trace-check" => {
             let file = PathBuf::from(c.expect("trace file")?);
@@ -594,6 +631,53 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
         }
         other => Err(err(format!("unknown command {other}; try `fmwalk help`"))),
     }
+}
+
+/// Resolves an `--algo`/`--program` name plus its parameter flags.
+///
+/// `pattern` is `Some` only when `--pattern` was given; metapath
+/// defaults to the two-phase `0,1` cycle.
+fn resolve_algo(
+    name: &str,
+    p: f64,
+    q: f64,
+    alpha: f64,
+    pattern: Option<MetapathPattern>,
+) -> Result<AlgoChoice, ParseError> {
+    match name {
+        "deepwalk" => Ok(AlgoChoice::DeepWalk),
+        "node2vec" => Ok(AlgoChoice::Node2Vec { p, q }),
+        "weighted" => Ok(AlgoChoice::Weighted),
+        "ppr" => Ok(AlgoChoice::Ppr { alpha }),
+        "early-exit" => Ok(AlgoChoice::EarlyExit),
+        "metapath" => {
+            let pattern = match pattern {
+                Some(p) => p,
+                None => MetapathPattern::new(&[0, 1])
+                    .ok_or_else(|| err("internal: default metapath pattern"))?,
+            };
+            Ok(AlgoChoice::Metapath { pattern })
+        }
+        other => Err(err(format!(
+            "unknown algorithm or program {other} \
+             (deepwalk|weighted|node2vec|ppr|early-exit|metapath)"
+        ))),
+    }
+}
+
+/// Parses a `--pattern` value: comma-separated edge-type labels.
+fn parse_pattern(raw: &str) -> Result<MetapathPattern, ParseError> {
+    let mut labels = Vec::new();
+    for part in raw.split(',') {
+        let label: u8 = part.trim().parse().map_err(|_| {
+            err(format!(
+                "bad label {part:?} in --pattern (want comma-separated integers 0-255)"
+            ))
+        })?;
+        labels.push(label);
+    }
+    MetapathPattern::new(&labels)
+        .ok_or_else(|| err(format!("--pattern needs 1..={MAX_METAPATH_LEN} labels")))
 }
 
 fn parse_strategy(raw: &str) -> Result<PlanStrategy, ParseError> {
@@ -762,31 +846,118 @@ mod tests {
             p("conform").unwrap(),
             Command::Conform {
                 full: false,
-                emit_golden: false
+                emit_golden: false,
+                programs: false
             }
         );
         assert_eq!(
             p("conform --quick").unwrap(),
             Command::Conform {
                 full: false,
-                emit_golden: false
+                emit_golden: false,
+                programs: false
             }
         );
         assert_eq!(
             p("conform --full").unwrap(),
             Command::Conform {
                 full: true,
-                emit_golden: false
+                emit_golden: false,
+                programs: false
             }
         );
         assert_eq!(
             p("conform --full --emit-golden").unwrap(),
             Command::Conform {
                 full: true,
-                emit_golden: true
+                emit_golden: true,
+                programs: false
+            }
+        );
+        assert_eq!(
+            p("conform --programs").unwrap(),
+            Command::Conform {
+                full: false,
+                emit_golden: false,
+                programs: true
             }
         );
         assert!(p("conform --fast").unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn walk_program_flags() {
+        // `--program` is an alias for `--algo`, covering the walk
+        // programs; `--alpha` parameterizes PPR (default 0.15).
+        match p("walk g.bin --program ppr").unwrap() {
+            Command::Walk { algo, .. } => assert_eq!(algo, AlgoChoice::Ppr { alpha: 0.15 }),
+            other => panic!("{other:?}"),
+        }
+        match p("walk g.bin --program ppr --alpha 0.4").unwrap() {
+            Command::Walk { algo, .. } => assert_eq!(algo, AlgoChoice::Ppr { alpha: 0.4 }),
+            other => panic!("{other:?}"),
+        }
+        match p("walk g.bin --algo early-exit").unwrap() {
+            Command::Walk { algo, .. } => assert_eq!(algo, AlgoChoice::EarlyExit),
+            other => panic!("{other:?}"),
+        }
+        // Classical algorithms remain reachable through the alias.
+        match p("walk g.bin --program node2vec --p 0.5").unwrap() {
+            Command::Walk { algo, .. } => {
+                assert_eq!(algo, AlgoChoice::Node2Vec { p: 0.5, q: 1.0 });
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p("walk g.bin --program frobwalk")
+            .unwrap_err()
+            .0
+            .contains("unknown algorithm or program"));
+    }
+
+    #[test]
+    fn walk_metapath_pattern_and_labels() {
+        match p("walk g.bin --program metapath --pattern 2,0,1 --labels 3").unwrap() {
+            Command::Walk { algo, labels, .. } => {
+                assert_eq!(
+                    algo,
+                    AlgoChoice::Metapath {
+                        pattern: MetapathPattern::new(&[2, 0, 1]).expect("pattern")
+                    }
+                );
+                assert_eq!(labels, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default pattern is the two-phase 0,1 cycle; default labels 0.
+        match p("walk g.bin --program metapath").unwrap() {
+            Command::Walk { algo, labels, .. } => {
+                assert_eq!(
+                    algo,
+                    AlgoChoice::Metapath {
+                        pattern: MetapathPattern::new(&[0, 1]).expect("pattern")
+                    }
+                );
+                assert_eq!(labels, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p("walk g.bin --pattern 1,x")
+            .unwrap_err()
+            .0
+            .contains("bad label"));
+        assert!(p("walk g.bin --pattern 1,2,3,4,5,6,7,8,9")
+            .unwrap_err()
+            .0
+            .contains("--pattern needs"));
+        // Resume accepts the same program flags (it must rebuild the
+        // interrupted run's configuration exactly).
+        match p("resume g.bin ck --program ppr --alpha 0.25 --labels 2").unwrap() {
+            Command::Resume { algo, labels, .. } => {
+                assert_eq!(algo, AlgoChoice::Ppr { alpha: 0.25 });
+                assert_eq!(labels, 2);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

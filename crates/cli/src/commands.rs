@@ -5,7 +5,7 @@ use std::path::Path;
 
 use flashmob::{FlashMob, WalkAlgorithm, WalkConfig, WalkOutput};
 use fm_baseline::{Baseline, BaselineConfig, BaselineKind};
-use fm_graph::{io, stats, synth, transform, Csr};
+use fm_graph::{io, stats, synth, transform, Csr, VertexId};
 use fm_telemetry::{export, tef, Telemetry};
 
 use crate::args::{AlgoChoice, Command, EngineChoice, SynthKind, SynthParams};
@@ -254,8 +254,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             progress,
             checkpoint_dir,
             checkpoint_every,
+            labels,
         } => {
-            let g = load_graph(&graph)?;
+            let g = with_derived_labels(load_graph(&graph)?, labels)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
             let algorithm = walk_algorithm(algo);
             let record_paths = output.is_some();
@@ -366,8 +367,9 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             trace,
             metrics,
             progress,
+            labels,
         } => {
-            let g = load_graph(&graph)?;
+            let g = with_derived_labels(load_graph(&graph)?, labels)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
             let record_paths = output.is_some();
             let record_visits = visits.is_some();
@@ -446,8 +448,16 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             }
             Ok(())
         }
-        Command::Conform { full, emit_golden } => {
+        Command::Conform {
+            full,
+            emit_golden,
+            programs,
+        } => {
             use fm_conformance::runner::{self, AlgoKind, EngineKind, LatticeConfig, Outcome};
+
+            if programs {
+                return conform_programs(out, full, emit_golden);
+            }
 
             if emit_golden {
                 // Golden digests cover the *full* thread lattice so the
@@ -584,7 +594,152 @@ fn walk_algorithm(algo: AlgoChoice) -> WalkAlgorithm {
         AlgoChoice::DeepWalk => WalkAlgorithm::DeepWalk,
         AlgoChoice::Node2Vec { p, q } => WalkAlgorithm::Node2Vec { p, q },
         AlgoChoice::Weighted => WalkAlgorithm::Weighted,
+        AlgoChoice::Ppr { alpha } => WalkAlgorithm::Ppr { alpha },
+        AlgoChoice::EarlyExit => WalkAlgorithm::EarlyExit,
+        AlgoChoice::Metapath { pattern } => WalkAlgorithm::Metapath { pattern },
     }
+}
+
+/// Applies `--labels K`: attaches `slot % K` edge-type labels over the
+/// loaded graph's adjacency (the same deterministic labeling the
+/// conformance suite uses), so metapath walks can run on graphs whose
+/// storage format carries no type information.  `k == 0` leaves the
+/// graph unlabeled.
+fn with_derived_labels(g: Csr, k: usize) -> Result<Csr, CmdError> {
+    if k == 0 {
+        return Ok(g);
+    }
+    if k > 256 {
+        return Err(fail_plan("--labels supports at most 256 edge types"));
+    }
+    let mut labels = Vec::with_capacity(g.edge_count());
+    for u in 0..g.vertex_count() {
+        let d = g.degree(u as VertexId);
+        for slot in 0..d {
+            labels.push((slot % k) as u8);
+        }
+    }
+    g.with_edge_labels(labels).map_err(fail_graph)
+}
+
+/// `conform --programs`: the registry/oracle audit plus the
+/// program-conformance lattice (PPR, early-exit, metapath vs their
+/// analytic oracles across the direct FlashMob engines).
+fn conform_programs<W: Write>(out: &mut W, full: bool, emit_golden: bool) -> Result<(), CmdError> {
+    use fm_conformance::{
+        oracle_backed, program_cell_digest, run_program_lattice, ProgramKind,
+        ProgramLatticeConfig, ProgramOutcome, PROGRAM_ENGINES,
+    };
+
+    // Registry/oracle audit: every walk program the engine crate
+    // registers must be backed by an analytic oracle and lattice cells.
+    // A program merged without its oracle fails the build here.
+    let missing: Vec<&str> = flashmob::program::REGISTRY
+        .iter()
+        .copied()
+        .filter(|name| !oracle_backed(name))
+        .collect();
+    if !missing.is_empty() {
+        return Err(CmdError(
+            format!(
+                "program(s) registered without a conformance oracle: {}",
+                missing.join(", ")
+            ),
+            ExitKind::Other,
+        ));
+    }
+    writeln!(
+        out,
+        "registry audit: {} registered programs, all oracle-backed",
+        flashmob::program::REGISTRY.len()
+    )
+    .map_err(fail)?;
+
+    if emit_golden {
+        writeln!(
+            out,
+            "// Paste into crates/conformance/src/golden.rs (PROGRAM_GOLDEN table):"
+        )
+        .map_err(fail)?;
+        for program in ProgramKind::ALL {
+            for engine in PROGRAM_ENGINES {
+                for threads in [1usize, 2, 8] {
+                    if let Some(d) = program_cell_digest(engine, program, threads) {
+                        writeln!(
+                            out,
+                            "    (\"{}\", \"{}\", {}, {:#018x}),",
+                            engine.label(),
+                            program.label(),
+                            threads,
+                            d
+                        )
+                        .map_err(fail)?;
+                    }
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let config = if full {
+        ProgramLatticeConfig::full()
+    } else {
+        ProgramLatticeConfig::quick()
+    };
+    let report = run_program_lattice(&config);
+    writeln!(
+        out,
+        "program lattice ({} tier): {} cells, per-test alpha {:.2e}",
+        if full { "full" } else { "quick" },
+        report.cells.len(),
+        report.per_test_alpha
+    )
+    .map_err(fail)?;
+    writeln!(
+        out,
+        "{:<14} {:<11} {:>7}  {:<7} detail",
+        "engine", "program", "threads", "result"
+    )
+    .map_err(fail)?;
+    for cell in &report.cells {
+        let (result, detail) = match &cell.outcome {
+            ProgramOutcome::Pass {
+                p_values,
+                digest,
+                golden_checked,
+            } => {
+                let ps: Vec<String> = p_values.iter().map(|p| format!("{p:.3}")).collect();
+                (
+                    "pass",
+                    format!(
+                        "p {}, digest {digest:#018x}{}",
+                        ps.join("/"),
+                        if *golden_checked { " (golden ok)" } else { "" }
+                    ),
+                )
+            }
+            ProgramOutcome::Fail { reason } => ("FAIL", reason.clone()),
+        };
+        writeln!(
+            out,
+            "{:<14} {:<11} {:>7}  {:<7} {}",
+            cell.engine.label(),
+            cell.program.label(),
+            cell.threads,
+            result,
+            detail
+        )
+        .map_err(fail)?;
+    }
+    let (passed, failed) = report.tally();
+    writeln!(out, "{passed} passed, {failed} failed").map_err(fail)?;
+    if failed > 0 {
+        return Err(CmdError(
+            format!("{failed} program-conformance cell(s) failed; see table above"),
+            ExitKind::Other,
+        ));
+    }
+    Ok(())
 }
 
 /// Telemetry is recorded whenever any consumer asked for it; otherwise
@@ -907,6 +1062,106 @@ mod tests {
         assert!(err.0.contains("--engine flashmob"), "{}", err.0);
         assert_eq!(err.1, ExitKind::Plan);
         std::fs::remove_file(bin).ok();
+    }
+
+    #[test]
+    fn walk_programs_end_to_end() {
+        let bin = tmp("programs.bin");
+        let paths = tmp("programs_paths.txt");
+        exec(&format!("synth ring {} --n 64 --degree 4", bin.display())).unwrap();
+
+        // PPR: full-length paths (restarts never kill walkers).
+        let msg = exec(&format!(
+            "walk {} --program ppr --alpha 0.3 --steps 4 --walkers 32 --output {}",
+            bin.display(),
+            paths.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("128 walker-steps"), "{msg}");
+        let dumped = std::fs::read_to_string(&paths).unwrap();
+        assert_eq!(dumped.lines().count(), 32);
+        assert!(dumped.lines().all(|l| l.split(' ').count() == 5));
+
+        // Early-exit: walkers may die early, so paths can be shorter
+        // but the run still completes.
+        let msg = exec(&format!(
+            "walk {} --program early-exit --steps 4 --walkers 32",
+            bin.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("ns/step"), "{msg}");
+
+        // Metapath with derived labels walks typed edges end to end.
+        let msg = exec(&format!(
+            "walk {} --program metapath --pattern 0,1 --labels 2 --steps 4 --walkers 32",
+            bin.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("ns/step"), "{msg}");
+
+        // Metapath on an unlabeled graph is a configuration error.
+        let err = exec(&format!(
+            "walk {} --program metapath --steps 2",
+            bin.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::Plan, "{}", err.0);
+
+        // More edge types than a u8 can name is rejected up front.
+        let err = exec(&format!(
+            "walk {} --labels 257 --steps 2",
+            bin.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::Plan, "{}", err.0);
+        assert!(err.0.contains("--labels"), "{}", err.0);
+
+        // Programs are FlashMob-only; the baselines reject them.
+        let err = exec(&format!(
+            "walk {} --engine knightking --program ppr --steps 2",
+            bin.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::Plan, "{}", err.0);
+
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(paths).ok();
+    }
+
+    #[test]
+    fn program_checkpoint_resume_round_trip() {
+        // Per-walker program state (the PPR origin) must survive the
+        // checkpoint wire format: a resumed run reproduces the
+        // uninterrupted paths bit for bit.
+        let bin = tmp("prog_ckpt.bin");
+        let dir = tmp("prog_ckpt_dir");
+        let full = tmp("prog_ckpt_full.txt");
+        let resumed = tmp("prog_ckpt_resumed.txt");
+        std::fs::remove_dir_all(&dir).ok();
+        exec(&format!("synth ring {} --n 64 --degree 4", bin.display())).unwrap();
+        let flags = "--program ppr --alpha 0.2 --steps 6 --walkers 32 --seed 13";
+        exec(&format!(
+            "walk {} {flags} --output {} --checkpoint-dir {} --checkpoint-every 2",
+            bin.display(),
+            full.display(),
+            dir.display()
+        ))
+        .unwrap();
+        let msg = exec(&format!(
+            "resume {} {} {flags} --output {}",
+            bin.display(),
+            dir.display(),
+            resumed.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("resumed from"), "{msg}");
+        let a = std::fs::read(&full).unwrap();
+        let b = std::fs::read(&resumed).unwrap();
+        assert!(!a.is_empty() && a == b);
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(full).ok();
+        std::fs::remove_file(resumed).ok();
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -17,7 +17,10 @@ USAGE:
   fmwalk stats <graph> [--diameter-samples N]
   fmwalk plan <graph> [--walkers N | --walkers-mult M] [--strategy dp|ups|uds|manual]
   fmwalk walk <graph> [--engine flashmob|knightking|graphvite]
-                      [--algo deepwalk|node2vec|weighted] [--p X] [--q X]
+                      [--algo|--program deepwalk|node2vec|weighted|
+                                        ppr|early-exit|metapath]
+                      [--p X] [--q X] [--alpha X] [--pattern L,L,...]
+                      [--labels K]
                       [--walkers N | --walkers-mult M] [--steps N] [--seed N]
                       [--threads N] [--strategy dp|ups|uds|manual]
                       [--output <paths.txt>] [--visits <visits.txt>] [--stats]
@@ -30,7 +33,7 @@ USAGE:
                       [--scale N] [--edge-factor N] [--m N] [--beta X]
                       [--degree N] [--seed N]
   fmwalk profile [--out <profile.txt>] [--quick]
-  fmwalk conform [--quick | --full] [--emit-golden]
+  fmwalk conform [--quick | --full] [--emit-golden] [--programs]
   fmwalk trace-check <trace.json>
   fmwalk audit [--root <dir>] [--json] [--update-ratchet]
   fmwalk help
@@ -42,6 +45,17 @@ FMG1 magic, as a whitespace edge list otherwise.
 chrome://tracing or Perfetto); `--metrics` writes per-stage and
 per-partition counters as JSON Lines; `trace-check` validates a trace
 file against the in-tree TEF checker.
+
+`walk --program` (alias of `--algo`) selects a walk program: `ppr`
+restarts at the walker's origin with probability `--alpha` (default
+0.15); `early-exit` terminates a walker one step after it returns
+home; `metapath` follows the cyclic edge-type pattern `--pattern`
+(default `0,1`) and needs a labeled graph — `--labels K` derives
+`slot % K` edge types at load for graphs without type information.
+Programs run on the FlashMob engine (the walker-at-a-time baselines
+reject them).  `conform --programs` checks every registered program
+against its analytic oracle and committed golden digests, and fails
+if any program lacks an oracle.
 
 `walk --checkpoint-dir` writes a crash-consistent checkpoint every
 `--checkpoint-every` iterations (default 8); `resume` continues an

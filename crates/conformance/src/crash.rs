@@ -6,8 +6,10 @@
 //! boundary and resuming it from the latest on-disk checkpoint
 //! reproduces the same digest, bit for bit.**
 //!
-//! For each covered cell (FlashMob auto/PS/DS at 1 and 8 threads, plus
-//! the out-of-core engine) the matrix:
+//! For each covered cell (FlashMob auto/PS/DS at 1 and 8 threads, the
+//! out-of-core engine, plus the programmable walks — whose per-walker
+//! origin state and early-terminated walkers must survive resume) the
+//! matrix:
 //!
 //! 1. runs uninterrupted once to get the reference digest (and checks
 //!    it against the committed golden table where an entry exists);
@@ -25,15 +27,16 @@
 
 use std::path::PathBuf;
 
-use fm_graph::VertexId;
+use fm_graph::{Csr, VertexId};
 use flashmob::{
     oocore::{run_ooc_with, DiskGraph, OocOptions},
-    CheckpointSpec, FlashMob, PlanStrategy, WalkError,
+    CheckpointSpec, FlashMob, PlanStrategy, WalkConfig, WalkError,
 };
 use fm_telemetry::Telemetry;
 
 use crate::digest::PathDigest;
 use crate::golden;
+use crate::program::{program_config, program_graph, ProgramKind};
 use crate::runner::{
     conformance_graph, flashmob_config, ooc_temp_path, AlgoKind, EngineKind, LATTICE_STEPS,
 };
@@ -49,6 +52,11 @@ pub const CRASH_EVERY: usize = 2;
 pub struct CrashCase {
     /// Engine label (golden-table key).
     pub engine: &'static str,
+    /// Algorithm / program label (golden-table key).  DeepWalk covers
+    /// the stateless path; the program cases exercise per-walker state
+    /// (PPR/early-exit origins) and edge labels (metapath) across the
+    /// checkpoint boundary.
+    pub algo: &'static str,
     /// Thread count of the interrupted run (resume always uses the
     /// same count here; thread invariance is covered by the lattice).
     pub threads: usize,
@@ -105,21 +113,34 @@ fn fail(case: &mut CrashCase, detail: String) {
     case.detail = detail;
 }
 
-/// Runs kill-and-resume at every generation for one FlashMob cell and
-/// appends the per-generation cases to `out`.
-fn crash_flashmob(engine: EngineKind, threads: usize, out: &mut Vec<CrashCase>) {
-    let strategy = match engine {
+/// The plan strategy a direct FlashMob engine kind forces.
+fn engine_strategy(engine: EngineKind) -> PlanStrategy {
+    match engine {
         EngineKind::FlashMobAuto => PlanStrategy::DynamicProgramming,
         EngineKind::FlashMobPs => PlanStrategy::UniformPs,
         _ => PlanStrategy::UniformDs,
-    };
-    let graph = conformance_graph();
-    let config = flashmob_config(AlgoKind::DeepWalk, threads).strategy(strategy);
-    let fm = match FlashMob::new(&graph, config) {
+    }
+}
+
+/// Runs kill-and-resume at every generation for one FlashMob cell
+/// (any algorithm or program) and appends the per-generation cases to
+/// `out`.  `golden_want` pins the uninterrupted reference digest when
+/// a committed entry exists.
+fn crash_flashmob_cell(
+    engine: EngineKind,
+    algo: &'static str,
+    threads: usize,
+    graph: &Csr,
+    config: WalkConfig,
+    golden_want: Option<u64>,
+    out: &mut Vec<CrashCase>,
+) {
+    let fm = match FlashMob::new(graph, config) {
         Ok(fm) => fm,
         Err(e) => {
             out.push(CrashCase {
                 engine: engine.label(),
+                algo,
                 threads,
                 generation: 0,
                 ok: false,
@@ -139,6 +160,7 @@ fn crash_flashmob(engine: EngineKind, threads: usize, out: &mut Vec<CrashCase>) 
         Err(e) => {
             out.push(CrashCase {
                 engine: engine.label(),
+                algo,
                 threads,
                 generation: 0,
                 ok: false,
@@ -147,10 +169,11 @@ fn crash_flashmob(engine: EngineKind, threads: usize, out: &mut Vec<CrashCase>) 
             return;
         }
     };
-    if let Some(want) = golden::lookup(engine.label(), "deepwalk", threads) {
+    if let Some(want) = golden_want {
         if reference != want {
             out.push(CrashCase {
                 engine: engine.label(),
+                algo,
                 threads,
                 generation: 0,
                 ok: false,
@@ -166,12 +189,13 @@ fn crash_flashmob(engine: EngineKind, threads: usize, out: &mut Vec<CrashCase>) 
     for k in 1..=generations {
         let mut case = CrashCase {
             engine: engine.label(),
+            algo,
             threads,
             generation: k,
             ok: true,
             detail: String::new(),
         };
-        let dir = crash_dir(engine.label(), threads, k);
+        let dir = crash_dir(&format!("{}-{algo}", engine.label()), threads, k);
         std::fs::remove_dir_all(&dir).ok();
         let spec = CheckpointSpec::new(&dir, CRASH_EVERY).halt_after(k);
         match fm.run_with_checkpoints(&spec) {
@@ -203,6 +227,29 @@ fn crash_flashmob(engine: EngineKind, threads: usize, out: &mut Vec<CrashCase>) 
     }
 }
 
+/// Kill-and-resume for one DeepWalk FlashMob cell.
+fn crash_flashmob(engine: EngineKind, threads: usize, out: &mut Vec<CrashCase>) {
+    let graph = conformance_graph();
+    let config = flashmob_config(AlgoKind::DeepWalk, threads).strategy(engine_strategy(engine));
+    let want = golden::lookup(engine.label(), "deepwalk", threads);
+    crash_flashmob_cell(engine, "deepwalk", threads, &graph, config, want, out);
+}
+
+/// Kill-and-resume for one program cell: proves per-walker program
+/// state (PPR/early-exit origins), early-terminated walkers, and edge
+/// labels (metapath) all survive the checkpoint boundary bit-exactly.
+fn crash_program(
+    engine: EngineKind,
+    program: ProgramKind,
+    threads: usize,
+    out: &mut Vec<CrashCase>,
+) {
+    let graph = program_graph(program);
+    let config = program_config(program, threads).strategy(engine_strategy(engine));
+    let want = golden::lookup_program(engine.label(), program.label(), threads);
+    crash_flashmob_cell(engine, program.label(), threads, &graph, config, want, out);
+}
+
 /// Runs kill-and-resume at every generation for the out-of-core engine.
 fn crash_oocore(out: &mut Vec<CrashCase>) {
     let label = EngineKind::OutOfCore.label();
@@ -214,6 +261,7 @@ fn crash_oocore(out: &mut Vec<CrashCase>) {
         Err(e) => {
             out.push(CrashCase {
                 engine: label,
+                algo: "deepwalk",
                 threads: 1,
                 generation: 0,
                 ok: false,
@@ -235,6 +283,7 @@ fn crash_oocore(out: &mut Vec<CrashCase>) {
             std::fs::remove_file(&path).ok();
             out.push(CrashCase {
                 engine: label,
+                algo: "deepwalk",
                 threads: 1,
                 generation: 0,
                 ok: false,
@@ -248,6 +297,7 @@ fn crash_oocore(out: &mut Vec<CrashCase>) {
             std::fs::remove_file(&path).ok();
             out.push(CrashCase {
                 engine: label,
+                algo: "deepwalk",
                 threads: 1,
                 generation: 0,
                 ok: false,
@@ -263,6 +313,7 @@ fn crash_oocore(out: &mut Vec<CrashCase>) {
     for k in 1..=generations {
         let mut case = CrashCase {
             engine: label,
+            algo: "deepwalk",
             threads: 1,
             generation: k,
             ok: true,
@@ -318,8 +369,12 @@ fn crash_oocore(out: &mut Vec<CrashCase>) {
 /// Runs the crash matrix.
 ///
 /// `full` sweeps FlashMob auto/PS/DS at 1 and 8 threads plus the
-/// out-of-core engine; the quick tier keeps the auto plan at 1 thread
-/// and the out-of-core engine (every kill generation in both tiers).
+/// out-of-core engine, and every program × plan policy × {1, 8}
+/// threads; the quick tier keeps the auto plan at 1 thread, the
+/// out-of-core engine, and the two *stateful* programs (PPR,
+/// early-exit) on the auto plan — per-walker origin state must
+/// round-trip the checkpoint boundary in every CI run (every kill
+/// generation in both tiers).
 pub fn run_crash_matrix(full: bool) -> CrashReport {
     let mut cases = Vec::new();
     let engines = [
@@ -335,6 +390,18 @@ pub fn run_crash_matrix(full: bool) -> CrashReport {
         }
     }
     crash_oocore(&mut cases);
+    let programs: &[ProgramKind] = if full {
+        &ProgramKind::ALL
+    } else {
+        &[ProgramKind::Ppr, ProgramKind::EarlyExit]
+    };
+    for &program in programs {
+        for &engine in engines {
+            for &t in threads {
+                crash_program(engine, program, t, &mut cases);
+            }
+        }
+    }
     CrashReport { cases }
 }
 
@@ -350,13 +417,14 @@ mod tests {
             .iter()
             .map(|c| {
                 format!(
-                    "{} t={} gen={}: {}",
-                    c.engine, c.threads, c.generation, c.detail
+                    "{} {} t={} gen={}: {}",
+                    c.engine, c.algo, c.threads, c.generation, c.detail
                 )
             })
             .collect();
         assert!(report.all_ok(), "crash matrix failures:\n{}", failures.join("\n"));
-        // auto@1 has 4 kill points, oocore has 4.
-        assert_eq!(report.cases.len(), 8);
+        // deepwalk auto@1 has 4 kill points, oocore has 4, and the two
+        // stateful programs (ppr, early-exit) on auto@1 add 4 each.
+        assert_eq!(report.cases.len(), 16);
     }
 }

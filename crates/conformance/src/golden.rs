@@ -113,6 +113,50 @@ pub fn lookup(engine: &str, algo: &str, threads: usize) -> Option<u64> {
         .map(|&(_, _, _, d)| d)
 }
 
+/// The committed program-lattice table (see [`crate::program`]): every
+/// program × direct-FlashMob plan policy × {1, 2, 8} threads.  The
+/// programs are first-order, so — like DeepWalk — each cell's digest
+/// is thread-invariant; the rows are committed per thread count anyway
+/// so a threading regression fails by *missing* digest rather than
+/// silently skipping the check.
+pub static PROGRAM_GOLDEN: &[GoldenEntry] = &[
+    ("flashmob-auto", "ppr", 1, 0x79566922ef505d27),
+    ("flashmob-auto", "ppr", 2, 0x79566922ef505d27),
+    ("flashmob-auto", "ppr", 8, 0x79566922ef505d27),
+    ("flashmob-ps", "ppr", 1, 0x02bd82a97f376de4),
+    ("flashmob-ps", "ppr", 2, 0x02bd82a97f376de4),
+    ("flashmob-ps", "ppr", 8, 0x02bd82a97f376de4),
+    ("flashmob-ds", "ppr", 1, 0x51ce964cd13c662f),
+    ("flashmob-ds", "ppr", 2, 0x51ce964cd13c662f),
+    ("flashmob-ds", "ppr", 8, 0x51ce964cd13c662f),
+    ("flashmob-auto", "early-exit", 1, 0xb1e5ce663ca56ac1),
+    ("flashmob-auto", "early-exit", 2, 0xb1e5ce663ca56ac1),
+    ("flashmob-auto", "early-exit", 8, 0xb1e5ce663ca56ac1),
+    ("flashmob-ps", "early-exit", 1, 0xf0896a676b53a50e),
+    ("flashmob-ps", "early-exit", 2, 0xf0896a676b53a50e),
+    ("flashmob-ps", "early-exit", 8, 0xf0896a676b53a50e),
+    ("flashmob-ds", "early-exit", 1, 0x6a6a29dfe9b9bd2b),
+    ("flashmob-ds", "early-exit", 2, 0x6a6a29dfe9b9bd2b),
+    ("flashmob-ds", "early-exit", 8, 0x6a6a29dfe9b9bd2b),
+    ("flashmob-auto", "metapath", 1, 0xfe92b9975dbfd3e7),
+    ("flashmob-auto", "metapath", 2, 0xfe92b9975dbfd3e7),
+    ("flashmob-auto", "metapath", 8, 0xfe92b9975dbfd3e7),
+    ("flashmob-ps", "metapath", 1, 0xe9d8b151880ba4bc),
+    ("flashmob-ps", "metapath", 2, 0xe9d8b151880ba4bc),
+    ("flashmob-ps", "metapath", 8, 0xe9d8b151880ba4bc),
+    ("flashmob-ds", "metapath", 1, 0xe9d8b151880ba4bc),
+    ("flashmob-ds", "metapath", 2, 0xe9d8b151880ba4bc),
+    ("flashmob-ds", "metapath", 8, 0xe9d8b151880ba4bc),
+];
+
+/// Looks up the committed digest for a program-lattice cell.
+pub fn lookup_program(engine: &str, program: &str, threads: usize) -> Option<u64> {
+    PROGRAM_GOLDEN
+        .iter()
+        .find(|&&(e, p, t, _)| e == engine && p == program && t == threads)
+        .map(|&(_, _, _, d)| d)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,7 +165,7 @@ mod tests {
     #[test]
     fn table_has_no_duplicate_keys() {
         let mut seen = BTreeSet::new();
-        for &(e, a, t, _) in GOLDEN {
+        for &(e, a, t, _) in GOLDEN.iter().chain(PROGRAM_GOLDEN) {
             assert!(seen.insert((e, a, t)), "duplicate golden key ({e}, {a}, {t})");
         }
     }
@@ -129,5 +173,22 @@ mod tests {
     #[test]
     fn lookup_misses_cleanly() {
         assert_eq!(lookup("no-such-engine", "deepwalk", 1), None);
+        assert_eq!(lookup_program("flashmob-auto", "deepwalk", 1), None);
+    }
+
+    #[test]
+    fn program_table_covers_the_full_program_lattice() {
+        for program in crate::program::ProgramKind::ALL {
+            for engine in crate::program::PROGRAM_ENGINES {
+                for threads in [1, 2, 8] {
+                    assert!(
+                        lookup_program(engine.label(), program.label(), threads).is_some(),
+                        "missing program golden entry ({}, {}, {threads})",
+                        engine.label(),
+                        program.label()
+                    );
+                }
+            }
+        }
     }
 }

@@ -21,21 +21,36 @@
 //!   path matrix, committed so that a refactor which silently perturbs
 //!   RNG stream assignment fails loudly even when the perturbed walk
 //!   is statistically indistinguishable.
+//! * [`program`] — the same discipline for user-programmable walks:
+//!   every `WalkProgram` registered in the engine crate (PPR,
+//!   early-exit, metapath) gets an analytic oracle ([`oracle`]),
+//!   lattice cells of its own, and committed golden digests; the
+//!   registry/oracle audit fails the build for any program without
+//!   them.
 //!
 //! Driven by `fmwalk conform` (quick tier in `ci.sh`, full lattice
-//! behind `--full`).
+//! behind `--full`, program lattice behind `--programs`).
 
 pub mod crash;
 pub mod digest;
 pub mod golden;
 pub mod matrix;
 pub mod oracle;
+pub mod program;
 pub mod runner;
 
 pub use crash::{run_crash_matrix, CrashCase, CrashReport};
 pub use digest::{digest_paths, PathDigest};
 pub use matrix::StochasticMatrix;
-pub use oracle::{init_distribution, EdgeIndex, FirstOrderOracle, Node2VecOracle};
+pub use oracle::{
+    init_distribution, EarlyExitOracle, EdgeIndex, FirstOrderOracle, MetapathOracle,
+    Node2VecOracle, PprOracle,
+};
+pub use program::{
+    labeled_conformance_graph, oracle_backed, program_cell_digest, run_program_lattice,
+    ProgramCell, ProgramKind, ProgramLatticeConfig, ProgramOutcome, ProgramReport,
+    METAPATH_PATTERN, PPR_ALPHA, PROGRAM_ENGINES,
+};
 pub use runner::{
     cell_digest, conformance_graph, run_lattice, weighted_conformance_graph, AlgoKind, Cell,
     EngineKind, LatticeConfig, LatticeReport, Outcome,

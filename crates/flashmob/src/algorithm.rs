@@ -1,10 +1,70 @@
 //! Walk algorithms (transition-probability specifications) and stop rules.
 
+/// Maximum metapath pattern length (phases stored inline, `Copy`).
+pub const MAX_METAPATH_LEN: usize = 8;
+
+/// A fixed cyclic sequence of edge-type labels for metapath walks.
+///
+/// Stored inline (up to [`MAX_METAPATH_LEN`] phases) so the enum that
+/// carries it stays `Copy` and can be threaded through the hot paths by
+/// value, like every other algorithm parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetapathPattern {
+    labels: [u8; MAX_METAPATH_LEN],
+    len: u8,
+}
+
+impl MetapathPattern {
+    /// Builds a pattern from a non-empty label sequence.
+    ///
+    /// Returns `None` when `labels` is empty or longer than
+    /// [`MAX_METAPATH_LEN`].
+    pub fn new(labels: &[u8]) -> Option<Self> {
+        if labels.is_empty() || labels.len() > MAX_METAPATH_LEN {
+            return None;
+        }
+        let mut buf = [0u8; MAX_METAPATH_LEN];
+        buf[..labels.len()].copy_from_slice(labels);
+        Some(Self {
+            labels: buf,
+            len: labels.len() as u8,
+        })
+    }
+
+    /// Number of phases in the pattern.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Patterns are validated non-empty; this always returns `false`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The label required at walk iteration `iter` (cyclic).
+    #[inline]
+    pub fn label_at(&self, iter: usize) -> u8 {
+        self.labels[iter % self.len as usize]
+    }
+
+    /// The phase labels as a slice.
+    #[inline]
+    pub fn labels(&self) -> &[u8] {
+        &self.labels[..self.len as usize]
+    }
+}
+
 /// The transition-probability specification of a walk.
 ///
 /// The paper evaluates DeepWalk (first-order, uniform) and node2vec
 /// (second-order); [`WalkAlgorithm::Weighted`] covers static per-edge
-/// weights, the other classical first-order case.
+/// weights, the other classical first-order case.  The remaining
+/// variants are the kernels behind the programmable-walk API
+/// (`flashmob::program`): personalized PageRank with restart, walks
+/// that terminate on returning to their origin, and metapath walks
+/// over typed edges.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WalkAlgorithm {
     /// First-order uniform walk (DeepWalk).
@@ -23,12 +83,62 @@ pub enum WalkAlgorithm {
         /// In-out parameter.
         q: f64,
     },
+    /// Personalized PageRank: at every step the walker teleports back to
+    /// its origin with probability `alpha`, otherwise takes a uniform
+    /// edge.  The origin is per-walker state (the walker's start vertex).
+    Ppr {
+        /// Restart probability in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Uniform walk that records its return to the origin and dies on
+    /// the following iteration (temporal/early-exit family): per-walker
+    /// termination driven by per-walker state.
+    EarlyExit,
+    /// First-order walk constrained to typed edges: at iteration `i`
+    /// only edges labeled `pattern.label_at(i)` are admissible, uniform
+    /// among them; a walker with no admissible edge terminates.
+    Metapath {
+        /// The cyclic phase pattern.
+        pattern: MetapathPattern,
+    },
 }
 
 impl WalkAlgorithm {
     /// Whether edge sampling needs the walker's previous position.
     pub fn is_second_order(&self) -> bool {
         matches!(self, WalkAlgorithm::Node2Vec { .. })
+    }
+
+    /// Whether the walker carries per-walker program state (its origin)
+    /// through the shuffle stages.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, WalkAlgorithm::Ppr { .. } | WalkAlgorithm::EarlyExit)
+    }
+
+    /// Whether individual walkers can die before the step budget runs
+    /// out, independent of any [`StopRule::Geometric`] coin.
+    pub fn can_terminate_early(&self) -> bool {
+        matches!(
+            self,
+            WalkAlgorithm::EarlyExit | WalkAlgorithm::Metapath { .. }
+        )
+    }
+
+    /// Whether sampling consults the graph's per-edge type labels.
+    pub fn uses_edge_labels(&self) -> bool {
+        matches!(self, WalkAlgorithm::Metapath { .. })
+    }
+
+    /// Stable short name, matching the CLI `--program` spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WalkAlgorithm::DeepWalk => "deepwalk",
+            WalkAlgorithm::Weighted => "weighted",
+            WalkAlgorithm::Node2Vec { .. } => "node2vec",
+            WalkAlgorithm::Ppr { .. } => "ppr",
+            WalkAlgorithm::EarlyExit => "early-exit",
+            WalkAlgorithm::Metapath { .. } => "metapath",
+        }
     }
 
     /// The maximum unnormalized node2vec weight (rejection bound).
@@ -84,5 +194,37 @@ mod tests {
     #[should_panic(expected = "first-order")]
     fn bound_panics_for_first_order() {
         let _ = WalkAlgorithm::DeepWalk.node2vec_bound();
+    }
+
+    #[test]
+    fn program_kernels_classify() {
+        let ppr = WalkAlgorithm::Ppr { alpha: 0.15 };
+        assert!(!ppr.is_second_order());
+        assert!(ppr.is_stateful());
+        assert!(!ppr.can_terminate_early());
+        assert!(!ppr.uses_edge_labels());
+
+        let ee = WalkAlgorithm::EarlyExit;
+        assert!(ee.is_stateful());
+        assert!(ee.can_terminate_early());
+
+        let mp = WalkAlgorithm::Metapath {
+            pattern: MetapathPattern::new(&[0, 1]).unwrap(),
+        };
+        assert!(!mp.is_stateful());
+        assert!(mp.can_terminate_early());
+        assert!(mp.uses_edge_labels());
+        assert_eq!(mp.name(), "metapath");
+    }
+
+    #[test]
+    fn metapath_pattern_cycles() {
+        let p = MetapathPattern::new(&[3, 5, 7]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.label_at(0), 3);
+        assert_eq!(p.label_at(4), 5);
+        assert_eq!(p.labels(), &[3, 5, 7]);
+        assert!(MetapathPattern::new(&[]).is_none());
+        assert!(MetapathPattern::new(&[0; 9]).is_none());
     }
 }

@@ -297,6 +297,16 @@ impl FlashMob {
                 "node2vec on weighted graphs is not supported".into(),
             ));
         }
+        if let crate::WalkAlgorithm::Ppr { alpha } = config.algorithm {
+            if !(alpha > 0.0 && alpha <= 1.0) {
+                return Err(WalkError::Planning(format!(
+                    "ppr restart probability must be in (0, 1], got {alpha}"
+                )));
+            }
+        }
+        if config.algorithm.uses_edge_labels() && !graph.is_labeled() {
+            return Err(WalkError::MissingLabels);
+        }
 
         let plan_start = Instant::now();
         // Pre-processing 1: degree-descending relabel (counting sort).
@@ -358,6 +368,7 @@ impl FlashMob {
             sprev: 0,
             slab_targets: 0,
             edge_bloom: space.alloc(e.max(64) as u64),
+            edge_labels: space.alloc(e.max(64) as u64),
         };
         let addr = EngineAddrs {
             map,
@@ -564,6 +575,18 @@ impl FlashMob {
             crate::WalkAlgorithm::Node2Vec { p, q } => {
                 fp.fold_u64(3).fold_u64(p.to_bits()).fold_u64(q.to_bits());
             }
+            crate::WalkAlgorithm::Ppr { alpha } => {
+                fp.fold_u64(4).fold_u64(alpha.to_bits());
+            }
+            crate::WalkAlgorithm::EarlyExit => {
+                fp.fold_u64(5);
+            }
+            crate::WalkAlgorithm::Metapath { pattern } => {
+                fp.fold_u64(6).fold_u64(pattern.len() as u64);
+                for &l in pattern.labels() {
+                    fp.fold_u64(l as u64);
+                }
+            }
         }
         match c.stop {
             crate::StopRule::FixedSteps(n) => {
@@ -661,9 +684,11 @@ impl FlashMob {
                 snap.iter_next, snap.steps_total
             )));
         }
-        if self.config.algorithm.is_second_order() && snap.prev.len() != walkers {
+        let carries_aux =
+            self.config.algorithm.is_second_order() || self.config.algorithm.is_stateful();
+        if carries_aux && snap.prev.len() != walkers {
             return Err(mismatch(
-                "second-order snapshot is missing previous-vertex state".into(),
+                "snapshot is missing per-walker auxiliary state (prev/origin)".into(),
             ));
         }
         if self.config.record_visits && snap.visits.len() != self.graph.vertex_count() {
@@ -793,6 +818,12 @@ impl FlashMob {
         let wall_start = Instant::now();
         let walkers = self.config.walkers;
         let second_order = self.config.algorithm.is_second_order();
+        // Stateful first-order programs (PPR restart, early exit) carry
+        // their origin through the same auxiliary shuffle lane the
+        // second-order predecessor uses; unlike the predecessor, the
+        // origin never changes, so the gather stage leaves it alone.
+        let stateful = self.config.algorithm.is_stateful();
+        let carries_aux = second_order || stateful;
         let steps = self.config.max_steps();
 
         // Walker initialization (in the sorted ID space; fixed starts are
@@ -807,8 +838,18 @@ impl FlashMob {
         let mut w_next = vec![0 as VertexId; walkers];
         let mut sw = vec![0 as VertexId; walkers];
         let mut snext = vec![0 as VertexId; walkers];
-        let (mut prev, mut prev_next, mut sprev) = if second_order {
-            (w.clone(), vec![0; walkers], vec![0; walkers])
+        let (mut prev, mut prev_next, mut sprev) = if carries_aux {
+            // For stateful programs `prev` holds the immutable origin
+            // (the initial position, exactly `w` at iteration 0).
+            (
+                w.clone(),
+                if second_order {
+                    vec![0; walkers]
+                } else {
+                    Vec::new()
+                },
+                vec![0; walkers],
+            )
         } else {
             (Vec::new(), Vec::new(), Vec::new())
         };
@@ -859,7 +900,7 @@ impl FlashMob {
             let span = tel.is_on().then(|| tel.now_ns());
             self.validate_snapshot(&snap, seed, steps)?;
             w = snap.w;
-            if second_order {
+            if carries_aux {
                 prev = snap.prev;
             }
             if self.config.record_visits {
@@ -923,7 +964,8 @@ impl FlashMob {
             // the loop head (equivalent to the tail of the previous
             // iteration) so a resumed run that restored an all-dead
             // state exits exactly where the uninterrupted run would.
-            if matches!(self.config.stop, crate::StopRule::Geometric { .. })
+            if (matches!(self.config.stop, crate::StopRule::Geometric { .. })
+                || self.config.algorithm.can_terminate_early())
                 && w.iter().all(|&v| v == DEAD)
             {
                 break;
@@ -937,9 +979,9 @@ impl FlashMob {
                 shuffler.par_count(&w, pool, &mut scratch);
                 shuffler.par_scatter(
                     &w,
-                    second_order.then_some(prev.as_slice()),
+                    carries_aux.then_some(prev.as_slice()),
                     &mut sw,
-                    second_order
+                    carries_aux
                         .then_some(sprev.as_mut_slice())
                         .map(|s| &mut s[..]),
                     pool,
@@ -949,9 +991,9 @@ impl FlashMob {
                 shuffler.count(&w, &mut scratch, shuffle_addrs, probe);
                 shuffler.scatter(
                     &w,
-                    second_order.then_some(prev.as_slice()),
+                    carries_aux.then_some(prev.as_slice()),
                     &mut sw,
-                    second_order
+                    carries_aux
                         .then_some(sprev.as_mut_slice())
                         .map(|s| &mut s[..]),
                     &mut scratch,
@@ -978,7 +1020,9 @@ impl FlashMob {
                 self.config.stop,
                 self.cum_weights.as_deref(),
             )
-            .with_edge_filter(self.edge_bloom.as_ref());
+            .with_edge_filter(self.edge_bloom.as_ref())
+            .at_iter(iter)
+            .with_edge_labels(self.graph.edge_labels());
             let dead_start = scratch.offsets[self.plan.partitions.len()] as usize;
             snext[dead_start..].fill(DEAD);
             let pf_before = traced.then(|| ring_prefetches.clone());
@@ -989,7 +1033,7 @@ impl FlashMob {
                     &ctx,
                     &scratch.offsets,
                     &sw,
-                    second_order.then_some(sprev.as_slice()),
+                    carries_aux.then_some(sprev.as_slice()),
                     &mut snext,
                     &mut ps_buffers,
                     &mut per_partition_steps,
@@ -1024,7 +1068,7 @@ impl FlashMob {
                     &ctx,
                     &scratch.offsets,
                     &sw,
-                    second_order.then_some(sprev.as_slice()),
+                    carries_aux.then_some(sprev.as_slice()),
                     &mut snext,
                     &mut ps_buffers,
                     &mut per_partition_steps,

@@ -48,11 +48,13 @@ pub mod output;
 pub mod partition;
 pub mod plan;
 pub mod pool;
+pub mod program;
 pub mod sample;
 pub mod shuffle;
 pub mod walker;
 
-pub use algorithm::{StopRule, WalkAlgorithm};
+pub use algorithm::{MetapathPattern, StopRule, WalkAlgorithm, MAX_METAPATH_LEN};
+pub use program::WalkProgram;
 pub use engine::{partition_stream_id, FlashMob, RunStats, StageTimes};
 pub use output::WalkOutput;
 pub use partition::{Partition, PartitionMap, SamplePolicy};
@@ -226,6 +228,8 @@ pub enum WalkError {
     NoWalkers,
     /// The weighted algorithm was requested on an unweighted graph.
     MissingWeights,
+    /// A metapath walk was requested on a graph without edge labels.
+    MissingLabels,
     /// The planner failed to find a feasible partitioning.
     Planning(String),
     /// An underlying graph-storage failure (disk graphs, binary IO).
@@ -250,6 +254,9 @@ impl std::fmt::Display for WalkError {
             WalkError::NoWalkers => write!(f, "configure at least one walker"),
             WalkError::MissingWeights => {
                 write!(f, "weighted walk requested on an unweighted graph")
+            }
+            WalkError::MissingLabels => {
+                write!(f, "metapath walk requested on a graph without edge labels")
             }
             WalkError::Planning(m) => write!(f, "partition planning failed: {m}"),
             WalkError::Graph(e) => write!(f, "graph storage error: {e}"),

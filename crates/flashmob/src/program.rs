@@ -1,0 +1,265 @@
+//! User-programmable walk API.
+//!
+//! DeepWalk and node2vec are two points in a family of walk scenarios;
+//! ThunderRW's gather-move-update interface and FlexiWalker's dynamic
+//! walks cover the family generically.  This module is the repo's
+//! equivalent: a [`WalkProgram`] trait exposing per-step transition
+//! weighting, dynamic termination, and small per-walker state.
+//!
+//! # Monomorphic compilation
+//!
+//! A program does **not** run through dynamic dispatch.  Its
+//! [`WalkProgram::kernel`] method lowers it to a [`WalkAlgorithm`]
+//! value — a `Copy` enum the PS/DS/ring hot paths in `engine`/`sample`
+//! already match on inside their innermost loops, where the branch
+//! predictor resolves the (loop-invariant) discriminant for free.  The
+//! legacy algorithms are themselves programs ([`DeepWalk`],
+//! [`Weighted`], [`Node2Vec`]), and configs built through
+//! [`WalkConfig::program`] are bit-identical to configs built the old
+//! way — the conformance lattice's golden digests prove the lowering
+//! lossless.
+//!
+//! # Per-walker state
+//!
+//! Stateful programs (PPR restart, early exit) carry one `u32` of state
+//! per walker: the walker's *origin*, i.e. its initial vertex.  The
+//! engine threads it through the shuffle stages in the same auxiliary
+//! lane second-order walks use for the predecessor, so the snapshot
+//! wire format and the shuffle kernels are unchanged.
+//!
+//! # The oracle contract
+//!
+//! Every program registered here must have a matching analytic
+//! transition-matrix oracle in `crates/conformance` — the lattice that
+//! already caught one real sampler bias is the price of entry for each
+//! new scenario.  `ci.sh`'s program tier fails the build when a
+//! registered program lacks its oracle entry.
+
+use crate::algorithm::{MetapathPattern, StopRule, WalkAlgorithm};
+use crate::WalkConfig;
+
+/// Names of the built-in programs, as spelled by `fmwalk walk
+/// --program <name>`.
+///
+/// The conformance crate cross-checks this registry against its oracle
+/// table; extend both together.
+pub const REGISTRY: [&str; 6] = [
+    "deepwalk",
+    "weighted",
+    "node2vec",
+    "ppr",
+    "early-exit",
+    "metapath",
+];
+
+/// A user-programmable walk scenario.
+///
+/// Implementors describe *what* a step does; the engine decides *how*
+/// to execute it cache-efficiently.  The contract:
+///
+/// * [`kernel`](WalkProgram::kernel) lowers the program to the `Copy`
+///   enum the hot paths monomorphize over (zero dispatch overhead);
+/// * [`default_stop`](WalkProgram::default_stop) supplies the stop rule
+///   a bare `--program <name>` run uses;
+/// * [`carries_origin`](WalkProgram::carries_origin) and
+///   [`can_terminate_early`](WalkProgram::can_terminate_early) declare
+///   the state/termination traits the engine must honor (both default
+///   to the kernel's own classification).
+///
+/// Adding a program also requires an analytic oracle entry in
+/// `crates/conformance` — see the module docs.
+pub trait WalkProgram {
+    /// Stable short name (the CLI `--program` spelling).
+    fn name(&self) -> &'static str;
+
+    /// Lowers the program to its monomorphic execution kernel.
+    fn kernel(&self) -> WalkAlgorithm;
+
+    /// The stop rule a default run of this program uses.
+    fn default_stop(&self) -> StopRule {
+        StopRule::FixedSteps(80)
+    }
+
+    /// Whether walkers carry their origin vertex as per-walker state.
+    fn carries_origin(&self) -> bool {
+        self.kernel().is_stateful()
+    }
+
+    /// Whether individual walkers can terminate before the step budget.
+    fn can_terminate_early(&self) -> bool {
+        self.kernel().can_terminate_early()
+    }
+}
+
+/// First-order uniform walk (the classic DeepWalk workload).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeepWalk;
+
+impl WalkProgram for DeepWalk {
+    fn name(&self) -> &'static str {
+        "deepwalk"
+    }
+
+    fn kernel(&self) -> WalkAlgorithm {
+        WalkAlgorithm::DeepWalk
+    }
+}
+
+/// First-order walk biased by static edge weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Weighted;
+
+impl WalkProgram for Weighted {
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+
+    fn kernel(&self) -> WalkAlgorithm {
+        WalkAlgorithm::Weighted
+    }
+}
+
+/// Second-order node2vec walk with return parameter `p` and in-out
+/// parameter `q`.
+#[derive(Debug, Clone, Copy)]
+pub struct Node2Vec {
+    /// Return parameter.
+    pub p: f64,
+    /// In-out parameter.
+    pub q: f64,
+}
+
+impl WalkProgram for Node2Vec {
+    fn name(&self) -> &'static str {
+        "node2vec"
+    }
+
+    fn kernel(&self) -> WalkAlgorithm {
+        WalkAlgorithm::Node2Vec {
+            p: self.p,
+            q: self.q,
+        }
+    }
+
+    fn default_stop(&self) -> StopRule {
+        StopRule::FixedSteps(40)
+    }
+}
+
+/// Personalized PageRank: restart to the walker's origin with
+/// probability `alpha` at every step.
+#[derive(Debug, Clone, Copy)]
+pub struct Ppr {
+    /// Restart probability in `(0, 1]`.
+    pub alpha: f64,
+}
+
+impl WalkProgram for Ppr {
+    fn name(&self) -> &'static str {
+        "ppr"
+    }
+
+    fn kernel(&self) -> WalkAlgorithm {
+        WalkAlgorithm::Ppr { alpha: self.alpha }
+    }
+}
+
+/// Early-exit walk: a walker that returns to its origin records the
+/// arrival and dies on the next iteration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EarlyExit;
+
+impl WalkProgram for EarlyExit {
+    fn name(&self) -> &'static str {
+        "early-exit"
+    }
+
+    fn kernel(&self) -> WalkAlgorithm {
+        WalkAlgorithm::EarlyExit
+    }
+}
+
+/// Metapath walk over typed edges following a cyclic label pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct Metapath {
+    /// The cyclic phase pattern.
+    pub pattern: MetapathPattern,
+}
+
+impl WalkProgram for Metapath {
+    fn name(&self) -> &'static str {
+        "metapath"
+    }
+
+    fn kernel(&self) -> WalkAlgorithm {
+        WalkAlgorithm::Metapath {
+            pattern: self.pattern,
+        }
+    }
+}
+
+impl WalkConfig {
+    /// Builds a configuration from a [`WalkProgram`]: the program's
+    /// kernel plus its default stop rule over the DeepWalk base
+    /// defaults.
+    ///
+    /// For the legacy three programs this is exactly equivalent to the
+    /// hand-rolled constructors — the conformance lattice's golden
+    /// digests hold for program-built configs too.
+    pub fn program(prog: &impl WalkProgram) -> Self {
+        let mut cfg = Self::deepwalk();
+        cfg.algorithm = prog.kernel();
+        cfg.stop = prog.default_stop();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_programs_lower_to_legacy_configs() {
+        let dw = WalkConfig::program(&DeepWalk);
+        let hand = WalkConfig::deepwalk();
+        assert_eq!(dw.algorithm, hand.algorithm);
+        assert_eq!(dw.stop, hand.stop);
+
+        let n2v = WalkConfig::program(&Node2Vec { p: 0.5, q: 2.0 });
+        let hand = WalkConfig::node2vec(0.5, 2.0);
+        assert_eq!(n2v.algorithm, hand.algorithm);
+        assert_eq!(n2v.stop, hand.stop);
+    }
+
+    #[test]
+    fn registry_matches_kernel_names() {
+        let progs: [&dyn WalkProgram; 6] = [
+            &DeepWalk,
+            &Weighted,
+            &Node2Vec { p: 1.0, q: 1.0 },
+            &Ppr { alpha: 0.15 },
+            &EarlyExit,
+            &Metapath {
+                pattern: MetapathPattern::new(&[0, 1]).unwrap(),
+            },
+        ];
+        for (name, prog) in REGISTRY.iter().zip(progs) {
+            assert_eq!(prog.name(), *name);
+            assert_eq!(prog.kernel().name(), *name);
+        }
+    }
+
+    #[test]
+    fn state_and_termination_traits() {
+        assert!(WalkProgram::carries_origin(&Ppr { alpha: 0.2 }));
+        assert!(!WalkProgram::can_terminate_early(&Ppr { alpha: 0.2 }));
+        assert!(WalkProgram::carries_origin(&EarlyExit));
+        assert!(WalkProgram::can_terminate_early(&EarlyExit));
+        let mp = Metapath {
+            pattern: MetapathPattern::new(&[1]).unwrap(),
+        };
+        assert!(!WalkProgram::carries_origin(&mp));
+        assert!(WalkProgram::can_terminate_early(&mp));
+        assert!(!WalkProgram::carries_origin(&DeepWalk));
+    }
+}

@@ -62,6 +62,8 @@ pub struct AddrMap {
     pub sprev: u64,
     /// Bloom edge-filter bit array.
     pub edge_bloom: u64,
+    /// Per-edge type labels (metapath walks).
+    pub edge_labels: u64,
 }
 
 /// Pre-sampled edge buffers for one PS partition (paper Figure 5).
@@ -152,6 +154,13 @@ pub struct AlgoCtx<'g> {
     pub edge_filter: Option<&'g EdgeBloom>,
     /// Per-step exit probability (0 for fixed-step walks).
     pub exit_prob: f64,
+    /// The walk iteration this sample stage advances (0-based).
+    /// Metapath walks select their phase label from it; early-exit
+    /// walks use it to grant the start vertex its iteration-0 grace.
+    pub iter: usize,
+    /// Per-edge type labels parallel to the CSR targets array (metapath
+    /// walks only).
+    pub edge_labels: Option<&'g [u8]>,
 }
 
 impl<'g> AlgoCtx<'g> {
@@ -174,12 +183,26 @@ impl<'g> AlgoCtx<'g> {
             cum_weights,
             edge_filter: None,
             exit_prob,
+            iter: 0,
+            edge_labels: None,
         }
     }
 
     /// Attaches a Bloom negative edge filter (second-order walks).
     pub fn with_edge_filter(mut self, filter: Option<&'g EdgeBloom>) -> Self {
         self.edge_filter = filter;
+        self
+    }
+
+    /// Sets the walk iteration this stage advances.
+    pub fn at_iter(mut self, iter: usize) -> Self {
+        self.iter = iter;
+        self
+    }
+
+    /// Attaches the per-edge type labels (metapath walks).
+    pub fn with_edge_labels(mut self, labels: Option<&'g [u8]>) -> Self {
+        self.edge_labels = labels;
         self
     }
 }
@@ -297,8 +320,13 @@ fn sample_ds<R: Rng64, P: Probe>(
                 }
                 None => pf.element(probe, offsets, v as usize, addr.offsets),
             }
-            if let Some(sp) = sprev {
-                pf.element(probe, offsets, sp[j] as usize, addr.offsets);
+            if ctx.algo.is_second_order() {
+                if let Some(sp) = sprev {
+                    // The connectivity probe will read t's offset pair.
+                    // (Stateful first-order programs also ride this lane
+                    // — their origin's adjacency is never read, so skip.)
+                    pf.element(probe, offsets, sp[j] as usize, addr.offsets);
+                }
             }
         },
         // Fetch: read the (now-resident) offset pair and hint the loads
@@ -314,15 +342,10 @@ fn sample_ds<R: Rng64, P: Probe>(
                 if let (WalkAlgorithm::Node2Vec { .. }, Some(sp)) = (ctx.algo, sprev) {
                     // The exact search binary-searches t's adjacency;
                     // its offset pair was hinted at inspect, so reading
-                    // it now is cheap.  Hint the search endpoints.
+                    // it now is cheap.  Hint the probes the search will
+                    // make (whole list when small, ladder when large).
                     let t = sp[j];
-                    let toff = graph.adjacency_start(t);
-                    let td = graph.degree(t);
-                    if td > 0 {
-                        pf.element(probe, targets, toff, addr.targets);
-                        pf.element(probe, targets, toff + td / 2, addr.targets);
-                        pf.element(probe, targets, toff + td - 1, addr.targets);
-                    }
+                    hint_connectivity_search(pf, probe, graph, targets, t, addr);
                 }
             }
             if slab.is_some() {
@@ -458,8 +481,13 @@ fn sample_ps<R: Rng64, P: Probe>(
             let (probe, buffers) = st;
             let i = (v - buffers.start) as usize;
             pf.element(probe, &buffers.cursor, i, addr.ps_cursor);
-            if let Some(sp) = sprev {
-                pf.element(probe, offsets, sp[j] as usize, addr.offsets);
+            if ctx.algo.is_second_order() {
+                if let Some(sp) = sprev {
+                    // The connectivity probe will read t's offset pair.
+                    // (Stateful first-order programs also ride this lane
+                    // — their origin's adjacency is never read, so skip.)
+                    pf.element(probe, offsets, sp[j] as usize, addr.offsets);
+                }
             }
         },
         // Fetch: read the (now-resident) cursor and hint what the
@@ -500,13 +528,7 @@ fn sample_ps<R: Rng64, P: Probe>(
                 if let Some(bloom) = ctx.edge_filter {
                     prefetch_bloom(pf, probe, bloom, t, cand, addr);
                 }
-                let toff = graph.adjacency_start(t);
-                let td = graph.degree(t);
-                if td > 0 {
-                    pf.element(probe, targets, toff, addr.targets);
-                    pf.element(probe, targets, toff + td / 2, addr.targets);
-                    pf.element(probe, targets, toff + td - 1, addr.targets);
-                }
+                hint_connectivity_search(pf, probe, graph, targets, t, addr);
             }
         },
         // Execute: the legacy per-walker body — sole RNG consumer, sole
@@ -549,6 +571,37 @@ fn sample_ps<R: Rng64, P: Probe>(
                         }
                     }
                 }
+                WalkAlgorithm::Ppr { alpha } => {
+                    // Teleport before touching the buffer: a restart
+                    // consumes no pre-sampled edge, keeping cursor state
+                    // identical to what the DS path would leave behind.
+                    let Some(origin) = prev else {
+                        unreachable!("ppr walk carries its origin")
+                    };
+                    if rng.next_f64() < alpha {
+                        origin
+                    } else {
+                        consume(graph, buffers, v, ctx, rng, probe, addr)
+                    }
+                }
+                WalkAlgorithm::EarlyExit => {
+                    let Some(origin) = prev else {
+                        unreachable!("early-exit walk carries its origin")
+                    };
+                    if v == origin && ctx.iter > 0 {
+                        DEAD
+                    } else {
+                        consume(graph, buffers, v, ctx, rng, probe, addr)
+                    }
+                }
+                WalkAlgorithm::Metapath { pattern } => {
+                    // Exact label scan on CSR; pre-sampled uniform
+                    // proposals cannot express the label constraint
+                    // without a biased rejection backstop (see
+                    // `metapath_pick`), so the buffers stay untouched.
+                    let d = graph.degree(v);
+                    metapath_pick(graph, v, d, None, pattern, ctx, rng, probe, addr)
+                }
                 _ => consume(graph, buffers, v, ctx, rng, probe, addr),
             };
             let next = apply_exit(next, ctx, rng);
@@ -564,6 +617,43 @@ fn sample_ps<R: Rng64, P: Probe>(
     TaskStats {
         steps,
         prefetches: pf.issued(),
+    }
+}
+
+/// Hints the lines the node2vec exact connectivity search over `t`'s
+/// adjacency will read.
+///
+/// Small lists (one to four cache lines) are prefetched whole; large
+/// lists get the first three levels of the binary-search ladder —
+/// midpoint, quartiles, octiles, both endpoints — instead of only the
+/// three probes the first version hinted.  On the parallel
+/// per-partition path this is the only latency hiding the connectivity
+/// search gets (the batched single-thread resolver rings its probes
+/// separately), which is why multi-thread node2vec previously measured
+/// only 1.04x from the ring.
+///
+/// Hints never consume RNG, so the walk output is bit-identical with
+/// or without them.
+fn hint_connectivity_search<P: Probe>(
+    pf: &mut ring::Pf,
+    probe: &mut P,
+    graph: &Csr,
+    targets: &[VertexId],
+    t: VertexId,
+    addr: &AddrMap,
+) {
+    let toff = graph.adjacency_start(t);
+    let td = graph.degree(t);
+    if td == 0 {
+        return;
+    }
+    if td <= 64 {
+        pf.span(probe, targets, toff, td, addr.targets);
+        return;
+    }
+    for frac in [0, td - 1, td / 2, td / 4, 3 * td / 4, td / 8, 3 * td / 8, 5 * td / 8, 7 * td / 8]
+    {
+        pf.element(probe, targets, toff + frac, addr.targets);
     }
 }
 
@@ -672,7 +762,83 @@ fn draw<R: Rng64, P: Probe>(
                 }
             }
         }
+        WalkAlgorithm::Ppr { alpha } => {
+            // Restart coin first: a teleport reads no edge at all.
+            let Some(origin) = prev else {
+                unreachable!("ppr walk carries its origin")
+            };
+            if rng.next_f64() < alpha {
+                origin
+            } else {
+                fetch(rng.gen_index(d), probe)
+            }
+        }
+        WalkAlgorithm::EarlyExit => {
+            // A walker standing on its origin after iteration 0 has
+            // recorded the return on the previous step; it dies now,
+            // consuming no RNG.  (At iteration 0 every walker stands on
+            // its origin — that is the start, not a return.)
+            let Some(origin) = prev else {
+                unreachable!("early-exit walk carries its origin")
+            };
+            if v == origin && ctx.iter > 0 {
+                DEAD
+            } else {
+                fetch(rng.gen_index(d), probe)
+            }
+        }
+        WalkAlgorithm::Metapath { pattern } => {
+            metapath_pick(graph, v, d, csr_off, pattern, ctx, rng, probe, addr)
+        }
     }
+}
+
+/// Uniform pick among the edges of `v` carrying this iteration's phase
+/// label, by exact scan of the label row.
+///
+/// The scan reads CSR directly (labels and targets are parallel
+/// arrays), bypassing slab/PS storage: a rejection filter over
+/// pre-drawn uniform proposals would inherit the 64-attempt
+/// fall-through backstop, whose weight-blind acceptances bias the
+/// conditional distribution — exactly the class of bug the conformance
+/// lattice caught in the node2vec sampler.  Returns [`DEAD`] (without
+/// consuming RNG) when no edge carries the label.
+#[allow(clippy::too_many_arguments)]
+fn metapath_pick<R: Rng64, P: Probe>(
+    graph: &Csr,
+    v: VertexId,
+    d: usize,
+    csr_off: Option<usize>,
+    pattern: crate::algorithm::MetapathPattern,
+    ctx: &AlgoCtx<'_>,
+    rng: &mut R,
+    probe: &mut P,
+    addr: &AddrMap,
+) -> VertexId {
+    let Some(labels) = ctx.edge_labels else {
+        unreachable!("metapath walk carries edge labels")
+    };
+    let want = pattern.label_at(ctx.iter);
+    let off = csr_off.unwrap_or_else(|| graph.adjacency_start(v));
+    let row = &labels[off..off + d];
+    probe.touch(addr.edge_labels + off as u64, d as u32, AccessKind::Random);
+    let allowed = row.iter().filter(|&&l| l == want).count();
+    if allowed == 0 {
+        return DEAD;
+    }
+    let r = rng.gen_index(allowed);
+    let mut seen = 0usize;
+    for (k, &l) in row.iter().enumerate() {
+        if l != want {
+            continue;
+        }
+        if seen == r {
+            probe.touch(addr.targets + 4 * (off + k) as u64, 4, AccessKind::Random);
+            return graph.targets()[off + k];
+        }
+        seen += 1;
+    }
+    unreachable!("the allowed count covers the label row")
 }
 
 /// Inverse-transform pick within one adjacency's cumulative weights.

@@ -23,6 +23,10 @@ pub struct Csr {
     offsets: Vec<usize>,
     targets: Vec<VertexId>,
     weights: Option<Vec<f32>>,
+    /// Optional per-edge type labels, parallel to `targets`.  Metapath
+    /// walks constrain each step to one label; everything else ignores
+    /// this sidecar.
+    labels: Option<Vec<u8>>,
 }
 
 impl Csr {
@@ -66,6 +70,7 @@ impl Csr {
             offsets,
             targets,
             weights,
+            labels: None,
         })
     }
 
@@ -108,7 +113,41 @@ impl Csr {
             offsets,
             targets,
             weights: None,
+            labels: None,
         })
+    }
+
+    /// Attaches per-edge type labels, parallel to [`Csr::targets`].
+    ///
+    /// Returns an error when the label array length differs from the
+    /// edge count.
+    pub fn with_edge_labels(mut self, labels: Vec<u8>) -> Result<Self, GraphError> {
+        if labels.len() != self.targets.len() {
+            return Err(GraphError::Format("labels length must equal |E|".into()));
+        }
+        self.labels = Some(labels);
+        Ok(self)
+    }
+
+    /// The flat per-edge label array, parallel to [`Csr::targets`], if
+    /// the graph is labeled.
+    #[inline]
+    pub fn edge_labels(&self) -> Option<&[u8]> {
+        self.labels.as_deref()
+    }
+
+    /// Edge labels of `v`, parallel to [`Csr::neighbors`], if labeled.
+    #[inline]
+    pub fn edge_labels_of(&self, v: VertexId) -> Option<&[u8]> {
+        let l = self.labels.as_ref()?;
+        let v = v as usize;
+        Some(&l[self.offsets[v]..self.offsets[v + 1]])
+    }
+
+    /// Returns `true` when per-edge type labels are present.
+    #[inline]
+    pub fn is_labeled(&self) -> bool {
+        self.labels.is_some()
     }
 
     /// Number of vertices.
@@ -204,9 +243,31 @@ impl Csr {
             self.weights.is_none(),
             "sorting adjacency lists would desynchronize edge weights"
         );
-        for v in 0..self.vertex_count() {
-            let (s, e) = (self.offsets[v], self.offsets[v + 1]);
-            self.targets[s..e].sort_unstable();
+        match self.labels.as_mut() {
+            None => {
+                for v in 0..self.vertex_count() {
+                    let (s, e) = (self.offsets[v], self.offsets[v + 1]);
+                    self.targets[s..e].sort_unstable();
+                }
+            }
+            Some(labels) => {
+                // Labels must follow their edges: sort (target, label)
+                // pairs by target, stably, so equal targets keep their
+                // label order deterministic.
+                for v in 0..self.offsets.len() - 1 {
+                    let (s, e) = (self.offsets[v], self.offsets[v + 1]);
+                    let mut row: Vec<(VertexId, u8)> = self.targets[s..e]
+                        .iter()
+                        .copied()
+                        .zip(labels[s..e].iter().copied())
+                        .collect();
+                    row.sort_by_key(|&(t, _)| t);
+                    for (k, (t, l)) in row.into_iter().enumerate() {
+                        self.targets[s + k] = t;
+                        labels[s + k] = l;
+                    }
+                }
+            }
         }
     }
 
@@ -236,6 +297,7 @@ impl Csr {
                 .weights
                 .as_ref()
                 .map_or(0, |w| w.len() * std::mem::size_of::<f32>())
+            + self.labels.as_ref().map_or(0, |l| l.len())
     }
 
     /// Checks that no vertex has degree zero.
@@ -342,6 +404,31 @@ mod tests {
     fn footprint_counts_all_arrays() {
         let g = triangle();
         let expect = 4 * std::mem::size_of::<usize>() + 3 * std::mem::size_of::<VertexId>();
+        assert_eq!(g.footprint_bytes(), expect);
+    }
+
+    #[test]
+    fn labels_attach_and_slice() {
+        let g = triangle().with_edge_labels(vec![7, 8, 9]).unwrap();
+        assert!(g.is_labeled());
+        assert_eq!(g.edge_labels(), Some(&[7u8, 8, 9][..]));
+        assert_eq!(g.edge_labels_of(1), Some(&[8u8][..]));
+        assert!(triangle().with_edge_labels(vec![1, 2]).is_err());
+    }
+
+    #[test]
+    fn sorting_carries_labels_with_their_edges() {
+        let g = Csr::from_edges(4, &[(0, 3), (0, 1), (0, 2), (1, 0), (2, 0), (3, 0)]).unwrap();
+        let mut g = g.with_edge_labels(vec![30, 10, 20, 0, 0, 0]).unwrap();
+        g.sort_adjacency_lists();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.edge_labels_of(0), Some(&[10u8, 20, 30][..]));
+    }
+
+    #[test]
+    fn labeled_footprint_includes_sidecar() {
+        let g = triangle().with_edge_labels(vec![0, 1, 0]).unwrap();
+        let expect = 4 * std::mem::size_of::<usize>() + 3 * std::mem::size_of::<VertexId>() + 3;
         assert_eq!(g.footprint_bytes(), expect);
     }
 }

@@ -107,6 +107,9 @@ impl Relabeling {
         let mut weights = graph
             .is_weighted()
             .then(|| Vec::with_capacity(graph.edge_count()));
+        let mut labels = graph
+            .is_labeled()
+            .then(|| Vec::with_capacity(graph.edge_count()));
         for new_id in 0..n {
             let old = self.new_to_old[new_id];
             for &t in graph.neighbors(old) {
@@ -115,8 +118,18 @@ impl Relabeling {
             if let (Some(ws), Some(src)) = (weights.as_mut(), graph.edge_weights(old)) {
                 ws.extend_from_slice(src);
             }
+            if let (Some(ls), Some(src)) = (labels.as_mut(), graph.edge_labels_of(old)) {
+                ls.extend_from_slice(src);
+            }
         }
-        Csr::from_parts(offsets, targets, weights).expect("relabeled graph is structurally valid")
+        let sorted = Csr::from_parts(offsets, targets, weights)
+            .expect("relabeled graph is structurally valid");
+        match labels {
+            Some(ls) => sorted
+                .with_edge_labels(ls)
+                .unwrap_or_else(|e| unreachable!("relabeled labels stay parallel to targets: {e}")),
+            None => sorted,
+        }
     }
 }
 
@@ -201,6 +214,19 @@ mod tests {
         assert_eq!(r.to_new(1), 0);
         assert_eq!(sorted.edge_weights(0), Some(&[1.0f32, 2.0][..]));
         assert_eq!(sorted.edge_weights(1), Some(&[9.0f32][..]));
+    }
+
+    #[test]
+    fn apply_carries_labels() {
+        let g = Csr::from_parts(vec![0, 1, 3], vec![1, 0, 0], None)
+            .unwrap()
+            .with_edge_labels(vec![9, 1, 2])
+            .unwrap();
+        let (sorted, r) = sort_by_degree(&g);
+        // Old vertex 1 (degree 2) becomes new vertex 0 with its labels.
+        assert_eq!(r.to_new(1), 0);
+        assert_eq!(sorted.edge_labels_of(0), Some(&[1u8, 2][..]));
+        assert_eq!(sorted.edge_labels_of(1), Some(&[9u8][..]));
     }
 
     #[test]

@@ -406,3 +406,155 @@ fn walker_ids_preserved_across_episodes_and_outputs() {
         assert_eq!(path[0] as usize, j, "walker {j} starts where assigned");
     }
 }
+
+// ---- WalkProgram edge cases ---------------------------------------------
+
+/// A labeled cycle with every edge labeled `label`.
+fn labeled_cycle(n: usize, label: u8) -> Csr {
+    let g = synth::cycle(n);
+    let m = g.edge_count();
+    g.with_edge_labels(vec![label; m]).expect("labels")
+}
+
+#[test]
+fn zero_step_program_walks_return_initial_placement() {
+    use flashmob_repro::flashmob::{MetapathPattern, WalkAlgorithm};
+    let g = labeled_cycle(8, 0);
+    for algo in [
+        WalkAlgorithm::Ppr { alpha: 0.5 },
+        WalkAlgorithm::EarlyExit,
+        WalkAlgorithm::Metapath {
+            pattern: MetapathPattern::new(&[0]).expect("pattern"),
+        },
+    ] {
+        let mut cfg = WalkConfig::deepwalk()
+            .walkers(6)
+            .steps(0)
+            .planner(tiny_planner());
+        cfg.algorithm = algo;
+        let out = FlashMob::new(&g, cfg).unwrap().run().unwrap();
+        assert_eq!(out.paths().len(), 6, "{algo:?}");
+        assert!(
+            out.paths().iter().all(|p| p.len() == 1),
+            "{algo:?}: zero steps must return only the placement"
+        );
+    }
+}
+
+#[test]
+fn ppr_alpha_one_pins_walkers_at_origin() {
+    // alpha = 1 teleports on every iteration: the walk never leaves its
+    // origin, on every plan policy.
+    use flashmob_repro::flashmob::WalkAlgorithm;
+    let g = synth::power_law(128, 2.0, 2, 16, 3);
+    for strategy in [PlanStrategy::UniformPs, PlanStrategy::UniformDs] {
+        let mut cfg = WalkConfig::deepwalk()
+            .walkers(256)
+            .steps(5)
+            .seed(7)
+            .strategy(strategy)
+            .planner(tiny_planner());
+        cfg.algorithm = WalkAlgorithm::Ppr { alpha: 1.0 };
+        let out = FlashMob::new(&g, cfg).unwrap().run().unwrap();
+        for path in out.paths() {
+            assert_eq!(path.len(), 6, "{strategy:?}");
+            assert!(
+                path.iter().all(|&v| v == path[0]),
+                "{strategy:?}: alpha=1 walk left its origin: {path:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn metapath_missing_phase_label_kills_all_walkers() {
+    use flashmob_repro::flashmob::{MetapathPattern, WalkAlgorithm};
+    // Every edge is labeled 0.  Pattern [0, 1]: the first hop succeeds,
+    // the second phase finds no admissible edge anywhere, so every path
+    // is exactly start + one hop.
+    let g = labeled_cycle(8, 0);
+    let mut cfg = WalkConfig::deepwalk()
+        .walkers(12)
+        .steps(5)
+        .planner(tiny_planner());
+    cfg.algorithm = WalkAlgorithm::Metapath {
+        pattern: MetapathPattern::new(&[0, 1]).expect("pattern"),
+    };
+    let out = FlashMob::new(&g, cfg).unwrap().run().unwrap();
+    assert!(
+        out.paths().iter().all(|p| p.len() == 2),
+        "phase-1 starvation must stop every walker after one hop"
+    );
+    // Pattern [1]: the very first phase is missing; no walker moves.
+    let mut cfg = WalkConfig::deepwalk()
+        .walkers(12)
+        .steps(5)
+        .planner(tiny_planner());
+    cfg.algorithm = WalkAlgorithm::Metapath {
+        pattern: MetapathPattern::new(&[1]).expect("pattern"),
+    };
+    let out = FlashMob::new(&g, cfg).unwrap().run().unwrap();
+    assert!(
+        out.paths().iter().all(|p| p.len() == 1),
+        "phase-0 starvation must stop every walker at its start"
+    );
+}
+
+#[test]
+fn metapath_without_labels_is_rejected() {
+    use flashmob_repro::flashmob::{MetapathPattern, WalkAlgorithm, WalkError};
+    let g = synth::cycle(8);
+    let mut cfg = WalkConfig::deepwalk()
+        .walkers(4)
+        .steps(2)
+        .planner(tiny_planner());
+    cfg.algorithm = WalkAlgorithm::Metapath {
+        pattern: MetapathPattern::new(&[0]).expect("pattern"),
+    };
+    match FlashMob::new(&g, cfg) {
+        Err(WalkError::MissingLabels) => {}
+        other => panic!("unlabeled metapath must fail with MissingLabels, got {other:?}"),
+    }
+}
+
+#[test]
+fn program_state_survives_checkpoint_halt_resume() {
+    // Per-walker program state (the origin lane) must ride the snapshot
+    // wire format: halting mid-run and resuming reproduces the
+    // uninterrupted walk bit for bit, for both stateful programs.
+    use flashmob_repro::flashmob::{CheckpointSpec, WalkAlgorithm, WalkError};
+    let g = synth::power_law(256, 2.0, 2, 24, 7);
+    for algo in [WalkAlgorithm::Ppr { alpha: 0.3 }, WalkAlgorithm::EarlyExit] {
+        let make = || {
+            let mut cfg = WalkConfig::deepwalk()
+                .walkers(512)
+                .steps(6)
+                .seed(9)
+                .planner(tiny_planner());
+            cfg.algorithm = algo;
+            FlashMob::new(&g, cfg).unwrap()
+        };
+        let full = make().run().unwrap();
+
+        let dir = std::env::temp_dir().join(format!(
+            "fm_edge_prog_ckpt_{}",
+            match algo {
+                WalkAlgorithm::Ppr { .. } => "ppr",
+                _ => "early_exit",
+            }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = CheckpointSpec::new(&dir, 2).halt_after(1);
+        match make().run_with_checkpoints(&spec) {
+            Err(WalkError::Halted { .. }) => {}
+            other => panic!("halt_after must stop the run, got {other:?}"),
+        }
+        let (resumed, _) = make().resume(&dir).unwrap();
+        assert_eq!(
+            full.paths(),
+            resumed.paths(),
+            "{algo:?}: resumed walk must be bit-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -355,3 +355,47 @@ fn shuffle_restores_walker_order_under_random_configs() {
         );
     }
 }
+
+#[test]
+fn program_state_round_trips_through_wire_codec() {
+    // Stateful walk programs carry each walker's origin in the
+    // snapshot's auxiliary (`prev`) lane; a checkpoint taken mid-run
+    // must restore it bit for bit under arbitrary sizes, values, and
+    // mixed PS/DS buffer states.
+    use flashmob_repro::recover::{PsPartState, WalkSnapshot};
+    let mut rng = Xorshift64Star::new(0x9a7e_57a7);
+    for case in 0..200 {
+        let walkers = gen_range(&mut rng, 0, 300) as usize;
+        let parts = gen_range(&mut rng, 1, 8) as usize;
+        let snap = WalkSnapshot {
+            seed: rng.next_u64(),
+            iter_next: gen_range(&mut rng, 0, 100),
+            steps_total: gen_range(&mut rng, 0, 100),
+            walkers: walkers as u64,
+            steps_taken: rng.next_u64() >> 8,
+            config_tag: rng.next_u64(),
+            graph_tag: rng.next_u64(),
+            per_partition_steps: (0..parts).map(|_| rng.next_u64() >> 16).collect(),
+            w: (0..walkers).map(|_| rng.next_u64() as u32).collect(),
+            // The program-state lane: arbitrary origins, including the
+            // DEAD sentinel (u32::MAX).
+            prev: (0..walkers).map(|_| rng.next_u64() as u32).collect(),
+            visits: Vec::new(),
+            ps: (0..parts)
+                .map(|_| {
+                    (rng.next_u64() & 1 == 0).then(|| PsPartState {
+                        buf: gen_vec(&mut rng, (0, 64), (0, u32::MAX as u64)),
+                        cursor: gen_vec(&mut rng, (0, 16), (0, 64)),
+                    })
+                })
+                .collect(),
+            rows: (0..gen_range(&mut rng, 0, 8))
+                .map(|_| gen_vec(&mut rng, (0, 12), (0, u32::MAX as u64)))
+                .collect(),
+        };
+        let bytes = snap.encode();
+        let back = WalkSnapshot::decode(&bytes, std::path::Path::new("prop.fmck"))
+            .unwrap_or_else(|e| panic!("case {case}: decode failed: {e}"));
+        assert_eq!(snap, back, "case {case}: snapshot must round-trip");
+    }
+}

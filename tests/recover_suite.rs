@@ -3,8 +3,11 @@
 //! 1. **Exact recovery**: killing a run at *every* checkpoint
 //!    generation and resuming it reproduces the golden path digest of
 //!    the uninterrupted run, bit for bit, for FlashMob auto/PS/DS at
-//!    1 and 8 threads and for the out-of-core engine (the full crash
-//!    matrix from [`flashmob_repro::conformance::crash`]).
+//!    1 and 8 threads, for the out-of-core engine, and for every
+//!    registered walk program — whose per-walker origin state, early
+//!    deaths, and edge labels must survive the checkpoint boundary
+//!    (the full crash matrix from
+//!    [`flashmob_repro::conformance::crash`]).
 //! 2. **Overhead**: checkpointing every 8 iterations must cost < 5%
 //!    wall time over a checkpoint-free run (best-of-N, interleaved so
 //!    both configurations see the same thermal/cache conditions).
@@ -44,8 +47,10 @@ fn full_crash_matrix_resumes_bit_exactly() {
         "crash matrix failures:\n{}",
         failures.join("\n")
     );
-    // auto/ps/ds x {1, 8} threads x 4 kill generations + oocore x 4.
-    assert_eq!(report.cases.len(), 28);
+    // auto/ps/ds x {1, 8} threads x 4 kill generations + oocore x 4 +
+    // the three programs (ppr, early-exit, metapath) x auto/ps/ds x
+    // {1, 8} threads x 4 kill generations.
+    assert_eq!(report.cases.len(), 100);
 }
 
 #[test]
