@@ -20,7 +20,12 @@
 #      disjointness checker's tests, and the conformance quick lattice
 #      under --features audit-disjoint; an env-gated nightly Miri pass
 #      (AUDIT_MIRI=1) covers the recover codecs and fm-rng
-#   9. clippy with warnings promoted to errors
+#   9. perf tier: `bench-diff`'s exit-code contract on hand-written
+#      ledgers, a `walk --hw-counters` / `cachecheck` degradation
+#      round trip (exit 0 with or without PMU access), and — only on
+#      hosts with working counters — a fresh test-scale bench run
+#      compared against the committed BENCH_BASELINE.json
+#  10. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -134,6 +139,56 @@ if [[ "${AUDIT_MIRI:-0}" == "1" ]]; then
     fi
 else
     echo "audit: Miri tier skipped (set AUDIT_MIRI=1 on a nightly with miri)"
+fi
+
+echo "== perf tier (hardware observability + bench ledger) =="
+PERF_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP" "$RECOVER_TMP" "$PERF_TMP"' EXIT
+# bench-diff's exit-code contract is machine-independent: check it with
+# hand-written ledgers.  Same numbers -> 0; a 3x slowdown -> 1; a
+# missing baseline file -> 2.
+cat > "$PERF_TMP/base.jsonl" <<'JSONL'
+{"fig": "smoke", "label": "ci", "case": "a", "per_step_ns": 100.0, "speedup": 2.0}
+JSONL
+cat > "$PERF_TMP/ok.jsonl" <<'JSONL'
+{"fig": "smoke", "label": "ci", "case": "a", "per_step_ns": 120.0, "speedup": 1.8}
+JSONL
+cat > "$PERF_TMP/bad.jsonl" <<'JSONL'
+{"fig": "smoke", "label": "ci", "case": "a", "per_step_ns": 300.0, "speedup": 2.0}
+JSONL
+cargo run --release -q -p fm-cli -- bench-diff "$PERF_TMP/ok.jsonl" \
+    --baseline "$PERF_TMP/base.jsonl" >/dev/null
+if cargo run --release -q -p fm-cli -- bench-diff "$PERF_TMP/bad.jsonl" \
+    --baseline "$PERF_TMP/base.jsonl" >/dev/null 2>&1; then
+    echo "bench-diff missed a 3x regression" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 1 ]] || { echo "regression diff exited $code, want 1" >&2; exit 1; }
+fi
+if cargo run --release -q -p fm-cli -- bench-diff "$PERF_TMP/ok.jsonl" \
+    --baseline "$PERF_TMP/nonexistent.json" >/dev/null 2>&1; then
+    echo "bench-diff passed without a baseline" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 2 ]] || { echo "missing-baseline diff exited $code, want 2" >&2; exit 1; }
+fi
+# Degradation round trip: both commands must exit 0 with or without
+# PMU access; --hw-counters merely adds a stderr notice when degraded.
+cargo run --release -q -p fm-cli -- walk "$TELEMETRY_TMP/g.bin" \
+    --steps 8 --walkers 1024 --hw-counters >/dev/null
+cargo run --release -q -p fm-cli -- cachecheck --quick > "$PERF_TMP/cachecheck.txt"
+# Hardware-gated: compare a fresh test-scale bench run against the
+# committed ledger only where counters exist (wall-clock numbers from a
+# PMU-less container are still compared — the ledger was recorded on
+# one — but we keep the gate conservative and visible).
+if grep -q "SIMULATION-ONLY" "$PERF_TMP/cachecheck.txt"; then
+    echo "perf: no hardware counters on this host; skipping the"
+    echo "perf: fresh-run comparison against BENCH_BASELINE.json"
+else
+    cargo run --release -q -p fm-bench --bin fig_prefetch -- --json \
+        | grep '^{' > "$PERF_TMP/fresh.jsonl"
+    cargo run --release -q -p fm-cli -- bench-diff "$PERF_TMP/fresh.jsonl" \
+        --baseline BENCH_BASELINE.json
 fi
 
 echo "== cargo clippy (deny warnings) =="

@@ -1,0 +1,11 @@
+// Hand-rolled perf access outside the perfmon syscall shim.
+use std::ffi::c_long;
+
+extern "C" {
+    fn syscall(num: c_long, ...) -> c_long;
+}
+
+pub fn rogue_open(attr: *const u8) -> c_long {
+    // SAFETY: caller passes a valid perf_event_attr pointer.
+    unsafe { syscall(298, attr, 0, -1, -1, 0) }
+}

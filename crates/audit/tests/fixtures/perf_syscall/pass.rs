@@ -1,0 +1,5 @@
+// Counter access flows through fm-perfmon's typed CounterGroup; the
+// raw perf_event ABI stays in the perfmon syscall shim.
+pub fn counters_available() -> bool {
+    fm_perfmon::available()
+}

@@ -21,7 +21,7 @@ fn lints_of(path: &str, src: &str) -> Vec<Lint> {
 }
 
 /// (fixture dir, lint, synthetic path the lint applies at).
-const RS_CASES: [(&str, Lint, &str); 6] = [
+const RS_CASES: [(&str, Lint, &str); 7] = [
     (
         "unsafe_needs_safety",
         Lint::UnsafeNeedsSafety,
@@ -44,6 +44,7 @@ const RS_CASES: [(&str, Lint, &str); 6] = [
         Lint::PrefetchIntrinsic,
         "crates/x/src/a.rs",
     ),
+    ("perf_syscall", Lint::PerfSyscall, "crates/x/src/a.rs"),
 ];
 
 #[test]
@@ -115,6 +116,7 @@ fn bad_workspace_trips_every_lint() {
         Lint::NarrowingCast,
         Lint::UnwrapRatchet,
         Lint::PrefetchIntrinsic,
+        Lint::PerfSyscall,
     ] {
         assert!(
             fired.contains(&lint.name()),

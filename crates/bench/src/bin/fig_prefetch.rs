@@ -15,7 +15,7 @@
 
 use flashmob::{FlashMob, MetapathPattern, WalkAlgorithm, WalkConfig};
 use fm_bench::{analog, scaled_planner, timed, HarnessOpts};
-use fm_graph::presets::PaperGraph;
+use fm_graph::presets::{AnalogScale, PaperGraph};
 use fm_graph::Csr;
 use fm_rng::Rng64;
 
@@ -79,6 +79,13 @@ fn run_once(
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    // Part of the JSONL identity key: cells measured at different
+    // analog scales must never be compared against each other.
+    let scale_tag = match opts.scale {
+        AnalogScale::Test => "test",
+        AnalogScale::Bench => "bench",
+        AnalogScale::Large => "large",
+    };
     let which = PaperGraph::YahooWeb;
     let g = analog(which, opts.scale);
     let wg = weighted_copy(&g);
@@ -147,6 +154,7 @@ fn main() {
                             which.tag(),
                             &[
                                 ("algo", format!("\"{}\"", json::escape(name))),
+                                ("scale", format!("\"{}\"", json::escape(scale_tag))),
                                 ("threads", json::num(threads as f64)),
                                 ("ring_depth", json::num(depth as f64)),
                                 ("wall_s", json::num(secs)),

@@ -9,6 +9,8 @@
 //! * [`analog`] — cached generation of the five graph analogs;
 //! * small table-formatting helpers.
 
+pub mod baseline;
+
 use std::time::Instant;
 
 use fm_graph::presets::{AnalogScale, PaperGraph};

@@ -80,6 +80,10 @@ pub enum Command {
         /// 0 = leave the graph unlabeled).  Metapath programs need a
         /// labeled graph.
         labels: usize,
+        /// Attribute hardware counters (cycles, LLC/dTLB misses) to
+        /// stages via perf_event; degrades with a notice when the host
+        /// grants no perf access.
+        hw_counters: bool,
     },
     /// `fmwalk resume`: continue an interrupted `walk` from the latest
     /// checkpoint in a directory.  The configuration flags must match
@@ -148,6 +152,24 @@ pub enum Command {
         /// analytic oracles) plus the registry/oracle audit instead of
         /// the classical-algorithm lattice.
         programs: bool,
+    },
+    /// `fmwalk cachecheck`: cross-validate the memsim cache model
+    /// against hardware counters on the profiler's synthetic-VP sweep.
+    Cachecheck {
+        /// Use the small grid (seconds instead of minutes).
+        quick: bool,
+        /// Emit JSONL records instead of the human table.
+        json: bool,
+    },
+    /// `fmwalk bench-diff`: compare a fresh JSONL bench run against the
+    /// committed baseline ledger.
+    BenchDiff {
+        /// Fresh results (JSON Lines, the bench bins' `--json` output).
+        fresh: PathBuf,
+        /// Baseline ledger path.
+        baseline: PathBuf,
+        /// Fractional regression tolerance (e.g. 0.5 = 50% slower).
+        tolerance: f64,
     },
     /// `fmwalk trace-check`.
     TraceCheck {
@@ -415,6 +437,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut progress = false;
             let mut checkpoint_dir = None;
             let mut checkpoint_every = 0usize;
+            let mut hw_counters = false;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
                     "--checkpoint-dir" => {
@@ -450,6 +473,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--trace" => trace = Some(PathBuf::from(c.expect("trace path")?)),
                     "--metrics" => metrics = Some(PathBuf::from(c.expect("metrics path")?)),
                     "--progress" => progress = true,
+                    "--hw-counters" => hw_counters = true,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -473,6 +497,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 checkpoint_dir,
                 checkpoint_every,
                 labels,
+                hw_counters,
             })
         }
         "resume" => {
@@ -602,6 +627,38 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 full,
                 emit_golden,
                 programs,
+            })
+        }
+        "cachecheck" => {
+            let mut quick = false;
+            let mut json = false;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--quick" => quick = true,
+                    "--json" => json = true,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Cachecheck { quick, json })
+        }
+        "bench-diff" => {
+            let fresh = PathBuf::from(c.expect("fresh results path")?);
+            let mut baseline = PathBuf::from("BENCH_BASELINE.json");
+            let mut tolerance = fm_bench::baseline::DEFAULT_TOLERANCE;
+            while let Some(flag) = c.next() {
+                match flag.as_str() {
+                    "--baseline" => baseline = PathBuf::from(c.expect("baseline path")?),
+                    "--tolerance" => tolerance = c.value("--tolerance")?,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            if !tolerance.is_finite() || tolerance < 0.0 {
+                return Err(err("--tolerance must be a finite non-negative fraction"));
+            }
+            Ok(Command::BenchDiff {
+                fresh,
+                baseline,
+                tolerance,
             })
         }
         "trace-check" => {
@@ -1009,6 +1066,79 @@ mod tests {
         );
         assert!(p("audit --bogus").unwrap_err().0.contains("unknown flag"));
         assert!(p("audit --root").unwrap_err().0.contains("workspace root"));
+    }
+
+    #[test]
+    fn walk_hw_counters_flag() {
+        match p("walk g.bin --hw-counters").unwrap() {
+            Command::Walk { hw_counters, .. } => assert!(hw_counters),
+            other => panic!("{other:?}"),
+        }
+        match p("walk g.bin").unwrap() {
+            Command::Walk { hw_counters, .. } => assert!(!hw_counters),
+            other => panic!("{other:?}"),
+        }
+        // Resume does not take the flag (checkpointed replay must stay
+        // bit-identical to the interrupted invocation's flag set).
+        assert!(p("resume g.bin ck --hw-counters")
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn cachecheck_command() {
+        assert_eq!(
+            p("cachecheck").unwrap(),
+            Command::Cachecheck {
+                quick: false,
+                json: false
+            }
+        );
+        assert_eq!(
+            p("cachecheck --quick --json").unwrap(),
+            Command::Cachecheck {
+                quick: true,
+                json: true
+            }
+        );
+        assert!(p("cachecheck --bogus").unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn bench_diff_command() {
+        match p("bench-diff fresh.jsonl").unwrap() {
+            Command::BenchDiff {
+                fresh,
+                baseline,
+                tolerance,
+            } => {
+                assert_eq!(fresh, PathBuf::from("fresh.jsonl"));
+                assert_eq!(baseline, PathBuf::from("BENCH_BASELINE.json"));
+                assert_eq!(tolerance, fm_bench::baseline::DEFAULT_TOLERANCE);
+            }
+            other => panic!("{other:?}"),
+        }
+        match p("bench-diff f.jsonl --baseline b.json --tolerance 0.25").unwrap() {
+            Command::BenchDiff {
+                baseline,
+                tolerance,
+                ..
+            } => {
+                assert_eq!(baseline, PathBuf::from("b.json"));
+                assert_eq!(tolerance, 0.25);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(p("bench-diff").unwrap_err().0.contains("fresh results"));
+        assert!(p("bench-diff f --tolerance -1")
+            .unwrap_err()
+            .0
+            .contains("non-negative"));
+        assert!(p("bench-diff f --tolerance x")
+            .unwrap_err()
+            .0
+            .contains("bad value"));
     }
 
     #[test]

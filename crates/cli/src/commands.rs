@@ -255,13 +255,26 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             checkpoint_dir,
             checkpoint_every,
             labels,
+            hw_counters,
         } => {
             let g = with_derived_labels(load_graph(&graph)?, labels)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
             let algorithm = walk_algorithm(algo);
             let record_paths = output.is_some();
             let record_visits = visits.is_some();
-            let mut tel = make_telemetry(trace.is_some() || metrics.is_some(), progress, show_stats);
+            let mut tel = make_telemetry(
+                trace.is_some() || metrics.is_some() || hw_counters,
+                progress,
+                show_stats,
+            );
+            if hw_counters {
+                // Degradation is part of the contract: unprivileged or
+                // PMU-less hosts get a notice on stderr and an otherwise
+                // bit-identical run.
+                if let Err(reason) = tel.enable_hw_counters() {
+                    eprintln!("[fmwalk] {reason}; continuing without");
+                }
+            }
             let checkpoint = match (checkpoint_dir, checkpoint_every) {
                 (None, 0) => None,
                 (None, _) => {
@@ -546,6 +559,158 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             }
             Ok(())
         }
+        Command::Cachecheck { quick, json } => {
+            use fm_profiler::cachecheck;
+            let grid = cachecheck::default_grid(quick);
+            let n_cells = grid.vp_sizes.len() * grid.degrees.len() * grid.densities.len() * 2;
+            writeln!(
+                out,
+                "cachecheck: {n_cells} cells, memsim (Skylake-SP model) vs hardware counters"
+            )
+            .map_err(fail)?;
+            let report = cachecheck::run(&grid, fm_memsim::HierarchyConfig::skylake_server());
+            match &report.hw_reason {
+                // Degraded hosts still get the predicted side; the label
+                // makes clear no hardware was measured.  Exit 0 either
+                // way — cachecheck reports, it does not gate.
+                Some(reason) => {
+                    writeln!(out, "{reason}; SIMULATION-ONLY report").map_err(fail)?
+                }
+                None => writeln!(out, "hw events: {}", report.hw_events.join(", "))
+                    .map_err(fail)?,
+            }
+            if json {
+                for c in &report.cells {
+                    writeln!(out, "{}", cachecheck_json(c)).map_err(fail)?;
+                }
+            } else {
+                let header = format!(
+                    "{:>9} {:>6} {:>5} {:<9} {:>10} {:>9} {:>9} {:>9}",
+                    "vp", "deg", "dens", "policy", "ns/step", "sim miss", "hw miss", "diverg"
+                );
+                writeln!(out, "{header}").map_err(fail)?;
+                for c in &report.cells {
+                    let pct = |v: f64| format!("{:.1}%", v * 100.0);
+                    let opt = |v: Option<f64>| {
+                        v.map(pct).unwrap_or_else(|| "--".to_string())
+                    };
+                    writeln!(
+                        out,
+                        "{:>9} {:>6} {:>5.2} {:<9} {:>10} {:>9} {:>9} {:>9}",
+                        c.vp_size,
+                        c.degree,
+                        c.density,
+                        format!("{:?}", c.policy),
+                        if c.ns_per_step.is_finite() {
+                            format!("{:.1}", c.ns_per_step)
+                        } else {
+                            "--".to_string()
+                        },
+                        pct(c.sim_llc_miss_rate),
+                        opt(c.hw.as_ref().and_then(|h| h.llc_miss_rate)),
+                        opt(c.divergence()),
+                    )
+                    .map_err(fail)?;
+                }
+            }
+            match report.max_divergence() {
+                Some(d) => writeln!(
+                    out,
+                    "max predicted-vs-measured LLC miss-rate divergence: {:.1}%",
+                    d * 100.0
+                )
+                .map_err(fail)?,
+                None => writeln!(
+                    out,
+                    "no measured side available; predicted columns only"
+                )
+                .map_err(fail)?,
+            }
+            Ok(())
+        }
+        Command::BenchDiff {
+            fresh,
+            baseline,
+            tolerance,
+        } => {
+            use fm_bench::baseline as ledger;
+            // A missing baseline is an environment failure (exit 2),
+            // distinct from a regression (exit 1): ci.sh and scripted
+            // callers dispatch on the difference.
+            let btext = std::fs::read_to_string(&baseline).map_err(|e| {
+                fail_io(format!(
+                    "cannot read baseline {}: {e} (regenerate with the bench \
+                     bins' --json output and commit BENCH_BASELINE.json)",
+                    baseline.display()
+                ))
+            })?;
+            let ftext = std::fs::read_to_string(&fresh).map_err(|e| {
+                fail_io(format!("cannot read fresh results {}: {e}", fresh.display()))
+            })?;
+            let b = ledger::parse_jsonl(&btext)
+                .map_err(|e| fail(format!("baseline {}: {e}", baseline.display())))?;
+            let f = ledger::parse_jsonl(&ftext)
+                .map_err(|e| fail(format!("fresh {}: {e}", fresh.display())))?;
+            let report = ledger::diff(&b, &f, tolerance);
+            writeln!(
+                out,
+                "bench-diff: {} compared metric(s) across {} baseline / {} fresh \
+                 cell(s), tolerance {:.0}%",
+                report.lines.len(),
+                b.len(),
+                f.len(),
+                tolerance * 100.0
+            )
+            .map_err(fail)?;
+            for l in &report.lines {
+                writeln!(
+                    out,
+                    "{:<5} {:<20} {:>12.4} -> {:>12.4} ({:>5.2}x)  {}",
+                    if l.regressed { "REGR" } else { "ok" },
+                    l.metric,
+                    l.baseline,
+                    l.fresh,
+                    l.ratio,
+                    l.key
+                )
+                .map_err(fail)?;
+            }
+            if report.unmatched_fresh > 0 {
+                writeln!(
+                    out,
+                    "{} fresh cell(s) have no baseline counterpart (new coverage)",
+                    report.unmatched_fresh
+                )
+                .map_err(fail)?;
+            }
+            if report.unmatched_baseline > 0 {
+                writeln!(
+                    out,
+                    "{} baseline cell(s) not covered by this run",
+                    report.unmatched_baseline
+                )
+                .map_err(fail)?;
+            }
+            if report.lines.is_empty() {
+                writeln!(
+                    out,
+                    "warning: no comparable cells (identity keys are disjoint)"
+                )
+                .map_err(fail)?;
+            }
+            let regressed = report.regressions().count();
+            if regressed > 0 {
+                return Err(CmdError(
+                    format!(
+                        "bench-diff: {regressed} metric(s) regressed beyond the \
+                         {:.0}% tolerance",
+                        tolerance * 100.0
+                    ),
+                    ExitKind::Other,
+                ));
+            }
+            Ok(())
+        }
         Command::TraceCheck { file } => {
             let text = std::fs::read_to_string(&file)
                 .map_err(|e| fail_io(format!("cannot read {}: {e}", file.display())))?;
@@ -742,6 +907,50 @@ fn conform_programs<W: Write>(out: &mut W, full: bool, emit_golden: bool) -> Res
     Ok(())
 }
 
+/// Renders one `fmwalk cachecheck --json` record in the shared bench
+/// JSONL schema (`fig`/`label` identity plus compared metric fields),
+/// so cachecheck output feeds `bench-diff` like any harness binary.
+fn cachecheck_json(c: &fm_profiler::cachecheck::CellResult) -> String {
+    use fm_telemetry::json;
+    let mut fields: Vec<(&str, String)> = vec![
+        ("policy", format!("\"{:?}\"", c.policy)),
+        ("vp_size", json::num(c.vp_size as f64)),
+        ("degree", json::num(c.degree as f64)),
+        ("density", json::num(c.density)),
+        ("steps", json::num(c.steps as f64)),
+        ("sim_llc_miss_rate", json::num(c.sim_llc_miss_rate)),
+        ("sim_fills_per_step", json::num(c.sim_fills_per_step)),
+    ];
+    if c.ns_per_step.is_finite() {
+        fields.push(("ns_per_step", json::num(c.ns_per_step)));
+    }
+    if let Some(h) = &c.hw {
+        fields.push(("llc_misses_per_step", json::num(h.llc_misses_per_step)));
+        fields.push(("dtlb_misses_per_step", json::num(h.dtlb_misses_per_step)));
+        if let Some(v) = h.llc_miss_rate {
+            fields.push(("llc_miss_rate", json::num(v)));
+        }
+        if let Some(v) = h.ipc {
+            fields.push(("ipc", json::num(v)));
+        }
+    }
+    if let Some(d) = c.divergence() {
+        fields.push(("divergence", json::num(d)));
+    }
+    fm_bench::json_line("cachecheck", "synthetic-vp", &fields)
+}
+
+/// Formats a steps/s rate compactly for the heartbeat line.
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
 /// Telemetry is recorded whenever any consumer asked for it; otherwise
 /// the recorder stays disabled and the engines take their untraced
 /// path.
@@ -752,10 +961,28 @@ fn make_telemetry(exporting: bool, progress: bool, show_stats: bool) -> Telemetr
         Telemetry::off()
     };
     if progress {
+        // Live throughput from the step counters, plus an ETA scaled
+        // from the per-generation pace so far (unknowable before the
+        // first generation completes).
         tel.set_heartbeat(std::time::Duration::from_secs(1), |p| {
+            let secs = p.elapsed.as_secs_f64();
+            let rate = if secs > 0.0 {
+                p.steps_taken as f64 / secs
+            } else {
+                0.0
+            };
+            let eta = if p.step > 0 && p.total_steps > p.step {
+                let remaining = (p.total_steps - p.step) as f64;
+                format!("{:.0}s", secs / p.step as f64 * remaining)
+            } else {
+                "--".to_string()
+            };
             eprintln!(
-                "[fmwalk] step {}/{}: {} walker-steps in {:.1?}",
-                p.step, p.total_steps, p.steps_taken, p.elapsed
+                "[fmwalk] step {}/{} | {} walker-steps | {} steps/s | ETA {eta}",
+                p.step,
+                p.total_steps,
+                p.steps_taken,
+                fmt_rate(rate)
             );
         });
     }
@@ -784,6 +1011,27 @@ fn report_run<W: Write>(out: &mut W, tel: &Telemetry, r: RunReport) -> Result<()
         r.steps_taken, r.per_step_ns
     )
     .map_err(fail)?;
+    if let Some(t) = tel.hw_total() {
+        use fm_telemetry::HwEvent;
+        let ipc = t
+            .ipc()
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "--".to_string());
+        let miss = t
+            .llc_miss_rate()
+            .map(|v| format!("{:.1}%", v * 100.0))
+            .unwrap_or_else(|| "--".to_string());
+        writeln!(
+            out,
+            "hw: {} cycles, {} instructions (ipc {}), llc miss {}, {} dtlb misses",
+            t.get(HwEvent::Cycles),
+            t.get(HwEvent::Instructions),
+            ipc,
+            miss,
+            t.get(HwEvent::DtlbMisses)
+        )
+        .map_err(fail)?;
+    }
     if let Some(report) = r.stats_report {
         write!(out, "{report}").map_err(fail)?;
         if tel.is_on() {

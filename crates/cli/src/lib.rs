@@ -25,6 +25,7 @@ USAGE:
                       [--threads N] [--strategy dp|ups|uds|manual]
                       [--output <paths.txt>] [--visits <visits.txt>] [--stats]
                       [--trace <out.json>] [--metrics <out.jsonl>] [--progress]
+                      [--hw-counters]
                       [--checkpoint-dir <dir>] [--checkpoint-every N]
   fmwalk resume <graph> <ckpt-dir> [same flags as walk, minus --engine
                       and the checkpoint flags]
@@ -34,6 +35,8 @@ USAGE:
                       [--degree N] [--seed N]
   fmwalk profile [--out <profile.txt>] [--quick]
   fmwalk conform [--quick | --full] [--emit-golden] [--programs]
+  fmwalk cachecheck [--quick] [--json]
+  fmwalk bench-diff <fresh.jsonl> [--baseline <file>] [--tolerance X]
   fmwalk trace-check <trace.json>
   fmwalk audit [--root <dir>] [--json] [--update-ratchet]
   fmwalk help
@@ -45,6 +48,18 @@ FMG1 magic, as a whitespace edge list otherwise.
 chrome://tracing or Perfetto); `--metrics` writes per-stage and
 per-partition counters as JSON Lines; `trace-check` validates a trace
 file against the in-tree TEF checker.
+
+`walk --hw-counters` attributes hardware counters (cycles,
+instructions, LLC loads/misses, dTLB misses, backend stalls) to
+pipeline stages via perf_event and folds them into `--stats`,
+`--trace`, and `--metrics` output.  On hosts without perf access the
+run degrades with a stderr notice and is otherwise bit-identical.
+`cachecheck` cross-validates the memsim cache model against the same
+counters on the profiler's synthetic-VP sweep (simulation-only, exit
+0, when counters are unavailable).  `bench-diff` compares a fresh
+bench `--json` run against the committed `BENCH_BASELINE.json` ledger
+with a noise-tolerant threshold (default 50%): exit 0 pass, 1
+regression, 2 baseline missing.
 
 `walk --program` (alias of `--algo`) selects a walk program: `ppr`
 restarts at the walker's origin with probability `--alpha` (default

@@ -1077,6 +1077,7 @@ impl FlashMob {
                     iter,
                     seed,
                     probe,
+                    tel,
                 );
             }
             stage.sample += t1.elapsed();
@@ -1306,8 +1307,10 @@ impl FlashMob {
         iter: usize,
         seed: u64,
         probe: &mut P,
+        tel: &mut Telemetry,
     ) -> u64 {
         let mut taken = 0u64;
+        let hw = tel.hw_enabled();
         for (pi, part) in self.plan.partitions.iter().enumerate() {
             let (a, b) = (offsets[pi] as usize, offsets[pi + 1] as usize);
             if a == b {
@@ -1343,6 +1346,12 @@ impl FlashMob {
             per_partition_steps[pi] += stats.steps;
             ring_prefetches[pi] += stats.prefetches;
             taken += stats.steps;
+            // With a counter session attached, attribute the PMU delta
+            // of this partition's sample work to it (the coordinator is
+            // the only thread on this path, so the delta is exact).
+            if hw {
+                tel.hw_partition_span(pi);
+            }
         }
         taken
     }

@@ -1,0 +1,484 @@
+//! Hardware performance-counter groups over raw `perf_event_open`.
+//!
+//! The repo's cache-efficiency claims are otherwise backed by two
+//! proxies — the software hierarchy simulator (`fm-memsim`) and
+//! wall-clock stage timers (`fm-telemetry`).  This crate adds the
+//! ground truth: real cycles, instructions, LLC and dTLB traffic,
+//! read from the PMU around the same stage boundaries the telemetry
+//! spans already mark.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero dependencies.**  The workspace builds without network
+//!    access, so the `perf_event_open(2)` ABI is declared by hand in
+//!    [`mod@syscall`] — the only module in the workspace allowed to
+//!    issue raw syscalls (enforced by the `perf-syscall` audit lint).
+//! 2. **Graceful degradation.**  Containers, CI runners, and non-Linux
+//!    hosts usually refuse perf access (`perf_event_paranoid`, seccomp,
+//!    or no PMU at all).  Every entry point funnels that into
+//!    [`PerfError::Unsupported`]; callers run identically with the
+//!    feature absent, and every test in the workspace passes without
+//!    perf access.
+//! 3. **RAII.**  A [`CounterGroup`] owns its descriptors; drop closes
+//!    them.  Counters are per-thread (`pid=0, cpu=-1`, no inherit), so
+//!    a group measures exactly the thread that created it — the
+//!    engine's coordinator thread, in practice.
+//!
+//! Events that the host PMU cannot schedule (LLC events under many
+//! hypervisors, stalled-cycles on most aarch64 parts) are marked
+//! unavailable per event rather than failing the group; reads report
+//! zero for them and [`CounterGroup::available`] says so.
+
+mod syscall;
+
+use std::fmt;
+
+/// The fixed event set every group requests, in read order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HwEvent {
+    /// Retired CPU cycles (`PERF_COUNT_HW_CPU_CYCLES`).
+    Cycles,
+    /// Retired instructions (`PERF_COUNT_HW_INSTRUCTIONS`).
+    Instructions,
+    /// Last-level cache read accesses (`LL | READ | ACCESS`).
+    LlcLoads,
+    /// Last-level cache read misses (`LL | READ | MISS`).
+    LlcMisses,
+    /// Data-TLB read misses (`DTLB | READ | MISS`).
+    DtlbMisses,
+    /// Backend stall cycles (`PERF_COUNT_HW_STALLED_CYCLES_BACKEND`).
+    StalledBackend,
+}
+
+const TYPE_HARDWARE: u32 = 0;
+const TYPE_HW_CACHE: u32 = 3;
+
+impl HwEvent {
+    /// Number of events in the fixed set.
+    pub const COUNT: usize = 6;
+
+    /// All events, in the order counters are laid out in [`HwCounters`].
+    pub const ALL: [HwEvent; HwEvent::COUNT] = [
+        HwEvent::Cycles,
+        HwEvent::Instructions,
+        HwEvent::LlcLoads,
+        HwEvent::LlcMisses,
+        HwEvent::DtlbMisses,
+        HwEvent::StalledBackend,
+    ];
+
+    /// Dense index into [`HwCounters::counts`].
+    pub fn index(self) -> usize {
+        match self {
+            HwEvent::Cycles => 0,
+            HwEvent::Instructions => 1,
+            HwEvent::LlcLoads => 2,
+            HwEvent::LlcMisses => 3,
+            HwEvent::DtlbMisses => 4,
+            HwEvent::StalledBackend => 5,
+        }
+    }
+
+    /// Stable snake_case label used by exporters and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            HwEvent::Cycles => "cycles",
+            HwEvent::Instructions => "instructions",
+            HwEvent::LlcLoads => "llc_loads",
+            HwEvent::LlcMisses => "llc_misses",
+            HwEvent::DtlbMisses => "dtlb_misses",
+            HwEvent::StalledBackend => "stalled_backend",
+        }
+    }
+
+    /// The `perf_event_attr` (type, config) pair for this event.
+    ///
+    /// Cache configs encode `id | (op << 8) | (result << 16)` per
+    /// `perf_event.h`: LL=2, DTLB=3; op READ=0; result ACCESS=0,
+    /// MISS=1.
+    fn spec(self) -> (u32, u64) {
+        match self {
+            HwEvent::Cycles => (TYPE_HARDWARE, 0),
+            HwEvent::Instructions => (TYPE_HARDWARE, 1),
+            HwEvent::LlcLoads => (TYPE_HW_CACHE, 0x2),
+            HwEvent::LlcMisses => (TYPE_HW_CACHE, 0x1_0002),
+            HwEvent::DtlbMisses => (TYPE_HW_CACHE, 0x1_0003),
+            HwEvent::StalledBackend => (TYPE_HARDWARE, 8),
+        }
+    }
+}
+
+/// Why hardware counters could not be used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfError {
+    /// The host cannot provide counters at all (non-Linux, seccomp,
+    /// `perf_event_paranoid`, no PMU).  The documented contract is that
+    /// callers treat this as "run without counters", never as failure.
+    Unsupported {
+        /// Human-readable cause, suitable for a one-line notice.
+        reason: String,
+    },
+    /// A counter existed but an operation on it failed (should not
+    /// happen on a healthy kernel; surfaced rather than hidden).
+    Io {
+        /// The operation that failed (`"read"`, `"ioctl"`, ...).
+        op: &'static str,
+        /// The failing OS error, formatted.
+        msg: String,
+    },
+}
+
+impl fmt::Display for PerfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PerfError::Unsupported { reason } => {
+                write!(f, "hardware counters unavailable: {reason}")
+            }
+            PerfError::Io { op, msg } => write!(f, "perf {op} failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PerfError {}
+
+fn io_err(op: &'static str, e: std::io::Error) -> PerfError {
+    PerfError::Io {
+        op,
+        msg: e.to_string(),
+    }
+}
+
+/// A set of counter deltas (or totals), one slot per [`HwEvent`].
+///
+/// Values are raw counts — **not** rescaled for multiplexing.  The
+/// enabled/running times ride along so consumers can compute the
+/// multiplex fraction themselves (`time_running_ns < time_enabled_ns`
+/// means the PMU rotated the group out part of the time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HwCounters {
+    /// Raw counts, indexed by [`HwEvent::index`].
+    pub counts: [u64; HwEvent::COUNT],
+    /// Wall time the group was enabled, in nanoseconds.
+    pub time_enabled_ns: u64,
+    /// Wall time the group was actually counting, in nanoseconds.
+    pub time_running_ns: u64,
+}
+
+impl HwCounters {
+    /// The count for one event.
+    pub fn get(&self, e: HwEvent) -> u64 {
+        self.counts[e.index()]
+    }
+
+    /// Accumulates another delta into this one.
+    pub fn add(&mut self, other: &HwCounters) {
+        for i in 0..HwEvent::COUNT {
+            self.counts[i] += other.counts[i];
+        }
+        self.time_enabled_ns += other.time_enabled_ns;
+        self.time_running_ns += other.time_running_ns;
+    }
+
+    /// True if every count is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// LLC read miss rate (`llc_misses / llc_loads`), if loads were
+    /// observed.
+    pub fn llc_miss_rate(&self) -> Option<f64> {
+        let loads = self.get(HwEvent::LlcLoads);
+        if loads == 0 {
+            None
+        } else {
+            Some(self.get(HwEvent::LlcMisses) as f64 / loads as f64)
+        }
+    }
+
+    /// Instructions per cycle, if cycles were observed.
+    pub fn ipc(&self) -> Option<f64> {
+        let cycles = self.get(HwEvent::Cycles);
+        if cycles == 0 {
+            None
+        } else {
+            Some(self.get(HwEvent::Instructions) as f64 / cycles as f64)
+        }
+    }
+
+    /// Fraction of enabled time the group was actually counting
+    /// (1.0 = never multiplexed), if it was enabled at all.
+    pub fn running_fraction(&self) -> Option<f64> {
+        if self.time_enabled_ns == 0 {
+            None
+        } else {
+            Some(self.time_running_ns as f64 / self.time_enabled_ns as f64)
+        }
+    }
+}
+
+/// A raw totals snapshot, used to form deltas between two reads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Snapshot {
+    raw: [u64; HwEvent::COUNT],
+    time_enabled_ns: u64,
+    time_running_ns: u64,
+}
+
+/// An open, per-thread group of hardware counters (RAII: descriptors
+/// close on drop).
+///
+/// The group is created **disabled**; call [`CounterGroup::enable`] to
+/// start counting.  All reads return totals since the last
+/// [`CounterGroup::reset`] (or creation); [`CounterGroup::delta_since`]
+/// turns consecutive reads into per-interval deltas.
+pub struct CounterGroup {
+    leader: syscall::RawFd,
+    /// Every owned fd, leader first.
+    fds: Vec<syscall::RawFd>,
+    /// Kernel counter ID -> event index, for group-read slot matching.
+    ids: Vec<(u64, usize)>,
+    available: [bool; HwEvent::COUNT],
+}
+
+impl CounterGroup {
+    /// Opens the standard six-event group for the calling thread.
+    ///
+    /// Per-event failures (a PMU without LLC events, say) degrade that
+    /// event to "unavailable"; only a host that can schedule **no**
+    /// hardware event at all — or refuses permission outright — yields
+    /// [`PerfError::Unsupported`].
+    pub fn standard() -> Result<Self, PerfError> {
+        let mut group = CounterGroup {
+            leader: -1,
+            fds: Vec::new(),
+            ids: Vec::new(),
+            available: [false; HwEvent::COUNT],
+        };
+        let mut last_err: Option<std::io::Error> = None;
+        for ev in HwEvent::ALL {
+            let (type_, config) = ev.spec();
+            let is_leader = group.leader < 0;
+            let parent = if is_leader { -1 } else { group.leader };
+            match syscall::open(type_, config, parent, is_leader) {
+                Ok(fd) => {
+                    if is_leader {
+                        group.leader = fd;
+                    }
+                    group.fds.push(fd);
+                    group.available[ev.index()] = true;
+                    match syscall::id(fd) {
+                        Ok(id) => group.ids.push((id, ev.index())),
+                        Err(e) => return Err(io_err("ioctl(ID)", e)),
+                    }
+                }
+                Err(e) => {
+                    // Permission-shaped errors mean no event will ever
+                    // open; stop probing and report the degradation.
+                    let errno = e.raw_os_error();
+                    let fatal = matches!(errno, Some(1) /* EPERM */ | Some(13) /* EACCES */ | Some(38) /* ENOSYS */)
+                        || e.kind() == std::io::ErrorKind::Unsupported;
+                    if fatal {
+                        return Err(PerfError::Unsupported {
+                            reason: format!("perf_event_open({}): {e}", ev.label()),
+                        });
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        if group.leader < 0 {
+            let detail = last_err
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "no events attempted".to_string());
+            return Err(PerfError::Unsupported {
+                reason: format!("no hardware event could be opened ({detail})"),
+            });
+        }
+        Ok(group)
+    }
+
+    /// Whether this event opened on this host.
+    pub fn available(&self, e: HwEvent) -> bool {
+        self.available[e.index()]
+    }
+
+    /// Events that opened, in canonical order.
+    pub fn available_events(&self) -> Vec<HwEvent> {
+        HwEvent::ALL
+            .into_iter()
+            .filter(|e| self.available(*e))
+            .collect()
+    }
+
+    /// Starts (or restarts) the whole group.
+    pub fn enable(&self) -> Result<(), PerfError> {
+        syscall::enable_group(self.leader).map_err(|e| io_err("ioctl(ENABLE)", e))
+    }
+
+    /// Stops the whole group; totals freeze until re-enabled.
+    pub fn disable(&self) -> Result<(), PerfError> {
+        syscall::disable_group(self.leader).map_err(|e| io_err("ioctl(DISABLE)", e))
+    }
+
+    /// Zeroes every counter in the group (times are not reset by the
+    /// kernel; use deltas for intervals).
+    pub fn reset(&self) -> Result<(), PerfError> {
+        syscall::reset_group(self.leader).map_err(|e| io_err("ioctl(RESET)", e))
+    }
+
+    /// Reads current totals for the whole group.
+    pub fn snapshot(&self) -> Result<Snapshot, PerfError> {
+        // [nr, time_enabled, time_running] + (value, id) per event.
+        let mut buf = [0u64; 3 + HwEvent::COUNT * syscall::READ_FORMAT_WORDS_PER_EVENT];
+        let words = syscall::read_group(self.leader, &mut buf).map_err(|e| io_err("read", e))?;
+        let nr = buf[0] as usize;
+        if words < 3
+            || nr > HwEvent::COUNT
+            || 3 + nr * syscall::READ_FORMAT_WORDS_PER_EVENT > words
+        {
+            return Err(PerfError::Io {
+                op: "read",
+                msg: format!("short group read: {words} words for {nr} counters"),
+            });
+        }
+        let mut snap = Snapshot {
+            time_enabled_ns: buf[1],
+            time_running_ns: buf[2],
+            ..Snapshot::default()
+        };
+        for slot in 0..nr {
+            let value = buf[3 + slot * 2];
+            let id = buf[3 + slot * 2 + 1];
+            if let Some(&(_, idx)) = self.ids.iter().find(|(i, _)| *i == id) {
+                snap.raw[idx] = value;
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Reads the group and returns the delta since `prev`, then
+    /// advances `prev` to the new reading.  Counts saturate at zero if
+    /// the kernel ever reports a smaller total (reset between reads).
+    pub fn delta_since(&self, prev: &mut Snapshot) -> Result<HwCounters, PerfError> {
+        let now = self.snapshot()?;
+        let mut delta = HwCounters {
+            time_enabled_ns: now.time_enabled_ns.saturating_sub(prev.time_enabled_ns),
+            time_running_ns: now.time_running_ns.saturating_sub(prev.time_running_ns),
+            ..HwCounters::default()
+        };
+        for i in 0..HwEvent::COUNT {
+            delta.counts[i] = now.raw[i].saturating_sub(prev.raw[i]);
+        }
+        *prev = now;
+        Ok(delta)
+    }
+}
+
+impl Drop for CounterGroup {
+    fn drop(&mut self) {
+        // Members first, leader last (closing the leader re-parents
+        // siblings on old kernels; ordering avoids relying on that).
+        for &fd in self.fds.iter().skip(1).chain(self.fds.first()) {
+            syscall::close_quiet(fd);
+        }
+    }
+}
+
+/// True if this host can open hardware counters right now.
+pub fn available() -> bool {
+    CounterGroup::standard().is_ok()
+}
+
+/// `None` if counters work; otherwise the one-line degradation reason.
+pub fn unavailable_reason() -> Option<String> {
+    match CounterGroup::standard() {
+        Ok(_) => None,
+        Err(e) => Some(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_table_is_dense_and_labeled() {
+        for (i, ev) in HwEvent::ALL.into_iter().enumerate() {
+            assert_eq!(ev.index(), i);
+            assert!(!ev.label().is_empty());
+            let (type_, _) = ev.spec();
+            assert!(type_ == TYPE_HARDWARE || type_ == TYPE_HW_CACHE);
+        }
+    }
+
+    #[test]
+    fn counters_arithmetic() {
+        let mut a = HwCounters::default();
+        assert!(a.is_zero());
+        assert_eq!(a.llc_miss_rate(), None);
+        assert_eq!(a.ipc(), None);
+        let mut b = HwCounters::default();
+        b.counts[HwEvent::Cycles.index()] = 100;
+        b.counts[HwEvent::Instructions.index()] = 250;
+        b.counts[HwEvent::LlcLoads.index()] = 10;
+        b.counts[HwEvent::LlcMisses.index()] = 4;
+        b.time_enabled_ns = 50;
+        b.time_running_ns = 25;
+        a.add(&b);
+        a.add(&b);
+        assert_eq!(a.get(HwEvent::Cycles), 200);
+        assert_eq!(a.ipc(), Some(2.5));
+        assert_eq!(a.llc_miss_rate(), Some(0.4));
+        assert_eq!(a.running_fraction(), Some(0.5));
+        assert!(!a.is_zero());
+    }
+
+    /// The cornerstone of the degradation contract: constructing a
+    /// group never panics, and failure is always the typed
+    /// `Unsupported` (containers and CI hosts routinely land here).
+    #[test]
+    fn standard_group_never_panics() {
+        match CounterGroup::standard() {
+            Ok(g) => {
+                assert!(!g.available_events().is_empty());
+                drop(g);
+            }
+            Err(PerfError::Unsupported { reason }) => {
+                assert!(!reason.is_empty());
+            }
+            Err(other) => panic!("open must degrade to Unsupported, got {other}"),
+        }
+    }
+
+    /// When counters do work, a busy loop must retire instructions and
+    /// consecutive deltas must be monotone (non-negative).
+    #[test]
+    fn busy_loop_counts_instructions_when_available() {
+        let Ok(group) = CounterGroup::standard() else {
+            return; // degradation covered by standard_group_never_panics
+        };
+        group.enable().unwrap();
+        let mut prev = group.snapshot().unwrap();
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let d1 = group.delta_since(&mut prev).unwrap();
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let d2 = group.delta_since(&mut prev).unwrap();
+        group.disable().unwrap();
+        if group.available(HwEvent::Instructions) {
+            assert!(d1.get(HwEvent::Instructions) > 0, "busy loop retired nothing");
+            assert!(d2.get(HwEvent::Instructions) > 0);
+        }
+    }
+
+    #[test]
+    fn availability_probes_agree() {
+        assert_eq!(available(), unavailable_reason().is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Raw `perf_event_open` syscall shim — the only file in the workspace
+//! permitted to issue raw syscalls (the `perf-syscall` audit lint in
+//! `crates/audit` confines the `syscall(` / `perf_event_open` tokens to
+//! this module).  Everything here is a thin typed wrapper over four
+//! kernel entry points: `perf_event_open(2)` itself (which has no libc
+//! wrapper), plus `ioctl`/`read`/`close` on the returned descriptors.
+//! No policy lives here; RAII ownership, event selection, and the
+//! degradation contract are built one layer up in
+//! [`crate::CounterGroup`].
+//!
+//! On non-Linux targets (and Linux architectures whose
+//! `perf_event_open` syscall number we do not know) every function
+//! returns `ErrorKind::Unsupported`, which the layer above folds into
+//! [`crate::PerfError::Unsupported`] — callers degrade, never fail.
+
+/// A raw perf file descriptor, valid on the thread that opened it.
+pub(crate) type RawFd = i32;
+
+#[cfg(target_os = "linux")]
+pub(crate) use linux::*;
+#[cfg(not(target_os = "linux"))]
+pub(crate) use stub::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::RawFd;
+    use std::ffi::{c_int, c_long, c_ulong};
+    use std::io;
+
+    /// `perf_event_attr` at `PERF_ATTR_SIZE_VER0` (64 bytes).  Every
+    /// field this crate needs — type/config, the read format, and the
+    /// disabled/exclude bits — predates Linux 2.6.32, so pinning the
+    /// oldest ABI revision keeps the struct accepted by every kernel
+    /// (newer kernels zero-extend the tail).
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        config1: u64,
+    }
+
+    const ATTR_SIZE_VER0: u32 = 64;
+
+    /// `PERF_FORMAT_TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING | ID |
+    /// GROUP`: one group read returns `[nr, time_enabled, time_running,
+    /// (value, id) * nr]`.
+    pub(crate) const READ_FORMAT_WORDS_PER_EVENT: usize = 2;
+    const READ_FORMAT: u64 = 0xF;
+
+    // attr.flags is a C bitfield; bit order follows perf_event.h
+    // declaration order (LSB first).
+    const FLAG_DISABLED: u64 = 1 << 0;
+    const FLAG_EXCLUDE_KERNEL: u64 = 1 << 5;
+    const FLAG_EXCLUDE_HV: u64 = 1 << 6;
+
+    // ioctl request codes on perf descriptors: _IO('$', n), and
+    // _IOR('$', 7, u64) for ID.
+    const IOC_ENABLE: c_ulong = 0x2400;
+    const IOC_DISABLE: c_ulong = 0x2401;
+    const IOC_RESET: c_ulong = 0x2403;
+    const IOC_ID: c_ulong = 0x8008_2407;
+    /// Apply an enable/disable/reset to the whole group, not one fd.
+    const IOC_FLAG_GROUP: c_ulong = 1;
+
+    #[cfg(target_arch = "x86_64")]
+    const NR_PERF_EVENT_OPEN: c_long = 298;
+    #[cfg(any(
+        target_arch = "aarch64",
+        target_arch = "riscv64",
+        target_arch = "loongarch64"
+    ))]
+    const NR_PERF_EVENT_OPEN: c_long = 241;
+    #[cfg(not(any(
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "riscv64",
+        target_arch = "loongarch64"
+    )))]
+    const NR_PERF_EVENT_OPEN: c_long = -1;
+
+    extern "C" {
+        // std already links libc on every Linux target; declaring the
+        // four symbols directly keeps the workspace free of external
+        // crates.  SAFETY: the declarations match the libc prototypes,
+        // and every call site documents its own kernel contract.
+        fn syscall(num: c_long, ...) -> c_long;
+        fn ioctl(fd: c_int, request: c_ulong, ...) -> c_int;
+        fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn unsupported(what: &str) -> io::Error {
+        io::Error::new(io::ErrorKind::Unsupported, what.to_string())
+    }
+
+    /// Opens one counter for the calling thread, on any CPU.
+    ///
+    /// `group_fd` is `-1` for a group leader (which is created
+    /// disabled, so the group starts atomically on the first
+    /// [`enable_group`]) or the leader's fd for a member (created
+    /// enabled, slaved to the leader's state).
+    pub(crate) fn open(type_: u32, config: u64, group_fd: RawFd, leader: bool) -> io::Result<RawFd> {
+        if NR_PERF_EVENT_OPEN < 0 {
+            return Err(unsupported("perf_event_open: unknown syscall number on this arch"));
+        }
+        let mut flags = FLAG_EXCLUDE_KERNEL | FLAG_EXCLUDE_HV;
+        if leader {
+            flags |= FLAG_DISABLED;
+        }
+        let attr = PerfEventAttr {
+            type_,
+            size: ATTR_SIZE_VER0,
+            config,
+            sample_period: 0,
+            sample_type: 0,
+            read_format: READ_FORMAT,
+            flags,
+            wakeup_events: 0,
+            bp_type: 0,
+            config1: 0,
+        };
+        // SAFETY: `attr` is a valid, fully initialised 64-byte struct
+        // outliving the call (the kernel reads `attr.size` bytes); the
+        // rest (pid=0, cpu=-1, group_fd, flags=0) are plain scalars.
+        let fd = unsafe {
+            syscall(
+                NR_PERF_EVENT_OPEN,
+                &attr as *const PerfEventAttr,
+                0 as c_int,
+                -1 as c_int,
+                group_fd as c_int,
+                0 as c_ulong,
+            )
+        };
+        if fd < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(fd as RawFd)
+        }
+    }
+
+    fn ioc_group(fd: RawFd, request: c_ulong) -> io::Result<()> {
+        // SAFETY: plain ioctl on an fd this crate opened; the
+        // enable/disable/reset requests take a scalar flag argument and
+        // touch no user memory.
+        let rc = unsafe { ioctl(fd as c_int, request, IOC_FLAG_GROUP) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Starts every counter in the group led by `fd`.
+    pub(crate) fn enable_group(fd: RawFd) -> io::Result<()> {
+        ioc_group(fd, IOC_ENABLE)
+    }
+
+    /// Stops every counter in the group led by `fd`.
+    pub(crate) fn disable_group(fd: RawFd) -> io::Result<()> {
+        ioc_group(fd, IOC_DISABLE)
+    }
+
+    /// Zeroes every counter in the group led by `fd`.
+    pub(crate) fn reset_group(fd: RawFd) -> io::Result<()> {
+        ioc_group(fd, IOC_RESET)
+    }
+
+    /// The kernel-assigned stable ID for one counter fd, used to match
+    /// group-read slots back to events regardless of sibling order.
+    pub(crate) fn id(fd: RawFd) -> io::Result<u64> {
+        let mut out: u64 = 0;
+        // SAFETY: PERF_EVENT_IOC_ID writes one u64 through the
+        // pointer; `out` is a valid, aligned u64 that outlives the
+        // call.
+        let rc = unsafe { ioctl(fd as c_int, IOC_ID, &mut out as *mut u64) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(out)
+        }
+    }
+
+    /// One group read: fills `buf` with `[nr, time_enabled,
+    /// time_running, (value, id) * nr]` and returns the number of u64
+    /// words the kernel produced.
+    pub(crate) fn read_group(fd: RawFd, buf: &mut [u64]) -> io::Result<usize> {
+        // SAFETY: the kernel writes at most `buf.len() * 8` bytes into
+        // the provided buffer, which is valid, writable, and 8-byte
+        // aligned for its whole length.
+        let n = unsafe { read(fd as c_int, buf.as_mut_ptr() as *mut u8, buf.len() * 8) };
+        if n < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(n as usize / 8)
+        }
+    }
+
+    /// Closes a counter fd, ignoring errors (close on a valid perf fd
+    /// only fails if interrupted, and the descriptor is gone either
+    /// way).
+    pub(crate) fn close_quiet(fd: RawFd) {
+        // SAFETY: fd was returned by `open` in this module and is
+        // closed exactly once (RAII in CounterGroup::drop).
+        let _ = unsafe { close(fd as c_int) };
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod stub {
+    use super::RawFd;
+    use std::io;
+
+    pub(crate) const READ_FORMAT_WORDS_PER_EVENT: usize = 2;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "perf_event_open is Linux-only".to_string(),
+        )
+    }
+
+    pub(crate) fn open(_type_: u32, _config: u64, _group_fd: RawFd, _leader: bool) -> io::Result<RawFd> {
+        Err(unsupported())
+    }
+
+    pub(crate) fn enable_group(_fd: RawFd) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub(crate) fn disable_group(_fd: RawFd) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub(crate) fn reset_group(_fd: RawFd) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub(crate) fn id(_fd: RawFd) -> io::Result<u64> {
+        Err(unsupported())
+    }
+
+    pub(crate) fn read_group(_fd: RawFd, _buf: &mut [u64]) -> io::Result<usize> {
+        Err(unsupported())
+    }
+
+    pub(crate) fn close_quiet(_fd: RawFd) {}
+}

@@ -31,10 +31,12 @@
 
 pub mod export;
 pub mod hist;
+pub mod hw;
 pub mod json;
 pub mod tef;
 
 pub use hist::Hist64;
+pub use hw::{HwCounters, HwEvent};
 
 use std::time::{Duration, Instant};
 
@@ -278,6 +280,9 @@ pub struct Telemetry {
     /// reads and checkpoint writes).
     io_retries: u64,
     heartbeat: Option<Heartbeat>,
+    /// Hardware-counter session (`--hw-counters`); `None` — the
+    /// default — keeps every record path free of perf reads.
+    hw: Option<Box<hw::HwSession>>,
 }
 
 /// Default cap on coordinator-lane events per run.
@@ -309,6 +314,7 @@ impl Telemetry {
             dropped: 0,
             io_retries: 0,
             heartbeat: None,
+            hw: None,
         }
     }
 
@@ -360,6 +366,9 @@ impl Telemetry {
     pub fn span(&mut self, ev: SpanEvent) {
         if !self.is_on() {
             return;
+        }
+        if let Some(hw) = self.hw.as_mut() {
+            hw.attribute(ev.stage, ev.partition);
         }
         self.note_stage(ev.stage, ev.dur_ns);
         if self.events.len() < self.event_capacity {
@@ -566,6 +575,67 @@ impl Telemetry {
     /// Transient IO retries recorded so far.
     pub fn io_retries(&self) -> u64 {
         self.io_retries
+    }
+
+    /// Attaches a hardware-counter session to this recorder: every
+    /// subsequent coordinator span boundary attributes the PMU delta
+    /// since the previous boundary to the span's stage (and partition,
+    /// when named — see [`mod@hw`] for the attribution contract).
+    ///
+    /// Returns the degradation reason when counters are unavailable
+    /// (non-Linux, containers, `perf_event_paranoid`); the recorder
+    /// then behaves exactly as if the call never happened.
+    pub fn enable_hw_counters(&mut self) -> Result<(), String> {
+        if !self.is_on() {
+            return Err("telemetry recording is disabled".to_string());
+        }
+        match hw::HwSession::open() {
+            Ok(session) => {
+                self.hw = Some(Box::new(session));
+                Ok(())
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
+    /// Whether a hardware-counter session is attached.
+    pub fn hw_enabled(&self) -> bool {
+        self.hw.is_some()
+    }
+
+    /// Attributes the PMU delta since the last boundary to the sample
+    /// stage *and* partition `pi`.  The engine's sequential sample loop
+    /// calls this after each partition so per-partition counter rows
+    /// exist on the path where one thread demonstrably did the work; a
+    /// no-op without a session.
+    #[inline]
+    pub fn hw_partition_span(&mut self, pi: usize) {
+        if let Some(hw) = self.hw.as_mut() {
+            hw.attribute(Stage::Sample, pi as u32);
+        }
+    }
+
+    /// Per-stage hardware counter deltas (indexed by [`Stage::index`]),
+    /// when a session is attached.
+    pub fn hw_stage_totals(&self) -> Option<&[HwCounters]> {
+        self.hw.as_deref().map(|s| s.stages.as_slice())
+    }
+
+    /// Per-partition hardware counter deltas (sequential sample path),
+    /// when a session is attached.
+    pub fn hw_partition_counters(&self) -> Option<&[HwCounters]> {
+        self.hw.as_deref().map(|s| s.partitions.as_slice())
+    }
+
+    /// Total attributed hardware counters, when a session is attached.
+    pub fn hw_total(&self) -> Option<&HwCounters> {
+        self.hw.as_deref().map(|s| &s.total)
+    }
+
+    /// The hardware events that actually opened (empty without a
+    /// session).
+    pub fn hw_events(&self) -> Vec<HwEvent> {
+        self.hw.as_deref().map(|s| s.events()).unwrap_or_default()
     }
 
     /// Sum of per-partition step counters (must equal the engine's

@@ -17,6 +17,9 @@
 //! * [`profiler`] — offline machine profiling feeding the planner.
 //! * [`telemetry`] — dependency-free spans, per-partition counters,
 //!   and exporters (Chrome Trace Event Format, JSONL, human summary).
+//! * [`perfmon`] — zero-dependency `perf_event_open` counter groups
+//!   (cycles, instructions, LLC/dTLB misses) with graceful degradation
+//!   on hosts without perf access.
 //! * [`recover`] — crash-safe checkpoint snapshots, atomic manifest
 //!   publication, deterministic fault injection, and bounded retries.
 //! * [`baseline`] — KnightKing- and GraphVite-style comparison engines.
@@ -42,6 +45,7 @@ pub use fm_conformance as conformance;
 pub use fm_graph as graph;
 pub use fm_mckp as mckp;
 pub use fm_memsim as memsim;
+pub use fm_perfmon as perfmon;
 pub use fm_profiler as profiler;
 pub use fm_recover as recover;
 pub use fm_rng as rng;

@@ -168,3 +168,34 @@ fn emitted_chrome_trace_validates_with_exact_span_coverage() {
         "exactly one plan span"
     );
 }
+
+#[test]
+fn hw_counters_off_leaves_no_state_and_no_output() {
+    // 5. **Hardware-counter opt-in**: a recorder that never attached a
+    //    counter session (the `--hw-counters` off default) must carry
+    //    zero hw state, and every exporter must emit exactly what it
+    //    emitted before the hw layer existed — no sections, no keys.
+    let g = synth::power_law(500, 2.0, 1, 40, 3);
+    let engine = FlashMob::new(&g, walk_config(400, 6, 1)).expect("engine");
+    let mut tel = Telemetry::new();
+    engine.run_traced(&mut tel).expect("run");
+
+    assert!(!tel.hw_enabled());
+    assert!(tel.hw_total().is_none());
+    assert!(tel.hw_stage_totals().is_none());
+    assert!(tel.hw_partition_counters().is_none());
+    assert!(tel.hw_events().is_empty());
+
+    let mut trace = Vec::new();
+    export::write_chrome_trace(&mut trace, &tel).expect("tef");
+    let mut metrics = Vec::new();
+    export::write_metrics_jsonl(&mut metrics, &tel).expect("jsonl");
+    for (name, buf) in [("trace", &trace), ("metrics", &metrics)] {
+        let text = String::from_utf8(buf.clone()).expect("utf8");
+        assert!(
+            !text.contains("\"hw"),
+            "{name} export must have no hw records without a session"
+        );
+    }
+    assert!(!export::human_summary(&tel).contains("hw"));
+}
