@@ -15,17 +15,22 @@
 #      end-to-end `walk --trace` -> `trace-check` round trip
 #   7. recover tier: an end-to-end checkpoint -> kill -> resume round
 #      trip through the CLI (bit-identical output, correct exit codes)
-#   8. audit tier: the fm-audit source scanner at -D warnings severity
+#   8. oocore tier: the out-of-core fault-transparency test plus a CLI
+#      crash drill over the FMDISK1 bi-block path — convert, walk a
+#      second-order chain under 15% injected faults, halt deliberately
+#      mid-schedule, resume bit-exactly, and check the exit-code
+#      contract (4 wrong budget, 2 persistent faults, 3 corrupt graph)
+#   9. audit tier: the fm-audit source scanner at -D warnings severity
 #      (any finding fails), a seeded-violation check, the dynamic
 #      disjointness checker's tests, and the conformance quick lattice
 #      under --features audit-disjoint; an env-gated nightly Miri pass
 #      (AUDIT_MIRI=1) covers the recover codecs and fm-rng
-#   9. perf tier: `bench-diff`'s exit-code contract on hand-written
+#  10. perf tier: `bench-diff`'s exit-code contract on hand-written
 #      ledgers, a `walk --hw-counters` / `cachecheck` degradation
 #      round trip (exit 0 with or without PMU access), and — only on
 #      hosts with working counters — a fresh test-scale bench run
 #      compared against the committed BENCH_BASELINE.json
-#  10. clippy with warnings promoted to errors
+#  11. clippy with warnings promoted to errors
 # Run from the repository root: ./ci.sh
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -104,6 +109,66 @@ if cargo run --release -q -p fm-cli -- resume "$RECOVER_TMP/g.bin" "$RECOVER_TMP
 else
     code=$?
     [[ "$code" == 4 ]] || { echo "wrong-seed resume exited $code, want 4" >&2; exit 1; }
+fi
+
+echo "== oocore tier (bi-block crash drill + fault transparency) =="
+# The quick conformance lattice above already chi-squares the
+# oocore x node2vec bi-block cell against the exact second-order
+# oracle with its committed golden digest; this tier adds the fault
+# and crash-consistency guarantees on top.
+cargo test -q --test recover_suite ooc_transient_faults_are_absorbed_without_changing_output
+# CLI crash drill: convert to FMDISK1, run a second-order walk under
+# 15% injected faults with a deliberate mid-schedule halt (exit 0 by
+# contract), then resume under the same faults and demand the output
+# of the uninterrupted fault-free run, bit for bit.
+OOC_TMP="$(mktemp -d)"
+trap 'rm -rf "$TELEMETRY_TMP" "$RECOVER_TMP" "$OOC_TMP"' EXIT
+cargo run --release -q -p fm-cli -- synth power-law "$OOC_TMP/g.bin" \
+    --n 2048 --alpha 2.0 --min-degree 2 --max-degree 64 --seed 11
+cargo run --release -q -p fm-cli -- disk "$OOC_TMP/g.bin" "$OOC_TMP/g.fmdisk"
+OOC_FLAGS="--algo node2vec --p 2.0 --q 0.5 --walkers 512 --steps 8 --seed 5 \
+    --oocore-budget 4096"
+cargo run --release -q -p fm-cli -- walk "$OOC_TMP/g.fmdisk" $OOC_FLAGS \
+    --output "$OOC_TMP/full.txt"
+if cargo run --release -q -p fm-cli -- walk "$OOC_TMP/g.fmdisk" $OOC_FLAGS \
+    --checkpoint-dir "$OOC_TMP/ckpt" --checkpoint-every 3 --halt-after 2 \
+    --fault-rate 0.15 --fault-seed 7 --output /dev/null; then
+    : # --halt-after stops right after generation 2 and exits 0
+else
+    echo "deliberate oocore halt exited $?" >&2; exit 1
+fi
+cargo run --release -q -p fm-cli -- resume "$OOC_TMP/g.fmdisk" "$OOC_TMP/ckpt" \
+    $OOC_FLAGS --fault-rate 0.15 --fault-seed 7 \
+    --output "$OOC_TMP/resumed.txt"
+cmp "$OOC_TMP/full.txt" "$OOC_TMP/resumed.txt"
+# A resume under a different block budget must exit 4 (invalid plan):
+# the schedule cursor is only meaningful for the budget it was cut for.
+if cargo run --release -q -p fm-cli -- resume "$OOC_TMP/g.fmdisk" "$OOC_TMP/ckpt" \
+    --algo node2vec --p 2.0 --q 0.5 --walkers 512 --steps 8 --seed 5 \
+    --oocore-budget 8192 --output /dev/null 2>/dev/null; then
+    echo "wrong-budget oocore resume unexpectedly succeeded" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 4 ]] || { echo "wrong-budget resume exited $code, want 4" >&2; exit 1; }
+fi
+# A persistent fault storm must exhaust the bounded retries and exit 2
+# (IO error), never panic or spin.
+if cargo run --release -q -p fm-cli -- walk "$OOC_TMP/g.fmdisk" $OOC_FLAGS \
+    --fault-rate 1.0 --output /dev/null 2>/dev/null; then
+    echo "persistent-fault oocore walk unexpectedly succeeded" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 2 ]] || { echo "persistent-fault walk exited $code, want 2" >&2; exit 1; }
+fi
+# A truncated disk graph must exit 3 (corrupt input), never slice-panic.
+OOC_SIZE="$(stat -c %s "$OOC_TMP/g.fmdisk")"
+head -c $((OOC_SIZE - 7)) "$OOC_TMP/g.fmdisk" > "$OOC_TMP/trunc.fmdisk"
+if cargo run --release -q -p fm-cli -- walk "$OOC_TMP/trunc.fmdisk" $OOC_FLAGS \
+    --output /dev/null 2>/dev/null; then
+    echo "truncated disk graph unexpectedly walked" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 3 ]] || { echo "truncated-graph walk exited $code, want 3" >&2; exit 1; }
 fi
 
 echo "== audit tier =="
@@ -187,6 +252,8 @@ if grep -q "SIMULATION-ONLY" "$PERF_TMP/cachecheck.txt"; then
 else
     cargo run --release -q -p fm-bench --bin fig_prefetch -- --json \
         | grep '^{' > "$PERF_TMP/fresh.jsonl"
+    cargo run --release -q -p fm-bench --bin ext_out_of_core -- --json --threads 8 \
+        | grep '^{' >> "$PERF_TMP/fresh.jsonl"
     cargo run --release -q -p fm-cli -- bench-diff "$PERF_TMP/fresh.jsonl" \
         --baseline BENCH_BASELINE.json
 fi

@@ -84,6 +84,17 @@ pub enum Command {
         /// stages via perf_event; degrades with a notice when the host
         /// grants no perf access.
         hw_counters: bool,
+        /// Out-of-core streaming-buffer budget in bytes (used when the
+        /// graph is an `FMDISK1` disk graph; 0 = 64 MiB default).
+        oocore_budget: usize,
+        /// Transient-fault injection rate for out-of-core block reads
+        /// (chaos testing; 0 = off).
+        fault_rate: f64,
+        /// Seed of the injected fault stream.
+        fault_seed: u64,
+        /// Stop deliberately right after writing this checkpoint
+        /// generation (crash-drill harness; 0 = run to completion).
+        halt_after: u64,
     },
     /// `fmwalk resume`: continue an interrupted `walk` from the latest
     /// checkpoint in a directory.  The configuration flags must match
@@ -124,6 +135,22 @@ pub enum Command {
         /// Derive `slot % K` edge-type labels at load (must match the
         /// interrupted run; 0 = unlabeled).
         labels: usize,
+        /// Out-of-core streaming-buffer budget in bytes; must match the
+        /// interrupted run (the checkpoint fingerprint covers it).
+        oocore_budget: usize,
+        /// Transient-fault injection rate for out-of-core block reads.
+        fault_rate: f64,
+        /// Seed of the injected fault stream.
+        fault_seed: u64,
+    },
+    /// `fmwalk disk`: convert an in-memory graph (binary or edge list)
+    /// into the out-of-core `FMDISK1` disk-graph layout, degree-sorted
+    /// for cache-budgeted streaming.
+    Disk {
+        /// Input graph (binary or edge list).
+        input: PathBuf,
+        /// Output `.fmdisk` path.
+        output: PathBuf,
     },
     /// `fmwalk synth`.
     Synth {
@@ -438,12 +465,20 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut checkpoint_dir = None;
             let mut checkpoint_every = 0usize;
             let mut hw_counters = false;
+            let mut oocore_budget = 0usize;
+            let mut fault_rate = 0.0f64;
+            let mut fault_seed = 1u64;
+            let mut halt_after = 0u64;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
                     "--checkpoint-dir" => {
                         checkpoint_dir = Some(PathBuf::from(c.expect("checkpoint directory")?))
                     }
                     "--checkpoint-every" => checkpoint_every = c.value("--checkpoint-every")?,
+                    "--oocore-budget" => oocore_budget = c.value("--oocore-budget")?,
+                    "--fault-rate" => fault_rate = c.value("--fault-rate")?,
+                    "--fault-seed" => fault_seed = c.value("--fault-seed")?,
+                    "--halt-after" => halt_after = c.value("--halt-after")?,
                     "--engine" => {
                         engine = match c.expect("engine")?.as_str() {
                             "flashmob" => EngineChoice::FlashMob,
@@ -498,6 +533,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 checkpoint_every,
                 labels,
                 hw_counters,
+                oocore_budget,
+                fault_rate,
+                fault_seed,
+                halt_after,
             })
         }
         "resume" => {
@@ -520,8 +559,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut trace = None;
             let mut metrics = None;
             let mut progress = false;
+            let mut oocore_budget = 0usize;
+            let mut fault_rate = 0.0f64;
+            let mut fault_seed = 1u64;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
+                    "--oocore-budget" => oocore_budget = c.value("--oocore-budget")?,
+                    "--fault-rate" => fault_rate = c.value("--fault-rate")?,
+                    "--fault-seed" => fault_seed = c.value("--fault-seed")?,
                     "--algo" | "--program" => algo_name = c.expect("algorithm")?,
                     "--p" => p = c.value("--p")?,
                     "--q" => q = c.value("--q")?,
@@ -564,7 +609,24 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 metrics,
                 progress,
                 labels,
+                oocore_budget,
+                fault_rate,
+                fault_seed,
             })
+        }
+        "disk" => {
+            let input = match c.next() {
+                Some(p) => PathBuf::from(p),
+                None => return Err(err("missing input path")),
+            };
+            let output = match c.next() {
+                Some(p) => PathBuf::from(p),
+                None => return Err(err("missing output path")),
+            };
+            if let Some(flag) = c.next() {
+                return Err(err(format!("unknown flag {flag}")));
+            }
+            Ok(Command::Disk { input, output })
         }
         "synth" => {
             let kind = match c.expect("generator kind")?.as_str() {

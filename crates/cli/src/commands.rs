@@ -3,7 +3,10 @@
 use std::io::Write;
 use std::path::Path;
 
-use flashmob::{FlashMob, WalkAlgorithm, WalkConfig, WalkOutput};
+use flashmob::{
+    oocore::{run_ooc_with, DiskGraph, OocOptions, OocStats},
+    FaultPolicy, FlashMob, WalkAlgorithm, WalkConfig, WalkOutput,
+};
 use fm_baseline::{Baseline, BaselineConfig, BaselineKind};
 use fm_graph::{io, stats, synth, transform, Csr, VertexId};
 use fm_telemetry::{export, tef, Telemetry};
@@ -108,6 +111,30 @@ fn fail_walk(e: flashmob::WalkError) -> CmdError {
         _ => ExitKind::Plan,
     };
     CmdError(e.to_string(), kind)
+}
+
+/// Classifies a *disk-graph* storage error: a malformed `FMDISK1`
+/// header or torn file is corrupt input (exit 3, like a corrupt
+/// snapshot), not a generic failure; IO errors stay environment
+/// failures (exit 2).
+fn fail_disk(e: fm_graph::GraphError) -> CmdError {
+    let kind = if e.io_source().is_some() {
+        ExitKind::Io
+    } else if matches!(e, fm_graph::GraphError::Format(_)) {
+        ExitKind::CorruptSnapshot
+    } else {
+        ExitKind::Other
+    };
+    CmdError(e.to_string(), kind)
+}
+
+/// Whether `path` holds an out-of-core disk graph (`FMDISK1` magic).
+fn is_disk_graph(path: &Path) -> bool {
+    let mut head = [0u8; 8];
+    std::fs::File::open(path)
+        .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut head))
+        .map(|()| &head == b"FMDISK1\0")
+        .unwrap_or(false)
 }
 
 /// Loads a graph: binary when the FMG1 magic is present, else text.
@@ -256,7 +283,47 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             checkpoint_every,
             labels,
             hw_counters,
+            oocore_budget,
+            fault_rate,
+            fault_seed,
+            halt_after,
         } => {
+            if is_disk_graph(&graph) {
+                if engine != EngineChoice::FlashMob {
+                    return Err(fail_plan("disk graphs run on --engine flashmob only"));
+                }
+                if labels > 0 {
+                    return Err(fail_plan("disk graphs carry no edge labels"));
+                }
+                return run_ooc_command(
+                    out,
+                    OocRun {
+                        graph,
+                        algo,
+                        walkers,
+                        steps,
+                        seed,
+                        threads,
+                        budget: oocore_budget,
+                        fault_rate,
+                        fault_seed,
+                        checkpoint: checkpoint_dir.map(|d| (d, checkpoint_every)),
+                        halt_after,
+                        resume_from: None,
+                        output,
+                        visits,
+                        show_stats,
+                        trace,
+                        metrics,
+                        progress,
+                    },
+                );
+            }
+            if oocore_budget > 0 || fault_rate > 0.0 || halt_after > 0 {
+                return Err(fail_plan(
+                    "--oocore-budget/--fault-rate/--halt-after apply to FMDISK1 disk graphs only (create one with `fmwalk disk`)",
+                ));
+            }
             let g = with_derived_labels(load_graph(&graph)?, labels)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
             let algorithm = walk_algorithm(algo);
@@ -381,7 +448,43 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             metrics,
             progress,
             labels,
+            oocore_budget,
+            fault_rate,
+            fault_seed,
         } => {
+            if is_disk_graph(&graph) {
+                if labels > 0 {
+                    return Err(fail_plan("disk graphs carry no edge labels"));
+                }
+                return run_ooc_command(
+                    out,
+                    OocRun {
+                        graph,
+                        algo,
+                        walkers,
+                        steps,
+                        seed,
+                        threads,
+                        budget: oocore_budget,
+                        fault_rate,
+                        fault_seed,
+                        checkpoint: None,
+                        halt_after: 0,
+                        resume_from: Some(dir),
+                        output,
+                        visits,
+                        show_stats,
+                        trace,
+                        metrics,
+                        progress,
+                    },
+                );
+            }
+            if oocore_budget > 0 || fault_rate > 0.0 {
+                return Err(fail_plan(
+                    "--oocore-budget/--fault-rate apply to FMDISK1 disk graphs only",
+                ));
+            }
             let g = with_derived_labels(load_graph(&graph)?, labels)?;
             let n_walkers = walkers.resolve(g.vertex_count()).max(1);
             let record_paths = output.is_some();
@@ -419,6 +522,19 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
                     metrics,
                 },
             )
+        }
+        Command::Disk { input, output } => {
+            let g = load_graph(&input)?;
+            let disk = DiskGraph::create(&g, &output).map_err(fail_disk)?;
+            writeln!(
+                out,
+                "wrote {}: |V| = {}, |E| = {} (FMDISK1, degree-sorted)",
+                output.display(),
+                disk.vertex_count(),
+                disk.edge_count(),
+            )
+            .map_err(fail)?;
+            Ok(())
         }
         Command::Synth {
             kind,
@@ -949,6 +1065,142 @@ fn fmt_rate(rate: f64) -> String {
     } else {
         format!("{rate:.0}")
     }
+}
+
+/// Everything an out-of-core `walk`/`resume` invocation needs.
+struct OocRun {
+    graph: std::path::PathBuf,
+    algo: AlgoChoice,
+    walkers: crate::args::WalkerCount,
+    steps: usize,
+    seed: u64,
+    threads: usize,
+    /// Streaming-buffer budget in bytes (0 = 64 MiB default).
+    budget: usize,
+    fault_rate: f64,
+    fault_seed: u64,
+    checkpoint: Option<(std::path::PathBuf, usize)>,
+    halt_after: u64,
+    resume_from: Option<std::path::PathBuf>,
+    output: Option<std::path::PathBuf>,
+    visits: Option<std::path::PathBuf>,
+    show_stats: bool,
+    trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+    progress: bool,
+}
+
+/// Runs `walk`/`resume` against an `FMDISK1` disk graph: first-order
+/// DeepWalk streams partitions; node2vec and PPR go through the
+/// triangular bi-block scheduler.  `--fault-rate` injects seeded
+/// transient faults into every block read (absorbed by the retry
+/// layer and reported in stats/metrics); `--halt-after G` stops
+/// deliberately right after checkpoint generation `G` — the scripted
+/// crash-drill hook, a success, not an error.
+fn run_ooc_command<W: Write>(out: &mut W, a: OocRun) -> Result<(), CmdError> {
+    if a.threads > 1 {
+        return Err(fail_plan("out-of-core walking is single-threaded"));
+    }
+    let disk = DiskGraph::open(&a.graph).map_err(fail_disk)?;
+    let n_walkers = a.walkers.resolve(disk.vertex_count()).max(1);
+    let record_paths = a.output.is_some() || a.visits.is_some();
+    let mut cfg = WalkConfig::deepwalk()
+        .walkers(n_walkers)
+        .steps(a.steps)
+        .seed(a.seed)
+        .record_paths(record_paths);
+    cfg.algorithm = walk_algorithm(a.algo);
+    let budget = if a.budget == 0 { 64 << 20 } else { a.budget };
+    let mut opts = OocOptions::default();
+    if let Some((dir, every)) = a.checkpoint {
+        let mut spec = flashmob::CheckpointSpec::new(dir, if every == 0 { 8 } else { every });
+        if a.halt_after > 0 {
+            spec = spec.halt_after(a.halt_after);
+        }
+        opts = opts.checkpoint(spec);
+    } else if a.halt_after > 0 {
+        return Err(fail_plan("--halt-after requires --checkpoint-dir"));
+    }
+    if a.fault_rate > 0.0 {
+        opts = opts.fault(FaultPolicy::transient(a.fault_seed, a.fault_rate));
+    }
+    if let Some(dir) = &a.resume_from {
+        opts = opts.resume_from(dir);
+    }
+    let mut tel = make_telemetry(
+        a.trace.is_some() || a.metrics.is_some(),
+        a.progress,
+        a.show_stats,
+    );
+    let (o, stats) = match run_ooc_with(&disk, &cfg, budget, &opts, &mut tel) {
+        Ok(v) => v,
+        Err(flashmob::WalkError::Halted { generation })
+            if a.halt_after > 0 && generation == a.halt_after =>
+        {
+            writeln!(
+                out,
+                "halted deliberately after checkpoint generation {generation}"
+            )
+            .map_err(fail)?;
+            return Ok(());
+        }
+        Err(e) => return Err(fail_walk(e)),
+    };
+    if let Some(dir) = &a.resume_from {
+        writeln!(out, "resumed from {}", dir.display()).map_err(fail)?;
+    }
+    let per_step_ns = if stats.steps_taken > 0 {
+        stats.wall.as_nanos() as f64 / stats.steps_taken as f64
+    } else {
+        0.0
+    };
+    let visits_vec = a
+        .visits
+        .is_some()
+        .then(|| o.visit_counts(disk.vertex_count()));
+    let stats_report = a.show_stats.then(|| ooc_summary(&stats));
+    report_run(
+        out,
+        &tel,
+        RunReport {
+            walk_output: Some(o),
+            steps_taken: stats.steps_taken,
+            per_step_ns,
+            visits_vec,
+            stats_report,
+            output: a.output,
+            visits: a.visits,
+            trace: a.trace,
+            metrics: a.metrics,
+        },
+    )
+}
+
+/// Human `--stats` block for an out-of-core run: streaming volume,
+/// bi-block scheduling activity, boundary-buffer occupancy, and the
+/// transient IO retries the fault layer absorbed.
+fn ooc_summary(s: &OocStats) -> String {
+    use std::fmt::Write as _;
+    let mut t = String::new();
+    let _ = writeln!(
+        t,
+        "oocore: {} blocks streamed, {:.1} MiB read in {:.1} ms",
+        s.blocks_streamed.max(s.partitions_read),
+        s.bytes_read as f64 / (1 << 20) as f64,
+        s.read_time.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(
+        t,
+        "oocore: {} block pairs scheduled, {} empty slots skipped",
+        s.pairs_scheduled, s.pairs_skipped,
+    );
+    let _ = writeln!(
+        t,
+        "oocore: {} walker parkings, peak boundary-buffer occupancy {}",
+        s.walkers_parked, s.peak_parked,
+    );
+    let _ = writeln!(t, "oocore: {} transient io retries absorbed", s.io_retries);
+    t
 }
 
 /// Telemetry is recorded whenever any consumer asked for it; otherwise
@@ -1499,5 +1751,103 @@ mod tests {
         std::fs::remove_file(resumed).ok();
         std::fs::remove_dir_all(dir).ok();
         std::fs::remove_dir_all(empty).ok();
+    }
+
+    #[test]
+    fn disk_walk_halt_resume_round_trip_under_faults() {
+        let bin = tmp("ooc.bin");
+        let fmdisk = tmp("ooc.fmdisk");
+        let full = tmp("ooc_full.txt");
+        let resumed = tmp("ooc_resumed.txt");
+        let dir = tmp("ooc_ckpt");
+        std::fs::remove_dir_all(&dir).ok();
+
+        exec(&format!(
+            "synth power-law {} --n 400 --max-degree 40",
+            bin.display()
+        ))
+        .unwrap();
+        let msg = exec(&format!("disk {} {}", bin.display(), fmdisk.display())).unwrap();
+        assert!(msg.contains("FMDISK1"), "{msg}");
+
+        // Second-order walk streamed off disk, with injected faults:
+        // the bi-block scheduler and retry layer must keep the output
+        // identical to a fault-free run.
+        let walk_flags = "--algo node2vec --p 0.25 --q 4.0 --walkers 200 \
+                          --steps 6 --seed 9 --oocore-budget 4096";
+        let msg = exec(&format!(
+            "walk {} {walk_flags} --stats --output {}",
+            fmdisk.display(),
+            full.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("block pairs scheduled"), "{msg}");
+        let clean = std::fs::read_to_string(&full).unwrap();
+        assert_eq!(clean.lines().count(), 200);
+
+        let msg = exec(&format!(
+            "walk {} {walk_flags} --fault-rate 0.15 --fault-seed 7 --stats --output {}",
+            fmdisk.display(),
+            full.display()
+        ))
+        .unwrap();
+        assert!(!msg.contains("0 transient io retries"), "{msg}");
+        assert_eq!(std::fs::read_to_string(&full).unwrap(), clean);
+
+        // Deliberate halt after generation 2, then a faulty resume:
+        // bit-exact against the uninterrupted output.
+        // Paths recording is part of the config fingerprint, so the
+        // halted run must also record them for the resume to match.
+        let msg = exec(&format!(
+            "walk {} {walk_flags} --checkpoint-dir {} --checkpoint-every 3 --halt-after 2 \
+             --output {}",
+            fmdisk.display(),
+            dir.display(),
+            resumed.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("halted deliberately"), "{msg}");
+        let msg = exec(&format!(
+            "resume {} {} {walk_flags} --fault-rate 0.15 --fault-seed 7 --output {}",
+            fmdisk.display(),
+            dir.display(),
+            resumed.display()
+        ))
+        .unwrap();
+        assert!(msg.contains("resumed from"), "{msg}");
+        assert_eq!(std::fs::read_to_string(&resumed).unwrap(), clean);
+
+        // A mismatched budget is a config mismatch (exit 4).
+        let err = exec(&format!(
+            "resume {} {} --algo node2vec --p 0.25 --q 4.0 --walkers 200 \
+             --steps 6 --seed 9 --oocore-budget 8192 --output {}",
+            fmdisk.display(),
+            dir.display(),
+            resumed.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::Plan, "{}", err.0);
+
+        // Persistent faults exhaust the retry budget: IO class (exit 2).
+        let err = exec(&format!(
+            "walk {} {walk_flags} --fault-rate 1.0",
+            fmdisk.display()
+        ))
+        .unwrap_err();
+        assert_eq!(err.1, ExitKind::Io, "{}", err.0);
+        assert_eq!(err.1.code(), 2);
+
+        // A truncated disk graph is corrupt input (exit 3), not a panic.
+        let bytes = std::fs::read(&fmdisk).unwrap();
+        std::fs::write(&fmdisk, &bytes[..bytes.len() - 7]).unwrap();
+        let err = exec(&format!("walk {} {walk_flags}", fmdisk.display())).unwrap_err();
+        assert_eq!(err.1, ExitKind::CorruptSnapshot, "{}", err.0);
+        assert_eq!(err.1.code(), 3);
+
+        std::fs::remove_file(bin).ok();
+        std::fs::remove_file(fmdisk).ok();
+        std::fs::remove_file(full).ok();
+        std::fs::remove_file(resumed).ok();
+        std::fs::remove_dir_all(dir).ok();
     }
 }

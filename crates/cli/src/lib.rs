@@ -27,8 +27,11 @@ USAGE:
                       [--trace <out.json>] [--metrics <out.jsonl>] [--progress]
                       [--hw-counters]
                       [--checkpoint-dir <dir>] [--checkpoint-every N]
+                      [--oocore-budget BYTES] [--fault-rate X]
+                      [--fault-seed N] [--halt-after G]
   fmwalk resume <graph> <ckpt-dir> [same flags as walk, minus --engine
                       and the checkpoint flags]
+  fmwalk disk <graph> <out.fmdisk>
   fmwalk synth <power-law|rmat|ba|ws|ring> <out.bin>
                       [--n N] [--alpha X] [--min-degree N] [--max-degree N]
                       [--scale N] [--edge-factor N] [--m N] [--beta X]
@@ -77,6 +80,19 @@ if any program lacks an oracle.
 interrupted run from the latest checkpoint, bit-identically to the
 uninterrupted run.  The `resume` configuration flags must match the
 interrupted invocation (thread count may differ).
+
+`disk` converts a graph to the out-of-core FMDISK1 layout; `walk` and
+`resume` detect the magic and stream it instead of loading it, with
+the adjacency buffer capped by `--oocore-budget` (default 64 MiB).
+DeepWalk streams partitions; node2vec and ppr run the triangular
+bi-block pair schedule, so a (prev, cur) second-order step always
+finds both adjacency lists resident.  `--fault-rate`/`--fault-seed`
+inject seeded transient faults into every block read (absorbed by the
+bounded-retry layer, counted in `--stats`/`--metrics`); `--halt-after
+G` stops deliberately — exit 0 — right after checkpoint generation G,
+the scripted crash drill.  Checkpoints cover the parked-walker
+boundary buffers and the pair-schedule cursor, so a mid-schedule
+resume is bit-exact.  A corrupt or truncated disk graph exits 3.
 
 `audit` runs the fm-audit source scanner over the workspace (SAFETY
 comments on every unsafe site, thread/file-IO discipline, wall-clock

@@ -79,6 +79,7 @@ pub static GOLDEN: &[GoldenEntry] = &[
     ("numa-r", "node2vec", 3, 0x909e7cbf9aac89fb),
     ("numa-r", "node2vec", 8, 0x909e7cbf9aac89fb),
     ("oocore", "deepwalk", 1, 0x7b2801556643861d),
+    ("oocore", "node2vec", 1, 0xad8e5d47e99a7859),
     ("knightking", "deepwalk", 1, 0xd89e64dff9bbddc8),
     ("knightking", "deepwalk", 2, 0xf3503a3c72dc3473),
     ("knightking", "deepwalk", 3, 0x3dbfebd29ca27dc6),

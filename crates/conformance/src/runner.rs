@@ -138,8 +138,8 @@ impl EngineKind {
     /// Why this engine cannot run a cell, if it cannot.
     pub fn skip_reason(self, algo: AlgoKind, threads: usize) -> Option<&'static str> {
         match self {
-            EngineKind::OutOfCore if algo != AlgoKind::DeepWalk => {
-                Some("out-of-core walking supports DeepWalk only")
+            EngineKind::OutOfCore if algo == AlgoKind::Weighted => {
+                Some("out-of-core walking does not support weighted graphs")
             }
             EngineKind::OutOfCore if threads > 1 => {
                 Some("out-of-core walking is single-threaded")
@@ -368,7 +368,13 @@ fn run_cell_data(
             let config = flashmob_config(algo, threads);
             let path = ooc_temp_path();
             let disk = DiskGraph::create(graph, &path).map_err(|e| e.to_string())?;
-            let result = run_ooc(&disk, &config, 64 * 1024);
+            // node2vec exercises the bi-block scheduler; a tight budget
+            // forces multiple blocks so pair scheduling actually runs.
+            let budget = match algo {
+                AlgoKind::Node2Vec => 2 * 1024,
+                _ => 64 * 1024,
+            };
+            let result = run_ooc(&disk, &config, budget);
             std::fs::remove_file(&path).ok();
             let (output, _) = result.map_err(err)?;
             Ok(CellData {
@@ -650,13 +656,16 @@ mod tests {
     #[test]
     fn skip_matrix_matches_support() {
         assert!(EngineKind::OutOfCore
-            .skip_reason(AlgoKind::Node2Vec, 1)
+            .skip_reason(AlgoKind::Weighted, 1)
             .is_some());
         assert!(EngineKind::OutOfCore
             .skip_reason(AlgoKind::DeepWalk, 8)
             .is_some());
         assert!(EngineKind::OutOfCore
             .skip_reason(AlgoKind::DeepWalk, 1)
+            .is_none());
+        assert!(EngineKind::OutOfCore
+            .skip_reason(AlgoKind::Node2Vec, 1)
             .is_none());
         assert!(EngineKind::FlashMobAuto
             .skip_reason(AlgoKind::Node2Vec, 8)
@@ -713,6 +722,6 @@ mod tests {
         let a = cell_digest(EngineKind::KnightKing, AlgoKind::DeepWalk, 1).unwrap();
         let b = cell_digest(EngineKind::KnightKing, AlgoKind::DeepWalk, 1).unwrap();
         assert_eq!(a, b);
-        assert!(cell_digest(EngineKind::OutOfCore, AlgoKind::Node2Vec, 1).is_none());
+        assert!(cell_digest(EngineKind::OutOfCore, AlgoKind::Weighted, 1).is_none());
     }
 }

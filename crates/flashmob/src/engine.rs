@@ -1201,6 +1201,7 @@ impl FlashMob {
                             })
                             .collect(),
                         rows: rows.clone(),
+                        biblock: None,
                     };
                     // Reclaim the sink: idle, or still finishing the
                     // previous generation's background write.

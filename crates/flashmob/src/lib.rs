@@ -65,7 +65,7 @@ pub use walker::WalkerInit;
 // Checkpoint/resume and fault-injection types, re-exported so engine
 // callers need not depend on `fm-recover` directly.
 pub use fm_recover::{
-    CheckpointSpec, FaultCounts, FaultPolicy, RecoverError, RetryPolicy,
+    load_latest, CheckpointSpec, FaultCounts, FaultPolicy, RecoverError, RetryPolicy,
 };
 
 use fm_graph::VertexId;

@@ -26,8 +26,8 @@ use fm_graph::relabel::{sort_by_degree, Relabeling};
 use fm_graph::{Csr, GraphError, VertexId};
 use fm_memsim::NullProbe;
 use fm_recover::{
-    load_latest, transient_io, with_retries, CheckpointSink, CheckpointSpec, FaultPolicy,
-    FaultyFile, Fingerprint, RecoverError, RetryPolicy, WalkSnapshot,
+    load_latest, transient_io, with_retries, BiBlockState, CheckpointSink, CheckpointSpec,
+    FaultPolicy, FaultyFile, Fingerprint, RecoverError, RetryPolicy, WalkSnapshot,
 };
 use fm_rng::{Rng64, Xorshift64Star};
 use fm_telemetry::{Stage, Telemetry, NO_PARTITION, NO_STEP};
@@ -92,8 +92,16 @@ impl DiskGraph {
             .map_err(|e| GraphError::io_at(path, None, e))?
             .len();
         let mut header = [0u8; 24];
-        f.read_exact(&mut header)
-            .map_err(|e| GraphError::io_at(path, Some(0), e))?;
+        f.read_exact(&mut header).map_err(|e| {
+            // A sub-header file is corruption (a torn create, not an
+            // environment fault): classify as Format so the CLI exits
+            // with the corrupt-input code rather than the IO one.
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                GraphError::Format("disk graph is shorter than its 24-byte header".into())
+            } else {
+                GraphError::io_at(path, Some(0), e)
+            }
+        })?;
         if &header[..8] != MAGIC {
             return Err(GraphError::Format("bad disk-graph magic".into()));
         }
@@ -222,6 +230,21 @@ pub struct OocStats {
     /// Transient IO errors absorbed by the retry layer (disk reads and
     /// checkpoint writes).
     pub io_retries: u64,
+    /// Bi-block scheduler only: block loads performed (an off-diagonal
+    /// pair loads two blocks, a diagonal pair one).
+    pub blocks_streamed: u64,
+    /// Bi-block scheduler only: pair slots whose boundary bucket held
+    /// walkers and were therefore scheduled.
+    pub pairs_scheduled: u64,
+    /// Bi-block scheduler only: pair slots skipped because their
+    /// boundary bucket was empty.
+    pub pairs_skipped: u64,
+    /// Bi-block scheduler only: walkers parked into boundary buckets,
+    /// cumulative over the run.
+    pub walkers_parked: u64,
+    /// Bi-block scheduler only: peak simultaneous boundary-buffer
+    /// occupancy (the scheduler's memory high-water mark in walkers).
+    pub peak_parked: u64,
 }
 
 impl OocStats {
@@ -316,18 +339,46 @@ pub fn run_ooc_traced(
     )
 }
 
-/// Fingerprint of everything that determines the out-of-core chain;
-/// the partition budget is included because it fixes the partition
-/// layout and therefore the per-partition RNG stream assignment.
-fn ooc_config_tag(config: &WalkConfig, partition_budget_bytes: usize) -> u64 {
-    let mut fp = Fingerprint::new();
-    fp.fold_u64(0x00C0_FEED) // domain separator: out-of-core engine
-        .fold_u64(config.walkers as u64)
-        .fold_u64(config.seed)
-        .fold_u64(config.max_steps() as u64)
-        .fold_u64(config.record_paths as u64)
-        .fold_u64(partition_budget_bytes as u64);
-    match &config.init {
+/// Places walkers per `config.init` using only in-memory metadata (the
+/// offsets index); shared by the first-order and bi-block paths.
+fn init_positions(disk: &DiskGraph, config: &WalkConfig) -> Vec<VertexId> {
+    let n = disk.vertex_count();
+    let walkers = config.walkers;
+    let init = match &config.init {
+        WalkerInit::Fixed(starts) => {
+            WalkerInit::Fixed(starts.iter().map(|&v| disk.relabel.to_new(v)).collect())
+        }
+        other => other.clone(),
+    };
+    // Uniform-edge init needs degrees only, which we have in memory.
+    match init {
+        WalkerInit::UniformEdge => {
+            let e = disk.edge_count();
+            let mut rng = Xorshift64Star::new(config.seed);
+            (0..walkers)
+                .map(|_| {
+                    let edge = rng.gen_index(e);
+                    (disk.offsets.partition_point(|&o| o <= edge) - 1) as VertexId
+                })
+                .collect()
+        }
+        other => {
+            // Vertex-based inits need no adjacency; a degree-1 dummy CSR
+            // carries the vertex count.
+            let dummy = Csr::from_parts(
+                (0..=n).collect(),
+                (0..n).map(|v| v as VertexId).collect(),
+                None,
+            )
+            .expect("dummy CSR");
+            initialize(&dummy, &other, walkers, config.seed)
+        }
+    }
+}
+
+/// Folds the walker-initialization mode into a fingerprint.
+fn fold_init(fp: &mut Fingerprint, init: &WalkerInit) {
+    match init {
         WalkerInit::UniformVertex => {
             fp.fold_u64(1);
         }
@@ -344,6 +395,45 @@ fn ooc_config_tag(config: &WalkConfig, partition_budget_bytes: usize) -> u64 {
             }
         }
     }
+}
+
+/// Fingerprint of everything that determines the out-of-core chain;
+/// the partition budget is included because it fixes the partition
+/// layout and therefore the per-partition RNG stream assignment.
+fn ooc_config_tag(config: &WalkConfig, partition_budget_bytes: usize) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.fold_u64(0x00C0_FEED) // domain separator: out-of-core engine
+        .fold_u64(config.walkers as u64)
+        .fold_u64(config.seed)
+        .fold_u64(config.max_steps() as u64)
+        .fold_u64(config.record_paths as u64)
+        .fold_u64(partition_budget_bytes as u64);
+    fold_init(&mut fp, &config.init);
+    fp.value()
+}
+
+/// Fingerprint of a bi-block second-order run.  A distinct domain
+/// separator keeps first-order snapshots from resuming bi-block runs
+/// (and vice versa) even when every scalar matches; the algorithm
+/// parameters are folded because they change the sampled chain.
+fn biblock_config_tag(config: &WalkConfig, partition_budget_bytes: usize) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.fold_u64(0x00B1_B10C) // domain separator: bi-block scheduler
+        .fold_u64(config.walkers as u64)
+        .fold_u64(config.seed)
+        .fold_u64(config.max_steps() as u64)
+        .fold_u64(config.record_paths as u64)
+        .fold_u64(partition_budget_bytes as u64);
+    match config.algorithm {
+        crate::WalkAlgorithm::Node2Vec { p, q } => {
+            fp.fold_u64(1).fold_u64(p.to_bits()).fold_u64(q.to_bits());
+        }
+        crate::WalkAlgorithm::Ppr { alpha } => {
+            fp.fold_u64(2).fold_u64(alpha.to_bits());
+        }
+        _ => unreachable!("bi-block scheduler runs node2vec and PPR only"),
+    }
+    fold_init(&mut fp, &config.init);
     fp.value()
 }
 
@@ -368,11 +458,6 @@ pub fn run_ooc_with(
     opts: &OocOptions,
     tel: &mut Telemetry,
 ) -> Result<(WalkOutput, OocStats), WalkError> {
-    if !matches!(config.algorithm, crate::WalkAlgorithm::DeepWalk) {
-        return Err(WalkError::Planning(
-            "out-of-core walking supports DeepWalk only".into(),
-        ));
-    }
     if config.walkers == 0 {
         return Err(WalkError::NoWalkers);
     }
@@ -383,6 +468,17 @@ pub fn run_ooc_with(
     for v in 0..n {
         if disk.degree(v as VertexId) == 0 {
             return Err(WalkError::SinkVertex(v as VertexId));
+        }
+    }
+    match config.algorithm {
+        crate::WalkAlgorithm::DeepWalk => {}
+        crate::WalkAlgorithm::Node2Vec { .. } | crate::WalkAlgorithm::Ppr { .. } => {
+            return run_ooc_biblock(disk, config, partition_budget_bytes, opts, tel);
+        }
+        _ => {
+            return Err(WalkError::Planning(
+                "out-of-core walking supports DeepWalk, node2vec, and PPR only".into(),
+            ))
         }
     }
 
@@ -412,36 +508,7 @@ pub fn run_ooc_with(
     let wall_start = Instant::now();
     let steps = config.max_steps();
     let walkers = config.walkers;
-    let init = match &config.init {
-        WalkerInit::Fixed(starts) => {
-            WalkerInit::Fixed(starts.iter().map(|&v| disk.relabel.to_new(v)).collect())
-        }
-        other => other.clone(),
-    };
-    // Uniform-edge init needs degrees only, which we have in memory.
-    let mut w = match init {
-        WalkerInit::UniformEdge => {
-            let e = disk.edge_count();
-            let mut rng = Xorshift64Star::new(config.seed);
-            (0..walkers)
-                .map(|_| {
-                    let edge = rng.gen_index(e);
-                    (disk.offsets.partition_point(|&o| o <= edge) - 1) as VertexId
-                })
-                .collect()
-        }
-        other => {
-            // Vertex-based inits need no adjacency; a degree-1 dummy CSR
-            // carries the vertex count.
-            let dummy = Csr::from_parts(
-                (0..=n).collect(),
-                (0..n).map(|v| v as VertexId).collect(),
-                None,
-            )
-            .expect("dummy CSR");
-            initialize(&dummy, &other, walkers, config.seed)
-        }
-    };
+    let mut w = init_positions(disk, config);
     let mut w_next = vec![0 as VertexId; walkers];
     let mut sw = vec![0 as VertexId; walkers];
     let mut snext = vec![0 as VertexId; walkers];
@@ -621,6 +688,7 @@ pub fn run_ooc_with(
                     visits: Vec::new(),
                     ps: vec![None; partitions.len()],
                     rows: rows.clone(),
+                    biblock: None,
                 };
                 let retries_before = sink.retries;
                 sink.save(generation, &snap)?;
@@ -641,6 +709,538 @@ pub fn run_ooc_with(
         WalkOutput::new(rows, walkers, disk.relabel.clone())
     } else {
         WalkOutput::new(vec![w], walkers, disk.relabel.clone())
+    };
+    Ok((output, stats))
+}
+
+/// Flat triangular index of the block pair `(i, j)` with `i <= j`
+/// among `blocks` blocks: row-major over the upper triangle.
+fn pair_index(i: usize, j: usize, blocks: usize) -> usize {
+    debug_assert!(i <= j && j < blocks);
+    i * (2 * blocks - i + 1) / 2 + (j - i)
+}
+
+/// Streams one block's adjacency array from disk through the
+/// fault-injection/retry layer, attributing the bytes and an Io span to
+/// the block's telemetry partition.
+#[allow(clippy::too_many_arguments)]
+fn load_block(
+    disk: &DiskGraph,
+    file: &mut FaultyFile<File>,
+    retry: &RetryPolicy,
+    start: VertexId,
+    end: VertexId,
+    buf: &mut Vec<VertexId>,
+    epoch: usize,
+    blk: usize,
+    stats: &mut OocStats,
+    tel: &mut Telemetry,
+) -> Result<(), WalkError> {
+    let io_span = tel.is_on().then(|| tel.now_ns());
+    let t0 = Instant::now();
+    // Transient read errors (injected or real) are retried with
+    // exponential backoff; permanent ones escalate typed.
+    let bytes = with_retries(
+        retry,
+        &mut stats.io_retries,
+        |e: &GraphError| e.io_source().is_some_and(transient_io),
+        || disk.read_partition(file, start, end, buf),
+    )?;
+    stats.read_time += t0.elapsed();
+    stats.bytes_read += bytes as u64;
+    stats.blocks_streamed += 1;
+    stats.partitions_read += 1;
+    if let Some(s) = io_span {
+        tel.span_since(Stage::Io, s, epoch as u32, blk as u32);
+        tel.record_partition_bytes(blk, bytes as u64);
+    }
+    Ok(())
+}
+
+/// GraSorw-style triangular bi-block scheduling for second-order
+/// (node2vec) and origin-stateful (PPR) walks over a disk-resident CSR.
+///
+/// The sorted vertex array is cut into blocks of at most *half* the
+/// byte budget, so a block **pair** always fits in the configured
+/// buffer; a hub vertex whose adjacency alone exceeds the half-budget
+/// gets a singleton block — the scheduler degrades to smaller pairs
+/// instead of overrunning the budget.  Each epoch sweeps the upper
+/// triangle of block pairs `(i, j)`, `i <= j`; a walker is *resident*
+/// while both its `prev` and `cur` adjacency lookups land in the
+/// loaded pair, steps repeatedly while resident, and parks into the
+/// boundary bucket of its next pair when a step crosses out.  PPR
+/// walkers read only the current vertex's adjacency (the origin rides
+/// in the `prev` lane and needs no lookup), so they live on the
+/// diagonal and off-diagonal slots stay empty.
+///
+/// Determinism and crash safety: the RNG stream of a pair slot is
+/// `partition_stream_id(seed, epoch, slot)`, restarted at each slot,
+/// so resume at any slot boundary has no RNG carry-over; buckets are
+/// drained and refilled in deterministic walker order; checkpoints
+/// fire on a pair-slot cadence (`pairs_done % every`), which counts
+/// empty slots too and is therefore data-independent within an epoch.
+fn run_ooc_biblock(
+    disk: &DiskGraph,
+    config: &WalkConfig,
+    partition_budget_bytes: usize,
+    opts: &OocOptions,
+    tel: &mut Telemetry,
+) -> Result<(WalkOutput, OocStats), WalkError> {
+    let n = disk.vertex_count();
+    let steps = config.max_steps();
+    let walkers = config.walkers;
+    let is_ppr = matches!(config.algorithm, crate::WalkAlgorithm::Ppr { .. });
+    let (p_ret, q_inout, bound, bound_min, alpha) = match config.algorithm {
+        crate::WalkAlgorithm::Node2Vec { p, q } => (
+            p,
+            q,
+            config.algorithm.node2vec_bound(),
+            (1.0 / p).min(1.0).min(1.0 / q),
+            0.0,
+        ),
+        crate::WalkAlgorithm::Ppr { alpha } => (0.0, 0.0, 1.0, 1.0, alpha),
+        _ => unreachable!("bi-block scheduler runs node2vec and PPR only"),
+    };
+
+    // Cut the sorted vertex array into half-budget blocks.
+    let half_budget = partition_budget_bytes / 2;
+    let mut block_start: Vec<usize> = Vec::new();
+    {
+        let mut start = 0usize;
+        while start < n {
+            let budget_edges = (half_budget / 4)
+                .max(disk.degree(start as VertexId))
+                .max(1);
+            let lo = disk.offsets[start];
+            let mut end = start + 1;
+            while end < n && disk.offsets[end + 1] - lo <= budget_edges {
+                end += 1;
+            }
+            block_start.push(start);
+            start = end;
+        }
+    }
+    let nblocks = block_start.len();
+    let n_pairs = nblocks * (nblocks + 1) / 2;
+    let block_of =
+        |v: VertexId| -> usize { block_start.partition_point(|&s| s <= v as usize) - 1 };
+    let block_end = |b: usize| -> usize { block_start.get(b + 1).copied().unwrap_or(n) };
+    // The pair slot a walker waits in for its next step.
+    let pair_of = |cur: VertexId, prev: VertexId| -> usize {
+        let bc = block_of(cur);
+        if is_ppr || prev == DEAD {
+            return pair_index(bc, bc, nblocks);
+        }
+        let bp = block_of(prev);
+        let (a, b) = if bp <= bc { (bp, bc) } else { (bc, bp) };
+        pair_index(a, b, nblocks)
+    };
+
+    let wall_start = Instant::now();
+    let mut cur = init_positions(disk, config);
+    // `prevv` carries the node2vec predecessor (DEAD before the first,
+    // first-order step) or the PPR origin.
+    let mut prevv: Vec<VertexId> = if is_ppr {
+        cur.clone()
+    } else {
+        vec![DEAD; walkers]
+    };
+    let mut done: Vec<u32> = vec![0; walkers];
+    let mut paths: Vec<Vec<VertexId>> = if config.record_paths {
+        cur.iter().map(|&v| vec![v]).collect()
+    } else {
+        Vec::new()
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_pairs];
+    let mut remaining = if steps == 0 { 0 } else { walkers };
+    let mut parked_now: u64 = 0;
+    let mut stats = OocStats::default();
+    let mut epoch = 0usize;
+    let mut start_slot = 0usize;
+    let mut pairs_done = 0u64;
+
+    let file = File::open(&disk.path).map_err(|e| GraphError::io_at(&disk.path, None, e))?;
+    let mut file = match opts.fault {
+        Some(policy) => FaultyFile::with_policy(file, policy),
+        None => FaultyFile::passthrough(file),
+    };
+    if tel.is_on() {
+        tel.ensure_partitions(nblocks);
+    }
+    let mut sink = opts
+        .checkpoint
+        .as_ref()
+        .filter(|ck| ck.every > 0)
+        .map(CheckpointSink::from_spec);
+    let (config_tag, graph_tag) = if sink.is_some() || opts.resume_from.is_some() {
+        (
+            biblock_config_tag(config, partition_budget_bytes),
+            ooc_graph_tag(disk),
+        )
+    } else {
+        (0, 0)
+    };
+
+    if let Some(dir) = opts.resume_from.as_ref() {
+        let span = tel.is_on().then(|| tel.now_ns());
+        let (_generation, mut snap) = load_latest(dir)?;
+        let mismatch =
+            |detail: &str| WalkError::Recover(RecoverError::Mismatch { detail: detail.into() });
+        if snap.config_tag != config_tag {
+            return Err(mismatch(
+                "snapshot was written under a different out-of-core configuration",
+            ));
+        }
+        if snap.graph_tag != graph_tag {
+            return Err(mismatch("snapshot was written against a different disk graph"));
+        }
+        let bb = snap
+            .biblock
+            .take()
+            .ok_or_else(|| mismatch("snapshot carries no bi-block scheduler state"))?;
+        if snap.seed != config.seed
+            || snap.walkers as usize != walkers
+            || snap.w.len() != walkers
+            || snap.prev.len() != walkers
+            || snap.steps_total as usize != steps
+            || bb.done.len() != walkers
+            || bb.blocks as usize != nblocks
+            || bb.buckets.len() != n_pairs
+            || bb.cursor as usize >= n_pairs
+            || bb.done.iter().any(|&d| d as usize > steps)
+        {
+            return Err(mismatch("snapshot shape does not fit this run"));
+        }
+        if config.record_paths {
+            if bb.paths.len() != walkers
+                || bb
+                    .paths
+                    .iter()
+                    .zip(&bb.done)
+                    .any(|(p, &d)| p.len() != d as usize + 1)
+            {
+                return Err(mismatch("snapshot path rows are inconsistent"));
+            }
+        } else if !bb.paths.is_empty() {
+            return Err(mismatch("snapshot path rows are inconsistent"));
+        }
+        // Every unfinished walker must be parked in exactly one bucket.
+        let mut seen = vec![false; walkers];
+        let mut parked = 0u64;
+        for bucket in &bb.buckets {
+            for &k in bucket {
+                let k = k as usize;
+                if k >= walkers || seen[k] || bb.done[k] as usize >= steps {
+                    return Err(mismatch("snapshot boundary buckets are inconsistent"));
+                }
+                seen[k] = true;
+                parked += 1;
+            }
+        }
+        let unfinished = bb.done.iter().filter(|&&d| (d as usize) < steps).count();
+        if parked != unfinished as u64 {
+            return Err(mismatch("snapshot boundary buckets are inconsistent"));
+        }
+        cur = snap.w;
+        prevv = snap.prev;
+        done = bb.done;
+        buckets = bb.buckets;
+        if config.record_paths {
+            paths = bb.paths;
+        }
+        parked_now = parked;
+        remaining = unfinished;
+        stats.steps_taken = snap.steps_taken;
+        pairs_done = snap.iter_next;
+        epoch = bb.epoch as usize;
+        start_slot = bb.cursor as usize;
+        if let Some(s) = span {
+            tel.span_since(Stage::Recovery, s, NO_STEP, NO_PARTITION);
+        }
+    } else if steps > 0 {
+        // Fresh start: park every walker in its home bucket.
+        for (k, (&c, &p)) in cur.iter().zip(&prevv).enumerate() {
+            buckets[pair_of(c, p)].push(k as u32);
+        }
+        parked_now = walkers as u64;
+        stats.walkers_parked = walkers as u64;
+        stats.peak_parked = walkers as u64;
+    }
+
+    let mut buf_i: Vec<VertexId> = Vec::new();
+    let mut buf_j: Vec<VertexId> = Vec::new();
+    'sweep: while remaining > 0 {
+        // Every unfinished walker's own pair is visited once per sweep
+        // and steps it at least once, so epochs are bounded by steps.
+        assert!(
+            epoch <= steps,
+            "bi-block sweep failed to converge: epoch {epoch} of a {steps}-step walk"
+        );
+        let mut slot = 0usize;
+        for i in 0..nblocks {
+            for j in i..nblocks {
+                let s = slot;
+                slot += 1;
+                if s < start_slot {
+                    continue;
+                }
+                let bucket = std::mem::take(&mut buckets[s]);
+                if bucket.is_empty() {
+                    stats.pairs_skipped += 1;
+                    stats.partitions_skipped += 1;
+                } else {
+                    parked_now -= bucket.len() as u64;
+                    stats.pairs_scheduled += 1;
+                    load_block(
+                        disk,
+                        &mut file,
+                        &opts.retry,
+                        block_start[i] as VertexId,
+                        block_end(i) as VertexId,
+                        &mut buf_i,
+                        epoch,
+                        i,
+                        &mut stats,
+                        tel,
+                    )?;
+                    if j != i {
+                        load_block(
+                            disk,
+                            &mut file,
+                            &opts.retry,
+                            block_start[j] as VertexId,
+                            block_end(j) as VertexId,
+                            &mut buf_j,
+                            epoch,
+                            j,
+                            &mut stats,
+                            tel,
+                        )?;
+                    }
+                    let sample_span = tel.is_on().then(|| tel.now_ns());
+                    let mut rng = Xorshift64Star::new(crate::engine::partition_stream_id(
+                        config.seed,
+                        epoch,
+                        s,
+                    ));
+                    let mut slot_steps = 0u64;
+                    let base_i = disk.offsets[block_start[i]];
+                    let base_j = disk.offsets[block_start[j]];
+                    for &kw in &bucket {
+                        let k = kw as usize;
+                        // Step while the walker's lookups stay resident.
+                        loop {
+                            let v = cur[k];
+                            let bv = block_of(v);
+                            let (vbuf, vbase) = if bv == i {
+                                (&buf_i, base_i)
+                            } else {
+                                (&buf_j, base_j)
+                            };
+                            let lo = disk.offsets[v as usize] - vbase;
+                            let d = disk.degree(v);
+                            let adj = &vbuf[lo..lo + d];
+                            let next = if is_ppr {
+                                // Restart coin first: a teleport reads no
+                                // edge at all (mirrors the in-memory
+                                // sampler and the PPR oracle).
+                                if rng.next_f64() < alpha {
+                                    prevv[k]
+                                } else {
+                                    adj[rng.gen_index(d)]
+                                }
+                            } else if prevv[k] == DEAD {
+                                // First transition of a node2vec walker:
+                                // first-order uniform, matching the
+                                // oracle's edge-chain start.
+                                adj[rng.gen_index(d)]
+                            } else {
+                                let t = prevv[k];
+                                let bt = block_of(t);
+                                let (tbuf, tbase) = if bt == i {
+                                    (&buf_i, base_i)
+                                } else {
+                                    (&buf_j, base_j)
+                                };
+                                let tlo = disk.offsets[t as usize] - tbase;
+                                let tadj = &tbuf[tlo..tlo + disk.degree(t)];
+                                let mut attempts = 0;
+                                // Stratified rejection, mirroring the
+                                // in-memory sampler: a draw below the
+                                // minimum weight accepts any candidate
+                                // with zero connectivity scans; the
+                                // attempt cap is the termination
+                                // backstop.
+                                loop {
+                                    let cand = adj[rng.gen_index(d)];
+                                    attempts += 1;
+                                    let x = rng.next_f64() * bound;
+                                    if x < bound_min || attempts >= 64 {
+                                        break cand;
+                                    }
+                                    let weight = if cand == t {
+                                        1.0 / p_ret
+                                    } else if tadj.contains(&cand) {
+                                        1.0
+                                    } else {
+                                        1.0 / q_inout
+                                    };
+                                    if x < weight {
+                                        break cand;
+                                    }
+                                }
+                            };
+                            if !is_ppr {
+                                prevv[k] = v;
+                            }
+                            cur[k] = next;
+                            done[k] += 1;
+                            slot_steps += 1;
+                            if config.record_paths {
+                                paths[k].push(next);
+                            }
+                            if done[k] as usize >= steps {
+                                remaining -= 1;
+                                break;
+                            }
+                            let bc = block_of(cur[k]);
+                            let resident = (bc == i || bc == j)
+                                && (is_ppr || {
+                                    let bp = block_of(prevv[k]);
+                                    bp == i || bp == j
+                                });
+                            if !resident {
+                                buckets[pair_of(cur[k], prevv[k])].push(kw);
+                                parked_now += 1;
+                                stats.walkers_parked += 1;
+                                stats.peak_parked = stats.peak_parked.max(parked_now);
+                                break;
+                            }
+                        }
+                    }
+                    stats.steps_taken += slot_steps;
+                    if let Some(sp) = sample_span {
+                        tel.span_since(Stage::Sample, sp, epoch as u32, i as u32);
+                        tel.record_partition_step(i, slot_steps, false);
+                    }
+                }
+
+                // Pair-slot cadence checkpointing: `pairs_done` counts
+                // empty slots too, so kill generations are deterministic
+                // and data-independent within an epoch.
+                pairs_done += 1;
+                if let Some((ck, sink)) = opts.checkpoint.as_ref().zip(sink.as_mut()) {
+                    if pairs_done.is_multiple_of(ck.every as u64) {
+                        let span = tel.is_on().then(|| tel.now_ns());
+                        let generation = pairs_done / ck.every as u64;
+                        let (next_epoch, next_cursor) = if s + 1 == n_pairs {
+                            (epoch as u64 + 1, 0)
+                        } else {
+                            (epoch as u64, s as u64 + 1)
+                        };
+                        let snap = WalkSnapshot {
+                            seed: config.seed,
+                            iter_next: pairs_done,
+                            steps_total: steps as u64,
+                            walkers: walkers as u64,
+                            steps_taken: stats.steps_taken,
+                            config_tag,
+                            graph_tag,
+                            per_partition_steps: Vec::new(),
+                            w: cur.clone(),
+                            prev: prevv.clone(),
+                            visits: Vec::new(),
+                            ps: Vec::new(),
+                            rows: Vec::new(),
+                            biblock: Some(BiBlockState {
+                                epoch: next_epoch,
+                                cursor: next_cursor,
+                                blocks: nblocks as u64,
+                                done: done.clone(),
+                                buckets: buckets.clone(),
+                                paths: paths.clone(),
+                            }),
+                        };
+                        let retries_before = sink.retries;
+                        sink.save(generation, &snap)?;
+                        stats.io_retries += sink.retries - retries_before;
+                        if let Some(sp) = span {
+                            tel.span_since(Stage::Checkpoint, sp, epoch as u32, NO_PARTITION);
+                        }
+                        if ck.halt_after == Some(generation) {
+                            return Err(WalkError::Halted { generation });
+                        }
+                    }
+                }
+                if remaining == 0 {
+                    break 'sweep;
+                }
+            }
+        }
+        start_slot = 0;
+        epoch += 1;
+        tel.tick(epoch, steps, stats.steps_taken);
+    }
+
+    // Unconditional completion checkpoint: a kill *after* the last work
+    // slot must still resume cleanly (the resume-after-complete case),
+    // so the final generation is written whenever the cadence did not
+    // land exactly on the last processed slot.
+    if let Some((ck, sink)) = opts.checkpoint.as_ref().zip(sink.as_mut()) {
+        if !pairs_done.is_multiple_of(ck.every as u64) {
+            let span = tel.is_on().then(|| tel.now_ns());
+            let generation = pairs_done / ck.every as u64 + 1;
+            let snap = WalkSnapshot {
+                seed: config.seed,
+                iter_next: pairs_done,
+                steps_total: steps as u64,
+                walkers: walkers as u64,
+                steps_taken: stats.steps_taken,
+                config_tag,
+                graph_tag,
+                per_partition_steps: Vec::new(),
+                w: cur.clone(),
+                prev: prevv.clone(),
+                visits: Vec::new(),
+                ps: Vec::new(),
+                rows: Vec::new(),
+                biblock: Some(BiBlockState {
+                    epoch: epoch as u64,
+                    cursor: 0,
+                    blocks: nblocks as u64,
+                    done: done.clone(),
+                    buckets: buckets.clone(),
+                    paths: paths.clone(),
+                }),
+            };
+            let retries_before = sink.retries;
+            sink.save(generation, &snap)?;
+            stats.io_retries += sink.retries - retries_before;
+            if let Some(sp) = span {
+                tel.span_since(Stage::Checkpoint, sp, epoch as u32, NO_PARTITION);
+            }
+            if ck.halt_after == Some(generation) {
+                return Err(WalkError::Halted { generation });
+            }
+        }
+    }
+
+    tel.record_io_retries(stats.io_retries);
+    stats.wall = wall_start.elapsed();
+    let output = if config.record_paths {
+        // Transpose walker-major paths into the iteration-major rows
+        // WalkOutput expects; node2vec and PPR walkers never die early,
+        // so every path has exactly `steps + 1` entries.
+        let mut rows = vec![vec![0 as VertexId; walkers]; steps + 1];
+        for (k, path) in paths.iter().enumerate() {
+            debug_assert_eq!(path.len(), steps + 1);
+            for (t, &v) in path.iter().enumerate() {
+                rows[t][k] = v;
+            }
+        }
+        WalkOutput::new(rows, walkers, disk.relabel.clone())
+    } else {
+        WalkOutput::new(vec![cur], walkers, disk.relabel.clone())
     };
     Ok((output, stats))
 }
@@ -767,15 +1367,194 @@ mod tests {
     }
 
     #[test]
-    fn non_deepwalk_rejected() {
+    fn unsupported_algorithms_rejected() {
         let g = synth::cycle(16);
         let path = temp_path("reject.fmdisk");
         let disk = DiskGraph::create(&g, &path).unwrap();
-        let cfg = WalkConfig::node2vec(1.0, 2.0).walkers(10).steps(2);
+        let mut cfg = WalkConfig::deepwalk().walkers(10).steps(2);
+        cfg.algorithm = crate::WalkAlgorithm::Weighted;
+        assert!(matches!(
+            run_ooc(&disk, &cfg, 4 << 10),
+            Err(WalkError::Planning(_))
+        ));
+        cfg.algorithm = crate::WalkAlgorithm::EarlyExit;
         assert!(matches!(
             run_ooc(&disk, &cfg, 4 << 10),
             Err(WalkError::Planning(_))
         ));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn biblock_node2vec_stays_on_edges() {
+        let g = synth::power_law(400, 2.0, 1, 40, 5);
+        let path = temp_path("bb_edges.fmdisk");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let cfg = WalkConfig::node2vec(0.25, 4.0).walkers(150).steps(6).seed(9);
+        let (out, stats) = run_ooc(&disk, &cfg, 4 << 10).unwrap();
+        assert_eq!(stats.steps_taken, 150 * 6);
+        assert!(stats.blocks_streamed > 0);
+        assert!(stats.pairs_scheduled > 0);
+        assert!(stats.peak_parked >= 150);
+        let rows = out.paths();
+        assert_eq!(rows.len(), 150);
+        for p in rows {
+            assert_eq!(p.len(), 7);
+            for hop in p.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn biblock_is_deterministic_across_budgets_only_within_budget() {
+        // Same budget → bit-identical; the chain is a deterministic
+        // function of (config, budget), which the config tag captures.
+        let g = synth::power_law(300, 2.0, 1, 30, 11);
+        let path = temp_path("bb_det.fmdisk");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let cfg = WalkConfig::node2vec(0.5, 2.0).walkers(80).steps(5).seed(21);
+        let (a, _) = run_ooc(&disk, &cfg, 4 << 10).unwrap();
+        let (b, _) = run_ooc(&disk, &cfg, 4 << 10).unwrap();
+        assert_eq!(a.paths(), b.paths());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn biblock_ppr_hops_are_edges_or_origin() {
+        let g = synth::power_law(300, 2.0, 2, 30, 17);
+        let path = temp_path("bb_ppr.fmdisk");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let mut cfg = WalkConfig::deepwalk().walkers(120).steps(8).seed(4);
+        cfg.algorithm = crate::WalkAlgorithm::Ppr { alpha: 0.2 };
+        let (out, stats) = run_ooc(&disk, &cfg, 4 << 10).unwrap();
+        assert_eq!(stats.steps_taken, 120 * 8);
+        let mut teleports = 0u64;
+        for p in out.paths() {
+            let origin = p[0];
+            for hop in p.windows(2) {
+                let edge = g.neighbors(hop[0]).contains(&hop[1]);
+                assert!(edge || hop[1] == origin, "hop neither edge nor restart");
+                if !edge {
+                    teleports += 1;
+                }
+            }
+        }
+        assert!(teleports > 0, "alpha=0.2 over 960 steps must teleport");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn biblock_tiny_budget_falls_back_to_singleton_blocks() {
+        // A budget below any vertex's adjacency degrades to one-vertex
+        // blocks instead of overrunning or erroring.
+        let g = synth::power_law(120, 2.0, 1, 30, 3);
+        let path = temp_path("bb_tiny.fmdisk");
+        let disk = DiskGraph::create(&g, &path).unwrap();
+        let cfg = WalkConfig::node2vec(0.25, 4.0).walkers(40).steps(4).seed(2);
+        let (tiny, stats) = run_ooc(&disk, &cfg, 2).unwrap();
+        assert_eq!(stats.steps_taken, 40 * 4);
+        for p in tiny.paths() {
+            for hop in p.windows(2) {
+                assert!(g.neighbors(hop[0]).contains(&hop[1]));
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn open_rejects_corruption_with_typed_errors() {
+        let g = synth::power_law(200, 2.0, 1, 20, 9);
+        let path = temp_path("corrupt.fmdisk");
+        DiskGraph::create(&g, &path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut bytes = pristine.clone();
+        bytes[..8].copy_from_slice(b"NOTADISK");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            DiskGraph::open(&path),
+            Err(GraphError::Format(_))
+        ));
+
+        // Short targets array (torn write / truncation).
+        std::fs::write(&path, &pristine[..pristine.len() - 5]).unwrap();
+        assert!(matches!(
+            DiskGraph::open(&path),
+            Err(GraphError::Format(_))
+        ));
+
+        // Sub-header file.
+        std::fs::write(&path, &pristine[..10]).unwrap();
+        assert!(matches!(
+            DiskGraph::open(&path),
+            Err(GraphError::Format(_))
+        ));
+
+        // Vertex count claiming more than the address space: must fail
+        // cleanly, not attempt a wild allocation.
+        let mut bytes = pristine.clone();
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            DiskGraph::open(&path),
+            Err(GraphError::Format(_))
+        ));
+
+        // Non-monotone offsets index.
+        let mut bytes = pristine.clone();
+        bytes[32..40].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            DiskGraph::open(&path),
+            Err(GraphError::Format(_))
+        ));
+
+        // The pristine bytes still open.
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(DiskGraph::open(&path).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn biblock_checkpoint_resume_is_bit_exact() {
+        let g = synth::power_law(250, 2.0, 1, 25, 7);
+        let gpath = temp_path("bb_ck.fmdisk");
+        let disk = DiskGraph::create(&g, &gpath).unwrap();
+        let cfg = WalkConfig::node2vec(0.25, 4.0).walkers(60).steps(5).seed(13);
+        let budget = 2 << 10;
+
+        let (reference, _) = run_ooc(&disk, &cfg, budget).unwrap();
+
+        let ckdir = temp_path("bb_ck_dir");
+        std::fs::remove_dir_all(&ckdir).ok();
+        let halt = OocOptions {
+            checkpoint: Some(CheckpointSpec {
+                halt_after: Some(2),
+                ..CheckpointSpec::new(&ckdir, 3)
+            }),
+            ..OocOptions::default()
+        };
+        let mut tel = Telemetry::off();
+        let err = run_ooc_with(&disk, &cfg, budget, &halt, &mut tel).unwrap_err();
+        assert!(matches!(err, WalkError::Halted { generation: 2 }));
+
+        let resume = OocOptions {
+            resume_from: Some(ckdir.clone()),
+            ..OocOptions::default()
+        };
+        let (resumed, _) = run_ooc_with(&disk, &cfg, budget, &resume, &mut tel).unwrap();
+        assert_eq!(reference.paths(), resumed.paths());
+
+        // Wrong budget → different config tag → typed mismatch.
+        let err = run_ooc_with(&disk, &cfg, budget * 2, &resume, &mut tel).unwrap_err();
+        assert!(matches!(
+            err,
+            WalkError::Recover(RecoverError::Mismatch { .. })
+        ));
+        std::fs::remove_dir_all(&ckdir).ok();
+        std::fs::remove_file(gpath).ok();
     }
 }

@@ -41,4 +41,4 @@ pub use fault::{FaultCounts, FaultPolicy, FaultState, FaultyFile};
 pub use manifest::{load_latest, CheckpointSink, Manifest, MANIFEST_NAME};
 pub use retry::{transient_io, with_retries, RetryPolicy};
 pub use crc::fnv64;
-pub use snapshot::{CheckpointSpec, Fingerprint, PsPartState, WalkSnapshot};
+pub use snapshot::{BiBlockState, CheckpointSpec, Fingerprint, PsPartState, WalkSnapshot};

@@ -309,6 +309,7 @@ mod tests {
                 None,
             ],
             rows: vec![vec![0, 0, 0, 0]],
+            biblock: None,
         }
     }
 

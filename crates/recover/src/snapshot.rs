@@ -24,6 +24,16 @@
 //!   PS buffers carry unconsumed samples *across* iterations, so resume
 //!   without them would diverge from the uninterrupted chain).
 //! * `OUTP` — the output cursor: every path row recorded so far.
+//! * `BBLK` *(optional)* — the out-of-core bi-block scheduler's
+//!   mid-schedule state: epoch and pair-slot cursor, the parked-walker
+//!   boundary buckets, per-walker step counters, and the walker-major
+//!   partial paths.  The frame is appended only by the bi-block engine;
+//!   first-order snapshots omit it and decode exactly as before.  It
+//!   uses the same tag/len/payload/CRC32 frame as the mandatory
+//!   sections, so the single-byte-corruption property ("flip any one
+//!   byte → `Corrupt`") extends to the new state for free: a flipped
+//!   tag fails the tag check, a flipped length or payload byte fails
+//!   the CRC, and stray trailing bytes fail the frame-header minimum.
 
 use std::path::{Path, PathBuf};
 
@@ -40,6 +50,7 @@ const FORMAT_VERSION: u32 = 1;
 const TAG_STATE: &[u8; 4] = b"STAT";
 const TAG_WALKERS: &[u8; 4] = b"WLKR";
 const TAG_OUTPUT: &[u8; 4] = b"OUTP";
+const TAG_BIBLOCK: &[u8; 4] = b"BBLK";
 
 /// How (and whether) a run writes checkpoints.
 #[derive(Debug, Clone)]
@@ -89,6 +100,27 @@ impl CheckpointSpec {
     }
 }
 
+/// Mid-schedule state of the out-of-core bi-block scheduler (second
+/// order walks): where in the triangular pair sweep the run stopped and
+/// every walker parked at a block boundary.  Serialized as the optional
+/// `BBLK` frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BiBlockState {
+    /// Completed triangular sweeps.
+    pub epoch: u64,
+    /// Next pair slot (flat triangular index) within the current epoch.
+    pub cursor: u64,
+    /// Number of blocks the budget produced; a resume under a different
+    /// block layout is rejected by shape checks.
+    pub blocks: u64,
+    /// Steps completed per walker.
+    pub done: Vec<u32>,
+    /// Parked walker indices per pair slot (the boundary buffers).
+    pub buckets: Vec<Vec<u32>>,
+    /// Walker-major partial paths (empty unless paths are recorded).
+    pub paths: Vec<Vec<u32>>,
+}
+
 /// Pre-sample buffer state of one PS partition at the snapshot point.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PsPartState {
@@ -129,6 +161,8 @@ pub struct WalkSnapshot {
     pub ps: Vec<Option<PsPartState>>,
     /// Recorded path rows so far (empty unless `record_paths`).
     pub rows: Vec<Vec<u32>>,
+    /// Bi-block scheduler state (out-of-core second-order walks only).
+    pub biblock: Option<BiBlockState>,
 }
 
 /// FNV-1a fingerprint builder for config/graph tags.
@@ -256,6 +290,22 @@ impl WalkSnapshot {
         frame(&mut out, TAG_STATE, &state.into_bytes());
         frame(&mut out, TAG_WALKERS, &walkers.into_bytes());
         frame(&mut out, TAG_OUTPUT, &output.into_bytes());
+        if let Some(bb) = &self.biblock {
+            let mut biblock = Writer::new();
+            biblock.put_u64(bb.epoch);
+            biblock.put_u64(bb.cursor);
+            biblock.put_u64(bb.blocks);
+            biblock.put_u32_slice(&bb.done);
+            biblock.put_u64(bb.buckets.len() as u64);
+            for bucket in &bb.buckets {
+                biblock.put_u32_slice(bucket);
+            }
+            biblock.put_u64(bb.paths.len() as u64);
+            for path in &bb.paths {
+                biblock.put_u32_slice(path);
+            }
+            frame(&mut out, TAG_BIBLOCK, &biblock.into_bytes());
+        }
         out
     }
 
@@ -274,6 +324,14 @@ impl WalkSnapshot {
         let state = read_frame(data, &mut pos, TAG_STATE, "STATE", path)?;
         let walkers = read_frame(data, &mut pos, TAG_WALKERS, "WALKERS", path)?;
         let output = read_frame(data, &mut pos, TAG_OUTPUT, "OUTPUT", path)?;
+        // The optional bi-block frame: any bytes past OUTP must form a
+        // complete, CRC-valid BBLK frame (so stray trailing bytes still
+        // fail, via the frame-header minimum or the tag/CRC checks).
+        let biblock_bytes = if pos != data.len() {
+            Some(read_frame(data, &mut pos, TAG_BIBLOCK, "BIBLOCK", path)?)
+        } else {
+            None
+        };
         if pos != data.len() {
             return Err(corrupt(
                 "trailer",
@@ -341,6 +399,48 @@ impl WalkSnapshot {
         }
         r.finish()?;
 
+        let biblock = match biblock_bytes {
+            None => None,
+            Some(bytes) => {
+                let mut r = Reader::new(bytes, "BIBLOCK", path);
+                let epoch = r.u64()?;
+                let cursor = r.u64()?;
+                let blocks = r.u64()?;
+                let done = r.u32_vec()?;
+                let bucket_count = r.u64()?;
+                if bucket_count > bytes.len() as u64 {
+                    return Err(corrupt(
+                        "BIBLOCK",
+                        format!("impossible bucket count {bucket_count}"),
+                    ));
+                }
+                let mut buckets = Vec::with_capacity(bucket_count as usize);
+                for _ in 0..bucket_count {
+                    buckets.push(r.u32_vec()?);
+                }
+                let path_count = r.u64()?;
+                if path_count > bytes.len() as u64 {
+                    return Err(corrupt(
+                        "BIBLOCK",
+                        format!("impossible path count {path_count}"),
+                    ));
+                }
+                let mut paths = Vec::with_capacity(path_count as usize);
+                for _ in 0..path_count {
+                    paths.push(r.u32_vec()?);
+                }
+                r.finish()?;
+                Some(BiBlockState {
+                    epoch,
+                    cursor,
+                    blocks,
+                    done,
+                    buckets,
+                    paths,
+                })
+            }
+        };
+
         Ok(Self {
             seed,
             iter_next,
@@ -355,6 +455,7 @@ impl WalkSnapshot {
             visits,
             ps,
             rows,
+            biblock,
         })
     }
 }
@@ -389,6 +490,39 @@ mod tests {
                 }),
             ],
             rows: vec![vec![0, 1, 2, 3, 4, 5], vec![1, 2, 3, 4, 5, 0]],
+            biblock: None,
+        }
+    }
+
+    fn biblock_snapshot() -> WalkSnapshot {
+        WalkSnapshot {
+            biblock: Some(BiBlockState {
+                epoch: 3,
+                cursor: 5,
+                blocks: 4,
+                done: vec![2, 3, 3, 1, 2, 3],
+                buckets: vec![
+                    vec![0, 3],
+                    Vec::new(),
+                    vec![4],
+                    Vec::new(),
+                    vec![1, 2, 5],
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                    Vec::new(),
+                ],
+                paths: vec![
+                    vec![1, 2, 3],
+                    vec![2, 3, 4, 5],
+                    vec![3, 4, 5, 0],
+                    vec![4, 5],
+                    vec![5, 0, 1],
+                    vec![0, 1, 2, 3],
+                ],
+            }),
+            ..sample_snapshot()
         }
     }
 
@@ -399,6 +533,53 @@ mod tests {
         let back =
             WalkSnapshot::decode(&bytes, Path::new("test.fmck")).expect("round trip decodes");
         assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn biblock_snapshot_round_trips() {
+        let snap = biblock_snapshot();
+        let bytes = snap.encode();
+        let back =
+            WalkSnapshot::decode(&bytes, Path::new("bb.fmck")).expect("round trip decodes");
+        assert_eq!(snap, back);
+        // The frame is strictly optional: a frame-free snapshot must
+        // decode to `biblock: None`, not an empty default.
+        let plain = sample_snapshot().encode();
+        let back = WalkSnapshot::decode(&plain, Path::new("p.fmck")).expect("decodes");
+        assert_eq!(back.biblock, None);
+    }
+
+    /// The corruption sweep extended over the optional fourth frame:
+    /// every single-byte flip of a BBLK-bearing snapshot must surface
+    /// as `Corrupt`, and truncating or extending the frame must too.
+    #[test]
+    fn biblock_frame_corruption_is_detected() {
+        let bytes = biblock_snapshot().encode();
+        let mut rng = Xorshift64Star::new(0xB1B);
+        for trial in 0..600 {
+            let i = rng.gen_index(bytes.len());
+            let bit = rng.gen_index(8) as u8;
+            let mut m = bytes.clone();
+            m[i] ^= 1 << bit;
+            match WalkSnapshot::decode(&m, Path::new("bb.fmck")) {
+                Err(RecoverError::Corrupt { .. }) => {}
+                other => panic!(
+                    "trial {trial}: flip byte {i} bit {bit} gave {other:?} instead of Corrupt"
+                ),
+            }
+        }
+        for cut in [bytes.len() - 1, bytes.len() - 5, bytes.len() - 17] {
+            assert!(matches!(
+                WalkSnapshot::decode(&bytes[..cut], Path::new("bb.fmck")),
+                Err(RecoverError::Corrupt { .. })
+            ));
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            WalkSnapshot::decode(&extended, Path::new("bb.fmck")),
+            Err(RecoverError::Corrupt { .. })
+        ));
     }
 
     #[test]

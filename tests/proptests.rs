@@ -392,6 +392,7 @@ fn program_state_round_trips_through_wire_codec() {
             rows: (0..gen_range(&mut rng, 0, 8))
                 .map(|_| gen_vec(&mut rng, (0, 12), (0, u32::MAX as u64)))
                 .collect(),
+            biblock: None,
         };
         let bytes = snap.encode();
         let back = WalkSnapshot::decode(&bytes, std::path::Path::new("prop.fmck"))

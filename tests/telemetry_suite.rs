@@ -105,12 +105,41 @@ fn partition_step_counters_sum_exactly_across_engines_and_threads() {
     let mut tel = Telemetry::new();
     let config = walk_config(300, 7, 1);
     let result = run_ooc_traced(&disk, &config, 16 * 1024, &mut tel);
-    std::fs::remove_file(&path).ok();
     let (_, stats) = result.expect("ooc run");
     assert_eq!(tel.partition_steps_total(), stats.steps_taken, "oocore");
     assert!(
         tel.events().iter().any(|e| e.stage == Stage::Io),
         "streaming runs must record Io spans"
+    );
+
+    // Second-order walks take the triangular bi-block path; its block
+    // loads and per-pair step counters must obey the same exact-sum
+    // contract as the partition-streaming loop, with one Io span per
+    // block actually read from disk.
+    let mut tel = Telemetry::new();
+    let config = WalkConfig::node2vec(2.0, 0.5)
+        .walkers(300)
+        .steps(7)
+        .seed(23)
+        .threads(1)
+        .record_paths(false);
+    let result = run_ooc_traced(&disk, &config, 4 * 1024, &mut tel);
+    std::fs::remove_file(&path).ok();
+    let (_, stats) = result.expect("bi-block run");
+    assert_eq!(tel.partition_steps_total(), stats.steps_taken, "bi-block");
+    assert_eq!(
+        tel.stage(Stage::Io).spans,
+        stats.blocks_streamed,
+        "one Io span per streamed block"
+    );
+    assert!(
+        stats.blocks_streamed > stats.pairs_scheduled.max(1) / 2,
+        "a 4 KiB budget must split the graph into multiple blocks"
+    );
+    let counted: u64 = tel.partition_counters().iter().map(|c| c.edge_bytes).sum();
+    assert!(
+        counted >= stats.bytes_read,
+        "partition byte counters must cover the streamed adjacency bytes"
     );
 }
 
