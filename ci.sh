@@ -20,11 +20,15 @@
 #      second-order chain under 15% injected faults, halt deliberately
 #      mid-schedule, resume bit-exactly, and check the exit-code
 #      contract (4 wrong budget, 2 persistent faults, 3 corrupt graph)
-#   9. audit tier: the fm-audit source scanner at -D warnings severity
-#      (any finding fails), a seeded-violation check, the dynamic
-#      disjointness checker's tests, and the conformance quick lattice
-#      under --features audit-disjoint; an env-gated nightly Miri pass
-#      (AUDIT_MIRI=1) covers the recover codecs and fm-rng
+#   9. audit tier: the flow-aware fm-audit scanner (`audit --graph`) at
+#      -D warnings severity — textual lints plus call-graph taint,
+#      panic-reachability, rng-purity and fingerprint-completeness —
+#      with the JSON schema self-check, a seeded-violation check per
+#      flow lint, a `--why` call-path reproduction, the pinned 0/1/2
+#      exit-code contract, the dynamic disjointness checker's tests,
+#      and the conformance quick lattice under --features
+#      audit-disjoint; an env-gated nightly Miri pass (AUDIT_MIRI=1)
+#      covers the recover codecs and fm-rng
 #  10. perf tier: `bench-diff`'s exit-code contract on hand-written
 #      ledgers, a `walk --hw-counters` / `cachecheck` degradation
 #      round trip (exit 0 with or without PMU access), and — only on
@@ -172,17 +176,44 @@ else
 fi
 
 echo "== audit tier =="
-# Static scan: the project lint catalogue (SAFETY comments, thread/IO
-# discipline, wall-clock bans, cast-free codecs, unwrap ratchet).  Any
-# finding is an error — the scanner's own -D warnings.
-cargo run --release -q -p fm-cli -- audit
-# The seeded bad workspace must be caught with the findings exit code.
-if cargo run --release -q -p fm-cli -- audit \
-    --root crates/audit/tests/fixtures/bad_ws >/dev/null 2>&1; then
+# Flow-aware static scan: the textual lint catalogue (SAFETY comments,
+# thread/IO discipline, cast-free codecs, unwrap ratchet) plus the call
+# graph passes (determinism-taint, panic-reachability, rng-purity,
+# fingerprint-completeness).  Any finding is an error — the scanner's
+# own -D warnings.  Exit-code contract: 0 clean, 1 findings, 2 IO/config.
+cargo run --release -q -p fm-cli -- audit --graph
+# --json emits the machine-readable report and self-validates it
+# against the documented schema (schema drift exits 2); check the
+# stream is non-empty and carries the graph block too.
+AUDIT_JSON="$(cargo run --release -q -p fm-cli -- audit --graph --json)"
+grep -q '"graph":' <<< "$AUDIT_JSON" || {
+    echo "audit --json lost the graph stats block" >&2; exit 1; }
+# The seeded bad workspace must trip every flow lint, exit with the
+# findings code, and reproduce a full call path via --why.
+BAD_WS=crates/audit/tests/fixtures/bad_ws
+if cargo run --release -q -p fm-cli -- audit --graph \
+    --root "$BAD_WS" >/dev/null 2>&1; then
     echo "audit unexpectedly passed on the seeded bad workspace" >&2; exit 1
 else
     code=$?
     [[ "$code" == 1 ]] || { echo "bad_ws audit exited $code, want 1" >&2; exit 1; }
+fi
+BAD_OUT="$(cargo run --release -q -p fm-cli -- audit --graph --root "$BAD_WS" 2>&1 || true)"
+for lint in determinism-taint panic-reachability rng-purity fingerprint-completeness; do
+    grep -q "\[$lint\]" <<< "$BAD_OUT" || {
+        echo "bad_ws audit did not fire $lint" >&2; exit 1; }
+done
+WHY_OUT="$(cargo run --release -q -p fm-cli -- audit --root "$BAD_WS" \
+    --why hot_pick 2>&1 || true)"
+grep -q "fn sample_partition (call at line" <<< "$WHY_OUT" || {
+    echo "audit --why did not reproduce the bad_ws panic path" >&2; exit 1; }
+# A nonexistent root is an IO error, not a findings failure: exit 2.
+if cargo run --release -q -p fm-cli -- audit --graph \
+    --root /nonexistent-audit-root >/dev/null 2>&1; then
+    echo "audit passed on a nonexistent root" >&2; exit 1
+else
+    code=$?
+    [[ "$code" == 2 ]] || { echo "nonexistent-root audit exited $code, want 2" >&2; exit 1; }
 fi
 # Dynamic disjointness: the injected-overlap tests, then the full
 # conformance quick lattice with every DisjointSlice claim interval-

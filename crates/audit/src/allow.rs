@@ -1,21 +1,28 @@
 //! The scanner allowlist: `audit/allow.toml`.
 //!
 //! Each entry names a (lint, file) pair that is exempt, with a reason
-//! the report can show.  The parser is a tiny hand-rolled subset of
-//! TOML — `[[allow]]` array-of-tables with `key = "value"` lines —
-//! because the workspace is zero-dependency.
+//! the report can show.  An optional `item` key narrows the exemption
+//! to one function (flow lints set `Finding::item` to the offending fn
+//! or config field), so a file-wide pass stays strict while a single
+//! proven-invariant panic site is excused.  The parser is a tiny
+//! hand-rolled subset of TOML — `[[allow]]` array-of-tables with
+//! `key = "value"` lines — because the workspace is zero-dependency.
 //!
 //! Entries that match nothing are themselves findings (`stale-allow`):
 //! a dead exemption is a hole waiting for code to move into it.
 
 use crate::lints::{Finding, Lint};
 
-/// One exemption: this lint does not fire in this file.
+/// One exemption: this lint does not fire in this file (or, with
+/// `item`, in this one function / for this one field).
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
     pub lint: Lint,
     /// Workspace-relative path, `/`-separated.
     pub path: String,
+    /// When set, exempts only findings whose `item` matches (fn name
+    /// for flow lints, field name for fingerprint-completeness).
+    pub item: Option<String>,
     pub reason: String,
     /// Defined-on line in allow.toml, for stale-entry findings.
     pub line: usize,
@@ -31,6 +38,7 @@ pub struct Allowlist {
 struct PartialEntry {
     lint: Option<Lint>,
     path: Option<String>,
+    item: Option<String>,
     reason: Option<String>,
     line: usize,
 }
@@ -66,6 +74,7 @@ impl Allowlist {
                     })?)
                 }
                 "path" => slot.path = Some(val),
+                "item" => slot.item = Some(val),
                 "reason" => slot.reason = Some(val),
                 other => {
                     return Err(format!("allow.toml:{lineno}: unknown key `{other}`"));
@@ -76,45 +85,71 @@ impl Allowlist {
         Ok(Allowlist { entries })
     }
 
-    /// Is this (lint, path) exempt?
+    /// Is this (lint, path) exempt (by any entry, item-scoped or not)?
     pub fn allows(&self, lint: Lint, path: &str) -> bool {
         self.entries
             .iter()
             .any(|e| e.lint == lint && e.path == path)
     }
 
-    /// Drops allowed findings; returns them plus `stale-allow` findings
-    /// for entries that shielded nothing.
-    pub fn apply(&self, findings: Vec<Finding>) -> Vec<Finding> {
+    /// Does this entry shield this finding?  A file-wide entry (no
+    /// `item`) shields everything in the file; an item-scoped entry
+    /// only findings carrying the same item.
+    fn matches(e: &AllowEntry, f: &Finding) -> bool {
+        e.lint == f.lint
+            && e.path == f.path
+            && e.item
+                .as_deref()
+                .is_none_or(|it| f.item.as_deref() == Some(it))
+    }
+
+    /// Splits findings into (kept, shielded).  Kept findings gain
+    /// `stale-allow` entries for exemptions that shielded nothing;
+    /// shielded findings gain a trailing `why` frame naming the entry
+    /// and its reason, so `--why` can still explain an exemption.
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
         let mut used = vec![false; self.entries.len()];
         let mut kept = Vec::new();
-        for f in findings {
-            let mut hit = false;
+        let mut shielded = Vec::new();
+        for mut f in findings {
+            let mut hit = None;
             for (i, e) in self.entries.iter().enumerate() {
-                if e.lint == f.lint && e.path == f.path {
+                if Self::matches(e, &f) {
                     used[i] = true;
-                    hit = true;
+                    hit.get_or_insert(i);
                 }
             }
-            if !hit {
-                kept.push(f);
+            match hit {
+                Some(i) => {
+                    let e = &self.entries[i];
+                    f.why.push(format!(
+                        "shielded by allow.toml:{}: {}",
+                        e.line, e.reason
+                    ));
+                    shielded.push(f);
+                }
+                None => kept.push(f),
             }
         }
         for (i, e) in self.entries.iter().enumerate() {
             if !used[i] {
-                kept.push(Finding {
-                    lint: Lint::StaleAllow,
-                    path: "audit/allow.toml".to_string(),
-                    line: e.line,
-                    msg: format!(
+                let scope = match &e.item {
+                    Some(it) => format!("{}#{}", e.path, it),
+                    None => e.path.clone(),
+                };
+                kept.push(Finding::new(
+                    Lint::StaleAllow,
+                    "audit/allow.toml".to_string(),
+                    e.line,
+                    format!(
                         "allow entry ({}, {}) matched no finding; remove it",
                         e.lint.name(),
-                        e.path
+                        scope
                     ),
-                });
+                ));
             }
         }
-        kept
+        (kept, shielded)
     }
 }
 
@@ -136,6 +171,7 @@ fn finish_entry(
         entries.push(AllowEntry {
             lint,
             path,
+            item: p.item,
             reason,
             line,
         });
@@ -180,16 +216,57 @@ reason = "the worker pool"
     #[test]
     fn stale_entries_become_findings() {
         let a = Allowlist::parse(SAMPLE).unwrap();
-        let out = a.apply(vec![Finding {
-            lint: Lint::RawFileIo,
-            path: "crates/graph/src/io.rs".to_string(),
-            line: 10,
-            msg: "x".to_string(),
-        }]);
-        // The matched finding is dropped; the unused pool entry is stale.
+        let (out, shielded) = a.apply(vec![Finding::new(
+            Lint::RawFileIo,
+            "crates/graph/src/io.rs".to_string(),
+            10,
+            "x".to_string(),
+        )]);
+        // The matched finding moves to `shielded` (annotated with the
+        // entry's reason); the unused pool entry is stale.
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].lint, Lint::StaleAllow);
         assert!(out[0].msg.contains("pool.rs"));
+        assert_eq!(shielded.len(), 1);
+        assert!(shielded[0].why.last().unwrap().contains("graph IO layer"));
+    }
+
+    #[test]
+    fn item_scoped_entry_only_shields_matching_item() {
+        let toml = "[[allow]]\nlint = \"panic-reachability\"\npath = \"crates/a/src/l.rs\"\nitem = \"draw\"\nreason = \"invariant established at build\"\n";
+        let a = Allowlist::parse(toml).unwrap();
+        let mk = |item: &str| {
+            let mut f = Finding::new(
+                Lint::PanicReachability,
+                "crates/a/src/l.rs".to_string(),
+                1,
+                "p".to_string(),
+            );
+            f.item = Some(item.to_string());
+            f
+        };
+        let (out, shielded) = a.apply(vec![mk("draw"), mk("other")]);
+        // `draw` is shielded; `other` survives; the entry is not stale.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].item.as_deref(), Some("other"));
+        assert_eq!(shielded.len(), 1);
+        assert_eq!(shielded[0].item.as_deref(), Some("draw"));
+    }
+
+    #[test]
+    fn file_wide_entry_shields_item_findings_too() {
+        let toml = "[[allow]]\nlint = \"determinism-taint\"\npath = \"crates/a/src/l.rs\"\nreason = \"r\"\n";
+        let a = Allowlist::parse(toml).unwrap();
+        let mut f = Finding::new(
+            Lint::DeterminismTaint,
+            "crates/a/src/l.rs".to_string(),
+            1,
+            "m".to_string(),
+        );
+        f.item = Some("walk".to_string());
+        let (out, shielded) = a.apply(vec![f]);
+        assert!(out.is_empty());
+        assert_eq!(shielded.len(), 1);
     }
 
     #[test]

@@ -51,15 +51,21 @@ impl ClaimLog {
         Arc::new(ClaimLog::default())
     }
 
+    /// Locks the claim list, recovering from poisoning: a claim log is
+    /// plain data, still consistent after a panicking worker.
+    fn guard(&self) -> std::sync::MutexGuard<'_, Vec<Claim>> {
+        self.claims.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Records one claim.  Called from worker threads via [`claim`].
     pub fn record(&self, start: usize, len: usize, worker: usize) {
         let end = start.saturating_add(len);
-        self.claims.lock().unwrap().push(Claim { start, end, worker });
+        self.guard().push(Claim { start, end, worker });
     }
 
     /// Number of claims currently buffered (for tests).
     pub fn len(&self) -> usize {
-        self.claims.lock().unwrap().len()
+        self.guard().len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -69,7 +75,7 @@ impl ClaimLog {
     /// Drains the epoch's claims and panics if any two ranges claimed by
     /// different workers overlap, naming both claimants.
     pub fn drain_and_check(&self, stage: &str) {
-        let mut claims = std::mem::take(&mut *self.claims.lock().unwrap());
+        let mut claims = std::mem::take(&mut *self.guard());
         if let Some((a, b)) = find_overlap(&mut claims) {
             panic!(
                 "audit-disjoint: overlapping DisjointSlice claims in stage `{stage}`: \
@@ -82,7 +88,7 @@ impl ClaimLog {
     /// Drops the epoch's claims without checking — used after a worker
     /// panic, where partial claims would only add noise to the re-raise.
     pub fn drain_discard(&self) {
-        self.claims.lock().unwrap().clear();
+        self.guard().clear();
     }
 }
 

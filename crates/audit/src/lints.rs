@@ -15,11 +15,13 @@
 //! * `raw-file-io` — `File::open` / `File::create` / `OpenOptions` are
 //!   forbidden outside the graph IO layer and the recover retry layer
 //!   (allowlisted), so data-path IO cannot bypass fault injection.
-//! * `wall-clock` — `SystemTime` / `UNIX_EPOCH` and ambient entropy
-//!   (`thread_rng`, `from_entropy`, `rand::random`) are forbidden in
-//!   the deterministic crates; replay and conformance digests depend on
-//!   seeded determinism.  (`Instant` is allowed: elapsed-time telemetry
-//!   never feeds walk results.)
+//! * `determinism-taint` / `panic-reachability` / `rng-purity` /
+//!   `fingerprint-completeness` — the flow-aware lints, defined in
+//!   [`crate::taint`] over the call graph ([`crate::callgraph`]) rather
+//!   than per line.  `determinism-taint` supersedes the old textual
+//!   `wall-clock` lint (that name survives as an allow.toml alias):
+//!   clock / entropy / env-var / hash-order sources must not *reach*
+//!   a deterministic crate, not merely appear in one.
 //! * `narrowing-cast` — narrowing `as` casts are forbidden in
 //!   `recover/src/wire.rs` and `crc.rs`: snapshot decoding must use
 //!   checked conversions so corrupt length fields cannot wrap.
@@ -51,25 +53,41 @@ pub enum Lint {
     UnsafeNeedsSafety,
     ThreadDiscipline,
     RawFileIo,
-    WallClock,
     NarrowingCast,
     UnwrapRatchet,
     StaleAllow,
     PrefetchIntrinsic,
     PerfSyscall,
+    /// Flow-aware (`--graph`): wall-clock / entropy / env-var /
+    /// hash-iteration-order sources must not reach the deterministic
+    /// crates, transitively.  Supersedes the old textual `wall-clock`
+    /// lint; that name is still accepted in allow.toml as an alias.
+    DeterminismTaint,
+    /// Flow-aware: no panic/unwrap/expect reachable from the PS/DS/
+    /// ring/oocore sample loops without an allow-listed exemption.
+    PanicReachability,
+    /// Flow-aware: RNG construction sites must flow from the seed plus
+    /// structured indices, never from an ambient source.
+    RngPurity,
+    /// Flow-aware: every `WalkConfig` field the engine run path reads
+    /// must be folded into the checkpoint config fingerprint.
+    FingerprintCompleteness,
 }
 
 impl Lint {
-    pub const ALL: [Lint; 9] = [
+    pub const ALL: [Lint; 12] = [
         Lint::UnsafeNeedsSafety,
         Lint::ThreadDiscipline,
         Lint::RawFileIo,
-        Lint::WallClock,
         Lint::NarrowingCast,
         Lint::UnwrapRatchet,
         Lint::StaleAllow,
         Lint::PrefetchIntrinsic,
         Lint::PerfSyscall,
+        Lint::DeterminismTaint,
+        Lint::PanicReachability,
+        Lint::RngPurity,
+        Lint::FingerprintCompleteness,
     ];
 
     pub fn name(self) -> &'static str {
@@ -77,16 +95,24 @@ impl Lint {
             Lint::UnsafeNeedsSafety => "unsafe-needs-safety",
             Lint::ThreadDiscipline => "thread-discipline",
             Lint::RawFileIo => "raw-file-io",
-            Lint::WallClock => "wall-clock",
             Lint::NarrowingCast => "narrowing-cast",
             Lint::UnwrapRatchet => "unwrap-ratchet",
             Lint::StaleAllow => "stale-allow",
             Lint::PrefetchIntrinsic => "prefetch-intrinsic",
             Lint::PerfSyscall => "perf-syscall",
+            Lint::DeterminismTaint => "determinism-taint",
+            Lint::PanicReachability => "panic-reachability",
+            Lint::RngPurity => "rng-purity",
+            Lint::FingerprintCompleteness => "fingerprint-completeness",
         }
     }
 
     pub fn from_name(s: &str) -> Option<Lint> {
+        // `wall-clock` was the textual ancestor of the taint pass; the
+        // alias keeps existing allow.toml entries meaningful.
+        if s == "wall-clock" {
+            return Some(Lint::DeterminismTaint);
+        }
         Lint::ALL.into_iter().find(|l| l.name() == s)
     }
 }
@@ -100,6 +126,25 @@ pub struct Finding {
     /// 1-based line number (0 for file-level findings).
     pub line: usize,
     pub msg: String,
+    /// Item-level anchor for flow findings (function or field name),
+    /// used by `item`-scoped allow entries and `--why` queries.
+    pub item: Option<String>,
+    /// The offending call path, one human-readable frame per entry
+    /// (flow-aware lints only; printed by `fmwalk audit --why`).
+    pub why: Vec<String>,
+}
+
+impl Finding {
+    pub fn new(lint: Lint, path: impl Into<String>, line: usize, msg: impl Into<String>) -> Self {
+        Finding {
+            lint,
+            path: path.into(),
+            line,
+            msg: msg.into(),
+            item: None,
+            why: Vec::new(),
+        }
+    }
 }
 
 /// Scanner output for a single file.
@@ -113,7 +158,8 @@ pub struct FileScan {
 }
 
 /// Crates whose walk results must be bit-reproducible from a seed.
-const DETERMINISTIC_CRATES: [&str; 8] = [
+/// Used by the flow-aware determinism-taint pass ([`crate::taint`]).
+pub const DETERMINISTIC_CRATES: [&str; 8] = [
     "crates/graph",
     "crates/rng",
     "crates/mckp",
@@ -135,13 +181,6 @@ const PERF_SYSCALL_HOME: &str = "crates/perfmon/src/syscall.rs";
 
 const THREAD_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
 const FILE_TOKENS: [&str; 3] = ["File::open", "File::create", "OpenOptions"];
-const CLOCK_TOKENS: [&str; 5] = [
-    "SystemTime",
-    "UNIX_EPOCH",
-    "thread_rng",
-    "from_entropy",
-    "rand::random",
-];
 const NARROWING_TOKENS: [&str; 8] = [
     "as u8", "as u16", "as u32", "as usize", "as i8", "as i16", "as i32", "as isize",
 ];
@@ -151,8 +190,10 @@ const PERF_SYSCALL_TOKENS: [&str; 3] = ["syscall(", "perf_event_open", "PERF_EVE
 /// How many lines above an `unsafe` site a `SAFETY:` comment may sit.
 const SAFETY_WINDOW: usize = 4;
 
-/// Is this path test/bench/example code by location?
-fn is_test_path(path: &str) -> bool {
+/// Is this path test/bench/example code by location?  Shared with the
+/// flow passes: [`crate::scan`] feeds it to the item parser so fns in
+/// tests/ trees are marked `is_test`.
+pub fn is_test_path(path: &str) -> bool {
     path.contains("/tests/")
         || path.contains("/benches/")
         || path.contains("/examples/")
@@ -286,9 +327,6 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
     let test_mask = cfg_test_mask(&lines);
     let path_is_test = is_test_path(path);
     let cast_free = CAST_FREE_FILES.contains(&path);
-    let deterministic = DETERMINISTIC_CRATES
-        .iter()
-        .any(|c| path.starts_with(&format!("{c}/src")));
 
     let mut scan = FileScan::default();
     for (i, line) in lines.iter().enumerate() {
@@ -312,12 +350,12 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
                         "unsafe block needs a `SAFETY:` comment naming its invariant"
                     }
                 };
-                scan.findings.push(Finding {
-                    lint: Lint::UnsafeNeedsSafety,
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: what.to_string(),
-                });
+                scan.findings.push(Finding::new(
+                    Lint::UnsafeNeedsSafety,
+                    path,
+                    lineno,
+                    what,
+                ));
             }
         }
 
@@ -327,46 +365,30 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
 
         for tok in THREAD_TOKENS {
             if code.contains(tok) {
-                scan.findings.push(Finding {
-                    lint: Lint::ThreadDiscipline,
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!(
+                scan.findings.push(Finding::new(
+                    Lint::ThreadDiscipline,
+                    path,
+                    lineno,
+                    format!(
                         "`{tok}` outside the worker pool / checkpoint writer; \
                          route parallelism through fm-pool so the disjointness \
                          checker sees it"
                     ),
-                });
+                ));
             }
         }
 
         for tok in FILE_TOKENS {
             if code.contains(tok) {
-                scan.findings.push(Finding {
-                    lint: Lint::RawFileIo,
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!(
+                scan.findings.push(Finding::new(
+                    Lint::RawFileIo,
+                    path,
+                    lineno,
+                    format!(
                         "raw `{tok}` outside graph/io.rs and the recover retry \
                          layer; data-path IO must stay fault-injectable"
                     ),
-                });
-            }
-        }
-
-        if deterministic {
-            for tok in CLOCK_TOKENS {
-                if code.contains(tok) {
-                    scan.findings.push(Finding {
-                        lint: Lint::WallClock,
-                        path: path.to_string(),
-                        line: lineno,
-                        msg: format!(
-                            "`{tok}` in a deterministic crate; walks must be \
-                             reproducible from the seed alone"
-                        ),
-                    });
-                }
+                ));
             }
         }
 
@@ -375,26 +397,26 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
                 continue;
             }
             if path != PREFETCH_HOME {
-                scan.findings.push(Finding {
-                    lint: Lint::PrefetchIntrinsic,
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!(
+                scan.findings.push(Finding::new(
+                    Lint::PrefetchIntrinsic,
+                    path,
+                    lineno,
+                    format!(
                         "`{tok}` outside the sample ring module; call \
                          sample::ring::prefetch_read instead of raw \
                          architectural intrinsics"
                     ),
-                });
+                ));
             } else if !safety_comment_near(&lines, i) {
-                scan.findings.push(Finding {
-                    lint: Lint::PrefetchIntrinsic,
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!(
+                scan.findings.push(Finding::new(
+                    Lint::PrefetchIntrinsic,
+                    path,
+                    lineno,
+                    format!(
                         "`{tok}` in the ring module without a `SAFETY:` \
                          comment; document why the hint cannot fault"
                     ),
-                });
+                ));
             }
             break; // one finding per line is enough
         }
@@ -404,26 +426,26 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
                 continue;
             }
             if path != PERF_SYSCALL_HOME {
-                scan.findings.push(Finding {
-                    lint: Lint::PerfSyscall,
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!(
+                scan.findings.push(Finding::new(
+                    Lint::PerfSyscall,
+                    path,
+                    lineno,
+                    format!(
                         "`{tok}` outside the perfmon syscall shim; raw perf \
                          access must go through fm-perfmon::CounterGroup so \
                          the hand-declared kernel ABI stays in one file"
                     ),
-                });
+                ));
             } else if !safety_comment_near(&lines, i) {
-                scan.findings.push(Finding {
-                    lint: Lint::PerfSyscall,
-                    path: path.to_string(),
-                    line: lineno,
-                    msg: format!(
+                scan.findings.push(Finding::new(
+                    Lint::PerfSyscall,
+                    path,
+                    lineno,
+                    format!(
                         "`{tok}` in the syscall shim without a `SAFETY:` \
                          comment; document the kernel contract of the call"
                     ),
-                });
+                ));
             }
             break; // one finding per line is enough
         }
@@ -431,15 +453,15 @@ pub fn scan_file(path: &str, src: &str) -> FileScan {
         if cast_free {
             for tok in NARROWING_TOKENS {
                 if has_token(code, tok) {
-                    scan.findings.push(Finding {
-                        lint: Lint::NarrowingCast,
-                        path: path.to_string(),
-                        line: lineno,
-                        msg: format!(
+                    scan.findings.push(Finding::new(
+                        Lint::NarrowingCast,
+                        path,
+                        lineno,
+                        format!(
                             "narrowing `{tok}` in a snapshot codec; use \
                              checked conversions (try_from / to_le_bytes)"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -500,10 +522,17 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_only_in_deterministic_crates() {
+    fn wall_clock_is_now_flow_aware_not_textual() {
+        // The textual scanner no longer fires on clock tokens — the
+        // determinism-taint pass owns them (crate::taint) — but the old
+        // lint name still resolves for allow.toml compatibility.
         let src = "fn f() { let t = std::time::SystemTime::now(); let _ = t; }\n";
-        assert_eq!(lints_of("crates/rng/src/lib.rs", src), vec![Lint::WallClock]);
-        assert!(lints_of("crates/telemetry/src/lib.rs", src).is_empty());
+        assert!(lints_of("crates/rng/src/lib.rs", src).is_empty());
+        assert_eq!(Lint::from_name("wall-clock"), Some(Lint::DeterminismTaint));
+        assert_eq!(
+            Lint::from_name("determinism-taint"),
+            Some(Lint::DeterminismTaint)
+        );
     }
 
     #[test]

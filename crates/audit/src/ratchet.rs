@@ -97,12 +97,12 @@ impl Ratchet {
                 ),
                 _ => continue,
             };
-            findings.push(Finding {
-                lint: Lint::UnwrapRatchet,
-                path: "audit/ratchet.toml".to_string(),
-                line: 0,
+            findings.push(Finding::new(
+                Lint::UnwrapRatchet,
+                "audit/ratchet.toml".to_string(),
+                0,
                 msg,
-            });
+            ));
         }
         findings
     }

@@ -1,4 +1,12 @@
-//! Report rendering: human-readable lines and a `--json` encoding.
+//! Report rendering: human-readable lines, a `--json` encoding, and an
+//! in-tree schema check for the JSON output.
+//!
+//! The schema validator is a tiny hand-rolled JSON reader (the
+//! workspace is zero-dependency): it parses the emitted document and
+//! asserts the shape CI scripts rely on — required keys, value types,
+//! and per-finding fields.  `fmwalk audit --json` self-validates before
+//! printing, so a malformed report is an internal error (exit 2), never
+//! something a consumer has to discover downstream.
 
 use crate::scan::AuditReport;
 
@@ -15,12 +23,46 @@ pub fn human(report: &AuditReport) -> String {
     if report.ratchet_updated {
         s.push_str("audit: ratchet baseline rewritten from measured counts\n");
     }
+    if let Some(g) = &report.graph {
+        s.push_str(&format!(
+            "audit: call graph: {} fn(s), {} edge(s), {} open edge(s)\n",
+            g.functions, g.edges, g.open_edges
+        ));
+    }
     s.push_str(&format!(
         "audit: {} file(s), {} unsafe site(s), {} finding(s)\n",
         report.files_scanned,
         report.unsafe_sites,
         report.findings.len()
     ));
+    s
+}
+
+/// Renders the call paths (`--why`) for findings matching `query`:
+/// a substring of the finding's path, item, or lint name.
+pub fn why(report: &AuditReport, query: &str) -> String {
+    let mut s = String::new();
+    let mut hits = 0;
+    // Live findings first, then exemptions: `--why` answers both "why
+    // is this an error" and "why is this allowed".
+    for f in report.findings.iter().chain(&report.shielded) {
+        let hay_item = f.item.as_deref().unwrap_or("");
+        if !f.path.contains(query) && !hay_item.contains(query) && f.lint.name() != query {
+            continue;
+        }
+        hits += 1;
+        s.push_str(&format!("[{}] {}:{}: {}\n", f.lint.name(), f.path, f.line, f.msg));
+        if f.why.is_empty() {
+            s.push_str("  (no call path: textual lint)\n");
+        } else {
+            for (i, frame) in f.why.iter().enumerate() {
+                s.push_str(&format!("  {}{}\n", "  ".repeat(i), frame));
+            }
+        }
+    }
+    if hits == 0 {
+        s.push_str(&format!("audit: no finding matches `{query}`\n"));
+    }
     s
 }
 
@@ -31,12 +73,19 @@ pub fn json(report: &AuditReport) -> String {
         if i > 0 {
             s.push(',');
         }
+        let item = match &f.item {
+            Some(it) => format!("\"{}\"", escape(it)),
+            None => "null".to_string(),
+        };
+        let why: Vec<String> = f.why.iter().map(|w| format!("\"{}\"", escape(w))).collect();
         s.push_str(&format!(
-            "\n    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"msg\": \"{}\"}}",
+            "\n    {{\"lint\": \"{}\", \"path\": \"{}\", \"line\": {}, \"item\": {}, \"msg\": \"{}\", \"why\": [{}]}}",
             f.lint.name(),
             escape(&f.path),
             f.line,
-            escape(&f.msg)
+            item,
+            escape(&f.msg),
+            why.join(", ")
         ));
     }
     if !report.findings.is_empty() {
@@ -52,8 +101,16 @@ pub fn json(report: &AuditReport) -> String {
     if !report.unwrap_counts.is_empty() {
         s.push_str("\n  ");
     }
+    s.push_str("},\n  \"graph\": ");
+    match &report.graph {
+        Some(g) => s.push_str(&format!(
+            "{{\"functions\": {}, \"edges\": {}, \"open_edges\": {}}}",
+            g.functions, g.edges, g.open_edges
+        )),
+        None => s.push_str("null"),
+    }
     s.push_str(&format!(
-        "}},\n  \"files_scanned\": {},\n  \"unsafe_sites\": {},\n  \"clean\": {}\n}}\n",
+        ",\n  \"files_scanned\": {},\n  \"unsafe_sites\": {},\n  \"clean\": {}\n}}\n",
         report.files_scanned,
         report.unsafe_sites,
         report.clean()
@@ -76,24 +133,328 @@ fn escape(s: &str) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// JSON schema check
+
+/// A parsed JSON value, just enough for shape validation.
+#[derive(Debug)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "json byte {}: expected `{}`, got `{}`",
+                self.i,
+                c as char,
+                self.b.get(self.i).map(|&b| b as char).unwrap_or('?')
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!("json byte {}: unexpected {:?}", self.i, other)),
+        }
+    }
+
+    fn lit(&mut self, s: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(v)
+        } else {
+            Err(format!("json byte {}: expected `{s}`", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || *c == b'.' || *c == b'e' || *c == b'E' || *c == b'+' || *c == b'-')
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("json byte {start}: bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .b
+                        .get(self.i)
+                        .ok_or_else(|| "json: truncated escape".to_string())?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| "json: truncated \\u".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => {
+                            return Err(format!("json: unknown escape `\\{}`", other as char))
+                        }
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+        Err("json: unterminated string".to_string())
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("json byte {}: expected , or ] got {:?}", self.i, other)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut kvs = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(kvs));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.eat(b':')?;
+            let v = self.value()?;
+            kvs.push((k, v));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(kvs));
+                }
+                other => return Err(format!("json byte {}: expected , or }} got {:?}", self.i, other)),
+            }
+        }
+    }
+}
+
+/// Validates `--json` output against the report schema.  Returns the
+/// first shape violation, or `Ok(())` for a conforming document.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = JsonParser {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let doc = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("json byte {}: trailing garbage", p.i));
+    }
+    let need = |key: &str| doc.get(key).ok_or_else(|| format!("missing key `{key}`"));
+    let findings = match need("findings")? {
+        Value::Arr(a) => a,
+        _ => return Err("`findings` is not an array".to_string()),
+    };
+    for (i, f) in findings.iter().enumerate() {
+        let ctx = |k: &str| format!("findings[{i}].{k}");
+        for (key, want_str) in [("lint", true), ("path", true), ("msg", true)] {
+            match f.get(key) {
+                Some(Value::Str(s)) if !s.is_empty() => {}
+                Some(Value::Str(_)) => return Err(format!("{} is empty", ctx(key))),
+                _ if want_str => return Err(format!("{} missing or not a string", ctx(key))),
+                _ => {}
+            }
+        }
+        match f.get("line") {
+            Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {}
+            _ => return Err(format!("{} missing or not a non-negative integer", ctx("line"))),
+        }
+        match f.get("item") {
+            Some(Value::Str(_)) | Some(Value::Null) => {}
+            _ => return Err(format!("{} missing or not string|null", ctx("item"))),
+        }
+        match f.get("why") {
+            Some(Value::Arr(ws)) if ws.iter().all(|w| matches!(w, Value::Str(_))) => {}
+            _ => return Err(format!("{} missing or not an array of strings", ctx("why"))),
+        }
+    }
+    match need("unwrap_counts")? {
+        Value::Obj(kvs) if kvs.iter().all(|(_, v)| matches!(v, Value::Num(_))) => {}
+        _ => return Err("`unwrap_counts` is not an object of numbers".to_string()),
+    }
+    match need("graph")? {
+        Value::Null => {}
+        g @ Value::Obj(_) => {
+            for key in ["functions", "edges", "open_edges"] {
+                match g.get(key) {
+                    Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {}
+                    _ => return Err(format!("graph.{key} missing or not an integer")),
+                }
+            }
+        }
+        _ => return Err("`graph` is not object|null".to_string()),
+    }
+    for key in ["files_scanned", "unsafe_sites"] {
+        match need(key)? {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => {}
+            _ => return Err(format!("`{key}` is not a non-negative integer")),
+        }
+    }
+    match need("clean")? {
+        Value::Bool(c) if *c == findings.is_empty() => Ok(()),
+        Value::Bool(_) => Err("`clean` contradicts the findings array".to_string()),
+        _ => Err("`clean` is not a bool".to_string()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lints::{Finding, Lint};
+    use crate::taint::GraphStats;
+
+    fn finding() -> Finding {
+        let mut f = Finding::new(
+            Lint::DeterminismTaint,
+            "a \"b\".rs".to_string(),
+            3,
+            "x\ny".to_string(),
+        );
+        f.item = Some("walk".to_string());
+        f.why = vec!["frame \"one\"".to_string(), "frame two".to_string()];
+        f
+    }
 
     #[test]
     fn json_escapes_and_reports_clean_flag() {
         let mut r = AuditReport::default();
         assert!(json(&r).contains("\"clean\": true"));
-        r.findings.push(Finding {
-            lint: Lint::RawFileIo,
-            path: "a \"b\".rs".to_string(),
-            line: 3,
-            msg: "x\ny".to_string(),
-        });
+        r.findings.push(finding());
         let j = json(&r);
         assert!(j.contains("a \\\"b\\\".rs"));
         assert!(j.contains("x\\ny"));
+        assert!(j.contains("\"item\": \"walk\""));
+        assert!(j.contains("frame two"));
         assert!(j.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn json_output_passes_schema_check() {
+        let mut r = AuditReport::default();
+        assert!(validate_json(&json(&r)).is_ok());
+        r.findings.push(finding());
+        r.unwrap_counts.insert("crates/x".to_string(), 3);
+        r.graph = Some(GraphStats {
+            functions: 10,
+            edges: 20,
+            open_edges: 5,
+        });
+        let j = json(&r);
+        validate_json(&j).unwrap();
+    }
+
+    #[test]
+    fn schema_check_rejects_malformed_documents() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json(
+            "{\"findings\": [{\"lint\": \"x\"}], \"unwrap_counts\": {}, \"graph\": null, \"files_scanned\": 0, \"unsafe_sites\": 0, \"clean\": true}"
+        )
+        .is_err());
+        // line must be an integer, not a string.
+        assert!(validate_json(
+            "{\"findings\": [{\"lint\": \"x\", \"path\": \"p\", \"line\": \"3\", \"item\": null, \"msg\": \"m\", \"why\": []}], \"unwrap_counts\": {}, \"graph\": null, \"files_scanned\": 0, \"unsafe_sites\": 0, \"clean\": true}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn why_renders_call_paths_for_matching_findings() {
+        let mut r = AuditReport::default();
+        r.findings.push(finding());
+        let w = why(&r, "walk");
+        assert!(w.contains("frame \"one\""));
+        assert!(w.contains("frame two"));
+        assert!(why(&r, "nothing-matches").contains("no finding matches"));
     }
 }

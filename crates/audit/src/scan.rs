@@ -1,24 +1,45 @@
 //! Workspace walker: applies the lint catalogue to every `.rs` file,
-//! filters through the allowlist, and checks the unwrap ratchet.
+//! optionally runs the flow-aware graph passes, filters through the
+//! allowlist, and checks the unwrap ratchet.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::allow::Allowlist;
-use crate::lints::{scan_file, Finding};
+use crate::lints::{is_test_path, scan_file, Finding};
+use crate::parse::{parse_file, FileAst};
 use crate::ratchet::Ratchet;
+use crate::taint::{self, GraphStats};
+
+/// Knobs for one audit run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunOptions {
+    /// Rewrite `audit/ratchet.toml` from measured counts instead of
+    /// checking it.
+    pub update_ratchet: bool,
+    /// Also run the flow-aware passes (item parser → call graph →
+    /// determinism-taint / panic-reachability / rng-purity /
+    /// fingerprint-completeness).
+    pub graph: bool,
+}
 
 /// Everything one audit run produced.
 #[derive(Debug, Default)]
 pub struct AuditReport {
     /// Violations after allowlist filtering, sorted by (path, line).
     pub findings: Vec<Finding>,
+    /// Findings an allow.toml entry shielded, each annotated with the
+    /// entry's reason.  Not errors — kept so `--why` can explain why an
+    /// exemption exists.
+    pub shielded: Vec<Finding>,
     /// Library unwrap/expect sites per crate (the ratchet metric).
     pub unwrap_counts: BTreeMap<String, usize>,
     /// Total `unsafe` keyword sites inventoried across the workspace.
     pub unsafe_sites: usize,
     pub files_scanned: usize,
+    /// Call-graph size counters (graph runs only).
+    pub graph: Option<GraphStats>,
     /// Set when `--update-ratchet` rewrote the baseline.
     pub ratchet_updated: bool,
 }
@@ -33,9 +54,10 @@ impl AuditReport {
 ///
 /// Reads `audit/allow.toml` (optional) and `audit/ratchet.toml`
 /// (optional; absence flags every crate with unwrap sites).  With
-/// `update_ratchet`, rewrites the baseline from measured counts instead
-/// of checking it.  Errors are IO/config problems, not lint findings.
-pub fn run(root: &Path, update_ratchet: bool) -> Result<AuditReport, String> {
+/// `opts.graph`, every file is additionally item-parsed and the four
+/// flow-aware lints run over the workspace call graph.  Errors are
+/// IO/config problems, not lint findings.
+pub fn run(root: &Path, opts: RunOptions) -> Result<AuditReport, String> {
     if !root.join("Cargo.toml").exists() {
         return Err(format!(
             "{} does not look like a workspace root (no Cargo.toml)",
@@ -45,6 +67,7 @@ pub fn run(root: &Path, update_ratchet: bool) -> Result<AuditReport, String> {
     let files = collect_rs_files(root)?;
     let mut report = AuditReport::default();
     let mut raw_findings = Vec::new();
+    let mut asts: Vec<FileAst> = Vec::new();
     for rel in &files {
         let text = fs::read_to_string(root.join(rel))
             .map_err(|e| format!("read {rel}: {e}"))?;
@@ -58,6 +81,14 @@ pub fn run(root: &Path, update_ratchet: bool) -> Result<AuditReport, String> {
                 .or_insert(0) += scan.unwrap_count;
         }
         report.files_scanned += 1;
+        if opts.graph {
+            asts.push(parse_file(rel, &text, is_test_path(rel)));
+        }
+    }
+    if opts.graph {
+        let (flow_findings, stats) = taint::analyze(&asts);
+        raw_findings.extend(flow_findings);
+        report.graph = Some(stats);
     }
 
     let allow_path = root.join("audit/allow.toml");
@@ -67,10 +98,10 @@ pub fn run(root: &Path, update_ratchet: bool) -> Result<AuditReport, String> {
     } else {
         Allowlist::default()
     };
-    report.findings = allowlist.apply(raw_findings);
+    (report.findings, report.shielded) = allowlist.apply(raw_findings);
 
     let ratchet_path = root.join("audit/ratchet.toml");
-    if update_ratchet {
+    if opts.update_ratchet {
         let ratchet = Ratchet {
             counts: report.unwrap_counts.clone(),
         };

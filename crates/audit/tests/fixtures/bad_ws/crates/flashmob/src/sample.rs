@@ -1,0 +1,8 @@
+// Violates panic-reachability: an unwrap on the sample loop path.
+pub fn sample_partition(slots: &[u64], cursor: usize) -> u64 {
+    hot_pick(slots, cursor)
+}
+
+fn hot_pick(slots: &[u64], cursor: usize) -> u64 {
+    *slots.get(cursor).unwrap()
+}

@@ -1,7 +1,14 @@
-// Violates wall-clock: ambient time in a deterministic crate.
+// Violates determinism-taint: ambient time in a deterministic crate.
 pub fn seed_from_time() -> u64 {
     std::time::SystemTime::now()
         .elapsed()
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(7)
+}
+
+// Violates rng-purity: a stream with no visible seed lineage.
+pub struct Mt19937(u64);
+
+pub fn unlineaged_stream(raw: u64) -> Mt19937 {
+    Mt19937::new(raw)
 }

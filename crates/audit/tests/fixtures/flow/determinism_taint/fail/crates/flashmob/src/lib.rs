@@ -1,0 +1,21 @@
+// Violates determinism-taint three ways: an env read two calls away,
+// a direct clock source, and hash-ordered iteration.
+pub fn plan_ring() -> usize {
+    ring_depth_from_env()
+}
+
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}
+
+pub fn degree_hist(degrees: &[usize]) -> Vec<(usize, usize)> {
+    use std::collections::HashMap;
+    let mut h: HashMap<usize, usize> = HashMap::new();
+    for &d in degrees {
+        *h.entry(d).or_insert(0) += 1;
+    }
+    // Iteration order is nondeterministic: the histogram ordering
+    // changes run to run.
+    h.into_iter().collect()
+}

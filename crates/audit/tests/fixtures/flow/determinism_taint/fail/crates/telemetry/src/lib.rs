@@ -1,0 +1,13 @@
+// A non-deterministic crate: ambient reads are legal HERE, but taint
+// must follow the call edge back into flashmob.
+pub fn ring_depth_from_env() -> usize {
+    match std::env::var("FMWALK_RING") {
+        Ok(v) => v.len(),
+        Err(_) => 4,
+    }
+}
+
+pub fn jitter() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}

@@ -1,0 +1,13 @@
+// Deterministic crate with sorted, seed-driven state only.
+pub fn plan_ring(config_depth: usize) -> usize {
+    config_depth.max(1)
+}
+
+pub fn degree_hist(degrees: &[usize]) -> Vec<(usize, usize)> {
+    use std::collections::BTreeMap;
+    let mut h: BTreeMap<usize, usize> = BTreeMap::new();
+    for &d in degrees {
+        *h.entry(d).or_insert(0) += 1;
+    }
+    h.into_iter().collect()
+}

@@ -1,0 +1,6 @@
+// Ambient reads confined to a non-deterministic crate with no call
+// edge back into the deterministic set: clean.
+pub fn jitter() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(0)
+}

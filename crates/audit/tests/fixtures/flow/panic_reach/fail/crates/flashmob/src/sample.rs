@@ -1,0 +1,13 @@
+// Violates panic-reachability: the sample loop calls a helper that
+// calls expect() two frames down.
+pub fn sample_partition(slots: &[u64], cursor: usize) -> u64 {
+    advance(slots, cursor)
+}
+
+fn advance(slots: &[u64], cursor: usize) -> u64 {
+    pick(slots, cursor)
+}
+
+fn pick(slots: &[u64], cursor: usize) -> u64 {
+    *slots.get(cursor).expect("cursor in range")
+}

@@ -1,0 +1,14 @@
+// Violates rng-purity twice: one stream seeded from the clock, one
+// from an argument with no visible seed lineage.
+pub struct Xorshift64Star(u64);
+pub struct SplitMix64(u64);
+
+pub fn clocked_stream() -> Xorshift64Star {
+    let now = std::time::SystemTime::now();
+    let nanos = now.elapsed().map(|d| d.as_nanos() as u64).unwrap_or(7);
+    Xorshift64Star::new(nanos ^ std::time::UNIX_EPOCH.elapsed().map(|d| d.as_secs()).unwrap_or(0))
+}
+
+pub fn mystery_stream(mystery: u64) -> SplitMix64 {
+    SplitMix64::new(mystery)
+}

@@ -1,0 +1,15 @@
+// Pure streams: seed + partition/slot indices via split_stream.
+pub struct Xorshift64Star(u64);
+pub struct SplitMix64(u64);
+
+pub fn split_stream(seed: u64, index: u64) -> u64 {
+    seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+pub fn partition_stream(seed: u64, partition: u64) -> Xorshift64Star {
+    Xorshift64Star::new(split_stream(seed, partition))
+}
+
+pub fn slot_stream(seed: u64, epoch: u64, slot: u64) -> SplitMix64 {
+    SplitMix64::new(split_stream(split_stream(seed, epoch), slot))
+}

@@ -1,18 +1,24 @@
 //! Fixture-driven scanner tests: one positive + one negative fixture
-//! per lint, a seeded bad workspace where every lint must fire, and a
-//! whole-repo scan that must stay clean (the same gate ci.sh runs).
+//! per lint (mini-workspaces for the flow-aware lints), a seeded bad
+//! workspace where every lint must fire, and a whole-repo scan that
+//! must stay clean (the same gate ci.sh runs).
 
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use fm_audit::allow::Allowlist;
 use fm_audit::lints::{scan_file, Finding, Lint};
 use fm_audit::ratchet::Ratchet;
+use fm_audit::RunOptions;
+
+fn fixture_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel)
+}
 
 fn fixture(rel: &str) -> String {
-    let p = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/fixtures")
-        .join(rel);
+    let p = fixture_path(rel);
     std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
 }
 
@@ -20,8 +26,18 @@ fn lints_of(path: &str, src: &str) -> Vec<Lint> {
     scan_file(path, src).findings.iter().map(|f| f.lint).collect()
 }
 
+/// Scans a mini-workspace fixture with the flow passes on.
+fn graph_scan(rel: &str) -> fm_audit::AuditReport {
+    let opts = RunOptions {
+        update_ratchet: false,
+        graph: true,
+    };
+    fm_audit::scan::run(&fixture_path(rel), opts)
+        .unwrap_or_else(|e| panic!("scan {rel}: {e}"))
+}
+
 /// (fixture dir, lint, synthetic path the lint applies at).
-const RS_CASES: [(&str, Lint, &str); 7] = [
+const RS_CASES: [(&str, Lint, &str); 6] = [
     (
         "unsafe_needs_safety",
         Lint::UnsafeNeedsSafety,
@@ -33,7 +49,6 @@ const RS_CASES: [(&str, Lint, &str); 7] = [
         "crates/x/src/a.rs",
     ),
     ("raw_file_io", Lint::RawFileIo, "crates/x/src/a.rs"),
-    ("wall_clock", Lint::WallClock, "crates/flashmob/src/a.rs"),
     (
         "narrowing_cast",
         Lint::NarrowingCast,
@@ -45,6 +60,14 @@ const RS_CASES: [(&str, Lint, &str); 7] = [
         "crates/x/src/a.rs",
     ),
     ("perf_syscall", Lint::PerfSyscall, "crates/x/src/a.rs"),
+];
+
+/// (fixture workspace dir, the flow lint it exercises).
+const FLOW_CASES: [(&str, Lint); 4] = [
+    ("flow/determinism_taint", Lint::DeterminismTaint),
+    ("flow/panic_reach", Lint::PanicReachability),
+    ("flow/rng_purity", Lint::RngPurity),
+    ("flow/fingerprint", Lint::FingerprintCompleteness),
 ];
 
 #[test]
@@ -68,6 +91,40 @@ fn every_pass_fixture_is_clean() {
 }
 
 #[test]
+fn every_flow_fail_fixture_is_caught() {
+    for (dir, lint) in FLOW_CASES {
+        let report = graph_scan(&format!("{dir}/fail"));
+        let fired: Vec<&str> = report.findings.iter().map(|f| f.lint.name()).collect();
+        assert!(
+            fired.contains(&lint.name()),
+            "{dir}/fail must trip {}; fired: {fired:?}",
+            lint.name()
+        );
+        // Every flow finding must carry a printable call path and an
+        // item anchor for allow.toml scoping.
+        for f in report.findings.iter().filter(|f| f.lint == lint) {
+            assert!(!f.why.is_empty(), "{dir}: finding without why: {f:?}");
+            assert!(f.item.is_some(), "{dir}: finding without item: {f:?}");
+        }
+    }
+}
+
+#[test]
+fn every_flow_pass_fixture_is_clean() {
+    for (dir, lint) in FLOW_CASES {
+        let report = graph_scan(&format!("{dir}/pass"));
+        let fired: Vec<&str> = report.findings.iter().map(|f| f.lint.name()).collect();
+        assert!(
+            report.clean(),
+            "{dir}/pass must be clean of {}; fired: {fired:?}",
+            lint.name()
+        );
+        let g = report.graph.expect("graph stats present");
+        assert!(g.functions > 0, "{dir}/pass parsed no functions");
+    }
+}
+
+#[test]
 fn unwrap_ratchet_fixtures() {
     let baseline = Ratchet::parse("[unwrap_ratchet]\n\"crates/x\" = 2\n").unwrap();
     let count = |src: &str| scan_file("crates/x/src/a.rs", src).unwrap_count;
@@ -85,19 +142,22 @@ fn unwrap_ratchet_fixtures() {
 
 #[test]
 fn stale_allow_fixtures() {
-    let real = Finding {
-        lint: Lint::RawFileIo,
-        path: "crates/x/src/io.rs".to_string(),
-        line: 1,
-        msg: "raw io".to_string(),
-    };
+    let real = Finding::new(
+        Lint::RawFileIo,
+        "crates/x/src/io.rs".to_string(),
+        1,
+        "raw io".to_string(),
+    );
     // pass.toml shields the finding: nothing left, nothing stale.
     let pass = Allowlist::parse(&fixture("stale_allow/pass.toml")).unwrap();
-    assert!(pass.apply(vec![real.clone()]).is_empty());
+    let (kept, shielded) = pass.apply(vec![real.clone()]);
+    assert!(kept.is_empty());
+    assert_eq!(shielded.len(), 1);
     // fail.toml shields nothing: the finding survives AND the entry is
     // reported stale.
     let fail = Allowlist::parse(&fixture("stale_allow/fail.toml")).unwrap();
-    let out = fail.apply(vec![real]);
+    let (out, shielded) = fail.apply(vec![real]);
+    assert!(shielded.is_empty());
     assert_eq!(out.len(), 2);
     assert!(out.iter().any(|f| f.lint == Lint::StaleAllow));
     assert!(out.iter().any(|f| f.lint == Lint::RawFileIo));
@@ -105,18 +165,20 @@ fn stale_allow_fixtures() {
 
 #[test]
 fn bad_workspace_trips_every_lint() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_ws");
-    let report = fm_audit::scan::run(&root, false).expect("scan bad_ws");
+    let report = graph_scan("bad_ws");
     let fired: Vec<&str> = report.findings.iter().map(|f| f.lint.name()).collect();
     for lint in [
         Lint::UnsafeNeedsSafety,
         Lint::ThreadDiscipline,
         Lint::RawFileIo,
-        Lint::WallClock,
         Lint::NarrowingCast,
         Lint::UnwrapRatchet,
         Lint::PrefetchIntrinsic,
         Lint::PerfSyscall,
+        Lint::DeterminismTaint,
+        Lint::PanicReachability,
+        Lint::RngPurity,
+        Lint::FingerprintCompleteness,
     ] {
         assert!(
             fired.contains(&lint.name()),
@@ -128,13 +190,77 @@ fn bad_workspace_trips_every_lint() {
 }
 
 #[test]
+fn bad_workspace_why_paths_reach_the_seeded_sites() {
+    // `--why` must reproduce a full call path for the seeded flow
+    // violations: the panic path walks sample_partition → hot_pick and
+    // the taint path names the ambient source.
+    let report = graph_scan("bad_ws");
+    let panic = report
+        .findings
+        .iter()
+        .find(|f| f.lint == Lint::PanicReachability)
+        .expect("panic finding");
+    let path = panic.why.join("\n");
+    assert!(path.contains("sample_partition"), "{path}");
+    assert!(path.contains("hot_pick"), "{path}");
+    assert!(path.contains("panic site"), "{path}");
+    let taint = report
+        .findings
+        .iter()
+        .find(|f| f.lint == Lint::DeterminismTaint)
+        .expect("taint finding");
+    assert!(taint.why.iter().any(|w| w.contains("SystemTime")), "{:?}", taint.why);
+    let fp = report
+        .findings
+        .iter()
+        .find(|f| f.lint == Lint::FingerprintCompleteness)
+        .expect("fingerprint finding");
+    assert_eq!(fp.item.as_deref(), Some("budget"));
+}
+
+#[test]
+fn bad_workspace_json_conforms_to_schema() {
+    let report = graph_scan("bad_ws");
+    let json = fm_audit::report::json(&report);
+    fm_audit::report::validate_json(&json).expect("bad_ws json conforms");
+}
+
+#[test]
 fn the_repo_itself_audits_clean() {
     // Two levels up from crates/audit is the workspace root.  This is
     // the acceptance gate: every exemption must be allowlisted with a
-    // reason and the ratchet baseline must match reality.
+    // reason and the ratchet baseline must match reality.  The flow
+    // passes run too — same as `fmwalk audit --graph` in ci.sh.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let report = fm_audit::scan::run(&root, false).expect("scan workspace");
+    let opts = RunOptions {
+        update_ratchet: false,
+        graph: true,
+    };
+    let report = fm_audit::scan::run(&root, opts).expect("scan workspace");
     let rendered = fm_audit::report::human(&report);
     assert!(report.clean(), "workspace audit must be clean:\n{rendered}");
     assert!(report.unsafe_sites > 0, "inventory must see the unsafe sites");
+    let g = report.graph.expect("graph stats");
+    assert!(g.functions > 100, "call graph too small: {g:?}");
+    assert!(g.edges > 100, "call graph too sparse: {g:?}");
+}
+
+#[test]
+fn full_graph_scan_fits_the_wall_budget() {
+    // The flow passes must stay cheap enough to run on every CI tier:
+    // parse + graph + 4 lints over the whole workspace in seconds, even
+    // unoptimized.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let opts = RunOptions {
+        update_ratchet: false,
+        graph: true,
+    };
+    let start = std::time::Instant::now();
+    let report = fm_audit::scan::run(&root, opts).expect("scan workspace");
+    let elapsed = start.elapsed();
+    assert!(report.files_scanned > 50, "scan saw {} files", report.files_scanned);
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "full --graph scan took {elapsed:?}; budget is 30s (debug build)"
+    );
 }

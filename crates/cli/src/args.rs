@@ -211,6 +211,12 @@ pub enum Command {
         json: bool,
         /// Rewrite audit/ratchet.toml from measured unwrap counts.
         update_ratchet: bool,
+        /// Also run the flow-aware passes (call graph + taint lints).
+        graph: bool,
+        /// Print the offending call path for findings matching this
+        /// query (substring of path/item, or an exact lint name).
+        /// Implies --graph.
+        why: Option<String>,
     },
     /// `fmwalk help`.
     Help,
@@ -363,12 +369,12 @@ impl Cursor {
         a
     }
 
-    fn expect(&mut self, what: &str) -> Result<String, ParseError> {
+    fn demand(&mut self, what: &str) -> Result<String, ParseError> {
         self.next().ok_or_else(|| err(format!("missing {what}")))
     }
 
     fn value<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, ParseError> {
-        let raw = self.expect(&format!("value for {flag}"))?;
+        let raw = self.demand(&format!("value for {flag}"))?;
         raw.parse()
             .map_err(|_| err(format!("bad value {raw:?} for {flag}")))
     }
@@ -386,8 +392,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
     };
     match cmd.as_str() {
         "convert" => {
-            let input = PathBuf::from(c.expect("input path")?);
-            let output = PathBuf::from(c.expect("output path")?);
+            let input = PathBuf::from(c.demand("input path")?);
+            let output = PathBuf::from(c.demand("output path")?);
             let (mut symmetric, mut dedup, mut drop_self_loops, mut compact) =
                 (false, false, false, false);
             while let Some(flag) = c.next() {
@@ -409,7 +415,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             })
         }
         "stats" => {
-            let graph = PathBuf::from(c.expect("graph path")?);
+            let graph = PathBuf::from(c.demand("graph path")?);
             let mut diameter_samples = 4usize;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
@@ -423,7 +429,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             })
         }
         "plan" => {
-            let graph = PathBuf::from(c.expect("graph path")?);
+            let graph = PathBuf::from(c.demand("graph path")?);
             let mut walkers = WalkerCount::PerVertex(1);
             let mut strategy = PlanStrategy::DynamicProgramming;
             while let Some(flag) = c.next() {
@@ -432,7 +438,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--walkers-mult" => {
                         walkers = WalkerCount::PerVertex(c.value("--walkers-mult")?)
                     }
-                    "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
+                    "--strategy" => strategy = parse_strategy(&c.demand("strategy")?)?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -443,7 +449,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             })
         }
         "walk" => {
-            let graph = PathBuf::from(c.expect("graph path")?);
+            let graph = PathBuf::from(c.demand("graph path")?);
             let mut engine = EngineChoice::FlashMob;
             let mut algo_name = "deepwalk".to_string();
             let (mut p, mut q) = (1.0f64, 1.0f64);
@@ -472,7 +478,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             while let Some(flag) = c.next() {
                 match flag.as_str() {
                     "--checkpoint-dir" => {
-                        checkpoint_dir = Some(PathBuf::from(c.expect("checkpoint directory")?))
+                        checkpoint_dir = Some(PathBuf::from(c.demand("checkpoint directory")?))
                     }
                     "--checkpoint-every" => checkpoint_every = c.value("--checkpoint-every")?,
                     "--oocore-budget" => oocore_budget = c.value("--oocore-budget")?,
@@ -480,14 +486,14 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--fault-seed" => fault_seed = c.value("--fault-seed")?,
                     "--halt-after" => halt_after = c.value("--halt-after")?,
                     "--engine" => {
-                        engine = match c.expect("engine")?.as_str() {
+                        engine = match c.demand("engine")?.as_str() {
                             "flashmob" => EngineChoice::FlashMob,
                             "knightking" => EngineChoice::KnightKing,
                             "graphvite" => EngineChoice::GraphVite,
                             other => return Err(err(format!("unknown engine {other}"))),
                         }
                     }
-                    "--algo" | "--program" => algo_name = c.expect("algorithm")?,
+                    "--algo" | "--program" => algo_name = c.demand("algorithm")?,
                     "--p" => p = c.value("--p")?,
                     "--q" => q = c.value("--q")?,
                     "--alpha" => alpha = c.value("--alpha")?,
@@ -501,12 +507,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--seed" => seed = c.value("--seed")?,
                     "--threads" => threads = c.value("--threads")?,
                     "--ring-depth" => ring_depth = c.value("--ring-depth")?,
-                    "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
-                    "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
-                    "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
+                    "--strategy" => strategy = parse_strategy(&c.demand("strategy")?)?,
+                    "--output" => output = Some(PathBuf::from(c.demand("output path")?)),
+                    "--visits" => visits = Some(PathBuf::from(c.demand("visits path")?)),
                     "--stats" => stats = true,
-                    "--trace" => trace = Some(PathBuf::from(c.expect("trace path")?)),
-                    "--metrics" => metrics = Some(PathBuf::from(c.expect("metrics path")?)),
+                    "--trace" => trace = Some(PathBuf::from(c.demand("trace path")?)),
+                    "--metrics" => metrics = Some(PathBuf::from(c.demand("metrics path")?)),
                     "--progress" => progress = true,
                     "--hw-counters" => hw_counters = true,
                     other => return Err(err(format!("unknown flag {other}"))),
@@ -540,8 +546,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             })
         }
         "resume" => {
-            let graph = PathBuf::from(c.expect("graph path")?);
-            let dir = PathBuf::from(c.expect("checkpoint directory")?);
+            let graph = PathBuf::from(c.demand("graph path")?);
+            let dir = PathBuf::from(c.demand("checkpoint directory")?);
             let mut algo_name = "deepwalk".to_string();
             let (mut p, mut q) = (1.0f64, 1.0f64);
             let mut alpha = 0.15f64;
@@ -567,7 +573,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--oocore-budget" => oocore_budget = c.value("--oocore-budget")?,
                     "--fault-rate" => fault_rate = c.value("--fault-rate")?,
                     "--fault-seed" => fault_seed = c.value("--fault-seed")?,
-                    "--algo" | "--program" => algo_name = c.expect("algorithm")?,
+                    "--algo" | "--program" => algo_name = c.demand("algorithm")?,
                     "--p" => p = c.value("--p")?,
                     "--q" => q = c.value("--q")?,
                     "--alpha" => alpha = c.value("--alpha")?,
@@ -581,12 +587,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                     "--seed" => seed = c.value("--seed")?,
                     "--threads" => threads = c.value("--threads")?,
                     "--ring-depth" => ring_depth = c.value("--ring-depth")?,
-                    "--strategy" => strategy = parse_strategy(&c.expect("strategy")?)?,
-                    "--output" => output = Some(PathBuf::from(c.expect("output path")?)),
-                    "--visits" => visits = Some(PathBuf::from(c.expect("visits path")?)),
+                    "--strategy" => strategy = parse_strategy(&c.demand("strategy")?)?,
+                    "--output" => output = Some(PathBuf::from(c.demand("output path")?)),
+                    "--visits" => visits = Some(PathBuf::from(c.demand("visits path")?)),
                     "--stats" => stats = true,
-                    "--trace" => trace = Some(PathBuf::from(c.expect("trace path")?)),
-                    "--metrics" => metrics = Some(PathBuf::from(c.expect("metrics path")?)),
+                    "--trace" => trace = Some(PathBuf::from(c.demand("trace path")?)),
+                    "--metrics" => metrics = Some(PathBuf::from(c.demand("metrics path")?)),
                     "--progress" => progress = true,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
@@ -629,7 +635,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             Ok(Command::Disk { input, output })
         }
         "synth" => {
-            let kind = match c.expect("generator kind")?.as_str() {
+            let kind = match c.demand("generator kind")?.as_str() {
                 "power-law" => SynthKind::PowerLaw,
                 "rmat" => SynthKind::Rmat,
                 "ba" => SynthKind::BarabasiAlbert,
@@ -637,7 +643,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 "ring" => SynthKind::Ring,
                 other => return Err(err(format!("unknown generator {other}"))),
             };
-            let output = PathBuf::from(c.expect("output path")?);
+            let output = PathBuf::from(c.demand("output path")?);
             let mut params = SynthParams::default();
             while let Some(flag) = c.next() {
                 match flag.as_str() {
@@ -665,7 +671,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut quick = false;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
-                    "--out" => out = Some(PathBuf::from(c.expect("output path")?)),
+                    "--out" => out = Some(PathBuf::from(c.demand("output path")?)),
                     "--quick" => quick = true,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
@@ -704,12 +710,12 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             Ok(Command::Cachecheck { quick, json })
         }
         "bench-diff" => {
-            let fresh = PathBuf::from(c.expect("fresh results path")?);
+            let fresh = PathBuf::from(c.demand("fresh results path")?);
             let mut baseline = PathBuf::from("BENCH_BASELINE.json");
             let mut tolerance = fm_bench::baseline::DEFAULT_TOLERANCE;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
-                    "--baseline" => baseline = PathBuf::from(c.expect("baseline path")?),
+                    "--baseline" => baseline = PathBuf::from(c.demand("baseline path")?),
                     "--tolerance" => tolerance = c.value("--tolerance")?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
@@ -724,7 +730,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             })
         }
         "trace-check" => {
-            let file = PathBuf::from(c.expect("trace file")?);
+            let file = PathBuf::from(c.demand("trace file")?);
             if let Some(flag) = c.next() {
                 return Err(err(format!("unknown flag {flag}")));
             }
@@ -734,11 +740,15 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
             let mut root = None;
             let mut json = false;
             let mut update_ratchet = false;
+            let mut graph = false;
+            let mut why = None;
             while let Some(flag) = c.next() {
                 match flag.as_str() {
-                    "--root" => root = Some(PathBuf::from(c.expect("workspace root")?)),
+                    "--root" => root = Some(PathBuf::from(c.demand("workspace root")?)),
                     "--json" => json = true,
                     "--update-ratchet" => update_ratchet = true,
+                    "--graph" => graph = true,
+                    "--why" => why = Some(c.demand("finding query")?),
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -746,6 +756,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseEr
                 root,
                 json,
                 update_ratchet,
+                graph: graph || why.is_some(),
+                why,
             })
         }
         other => Err(err(format!("unknown command {other}; try `fmwalk help`"))),
@@ -1115,19 +1127,35 @@ mod tests {
             Command::Audit {
                 root: None,
                 json: false,
-                update_ratchet: false
+                update_ratchet: false,
+                graph: false,
+                why: None
             }
         );
         assert_eq!(
-            p("audit --root /tmp/ws --json --update-ratchet").unwrap(),
+            p("audit --root /tmp/ws --json --update-ratchet --graph").unwrap(),
             Command::Audit {
                 root: Some(PathBuf::from("/tmp/ws")),
                 json: true,
-                update_ratchet: true
+                update_ratchet: true,
+                graph: true,
+                why: None
+            }
+        );
+        // --why implies --graph (a call path needs the call graph).
+        assert_eq!(
+            p("audit --why sample.rs").unwrap(),
+            Command::Audit {
+                root: None,
+                json: false,
+                update_ratchet: false,
+                graph: true,
+                why: Some("sample.rs".to_string())
             }
         );
         assert!(p("audit --bogus").unwrap_err().0.contains("unknown flag"));
         assert!(p("audit --root").unwrap_err().0.contains("workspace root"));
+        assert!(p("audit --why").unwrap_err().0.contains("finding query"));
     }
 
     #[test]

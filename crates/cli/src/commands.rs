@@ -847,15 +847,30 @@ pub fn run<W: Write>(cmd: Command, out: &mut W) -> Result<(), CmdError> {
             root,
             json,
             update_ratchet,
+            graph,
+            why,
         } => {
             let root = root.unwrap_or_else(|| std::path::PathBuf::from("."));
             // IO/config problems (unreadable tree, bad allow.toml) exit
             // 2; lint findings exit 1.  Scripted callers rely on the
             // distinction, as with the other subcommands.
-            let report = fm_audit::scan::run(&root, update_ratchet)
+            let opts = fm_audit::RunOptions {
+                update_ratchet,
+                graph,
+            };
+            let report = fm_audit::scan::run(&root, opts)
                 .map_err(|e| fail_io(format!("audit: {e}")))?;
-            if json {
-                write!(out, "{}", fm_audit::report::json(&report)).map_err(fail)?;
+            if let Some(query) = &why {
+                write!(out, "{}", fm_audit::report::why(&report, query)).map_err(fail)?;
+            } else if json {
+                let text = fm_audit::report::json(&report);
+                // The emitted document must conform to the report
+                // schema; a mismatch is an internal error (exit 2), so
+                // scripted consumers never see malformed JSON on exit
+                // 0/1.
+                fm_audit::report::validate_json(&text)
+                    .map_err(|e| fail_io(format!("audit: json schema: {e}")))?;
+                write!(out, "{text}").map_err(fail)?;
             } else {
                 write!(out, "{}", fm_audit::report::human(&report)).map_err(fail)?;
             }

@@ -341,7 +341,7 @@ pub fn run_ooc_traced(
 
 /// Places walkers per `config.init` using only in-memory metadata (the
 /// offsets index); shared by the first-order and bi-block paths.
-fn init_positions(disk: &DiskGraph, config: &WalkConfig) -> Vec<VertexId> {
+fn init_positions(disk: &DiskGraph, config: &WalkConfig) -> Result<Vec<VertexId>, WalkError> {
     let n = disk.vertex_count();
     let walkers = config.walkers;
     let init = match &config.init {
@@ -355,12 +355,12 @@ fn init_positions(disk: &DiskGraph, config: &WalkConfig) -> Vec<VertexId> {
         WalkerInit::UniformEdge => {
             let e = disk.edge_count();
             let mut rng = Xorshift64Star::new(config.seed);
-            (0..walkers)
+            Ok((0..walkers)
                 .map(|_| {
                     let edge = rng.gen_index(e);
                     (disk.offsets.partition_point(|&o| o <= edge) - 1) as VertexId
                 })
-                .collect()
+                .collect())
         }
         other => {
             // Vertex-based inits need no adjacency; a degree-1 dummy CSR
@@ -369,9 +369,8 @@ fn init_positions(disk: &DiskGraph, config: &WalkConfig) -> Vec<VertexId> {
                 (0..=n).collect(),
                 (0..n).map(|v| v as VertexId).collect(),
                 None,
-            )
-            .expect("dummy CSR");
-            initialize(&dummy, &other, walkers, config.seed)
+            )?;
+            Ok(initialize(&dummy, &other, walkers, config.seed))
         }
     }
 }
@@ -508,7 +507,7 @@ pub fn run_ooc_with(
     let wall_start = Instant::now();
     let steps = config.max_steps();
     let walkers = config.walkers;
-    let mut w = init_positions(disk, config);
+    let mut w = init_positions(disk, config)?;
     let mut w_next = vec![0 as VertexId; walkers];
     let mut sw = vec![0 as VertexId; walkers];
     let mut snext = vec![0 as VertexId; walkers];
@@ -837,7 +836,7 @@ fn run_ooc_biblock(
     };
 
     let wall_start = Instant::now();
-    let mut cur = init_positions(disk, config);
+    let mut cur = init_positions(disk, config)?;
     // `prevv` carries the node2vec predecessor (DEAD before the first,
     // first-order step) or the PPR origin.
     let mut prevv: Vec<VertexId> = if is_ppr {

@@ -135,7 +135,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn eat(&mut self, b: u8) -> Result<(), String> {
         match self.bump() {
             Some(got) if got == b => Ok(()),
             got => Err(format!(
@@ -175,7 +175,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.eat(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -186,7 +186,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.eat(b':')?;
             let val = self.value()?;
             pairs.push((key, val));
             self.skip_ws();
@@ -205,7 +205,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.eat(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -230,7 +230,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.eat(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -291,7 +291,8 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("non-ascii number at byte {start}"))?;
         raw.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("bad number {raw:?} at byte {start}"))
